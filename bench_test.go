@@ -1,0 +1,250 @@
+package repro
+
+// Top-level benchmarks: one per table/figure of the paper's evaluation.
+// Each regenerates the corresponding experiment at Small scale and reports
+// the headline numbers through b.ReportMetric, so `go test -bench=.` prints
+// the same quantities the paper's figures plot. EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sampling"
+	"repro/internal/sickle"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+func BenchmarkTable1_Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := sickle.Table1(sickle.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 6 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkTable2_Architectures(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	mt := train.NewMLPTransformer(rng, 4, 16, 2, 1, 8)
+	ct := train.NewCNNTransformer(rng, 4, 16, 2, 1, 8)
+	ls := train.NewLSTMModel(rng, 4, 16, 1)
+	xPts := tensor.Randn(rng, 1, 2, 2, 64, 4).Reshape(2, 2, 64, 4)
+	xCube := tensor.Randn(rng, 1, 2, 2, 4, 8, 8, 8).Reshape(2, 2, 4, 8, 8, 8)
+	xSeq := tensor.Randn(rng, 1, 2, 5, 4).Reshape(2, 5, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mt.Forward(xPts)
+		ct.Forward(xCube)
+		ls.Forward(xSeq)
+	}
+}
+
+func BenchmarkFig3_SamplingOF2D(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _, err := sickle.Fig3(sickle.Small, 0.10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			if r.Method == "maxent" {
+				b.ReportMetric(r.TailCover, "maxent-tailcover")
+			}
+		}
+	}
+}
+
+func BenchmarkFig4_UIPSClumping(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := sickle.Fig4(sickle.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			switch r.Dataset {
+			case "TC2D":
+				b.ReportMetric(r.Coverage, "tc2d-coverage")
+			case "SST-P1F4":
+				b.ReportMetric(r.Coverage, "sst-coverage")
+			}
+		}
+	}
+}
+
+func BenchmarkFig5_PDFComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := sickle.Fig5(sickle.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Dataset == "SST-P1F4" && r.Method == "maxent" {
+				b.ReportMetric(r.TailCover, "sst-maxent-tailcover")
+			}
+		}
+	}
+}
+
+func BenchmarkFig6_DragSurrogate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := sickle.Fig6(sickle.Small, sickle.Fig6Config{
+			SampleSizes: []int{540}, Replicates: 2, Epochs: 10,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Method == "maxent" {
+				b.ReportMetric(r.MeanLoss, "maxent-loss")
+			} else {
+				b.ReportMetric(r.MeanLoss, "random-loss")
+			}
+		}
+	}
+}
+
+func BenchmarkFig7_Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := sickle.Fig7(sickle.Small, 512, sickle.DefaultCostModel())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(sickle.KneeRanks(rows, "SST-P1F4", 0.5)), "knee-p1f4")
+		b.ReportMetric(float64(sickle.KneeRanks(rows, "SST-P1F100", 0.5)), "knee-p1f100")
+	}
+}
+
+func BenchmarkFig8_LossVsEnergy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := sickle.Fig8(sickle.Small, sickle.Fig8Config{
+			Datasets: []string{"SST-P1F4"}, Epochs: 3, CubeEdge: 8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var fullE, maxentE float64
+		for _, r := range rows {
+			switch r.Case {
+			case "Hrandom-Xfull":
+				fullE = r.Report.TrainJoules
+			case "Hmaxent-Xmaxent":
+				maxentE = r.Report.TrainJoules
+			}
+		}
+		if maxentE > 0 {
+			b.ReportMetric(fullE/maxentE, "full/maxent-energy")
+		}
+	}
+}
+
+func BenchmarkFig9_FoundationModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := sickle.Fig9(sickle.Small, sickle.Fig9Config{Epochs: 2, CubeEdge: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Method == "random" {
+				b.ReportMetric(r.Report.EvalLoss, "random-valloss")
+			}
+		}
+	}
+}
+
+// BenchmarkEq3_SamplingVsTrainingCost decomposes the Eq. 3 cost model:
+// the one-time sampling term c(m) against the per-epoch training term
+// m·p·e, measured through the energy meter.
+func BenchmarkEq3_SamplingVsTrainingCost(b *testing.B) {
+	d, err := sickle.BuildDataset("SST-P1F4", sickle.Small)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := sickle.Fig8(sickle.Small, sickle.Fig8Config{
+			Datasets: []string{d.Label}, Epochs: 2, CubeEdge: 8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := rows[0].Report
+		if r.TrainJoules > 0 {
+			b.ReportMetric(r.SampleJoules/r.TrainJoules, "sample/train-energy")
+		}
+	}
+}
+
+// Ablation benches for the design choices DESIGN.md calls out.
+
+func BenchmarkAblation_ClusterCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := sickle.AblateClusterCount(sickle.Small, []int{5, 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[1].TailCover, "k20-tailcover")
+	}
+}
+
+func BenchmarkAblation_UIPSBins(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := sickle.AblateUIPSBins(sickle.Small, []int{10, 50})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[1].TailCover, "bins50-tailcover")
+	}
+}
+
+func BenchmarkAblation_CommLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := sickle.AblateCommLatency(sickle.Small, []float64{2e-6, 200e-6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].TailCover, "knee-fast-net")
+		b.ReportMetric(rows[1].TailCover, "knee-slow-net")
+	}
+}
+
+func BenchmarkTemporalSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		kept, total, err := sickle.TemporalSelectionSummary(sickle.Small, 0.02)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(kept)/float64(total), "kept-fraction")
+	}
+}
+
+func BenchmarkSamplers10Percent(b *testing.B) {
+	d, err := sickle.BuildDataset("GESTS-2048", sickle.Small)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := d.Snapshots[0]
+	data := &sampling.Data{
+		Features:   f.Points(d.InputVars, nil),
+		ClusterVar: f.Var(d.ClusterVar),
+	}
+	n := data.N() / 10
+	for _, name := range sampling.MethodNames() {
+		if name == "full" {
+			continue
+		}
+		s, err := sampling.NewPointSampler(name, 10, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < b.N; i++ {
+				s.SelectPoints(data, n, rng)
+			}
+		})
+	}
+}

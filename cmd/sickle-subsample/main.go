@@ -1,0 +1,117 @@
+// sickle-subsample is the T1 stage of the paper's workflow (the artifact's
+// `srun -n 32 python subsample.py case.yaml`): it builds or selects a
+// dataset, runs the two-phase sampling pipeline across minimpi ranks, and
+// writes the feature-rich subsample to a compact binary file, reporting
+// energy and storage reduction.
+//
+// Usage:
+//
+//	sickle-subsample -case case.yaml -dataset SST-P1F4 -n 8 -o sub.skl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/energy"
+	"repro/internal/sampling"
+	"repro/internal/sickle"
+)
+
+func main() {
+	caseFile := flag.String("case", "", "YAML case file (optional; flags override)")
+	dataset := flag.String("dataset", "SST-P1F4", "dataset name (see sickle.DatasetNames)")
+	ranks := flag.Int("n", 1, "minimpi ranks")
+	out := flag.String("o", "subsample.skl", "output subsample file")
+	hsel := flag.String("hypercubes", "", "phase-1 selector: random|maxent")
+	method := flag.String("method", "", "phase-2 sampler: full|random|uniform|lhs|stratified|uips|maxent")
+	scaleStr := flag.String("scale", "small", "dataset scale")
+	flag.Parse()
+
+	pcfg := sampling.PipelineConfig{Hypercubes: "maxent", Method: "maxent", NumClusters: 5, Seed: 1}
+	if *caseFile != "" {
+		c, err := config.LoadCase(*caseFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pcfg.Hypercubes = c.Hypercubes
+		pcfg.Method = c.Method
+		pcfg.NumHypercubes = c.NumHypercubes
+		pcfg.NumSamples = c.NumSamples
+		pcfg.NumClusters = c.NumClusters
+		pcfg.CubeSx, pcfg.CubeSy, pcfg.CubeSz = c.NxSL, c.NySL, c.NzSL
+		pcfg.Seed = c.Seed
+	}
+	if *hsel != "" {
+		pcfg.Hypercubes = *hsel
+	}
+	if *method != "" {
+		pcfg.Method = *method
+	}
+
+	scale := sickle.Small
+	if *scaleStr == "large" {
+		scale = sickle.Large
+	}
+	d, err := sickle.BuildDataset(*dataset, scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Clamp cube size to the dataset.
+	f := d.Snapshots[0]
+	if pcfg.CubeSx == 0 || pcfg.CubeSx > f.Nx {
+		pcfg.CubeSx = min(32, f.Nx)
+	}
+	if pcfg.CubeSy == 0 || pcfg.CubeSy > f.Ny {
+		pcfg.CubeSy = min(32, f.Ny)
+	}
+	if pcfg.CubeSz == 0 || pcfg.CubeSz > f.Nz {
+		pcfg.CubeSz = min(32, f.Nz)
+	}
+	if pcfg.NumHypercubes == 0 {
+		pcfg.NumHypercubes = 4
+	}
+	if pcfg.NumSamples == 0 {
+		pcfg.NumSamples = pcfg.CubeSx * pcfg.CubeSy * pcfg.CubeSz / 10
+	}
+
+	meter := energy.NewMeter()
+	pcfg.Meter = meter
+	t0 := time.Now()
+	cubes, world, err := sampling.SubsampleParallel(d, pcfg, *ranks, sickle.DefaultCostModel())
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(t0)
+
+	if err := sickle.SaveCubeSamples(*out, cubes); err != nil {
+		log.Fatal(err)
+	}
+	ratio, err := sickle.StorageReduction(d, *out)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	total := 0
+	for _, cs := range cubes {
+		total += len(cs.LocalIdx)
+	}
+	fmt.Printf("dataset: %s (%s, %d snapshots)\n", d.Label, d.GridString(), d.NTime())
+	fmt.Printf("pipeline: H%s-X%s, %d cubes of %d³, %d samples/cube\n",
+		pcfg.Hypercubes, pcfg.Method, pcfg.NumHypercubes, pcfg.CubeSx, pcfg.NumSamples)
+	fmt.Printf("selected %d cube-samples, %d points total\n", len(cubes), total)
+	fmt.Printf("Elapsed Time: %v (sim comm: %.3g s at %d ranks)\n",
+		elapsed, world.MaxSimCommSeconds(), *ranks)
+	fmt.Println(meter.String())
+	fmt.Printf("wrote %s (storage reduction %.0fx vs full dataset)\n", *out, ratio)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,11 @@
+// Package repro is SICKLE-Go: a pure-Go reproduction of "Intelligent
+// Sampling of Extreme-Scale Turbulence Datasets for Accurate and Efficient
+// Spatiotemporal Model Training" (Brewer et al., SC 2025).
+//
+// The library lives under internal/: sampling (the paper's MaxEnt/UIPS/
+// baseline samplers), synth+cfd2d+cfd3d (synthetic DNS dataset analogues),
+// nn+train (the neural-network stack and Table 2 architectures), minimpi
+// (goroutine message passing), energy (counter-based energy model), and
+// sickle (the experiment harness regenerating every paper table/figure).
+// See README.md, DESIGN.md and EXPERIMENTS.md.
+package repro

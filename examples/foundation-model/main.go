@@ -1,0 +1,31 @@
+// Foundation-model: the paper's Fig. 9 experiment in miniature — the
+// MATEY-like multiscale spatiotemporal model trained on SST-P1F4 data at a
+// 10% sampling rate with uniform, random, and MaxEnt sampling, comparing
+// validation loss against metered energy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/sickle"
+)
+
+func main() {
+	fmt.Println("training the MATEY-like multiscale model with three sampling strategies...")
+	rows, err := sickle.Fig9(sickle.Small, sickle.Fig9Config{Epochs: 8, CubeEdge: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%-10s %12s %14s\n", "sampling", "val loss", "energy (J)")
+	best := rows[0]
+	for _, r := range rows {
+		fmt.Printf("%-10s %12.4f %14.4g\n", r.Method, r.Report.EvalLoss, r.Report.TotalJoules())
+		if r.Report.EvalLoss < best.Report.EvalLoss {
+			best = r
+		}
+	}
+	fmt.Printf("\nbest validation loss: %s (%.4f)\n", best.Method, best.Report.EvalLoss)
+	fmt.Println("The paper found random sampling competitive here (§7) — run with")
+	fmt.Println("more epochs and seeds to see how the ordering fluctuates.")
+}

@@ -1,0 +1,55 @@
+// Quickstart: generate a synthetic turbulence snapshot, subsample it with
+// every registered method at a 10% rate, and compare how each method covers
+// the enstrophy distribution — the 60-second tour of SICKLE-Go's sampling
+// API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/sampling"
+	"repro/internal/stats"
+	"repro/internal/synth"
+)
+
+func main() {
+	// 1. A 32³ isotropic turbulence snapshot (GESTS-like analogue).
+	field := synth.Isotropic(synth.IsotropicConfig{N: 32, Seed: 42})
+	fmt.Printf("generated %d×%d×%d snapshot with variables %v\n",
+		field.Nx, field.Ny, field.Nz, field.VarNames())
+
+	// 2. Wrap it as a sampling view: features are the model inputs,
+	//    the cluster variable drives the entropy-based methods.
+	data := &sampling.Data{
+		Features:   field.Points([]string{"u", "v", "w", "dissipation"}, nil),
+		ClusterVar: field.Var("enstrophy"),
+	}
+	n := data.N() / 10
+	full := append([]float64(nil), field.Var("enstrophy")...)
+
+	// 3. Run every registered sampler and compare tail coverage of the
+	//    enstrophy PDF (1.0 = tails represented proportionally).
+	fmt.Printf("\n%-12s %8s %12s\n", "method", "samples", "tailCover")
+	for _, name := range sampling.MethodNames() {
+		if name == "full" {
+			continue
+		}
+		s, err := sampling.NewPointSampler(name, 10, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		idx := s.SelectPoints(data, n, rand.New(rand.NewSource(1)))
+		vals := make([]float64, len(idx))
+		for r, i := range idx {
+			vals[r] = full[i]
+		}
+		fmt.Printf("%-12s %8d %12.3f\n", name, len(idx), stats.TailCoverage(full, vals, 0.02))
+	}
+	fmt.Println("\nMaxEnt and stratified sampling over-represent the rare high-enstrophy")
+	fmt.Println("tail (coverage > 1); random matches the bulk PDF (coverage ≈ 1); UIPS")
+	fmt.Println("flattens the joint *feature* PDF, which on isotropic data does not")
+	fmt.Println("target the enstrophy tail — the isotropic regime where the paper found")
+	fmt.Println("little difference between methods (§7).")
+}

@@ -1,0 +1,126 @@
+package cfd3d
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTaylorGreenInitProjected(t *testing.T) {
+	s := NewTaylorGreen(Config{N: 16, Seed: 1})
+	if d := s.MaxDivergence(); d > 1e-8 {
+		t.Fatalf("initial divergence %v too large", d)
+	}
+	ke := s.KineticEnergy()
+	// TG KE = ½⟨u²+v²⟩ = ½(1/8 + 1/8) = 1/8 plus tiny noise.
+	if math.Abs(ke-0.125) > 0.01 {
+		t.Fatalf("initial KE = %v, want ~0.125", ke)
+	}
+}
+
+func TestStepKeepsDivergenceFree(t *testing.T) {
+	s := NewTaylorGreen(Config{N: 16, Seed: 2})
+	for i := 0; i < 5; i++ {
+		s.Step()
+	}
+	if d := s.MaxDivergence(); d > 1e-6 {
+		t.Fatalf("divergence after 5 steps = %v", d)
+	}
+	if s.Steps != 5 || s.Time <= 0 {
+		t.Fatalf("step bookkeeping wrong: steps=%d time=%v", s.Steps, s.Time)
+	}
+}
+
+func TestViscousDecay(t *testing.T) {
+	// With large viscosity and no buoyancy input, KE must decay.
+	s := NewTaylorGreen(Config{N: 16, Seed: 3, Nu: 0.05, Noise: 1e-6})
+	ke0 := s.KineticEnergy()
+	for i := 0; i < 20; i++ {
+		s.Step()
+	}
+	ke1 := s.KineticEnergy()
+	if !(ke1 < ke0) {
+		t.Fatalf("KE should decay: %v -> %v", ke0, ke1)
+	}
+	// Rough check against the analytic TG decay rate exp(-2·nu·t·k²) with
+	// k²=3: order of magnitude only, since the flow is nonlinear.
+	if ke1 > ke0*0.999 {
+		t.Fatalf("decay too weak: %v -> %v", ke0, ke1)
+	}
+}
+
+func TestStratificationLimitsVerticalMotion(t *testing.T) {
+	// Strong stratification should keep w small relative to the
+	// unstratified run after the same number of steps.
+	weak := NewTaylorGreen(Config{N: 16, Seed: 4, BruntN: 1e-3, Noise: 0.05})
+	strong := NewTaylorGreen(Config{N: 16, Seed: 4, BruntN: 4, Noise: 0.05})
+	for i := 0; i < 30; i++ {
+		weak.Step()
+		strong.Step()
+	}
+	wrms := func(w []float64) float64 {
+		s := 0.0
+		for _, x := range w {
+			s += x * x
+		}
+		return math.Sqrt(s / float64(len(w)))
+	}
+	if wrms(strong.W) > wrms(weak.W)*1.2 {
+		t.Fatalf("stratification failed to limit w: strong=%v weak=%v",
+			wrms(strong.W), wrms(weak.W))
+	}
+	// Density perturbations must develop under stratification.
+	if wrms(strong.R) == 0 {
+		t.Fatal("density field never evolved")
+	}
+}
+
+func TestSnapshotVariables(t *testing.T) {
+	s := NewTaylorGreen(Config{N: 16, Seed: 5})
+	s.Step()
+	f := s.Snapshot()
+	for _, v := range []string{"u", "v", "w", "r", "p", "dissipation", "pv"} {
+		if !f.HasVar(v) {
+			t.Fatalf("snapshot missing %q", v)
+		}
+	}
+	// Snapshot must be a copy: mutating it must not corrupt the solver.
+	f.Var("u")[0] = 1e9
+	if s.U[0] == 1e9 {
+		t.Fatal("snapshot aliases solver state")
+	}
+}
+
+func TestEvolveDataset(t *testing.T) {
+	d := EvolveDataset("SST-P1F4-TEST", 3, 2, Config{N: 16, Seed: 6})
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NTime() != 3 {
+		t.Fatalf("NTime = %d", d.NTime())
+	}
+	if d.Snapshots[2].Time <= d.Snapshots[1].Time {
+		t.Fatal("snapshot times must increase")
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	a := NewTaylorGreen(Config{N: 16, Seed: 7})
+	b := NewTaylorGreen(Config{N: 16, Seed: 7})
+	for i := 0; i < 3; i++ {
+		a.Step()
+		b.Step()
+	}
+	for i := range a.U {
+		if a.U[i] != b.U[i] {
+			t.Fatal("same seed must reproduce trajectory")
+		}
+	}
+}
+
+func BenchmarkStep16(b *testing.B) {
+	s := NewTaylorGreen(Config{N: 16, Seed: 8})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}

@@ -1,0 +1,104 @@
+package config
+
+import (
+	"fmt"
+	"os"
+)
+
+// Case is the typed view of a SICKLE case file, mirroring the paper's YAML
+// schema (shared / subsample / train sections; see the SST-P1F4 example in
+// Appendix B).
+type Case struct {
+	// shared
+	Dims       int
+	Dtype      string
+	InputVars  []string
+	OutputVars []string
+	ClusterVar string
+	Nx, Ny, Nz int
+	Gravity    string
+	FilePrefix string
+	// subsample
+	Hypercubes       string
+	NumHypercubes    int
+	Method           string
+	Path             string
+	NumSamples       int
+	NumClusters      int
+	NxSL, NySL, NzSL int // hypercube edge sizes (nxsl/nysl/nzsl)
+	// train
+	Epochs   int
+	Batch    int
+	Target   string
+	Window   int
+	Arch     string
+	Sequence bool
+	Seed     int64
+}
+
+// LoadCase reads and parses a case file from disk.
+func LoadCase(path string) (*Case, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseCase(string(raw))
+}
+
+// ParseCase parses case-file text.
+func ParseCase(src string) (*Case, error) {
+	m, err := ParseYAML(src)
+	if err != nil {
+		return nil, err
+	}
+	shared := m.GetMap("shared")
+	sub := m.GetMap("subsample")
+	tr := m.GetMap("train")
+
+	c := &Case{
+		Dims:       shared.GetInt("dims", 3),
+		Dtype:      shared.GetString("dtype", ""),
+		InputVars:  getVarList(shared, "input_vars"),
+		OutputVars: getVarList(shared, "output_vars"),
+		ClusterVar: shared.GetString("cluster_var", ""),
+		Nx:         shared.GetInt("nx", 0),
+		Ny:         shared.GetInt("ny", 0),
+		Nz:         shared.GetInt("nz", 0),
+		Gravity:    shared.GetString("gravity", "z"),
+		FilePrefix: shared.GetString("fileprefix", ""),
+
+		Hypercubes:    sub.GetString("hypercubes", "random"),
+		NumHypercubes: sub.GetInt("num_hypercubes", 12),
+		Method:        sub.GetString("method", "random"),
+		Path:          sub.GetString("path", ""),
+		NumSamples:    sub.GetInt("num_samples", 3277),
+		NumClusters:   sub.GetInt("num_clusters", 20),
+		NxSL:          sub.GetInt("nxsl", 32),
+		NySL:          sub.GetInt("nysl", 32),
+		NzSL:          sub.GetInt("nzsl", 32),
+
+		Epochs:   tr.GetInt("epochs", 1000),
+		Batch:    tr.GetInt("batch", 16),
+		Target:   tr.GetString("target", ""),
+		Window:   tr.GetInt("window", 1),
+		Arch:     tr.GetString("arch", "MLP_transformer"),
+		Sequence: tr.GetBool("sequence", false),
+		Seed:     int64(tr.GetInt("seed", 0)),
+	}
+	if len(c.InputVars) == 0 {
+		return nil, fmt.Errorf("config: case has no input_vars")
+	}
+	return c, nil
+}
+
+// getVarList accepts both YAML forms the artifact uses: a list
+// ("input_vars: [u, v, w, r]") and a bare scalar ("output_vars: p").
+func getVarList(m Map, key string) []string {
+	if l := m.GetStringList(key); l != nil {
+		return l
+	}
+	if s := m.GetString(key, ""); s != "" {
+		return []string{s}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package config
+
+import (
+	"testing"
+)
+
+const sampleCase = `
+# SST-P1F4 case, mirroring the paper's Appendix B example.
+shared:
+  dims: 3
+  dtype: sst-binary
+  input_vars: [u, v, w, r]
+  output_vars: p
+  cluster_var: pv
+  nx: 514
+  ny: 512
+  nz: 256
+  gravity: z
+  fileprefix: "SST-P1-H{hypercubes}"
+
+subsample:
+  hypercubes: maxent
+  num_hypercubes: 32
+  method: maxent
+  path: /path/to/raw_data/
+  num_samples: 3277
+  num_clusters: 20
+  nxsl: 32
+  nysl: 32
+  nzsl: 32
+
+train:
+  epochs: 1000
+  batch: 16
+  target: p_full
+  window: 1
+  arch: MLP_transformer
+  sequence: true
+`
+
+func TestParseYAMLBasics(t *testing.T) {
+	m, err := ParseYAML(sampleCase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := m.GetMap("shared")
+	if shared.GetInt("dims", 0) != 3 {
+		t.Fatalf("dims = %v", shared["dims"])
+	}
+	if shared.GetString("dtype", "") != "sst-binary" {
+		t.Fatalf("dtype = %v", shared["dtype"])
+	}
+	if got := shared.GetStringList("input_vars"); len(got) != 4 || got[3] != "r" {
+		t.Fatalf("input_vars = %v", got)
+	}
+	if shared.GetString("fileprefix", "") != "SST-P1-H{hypercubes}" {
+		t.Fatalf("fileprefix = %v", shared["fileprefix"])
+	}
+	if m.GetMap("train").GetBool("sequence", false) != true {
+		t.Fatal("sequence = false")
+	}
+}
+
+func TestParseScalarTypes(t *testing.T) {
+	m, err := ParseYAML(`
+a: 42
+b: 3.14
+c: true
+d: hello
+e: "quoted string"
+f: null
+g: -7
+h: 1e-3
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["a"].(int64) != 42 || m["g"].(int64) != -7 {
+		t.Fatalf("ints: %v %v", m["a"], m["g"])
+	}
+	if m["b"].(float64) != 3.14 || m["h"].(float64) != 1e-3 {
+		t.Fatalf("floats: %v %v", m["b"], m["h"])
+	}
+	if m["c"].(bool) != true {
+		t.Fatalf("bool: %v", m["c"])
+	}
+	if m["d"].(string) != "hello" || m["e"].(string) != "quoted string" {
+		t.Fatalf("strings: %v %v", m["d"], m["e"])
+	}
+	if m["f"] != nil {
+		t.Fatalf("null: %v", m["f"])
+	}
+}
+
+func TestParseDashList(t *testing.T) {
+	m, err := ParseYAML(`
+cases:
+  - alpha
+  - beta
+  - 3
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := m["cases"].([]any)
+	if len(l) != 3 || l[0] != "alpha" || l[2].(int64) != 3 {
+		t.Fatalf("list = %v", l)
+	}
+}
+
+func TestParseDeepNesting(t *testing.T) {
+	m, err := ParseYAML(`
+a:
+  b:
+    c: 1
+  d: 2
+e: 3
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.GetMap("a").GetMap("b").GetInt("c", 0) != 1 {
+		t.Fatal("deep value lost")
+	}
+	if m.GetMap("a").GetInt("d", 0) != 2 || m.GetInt("e", 0) != 3 {
+		t.Fatal("sibling values lost")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	m, err := ParseYAML(`
+a: 1  # trailing comment
+# full-line comment
+b: "text # not a comment"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.GetInt("a", 0) != 1 {
+		t.Fatal("trailing comment broke value")
+	}
+	if m.GetString("b", "") != "text # not a comment" {
+		t.Fatalf("quoted # mishandled: %v", m["b"])
+	}
+}
+
+func TestTabsRejected(t *testing.T) {
+	if _, err := ParseYAML("a:\n\tb: 1\n"); err == nil {
+		t.Fatal("expected error for tab indentation")
+	}
+}
+
+func TestMissingColonRejected(t *testing.T) {
+	if _, err := ParseYAML("just a line\n"); err == nil {
+		t.Fatal("expected error for line without colon")
+	}
+}
+
+func TestGetDefaults(t *testing.T) {
+	m := Map{}
+	if m.GetInt("x", 7) != 7 || m.GetString("y", "d") != "d" ||
+		m.GetFloat("z", 1.5) != 1.5 || m.GetBool("w", true) != true {
+		t.Fatal("defaults not honored")
+	}
+	if len(m.GetMap("missing")) != 0 {
+		t.Fatal("missing map should be empty")
+	}
+}
+
+func TestParseCaseFull(t *testing.T) {
+	c, err := ParseCase(sampleCase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Dims != 3 || c.Nx != 514 || c.NumSamples != 3277 {
+		t.Fatalf("case = %+v", c)
+	}
+	if len(c.InputVars) != 4 || c.InputVars[0] != "u" {
+		t.Fatalf("input vars %v", c.InputVars)
+	}
+	// Scalar output_vars form.
+	if len(c.OutputVars) != 1 || c.OutputVars[0] != "p" {
+		t.Fatalf("output vars %v", c.OutputVars)
+	}
+	if c.Hypercubes != "maxent" || c.Method != "maxent" {
+		t.Fatal("subsample section lost")
+	}
+	if c.Epochs != 1000 || c.Batch != 16 || !c.Sequence {
+		t.Fatal("train section lost")
+	}
+}
+
+func TestParseCaseRequiresInputVars(t *testing.T) {
+	if _, err := ParseCase("shared:\n  dims: 2\n"); err == nil {
+		t.Fatal("expected error for missing input_vars")
+	}
+}

@@ -1,0 +1,73 @@
+package grid
+
+import "fmt"
+
+// Dataset is a time sequence of snapshots plus the learning-problem
+// metadata from the paper's Table 1: which variables feed the model, which
+// are targets, and which scalar drives K-means clustering (KCV).
+type Dataset struct {
+	Label       string
+	Description string
+	Snapshots   []*Field
+	InputVars   []string
+	OutputVars  []string
+	ClusterVar  string // KCV in Table 1
+	// GlobalTargets holds one scalar per snapshot for sample-single
+	// problems (e.g. drag in OF2D); nil otherwise.
+	GlobalTargets []float64
+}
+
+// Validate checks internal consistency: every snapshot has the declared
+// variables and matching dimensions.
+func (d *Dataset) Validate() error {
+	if len(d.Snapshots) == 0 {
+		return fmt.Errorf("dataset %q has no snapshots", d.Label)
+	}
+	ref := d.Snapshots[0]
+	need := append(append([]string{}, d.InputVars...), d.OutputVars...)
+	if d.ClusterVar != "" {
+		need = append(need, d.ClusterVar)
+	}
+	for t, f := range d.Snapshots {
+		if f.Nx != ref.Nx || f.Ny != ref.Ny || f.Nz != ref.Nz {
+			return fmt.Errorf("dataset %q: snapshot %d is %dx%dx%d, snapshot 0 is %dx%dx%d",
+				d.Label, t, f.Nx, f.Ny, f.Nz, ref.Nx, ref.Ny, ref.Nz)
+		}
+		for _, v := range need {
+			if !f.HasVar(v) {
+				return fmt.Errorf("dataset %q: snapshot %d missing variable %q", d.Label, t, v)
+			}
+		}
+	}
+	if d.GlobalTargets != nil && len(d.GlobalTargets) != len(d.Snapshots) {
+		return fmt.Errorf("dataset %q: %d global targets for %d snapshots",
+			d.Label, len(d.GlobalTargets), len(d.Snapshots))
+	}
+	return nil
+}
+
+// NTime returns the number of snapshots.
+func (d *Dataset) NTime() int { return len(d.Snapshots) }
+
+// SizeBytes returns the total float64 footprint across snapshots, the
+// quantity reported in Table 1's Size column.
+func (d *Dataset) SizeBytes() int64 {
+	var s int64
+	for _, f := range d.Snapshots {
+		s += f.SizeBytes()
+	}
+	return s
+}
+
+// GridString formats the spatial dimensions like the paper's Table 1
+// ("512×512×256" or "10800" for 2-D).
+func (d *Dataset) GridString() string {
+	if len(d.Snapshots) == 0 {
+		return "-"
+	}
+	f := d.Snapshots[0]
+	if f.Is2D() {
+		return fmt.Sprintf("%d×%d", f.Nx, f.Ny)
+	}
+	return fmt.Sprintf("%d×%d×%d", f.Nx, f.Ny, f.Nz)
+}

@@ -1,0 +1,274 @@
+// Package minimpi is a goroutine-based message-passing runtime that stands
+// in for MPI in SICKLE-Go. It provides ranks, point-to-point sends, and the
+// collectives the sampling pipeline uses (barrier, broadcast, gather,
+// allreduce, scatter), plus an injectable communication cost model so the
+// Fig. 7 scalability experiments can account for interconnect overhead that
+// goroutines on one machine do not exhibit.
+//
+// Semantics follow MPI: Run launches size ranks and blocks until all of
+// them return; collectives must be called by every rank.
+package minimpi
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// CostModel charges simulated communication time. Collectives are modeled
+// as log2(P)-depth trees: cost = (Latency + bytes/Bandwidth) · ceil(log2 P).
+// A zero model charges nothing.
+type CostModel struct {
+	Latency   float64 // seconds per message hop
+	Bandwidth float64 // bytes per second (0 = infinite)
+}
+
+func (m CostModel) cost(bytes int, ranks int) float64 {
+	if ranks <= 1 {
+		return 0
+	}
+	hops := math.Ceil(math.Log2(float64(ranks)))
+	c := m.Latency
+	if m.Bandwidth > 0 {
+		c += float64(bytes) / m.Bandwidth
+	}
+	return c * hops
+}
+
+// World is the shared state of one Run.
+type World struct {
+	size    int
+	cost    CostModel
+	barrier *cyclicBarrier
+	// mailboxes[dst][src] is an unbuffered channel for point-to-point.
+	mailboxes [][]chan []float64
+	// shared scratch for collectives, guarded by the barrier protocol.
+	collect [][]float64
+	mu      sync.Mutex
+	simComm []float64 // per-rank accumulated simulated comm seconds
+}
+
+// Comm is one rank's handle on the world.
+type Comm struct {
+	w    *World
+	rank int
+}
+
+// Run executes fn on size concurrent ranks and waits for completion.
+func Run(size int, cost CostModel, fn func(c *Comm)) *World {
+	if size <= 0 {
+		panic(fmt.Sprintf("minimpi: size must be positive, got %d", size))
+	}
+	w := &World{
+		size:    size,
+		cost:    cost,
+		barrier: newCyclicBarrier(size),
+		collect: make([][]float64, size),
+		simComm: make([]float64, size),
+	}
+	w.mailboxes = make([][]chan []float64, size)
+	for d := range w.mailboxes {
+		w.mailboxes[d] = make([]chan []float64, size)
+		for s := range w.mailboxes[d] {
+			w.mailboxes[d][s] = make(chan []float64, 1)
+		}
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			fn(&Comm{w: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	return w
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.w.size }
+
+// SimCommSeconds returns the simulated communication time accumulated by
+// this rank so far.
+func (c *Comm) SimCommSeconds() float64 { return c.w.simComm[c.rank] }
+
+// MaxSimCommSeconds returns the max simulated comm time across ranks
+// (call after Run returns, on the World).
+func (w *World) MaxSimCommSeconds() float64 {
+	m := 0.0
+	for _, v := range w.simComm {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func (c *Comm) charge(bytes int) {
+	c.w.simComm[c.rank] += c.w.cost.cost(bytes, c.w.size)
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() {
+	c.sync()
+	c.charge(0)
+}
+
+// sync is an uncharged internal barrier used inside collectives, which
+// charge their cost once instead.
+func (c *Comm) sync() {
+	c.w.barrier.await()
+}
+
+// Send delivers data to rank dst (blocking rendezvous with buffered slack
+// of one message per (src,dst) pair). The slice is not copied.
+func (c *Comm) Send(dst int, data []float64) {
+	c.w.mailboxes[dst][c.rank] <- data
+	c.charge(8 * len(data))
+}
+
+// Recv receives the next message from rank src.
+func (c *Comm) Recv(src int) []float64 {
+	return <-c.w.mailboxes[c.rank][src]
+}
+
+// Bcast distributes root's buffer to every rank; each rank passes its own
+// buffer of identical length which is overwritten (root's is the source).
+func (c *Comm) Bcast(root int, buf []float64) {
+	if c.rank == root {
+		c.w.mu.Lock()
+		c.w.collect[root] = buf
+		c.w.mu.Unlock()
+	}
+	c.sync()
+	if c.rank != root {
+		copy(buf, c.w.collect[root])
+	}
+	c.charge(8 * len(buf))
+	c.sync()
+}
+
+// Gather collects each rank's contribution on the root, which receives a
+// [][]float64 indexed by rank. Non-root ranks receive nil.
+func (c *Comm) Gather(root int, data []float64) [][]float64 {
+	c.w.mu.Lock()
+	c.w.collect[c.rank] = data
+	c.w.mu.Unlock()
+	c.sync()
+	var out [][]float64
+	if c.rank == root {
+		out = make([][]float64, c.w.size)
+		for r := 0; r < c.w.size; r++ {
+			out[r] = append([]float64(nil), c.w.collect[r]...)
+		}
+	}
+	c.charge(8 * len(data))
+	c.sync()
+	return out
+}
+
+// Op is a reduction operator for Allreduce.
+type Op int
+
+// Reduction operators.
+const (
+	Sum Op = iota
+	Max
+	Min
+)
+
+// Allreduce reduces buf element-wise across ranks with op, leaving the
+// result in every rank's buf.
+func (c *Comm) Allreduce(buf []float64, op Op) {
+	c.w.mu.Lock()
+	c.w.collect[c.rank] = buf
+	c.w.mu.Unlock()
+	c.sync()
+	// Every rank computes the reduction over the shared pointers; results
+	// are written to a private slice first so sources stay stable.
+	res := make([]float64, len(buf))
+	for i := range res {
+		acc := c.w.collect[0][i]
+		for r := 1; r < c.w.size; r++ {
+			v := c.w.collect[r][i]
+			switch op {
+			case Sum:
+				acc += v
+			case Max:
+				if v > acc {
+					acc = v
+				}
+			case Min:
+				if v < acc {
+					acc = v
+				}
+			}
+		}
+		res[i] = acc
+	}
+	c.charge(8 * len(buf))
+	c.sync()
+	copy(buf, res)
+	c.sync()
+}
+
+// PartitionRange splits [0, n) into Size contiguous chunks and returns this
+// rank's [lo, hi). Remainder items go to the leading ranks, keeping the
+// imbalance at most one.
+func (c *Comm) PartitionRange(n int) (lo, hi int) {
+	return PartitionRange(n, c.rank, c.w.size)
+}
+
+// PartitionRange splits [0, n) into size chunks for the given rank.
+func PartitionRange(n, rank, size int) (lo, hi int) {
+	base := n / size
+	rem := n % size
+	lo = rank*base + min(rank, rem)
+	hi = lo + base
+	if rank < rem {
+		hi++
+	}
+	return
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// cyclicBarrier is a reusable N-party barrier.
+type cyclicBarrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   int
+}
+
+func newCyclicBarrier(n int) *cyclicBarrier {
+	b := &cyclicBarrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *cyclicBarrier) await() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

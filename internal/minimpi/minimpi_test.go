@@ -1,0 +1,230 @@
+package minimpi
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestRankAndSize(t *testing.T) {
+	seen := make([]int32, 8)
+	Run(8, CostModel{}, func(c *Comm) {
+		if c.Size() != 8 {
+			t.Errorf("Size = %d", c.Size())
+		}
+		atomic.AddInt32(&seen[c.Rank()], 1)
+	})
+	for r, n := range seen {
+		if n != 1 {
+			t.Fatalf("rank %d ran %d times", r, n)
+		}
+	}
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	var before, after int32
+	Run(6, CostModel{}, func(c *Comm) {
+		atomic.AddInt32(&before, 1)
+		c.Barrier()
+		// After the barrier every rank must observe all 6 increments.
+		if atomic.LoadInt32(&before) != 6 {
+			t.Errorf("rank %d passed barrier before all arrived", c.Rank())
+		}
+		atomic.AddInt32(&after, 1)
+	})
+	if after != 6 {
+		t.Fatalf("after = %d", after)
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	Run(2, CostModel{}, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, []float64{3.14, 2.71})
+		} else {
+			got := c.Recv(0)
+			if got[0] != 3.14 || got[1] != 2.71 {
+				t.Errorf("Recv = %v", got)
+			}
+		}
+	})
+}
+
+func TestRingExchange(t *testing.T) {
+	n := 5
+	Run(n, CostModel{}, func(c *Comm) {
+		next := (c.Rank() + 1) % n
+		prev := (c.Rank() + n - 1) % n
+		c.Send(next, []float64{float64(c.Rank())})
+		got := c.Recv(prev)
+		if int(got[0]) != prev {
+			t.Errorf("rank %d got %v from %d", c.Rank(), got, prev)
+		}
+	})
+}
+
+func TestBcast(t *testing.T) {
+	Run(4, CostModel{}, func(c *Comm) {
+		buf := make([]float64, 3)
+		if c.Rank() == 2 {
+			buf[0], buf[1], buf[2] = 7, 8, 9
+		}
+		c.Bcast(2, buf)
+		if buf[0] != 7 || buf[2] != 9 {
+			t.Errorf("rank %d Bcast = %v", c.Rank(), buf)
+		}
+	})
+}
+
+func TestGather(t *testing.T) {
+	Run(4, CostModel{}, func(c *Comm) {
+		out := c.Gather(0, []float64{float64(c.Rank() * 10)})
+		if c.Rank() == 0 {
+			for r := 0; r < 4; r++ {
+				if out[r][0] != float64(r*10) {
+					t.Errorf("Gather[%d] = %v", r, out[r])
+				}
+			}
+		} else if out != nil {
+			t.Errorf("non-root got %v", out)
+		}
+	})
+}
+
+func TestAllreduceSumMaxMin(t *testing.T) {
+	Run(5, CostModel{}, func(c *Comm) {
+		buf := []float64{float64(c.Rank()), float64(-c.Rank())}
+		c.Allreduce(buf, Sum)
+		if buf[0] != 10 || buf[1] != -10 {
+			t.Errorf("Sum = %v", buf)
+		}
+		buf2 := []float64{float64(c.Rank())}
+		c.Allreduce(buf2, Max)
+		if buf2[0] != 4 {
+			t.Errorf("Max = %v", buf2)
+		}
+		buf3 := []float64{float64(c.Rank())}
+		c.Allreduce(buf3, Min)
+		if buf3[0] != 0 {
+			t.Errorf("Min = %v", buf3)
+		}
+	})
+}
+
+func TestAllreduceRepeatable(t *testing.T) {
+	// Two back-to-back collectives must not interfere.
+	Run(3, CostModel{}, func(c *Comm) {
+		for iter := 0; iter < 10; iter++ {
+			buf := []float64{1}
+			c.Allreduce(buf, Sum)
+			if buf[0] != 3 {
+				t.Errorf("iter %d: sum = %v", iter, buf[0])
+			}
+		}
+	})
+}
+
+func TestPartitionRange(t *testing.T) {
+	// 10 items over 4 ranks: 3,3,2,2.
+	wants := [][2]int{{0, 3}, {3, 6}, {6, 8}, {8, 10}}
+	for r, w := range wants {
+		lo, hi := PartitionRange(10, r, 4)
+		if lo != w[0] || hi != w[1] {
+			t.Fatalf("rank %d: [%d,%d), want %v", r, lo, hi, w)
+		}
+	}
+}
+
+// Property: partition covers [0,n) exactly, in order, with imbalance <= 1.
+func TestPartitionPropertyQuick(t *testing.T) {
+	f := func(n uint16, size uint8) bool {
+		nn := int(n%1000) + 1
+		ss := int(size%64) + 1
+		prev := 0
+		minC, maxC := 1<<30, 0
+		for r := 0; r < ss; r++ {
+			lo, hi := PartitionRange(nn, r, ss)
+			if lo != prev || hi < lo {
+				return false
+			}
+			c := hi - lo
+			if c < minC {
+				minC = c
+			}
+			if c > maxC {
+				maxC = c
+			}
+			prev = hi
+		}
+		return prev == nn && maxC-minC <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostModelCharging(t *testing.T) {
+	cm := CostModel{Latency: 1e-5, Bandwidth: 1e9}
+	w := Run(8, cm, func(c *Comm) {
+		buf := make([]float64, 1000)
+		c.Allreduce(buf, Sum)
+	})
+	got := w.MaxSimCommSeconds()
+	// Internal syncs are uncharged; one allreduce of 8000 bytes over
+	// log2(8)=3 hops.
+	want := (1e-5 + 8000.0/1e9) * 3
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("sim comm = %v, want %v", got, want)
+	}
+}
+
+func TestCostModelSingleRankFree(t *testing.T) {
+	cm := CostModel{Latency: 1, Bandwidth: 1}
+	w := Run(1, cm, func(c *Comm) {
+		buf := []float64{1}
+		c.Allreduce(buf, Sum)
+		c.Barrier()
+	})
+	if w.MaxSimCommSeconds() != 0 {
+		t.Fatal("single rank should incur no comm cost")
+	}
+}
+
+func TestParallelSumMatchesSerial(t *testing.T) {
+	// Integration check: partition a vector sum across ranks and allreduce.
+	n := 10007
+	data := make([]float64, n)
+	want := 0.0
+	for i := range data {
+		data[i] = float64(i%13) * 0.5
+		want += data[i]
+	}
+	for _, ranks := range []int{1, 2, 4, 7} {
+		var got float64
+		Run(ranks, CostModel{}, func(c *Comm) {
+			lo, hi := c.PartitionRange(n)
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += data[i]
+			}
+			buf := []float64{s}
+			c.Allreduce(buf, Sum)
+			if c.Rank() == 0 {
+				got = buf[0]
+			}
+		})
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("ranks=%d: sum = %v, want %v", ranks, got, want)
+		}
+	}
+}
+
+func BenchmarkAllreduce8x1024(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Run(8, CostModel{}, func(c *Comm) {
+			buf := make([]float64, 1024)
+			c.Allreduce(buf, Sum)
+		})
+	}
+}

@@ -1,0 +1,315 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// LayerNorm normalizes the last dimension of [N, D] inputs with learned
+// gain and bias.
+type LayerNorm struct {
+	D     int
+	Gain  *Param // [D]
+	Bias  *Param // [D]
+	Eps   float64
+	x     *tensor.Tensor
+	xhat  *tensor.Tensor
+	invSD []float64 // per row
+}
+
+// NewLayerNorm builds a LayerNorm over feature dimension d.
+func NewLayerNorm(d int) *LayerNorm {
+	g := tensor.New(d)
+	g.Fill(1)
+	return &LayerNorm{D: d, Gain: NewParam("ln.g", g), Bias: NewParam("ln.b", tensor.New(d)), Eps: 1e-5}
+}
+
+// Params implements Module.
+func (l *LayerNorm) Params() []*Param { return []*Param{l.Gain, l.Bias} }
+
+// Forward normalizes each row of x [N, D].
+func (l *LayerNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
+	n, d := x.Dim(0), x.Dim(1)
+	l.x = x
+	l.xhat = tensor.New(n, d)
+	l.invSD = make([]float64, n)
+	out := tensor.New(n, d)
+	for i := 0; i < n; i++ {
+		row := x.Data[i*d : (i+1)*d]
+		mean := 0.0
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(d)
+		varr := 0.0
+		for _, v := range row {
+			dv := v - mean
+			varr += dv * dv
+		}
+		varr /= float64(d)
+		inv := 1 / math.Sqrt(varr+l.Eps)
+		l.invSD[i] = inv
+		for j, v := range row {
+			xh := (v - mean) * inv
+			l.xhat.Data[i*d+j] = xh
+			out.Data[i*d+j] = xh*l.Gain.W.Data[j] + l.Bias.W.Data[j]
+		}
+	}
+	return out
+}
+
+// Backward propagates dL/dy [N, D] to dL/dx.
+func (l *LayerNorm) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	n, d := dy.Dim(0), dy.Dim(1)
+	dx := tensor.New(n, d)
+	fd := float64(d)
+	for i := 0; i < n; i++ {
+		var sumDxhat, sumDxhatXhat float64
+		dxhat := make([]float64, d)
+		for j := 0; j < d; j++ {
+			dyv := dy.Data[i*d+j]
+			l.Gain.Grad.Data[j] += dyv * l.xhat.Data[i*d+j]
+			l.Bias.Grad.Data[j] += dyv
+			dxhat[j] = dyv * l.Gain.W.Data[j]
+			sumDxhat += dxhat[j]
+			sumDxhatXhat += dxhat[j] * l.xhat.Data[i*d+j]
+		}
+		inv := l.invSD[i]
+		for j := 0; j < d; j++ {
+			dx.Data[i*d+j] = inv / fd * (fd*dxhat[j] - sumDxhat - l.xhat.Data[i*d+j]*sumDxhatXhat)
+		}
+	}
+	return dx
+}
+
+// MultiHeadAttention is scaled dot-product self-attention over sequences
+// x[B, T, D] with H heads (D divisible by H).
+type MultiHeadAttention struct {
+	D, H  int
+	WQ    *Linear
+	WK    *Linear
+	WV    *Linear
+	WO    *Linear
+	batch int
+	seq   int
+	// caches, per (batch, head): attention weights [T,T] and projected
+	// q, k, v rows.
+	attn    [][]*tensor.Tensor
+	q, k, v *tensor.Tensor // [B*T, D]
+}
+
+// NewMultiHeadAttention builds self-attention with h heads over model
+// dimension d.
+func NewMultiHeadAttention(rng *rand.Rand, d, h int) *MultiHeadAttention {
+	if d%h != 0 {
+		panic("nn: model dim must be divisible by head count")
+	}
+	return &MultiHeadAttention{
+		D: d, H: h,
+		WQ: NewLinear(rng, d, d), WK: NewLinear(rng, d, d),
+		WV: NewLinear(rng, d, d), WO: NewLinear(rng, d, d),
+	}
+}
+
+// Params implements Module.
+func (m *MultiHeadAttention) Params() []*Param {
+	out := append([]*Param{}, m.WQ.Params()...)
+	out = append(out, m.WK.Params()...)
+	out = append(out, m.WV.Params()...)
+	out = append(out, m.WO.Params()...)
+	return out
+}
+
+// Forward computes self-attention for x [B, T, D], returning [B, T, D].
+func (m *MultiHeadAttention) Forward(x *tensor.Tensor) *tensor.Tensor {
+	b, t, d := x.Dim(0), x.Dim(1), x.Dim(2)
+	m.batch, m.seq = b, t
+	flat := x.Reshape(b*t, d)
+	m.q = m.WQ.Forward(flat)
+	m.k = m.WK.Forward(flat)
+	m.v = m.WV.Forward(flat)
+
+	hd := d / m.H
+	scale := 1 / math.Sqrt(float64(hd))
+	ctx := tensor.New(b*t, d)
+	m.attn = make([][]*tensor.Tensor, b)
+	for bi := 0; bi < b; bi++ {
+		m.attn[bi] = make([]*tensor.Tensor, m.H)
+		for h := 0; h < m.H; h++ {
+			off := h * hd
+			// scores[t1][t2] = q(bi,t1,h)·k(bi,t2,h)·scale
+			a := tensor.New(t, t)
+			for t1 := 0; t1 < t; t1++ {
+				qrow := m.q.Data[(bi*t+t1)*d+off : (bi*t+t1)*d+off+hd]
+				maxs := math.Inf(-1)
+				for t2 := 0; t2 < t; t2++ {
+					krow := m.k.Data[(bi*t+t2)*d+off : (bi*t+t2)*d+off+hd]
+					s := 0.0
+					for j := 0; j < hd; j++ {
+						s += qrow[j] * krow[j]
+					}
+					s *= scale
+					a.Data[t1*t+t2] = s
+					if s > maxs {
+						maxs = s
+					}
+				}
+				// softmax row
+				sum := 0.0
+				for t2 := 0; t2 < t; t2++ {
+					e := math.Exp(a.Data[t1*t+t2] - maxs)
+					a.Data[t1*t+t2] = e
+					sum += e
+				}
+				for t2 := 0; t2 < t; t2++ {
+					a.Data[t1*t+t2] /= sum
+				}
+				// context = Σ attn·v
+				crow := ctx.Data[(bi*t+t1)*d+off : (bi*t+t1)*d+off+hd]
+				for t2 := 0; t2 < t; t2++ {
+					w := a.Data[t1*t+t2]
+					vrow := m.v.Data[(bi*t+t2)*d+off : (bi*t+t2)*d+off+hd]
+					for j := 0; j < hd; j++ {
+						crow[j] += w * vrow[j]
+					}
+				}
+			}
+			m.attn[bi][h] = a
+		}
+	}
+	out := m.WO.Forward(ctx)
+	return out.Reshape(b, t, d)
+}
+
+// Backward propagates dL/dy [B, T, D] through attention, accumulating all
+// projection gradients, and returns dL/dx [B, T, D].
+func (m *MultiHeadAttention) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	b, t, d := m.batch, m.seq, m.D
+	hd := d / m.H
+	scale := 1 / math.Sqrt(float64(hd))
+
+	dctx := m.WO.Backward(dy.Reshape(b*t, d))
+
+	dq := tensor.New(b*t, d)
+	dk := tensor.New(b*t, d)
+	dv := tensor.New(b*t, d)
+
+	for bi := 0; bi < b; bi++ {
+		for h := 0; h < m.H; h++ {
+			off := h * hd
+			a := m.attn[bi][h]
+			for t1 := 0; t1 < t; t1++ {
+				dcrow := dctx.Data[(bi*t+t1)*d+off : (bi*t+t1)*d+off+hd]
+				// dattn[t2] = dctx·v(t2); dv(t2) += attn[t1][t2]·dctx
+				dattn := make([]float64, t)
+				for t2 := 0; t2 < t; t2++ {
+					vrow := m.v.Data[(bi*t+t2)*d+off : (bi*t+t2)*d+off+hd]
+					dvrow := dv.Data[(bi*t+t2)*d+off : (bi*t+t2)*d+off+hd]
+					w := a.Data[t1*t+t2]
+					s := 0.0
+					for j := 0; j < hd; j++ {
+						s += dcrow[j] * vrow[j]
+						dvrow[j] += w * dcrow[j]
+					}
+					dattn[t2] = s
+				}
+				// Softmax backward: ds = attn ∘ (dattn - Σ attn∘dattn).
+				dot := 0.0
+				for t2 := 0; t2 < t; t2++ {
+					dot += a.Data[t1*t+t2] * dattn[t2]
+				}
+				for t2 := 0; t2 < t; t2++ {
+					ds := a.Data[t1*t+t2] * (dattn[t2] - dot) * scale
+					qrow := m.q.Data[(bi*t+t1)*d+off : (bi*t+t1)*d+off+hd]
+					krow := m.k.Data[(bi*t+t2)*d+off : (bi*t+t2)*d+off+hd]
+					dqrow := dq.Data[(bi*t+t1)*d+off : (bi*t+t1)*d+off+hd]
+					dkrow := dk.Data[(bi*t+t2)*d+off : (bi*t+t2)*d+off+hd]
+					for j := 0; j < hd; j++ {
+						dqrow[j] += ds * krow[j]
+						dkrow[j] += ds * qrow[j]
+					}
+				}
+			}
+		}
+	}
+
+	dx := m.WQ.Backward(dq)
+	dx.AddScaled(1, m.WK.Backward(dk))
+	dx.AddScaled(1, m.WV.Backward(dv))
+	return dx.Reshape(b, t, d)
+}
+
+// TransformerBlock is a pre-norm encoder block: x + MHA(LN(x)), then
+// x + FFN(LN(x)) with a 2-layer ReLU feed-forward.
+type TransformerBlock struct {
+	D     int
+	LN1   *LayerNorm
+	Attn  *MultiHeadAttention
+	LN2   *LayerNorm
+	FF1   *Linear
+	Act   *Activation
+	FF2   *Linear
+	batch int
+	seq   int
+}
+
+// NewTransformerBlock builds a pre-norm transformer encoder block with the
+// given model dim, head count and feed-forward width (ReLU feed-forward).
+func NewTransformerBlock(rng *rand.Rand, d, heads, ffDim int) *TransformerBlock {
+	return NewTransformerBlockAct(rng, d, heads, ffDim, "relu")
+}
+
+// NewTransformerBlockAct is NewTransformerBlock with a selectable
+// feed-forward activation.
+func NewTransformerBlockAct(rng *rand.Rand, d, heads, ffDim int, act string) *TransformerBlock {
+	return &TransformerBlock{
+		D:   d,
+		LN1: NewLayerNorm(d), Attn: NewMultiHeadAttention(rng, d, heads),
+		LN2: NewLayerNorm(d), FF1: NewLinear(rng, d, ffDim),
+		Act: NewActivation(act), FF2: NewLinear(rng, ffDim, d),
+	}
+}
+
+// Params implements Module.
+func (b *TransformerBlock) Params() []*Param {
+	out := append([]*Param{}, b.LN1.Params()...)
+	out = append(out, b.Attn.Params()...)
+	out = append(out, b.LN2.Params()...)
+	out = append(out, b.FF1.Params()...)
+	out = append(out, b.FF2.Params()...)
+	return out
+}
+
+// Forward runs the block on x [B, T, D].
+func (b *TransformerBlock) Forward(x *tensor.Tensor) *tensor.Tensor {
+	bb, t, d := x.Dim(0), x.Dim(1), x.Dim(2)
+	b.batch, b.seq = bb, t
+	flat := x.Reshape(bb*t, d)
+	h1 := b.LN1.Forward(flat)
+	a := b.Attn.Forward(h1.Reshape(bb, t, d)).Reshape(bb*t, d)
+	r1 := tensor.Add(flat, a)
+
+	h2 := b.LN2.Forward(r1)
+	f := b.FF2.Forward(b.Act.Forward(b.FF1.Forward(h2)))
+	r2 := tensor.Add(r1, f)
+	return r2.Reshape(bb, t, d)
+}
+
+// Backward propagates through both residual branches.
+func (b *TransformerBlock) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	bb, t, d := b.batch, b.seq, b.D
+	dr2 := dy.Reshape(bb*t, d)
+
+	// FFN branch.
+	df := b.FF1.Backward(b.Act.Backward(b.FF2.Backward(dr2)))
+	dr1 := b.LN2.Backward(df)
+	dr1.AddScaled(1, dr2) // residual
+
+	// Attention branch.
+	da := b.Attn.Backward(dr1.Reshape(bb, t, d)).Reshape(bb*t, d)
+	dx := b.LN1.Backward(da)
+	dx.AddScaled(1, dr1) // residual
+	return dx.Reshape(bb, t, d)
+}

@@ -1,0 +1,240 @@
+package nn
+
+import (
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Conv3D is a 3-D convolution over inputs [B, Ci, D, H, W] with cubic
+// kernels, stride and zero padding — the encoder building block of the
+// paper's CNN-Transformer (Table 2).
+type Conv3D struct {
+	Ci, Co, K, Stride, Pad int
+	W                      *Param // [Co, Ci, K, K, K]
+	B                      *Param // [Co]
+	x                      *tensor.Tensor
+}
+
+// NewConv3D builds a Glorot-initialized 3-D convolution.
+func NewConv3D(rng *rand.Rand, ci, co, k, stride, pad int) *Conv3D {
+	fanIn := ci * k * k * k
+	fanOut := co * k * k * k
+	w := tensor.Rand(rng, xavier(fanIn, fanOut), co, ci, k, k, k)
+	return &Conv3D{Ci: ci, Co: co, K: k, Stride: stride, Pad: pad,
+		W: NewParam("conv3d.w", w), B: NewParam("conv3d.b", tensor.New(co))}
+}
+
+// Params implements Module.
+func (c *Conv3D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// OutDim returns the output spatial size for input size n.
+func (c *Conv3D) OutDim(n int) int { return (n+2*c.Pad-c.K)/c.Stride + 1 }
+
+// Forward computes y [B, Co, D', H', W'].
+func (c *Conv3D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	c.x = x
+	b, ci, dd, hh, ww := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3), x.Dim(4)
+	if ci != c.Ci {
+		panic("nn: Conv3D channel mismatch")
+	}
+	od, oh, ow := c.OutDim(dd), c.OutDim(hh), c.OutDim(ww)
+	y := tensor.New(b, c.Co, od, oh, ow)
+	k, s, p := c.K, c.Stride, c.Pad
+	for bi := 0; bi < b; bi++ {
+		for co := 0; co < c.Co; co++ {
+			bias := c.B.W.Data[co]
+			for zd := 0; zd < od; zd++ {
+				for zh := 0; zh < oh; zh++ {
+					for zw := 0; zw < ow; zw++ {
+						sum := bias
+						for cin := 0; cin < ci; cin++ {
+							for kd := 0; kd < k; kd++ {
+								id := zd*s + kd - p
+								if id < 0 || id >= dd {
+									continue
+								}
+								for kh := 0; kh < k; kh++ {
+									ih := zh*s + kh - p
+									if ih < 0 || ih >= hh {
+										continue
+									}
+									for kw := 0; kw < k; kw++ {
+										iw := zw*s + kw - p
+										if iw < 0 || iw >= ww {
+											continue
+										}
+										sum += x.At(bi, cin, id, ih, iw) * c.W.W.At(co, cin, kd, kh, kw)
+									}
+								}
+							}
+						}
+						y.Set(sum, bi, co, zd, zh, zw)
+					}
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward propagates dL/dy and accumulates kernel/bias grads.
+func (c *Conv3D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	x := c.x
+	b, ci, dd, hh, ww := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3), x.Dim(4)
+	od, oh, ow := dy.Dim(2), dy.Dim(3), dy.Dim(4)
+	dx := tensor.New(b, ci, dd, hh, ww)
+	k, s, p := c.K, c.Stride, c.Pad
+	for bi := 0; bi < b; bi++ {
+		for co := 0; co < c.Co; co++ {
+			for zd := 0; zd < od; zd++ {
+				for zh := 0; zh < oh; zh++ {
+					for zw := 0; zw < ow; zw++ {
+						g := dy.At(bi, co, zd, zh, zw)
+						if g == 0 {
+							continue
+						}
+						c.B.Grad.Data[co] += g
+						for cin := 0; cin < ci; cin++ {
+							for kd := 0; kd < k; kd++ {
+								id := zd*s + kd - p
+								if id < 0 || id >= dd {
+									continue
+								}
+								for kh := 0; kh < k; kh++ {
+									ih := zh*s + kh - p
+									if ih < 0 || ih >= hh {
+										continue
+									}
+									for kw := 0; kw < k; kw++ {
+										iw := zw*s + kw - p
+										if iw < 0 || iw >= ww {
+											continue
+										}
+										xv := x.At(bi, cin, id, ih, iw)
+										wv := c.W.W.At(co, cin, kd, kh, kw)
+										c.W.Grad.Data[(((co*ci+cin)*k+kd)*k+kh)*k+kw] += g * xv
+										dx.Data[((bi*ci+cin)*dd+id)*hh*ww+ih*ww+iw] += g * wv
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// ConvTranspose3D is the transposed (fractionally strided) 3-D convolution
+// used by the paper's decoders: input [B, Ci, D, H, W] → output
+// [B, Co, (D-1)·S+K, ...] (no padding).
+type ConvTranspose3D struct {
+	Ci, Co, K, Stride int
+	W                 *Param // [Ci, Co, K, K, K]
+	B                 *Param // [Co]
+	x                 *tensor.Tensor
+}
+
+// NewConvTranspose3D builds a Glorot-initialized transposed convolution.
+func NewConvTranspose3D(rng *rand.Rand, ci, co, k, stride int) *ConvTranspose3D {
+	fan := ci * k * k * k
+	w := tensor.Rand(rng, xavier(fan, co*k*k*k), ci, co, k, k, k)
+	return &ConvTranspose3D{Ci: ci, Co: co, K: k, Stride: stride,
+		W: NewParam("convt3d.w", w), B: NewParam("convt3d.b", tensor.New(co))}
+}
+
+// Params implements Module.
+func (c *ConvTranspose3D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// OutDim returns the output spatial size for input size n.
+func (c *ConvTranspose3D) OutDim(n int) int { return (n-1)*c.Stride + c.K }
+
+// Forward computes the transposed convolution.
+func (c *ConvTranspose3D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	c.x = x
+	b, ci, dd, hh, ww := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3), x.Dim(4)
+	od, oh, ow := c.OutDim(dd), c.OutDim(hh), c.OutDim(ww)
+	y := tensor.New(b, c.Co, od, oh, ow)
+	k, s := c.K, c.Stride
+	// Bias.
+	for bi := 0; bi < b; bi++ {
+		for co := 0; co < c.Co; co++ {
+			base := ((bi*c.Co + co) * od) * oh * ow
+			bias := c.B.W.Data[co]
+			for i := 0; i < od*oh*ow; i++ {
+				y.Data[base+i] = bias
+			}
+		}
+	}
+	for bi := 0; bi < b; bi++ {
+		for cin := 0; cin < ci; cin++ {
+			for zd := 0; zd < dd; zd++ {
+				for zh := 0; zh < hh; zh++ {
+					for zw := 0; zw < ww; zw++ {
+						xv := x.At(bi, cin, zd, zh, zw)
+						if xv == 0 {
+							continue
+						}
+						for co := 0; co < c.Co; co++ {
+							for kd := 0; kd < k; kd++ {
+								for kh := 0; kh < k; kh++ {
+									for kw := 0; kw < k; kw++ {
+										od0, oh0, ow0 := zd*s+kd, zh*s+kh, zw*s+kw
+										y.Data[(((bi*c.Co+co)*od+od0)*oh+oh0)*ow+ow0] +=
+											xv * c.W.W.At(cin, co, kd, kh, kw)
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward propagates dL/dy and accumulates grads.
+func (c *ConvTranspose3D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	x := c.x
+	b, ci, dd, hh, ww := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3), x.Dim(4)
+	od, oh, ow := dy.Dim(2), dy.Dim(3), dy.Dim(4)
+	dx := tensor.New(b, ci, dd, hh, ww)
+	k, s := c.K, c.Stride
+	// Bias grads.
+	for bi := 0; bi < b; bi++ {
+		for co := 0; co < c.Co; co++ {
+			base := ((bi*c.Co + co) * od) * oh * ow
+			for i := 0; i < od*oh*ow; i++ {
+				c.B.Grad.Data[co] += dy.Data[base+i]
+			}
+		}
+	}
+	for bi := 0; bi < b; bi++ {
+		for cin := 0; cin < ci; cin++ {
+			for zd := 0; zd < dd; zd++ {
+				for zh := 0; zh < hh; zh++ {
+					for zw := 0; zw < ww; zw++ {
+						xv := x.At(bi, cin, zd, zh, zw)
+						var acc float64
+						for co := 0; co < c.Co; co++ {
+							for kd := 0; kd < k; kd++ {
+								for kh := 0; kh < k; kh++ {
+									for kw := 0; kw < k; kw++ {
+										g := dy.Data[(((bi*c.Co+co)*od+zd*s+kd)*oh+zh*s+kh)*ow+zw*s+kw]
+										acc += g * c.W.W.At(cin, co, kd, kh, kw)
+										c.W.Grad.Data[(((cin*c.Co+co)*k+kd)*k+kh)*k+kw] += g * xv
+									}
+								}
+							}
+						}
+						dx.Data[((bi*ci+cin)*dd+zd)*hh*ww+zh*ww+zw] = acc
+					}
+				}
+			}
+		}
+	}
+	return dx
+}

@@ -1,0 +1,118 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Linear is a fully connected layer y = x·Wᵀ + b over 2-D inputs [B, in].
+type Linear struct {
+	In, Out int
+	W       *Param // [Out, In]
+	B       *Param // [Out]
+	// cached input for backward
+	x *tensor.Tensor
+}
+
+// NewLinear builds a Glorot-initialized linear layer.
+func NewLinear(rng *rand.Rand, in, out int) *Linear {
+	return &Linear{
+		In: in, Out: out,
+		W: NewParam("linear.w", initLinear(rng, out, in)),
+		B: NewParam("linear.b", tensor.New(out)),
+	}
+}
+
+// Params implements Module.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// Forward computes y[B,Out] from x[B,In], caching x for backward.
+func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
+	l.x = x
+	wt := tensor.Transpose(l.W.W) // [In, Out]
+	y := tensor.MatMul(x, wt)
+	tensor.AddRowVecInto(y, y, l.B.W)
+	return y
+}
+
+// Backward takes dL/dy [B,Out], accumulates parameter grads, and returns
+// dL/dx [B,In].
+func (l *Linear) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	// dW += dyᵀ·x ; db += Σ_B dy ; dx = dy·W
+	dw := tensor.MatMul(tensor.Transpose(dy), l.x) // [Out, In]
+	l.W.Grad.AddScaled(1, dw)
+	tensor.SumRowsInto(l.B.Grad, dy)
+	return tensor.MatMul(dy, l.W.W)
+}
+
+// Activation is an element-wise nonlinearity with cached forward output or
+// input, as its derivative requires.
+type Activation struct {
+	Kind string // "tanh" | "relu" | "sigmoid"
+	out  *tensor.Tensor
+	in   *tensor.Tensor
+}
+
+// NewActivation builds a named activation; it panics on unknown kinds so
+// configuration errors surface at construction.
+func NewActivation(kind string) *Activation {
+	switch kind {
+	case "tanh", "relu", "sigmoid":
+		return &Activation{Kind: kind}
+	}
+	panic("nn: unknown activation " + kind)
+}
+
+// Params implements Module.
+func (a *Activation) Params() []*Param { return nil }
+
+// Forward applies the nonlinearity.
+func (a *Activation) Forward(x *tensor.Tensor) *tensor.Tensor {
+	y := x.Clone()
+	switch a.Kind {
+	case "tanh":
+		y.Apply(tanh)
+		a.out = y
+	case "sigmoid":
+		y.Apply(sigmoid)
+		a.out = y
+	case "relu":
+		a.in = x
+		for i, v := range y.Data {
+			if v < 0 {
+				y.Data[i] = 0
+			}
+		}
+	}
+	return y
+}
+
+// Backward maps dL/dy to dL/dx.
+func (a *Activation) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dx := dy.Clone()
+	switch a.Kind {
+	case "tanh":
+		for i := range dx.Data {
+			o := a.out.Data[i]
+			dx.Data[i] *= 1 - o*o
+		}
+	case "sigmoid":
+		for i := range dx.Data {
+			o := a.out.Data[i]
+			dx.Data[i] *= o * (1 - o)
+		}
+	case "relu":
+		for i := range dx.Data {
+			if a.in.Data[i] < 0 {
+				dx.Data[i] = 0
+			}
+		}
+	}
+	return dx
+}
+
+func tanh(x float64) float64 { return math.Tanh(x) }
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }

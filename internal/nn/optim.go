@@ -1,0 +1,115 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// MSELoss returns ½-free mean squared error L = mean((pred-target)²) and
+// dL/dpred.
+func MSELoss(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	if pred.Len() != target.Len() {
+		panic("nn: MSE length mismatch")
+	}
+	n := float64(pred.Len())
+	grad := tensor.New(pred.Shape...)
+	loss := 0.0
+	for i := range pred.Data {
+		d := pred.Data[i] - target.Data[i]
+		loss += d * d
+		grad.Data[i] = 2 * d / n
+	}
+	return loss / n, grad
+}
+
+// Adam is the Adam optimizer (Kingma & Ba 2015) with optional weight decay.
+type Adam struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+	step        int
+	m, v        map[*Param][]float64
+}
+
+// NewAdam builds Adam with the paper's defaults (lr 0.001).
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: map[*Param][]float64{}, v: map[*Param][]float64{}}
+}
+
+// Step applies one update to all parameters of m using their accumulated
+// gradients.
+func (a *Adam) Step(mod Module) {
+	a.step++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for _, p := range mod.Params() {
+		mom, ok := a.m[p]
+		if !ok {
+			mom = make([]float64, p.W.Len())
+			a.m[p] = mom
+		}
+		vel, ok := a.v[p]
+		if !ok {
+			vel = make([]float64, p.W.Len())
+			a.v[p] = vel
+		}
+		for i := range p.W.Data {
+			g := p.Grad.Data[i]
+			if a.WeightDecay > 0 {
+				g += a.WeightDecay * p.W.Data[i]
+			}
+			mom[i] = a.Beta1*mom[i] + (1-a.Beta1)*g
+			vel[i] = a.Beta2*vel[i] + (1-a.Beta2)*g*g
+			mh := mom[i] / bc1
+			vh := vel[i] / bc2
+			p.W.Data[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+	}
+}
+
+// PlateauScheduler implements reduce-LR-on-plateau with the paper's
+// training configuration (patience 20, factor 0.5 by default).
+type PlateauScheduler struct {
+	Opt      *Adam
+	Patience int
+	Factor   float64
+	MinLR    float64
+	best     float64
+	bad      int
+	started  bool
+}
+
+// NewPlateauScheduler wraps opt with plateau-based LR decay.
+func NewPlateauScheduler(opt *Adam, patience int, factor float64) *PlateauScheduler {
+	if patience <= 0 {
+		patience = 20
+	}
+	if factor <= 0 || factor >= 1 {
+		factor = 0.5
+	}
+	return &PlateauScheduler{Opt: opt, Patience: patience, Factor: factor, MinLR: 1e-6}
+}
+
+// Observe records an epoch's validation loss, decaying the LR when no
+// improvement has been seen for Patience epochs. It returns the current LR.
+func (s *PlateauScheduler) Observe(loss float64) float64 {
+	if !s.started || loss < s.best {
+		s.best = loss
+		s.bad = 0
+		s.started = true
+		return s.Opt.LR
+	}
+	s.bad++
+	if s.bad >= s.Patience {
+		s.bad = 0
+		s.Opt.LR *= s.Factor
+		if s.Opt.LR < s.MinLR {
+			s.Opt.LR = s.MinLR
+		}
+	}
+	return s.Opt.LR
+}

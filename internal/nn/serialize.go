@@ -1,0 +1,182 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Checkpoint format (little-endian): magic "SKNN" | nParams u32 | per
+// param: nameLen u32, name bytes, rank u32, dims u32×rank, data f64×len.
+var ckptMagic = [4]byte{'S', 'K', 'N', 'N'}
+
+// SaveCheckpoint writes a module's parameters to path.
+func SaveCheckpoint(path string, m Module) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if _, err := w.Write(ckptMagic[:]); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	params := m.Params()
+	if err := binary.Write(w, le, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if err := binary.Write(w, le, uint32(len(p.Name))); err != nil {
+			return err
+		}
+		if _, err := w.WriteString(p.Name); err != nil {
+			return err
+		}
+		if err := binary.Write(w, le, uint32(len(p.W.Shape))); err != nil {
+			return err
+		}
+		for _, d := range p.W.Shape {
+			if err := binary.Write(w, le, uint32(d)); err != nil {
+				return err
+			}
+		}
+		if err := binary.Write(w, le, p.W.Data); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// LoadCheckpoint restores parameters into a module with the identical
+// architecture (same parameter order and shapes).
+func LoadCheckpoint(path string, m Module) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return err
+	}
+	if magic != ckptMagic {
+		return fmt.Errorf("nn: %s is not a SKNN checkpoint", path)
+	}
+	le := binary.LittleEndian
+	var n uint32
+	if err := binary.Read(r, le, &n); err != nil {
+		return err
+	}
+	params := m.Params()
+	if int(n) != len(params) {
+		return fmt.Errorf("nn: checkpoint has %d params, module has %d", n, len(params))
+	}
+	for _, p := range params {
+		var nameLen uint32
+		if err := binary.Read(r, le, &nameLen); err != nil {
+			return err
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return err
+		}
+		if string(name) != p.Name {
+			return fmt.Errorf("nn: checkpoint param %q, module expects %q", name, p.Name)
+		}
+		var rank uint32
+		if err := binary.Read(r, le, &rank); err != nil {
+			return err
+		}
+		if int(rank) != len(p.W.Shape) {
+			return fmt.Errorf("nn: param %q rank %d, want %d", name, rank, len(p.W.Shape))
+		}
+		for i := 0; i < int(rank); i++ {
+			var d uint32
+			if err := binary.Read(r, le, &d); err != nil {
+				return err
+			}
+			if int(d) != p.W.Shape[i] {
+				return fmt.Errorf("nn: param %q dim %d is %d, want %d", name, i, d, p.W.Shape[i])
+			}
+		}
+		if err := binary.Read(r, le, p.W.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// QuantizeFP16 rounds every parameter through IEEE-754 half precision —
+// the simulation hook behind the paper's --precision fp16 option. It
+// returns the maximum absolute rounding error introduced.
+func QuantizeFP16(m Module) float64 {
+	worst := 0.0
+	for _, p := range m.Params() {
+		for i, v := range p.W.Data {
+			q := fp16Round(v)
+			if e := math.Abs(q - v); e > worst {
+				worst = e
+			}
+			p.W.Data[i] = q
+		}
+	}
+	return worst
+}
+
+// fp16Round converts a float64 to IEEE-754 binary16 and back (round to
+// nearest even), saturating to ±Inf outside the half range.
+func fp16Round(v float64) float64 {
+	f32 := float32(v)
+	bits := math.Float32bits(f32)
+	sign := bits >> 31
+	exp := int32((bits>>23)&0xff) - 127
+	man := bits & 0x7fffff
+	switch {
+	case exp == 128: // Inf/NaN pass through
+		return v
+	case exp > 15:
+		return math.Inf(int(1 - 2*int(sign)))
+	case exp < -24:
+		if sign == 1 {
+			return math.Copysign(0, -1)
+		}
+		return 0
+	case exp < -14:
+		// Subnormal half: shift mantissa (with implicit 1) into place.
+		shift := uint(-exp - 14 + 13)
+		full := man | 0x800000
+		half := full >> (shift + 10)
+		// Round to nearest (ties away, adequate for simulation purposes).
+		if full>>(shift+9)&1 == 1 {
+			half++
+		}
+		res := float64(half) / 1024 * math.Pow(2, -14)
+		if sign == 1 {
+			return -res
+		}
+		return res
+	}
+	// Normal half: keep 10 mantissa bits with round-to-nearest-even.
+	keep := man >> 13
+	rem := man & 0x1fff
+	if rem > 0x1000 || (rem == 0x1000 && keep&1 == 1) {
+		keep++
+		if keep == 0x400 {
+			keep = 0
+			exp++
+			if exp > 15 {
+				return math.Inf(int(1 - 2*int(sign)))
+			}
+		}
+	}
+	res := (1 + float64(keep)/1024) * math.Pow(2, float64(exp))
+	if sign == 1 {
+		return -res
+	}
+	return res
+}

@@ -1,0 +1,260 @@
+package sampling
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/energy"
+	"repro/internal/grid"
+	"repro/internal/minimpi"
+)
+
+// PipelineConfig mirrors the artifact's subsample.py case parameters: which
+// hypercube selector (phase 1) and point sampler (phase 2) to use, the
+// hypercube geometry, and the per-cube sample budget.
+type PipelineConfig struct {
+	Hypercubes    string // "random" | "maxent"
+	Method        string // "full" | "random" | "lhs" | "stratified" | "uips" | "maxent"
+	NumHypercubes int    // cubes to keep per snapshot
+	NumSamples    int    // points per cube (paper default: 3277 = 10% of 32³)
+	CubeSx        int    // default 32
+	CubeSy        int
+	CubeSz        int
+	NumClusters   int // k for the MaxEnt methods
+	Seed          int64
+	Meter         *energy.Meter
+}
+
+func (c *PipelineConfig) defaults() {
+	if c.Hypercubes == "" {
+		c.Hypercubes = "random"
+	}
+	if c.Method == "" {
+		c.Method = "random"
+	}
+	if c.NumHypercubes <= 0 {
+		c.NumHypercubes = 12
+	}
+	if c.CubeSx <= 0 {
+		c.CubeSx = 32
+	}
+	if c.CubeSy <= 0 {
+		c.CubeSy = c.CubeSx
+	}
+	if c.CubeSz <= 0 {
+		c.CubeSz = c.CubeSx
+	}
+	if c.NumSamples <= 0 {
+		c.NumSamples = c.CubeSx * c.CubeSy * c.CubeSz / 10
+	}
+}
+
+// CubeSample is the output of the two-phase pipeline for one cube of one
+// snapshot: the cube identity plus the selected point indices (cube-local)
+// and their feature/target values.
+type CubeSample struct {
+	Snapshot int
+	Cube     grid.Hypercube
+	// LocalIdx are indices into the cube's own point ordering.
+	LocalIdx []int
+	// Features[r] is the input feature vector of selected point r.
+	Features [][]float64
+	// Targets[r] holds the output variables of selected point r.
+	Targets [][]float64
+}
+
+// NewHypercubeSelector builds a phase-1 selector by name.
+func NewHypercubeSelector(name string, numClusters int, m *energy.Meter) (HypercubeSelector, error) {
+	switch name {
+	case "random", "":
+		return HRandom{Meter: m}, nil
+	case "maxent":
+		return HMaxEnt{NumClusters: numClusters, Meter: m}, nil
+	default:
+		return nil, fmt.Errorf("sampling: unknown hypercube selector %q", name)
+	}
+}
+
+// NewPointSampler builds a phase-2 sampler by name.
+func NewPointSampler(name string, numClusters int, m *energy.Meter) (PointSampler, error) {
+	switch name {
+	case "random", "":
+		return Random{Meter: m}, nil
+	case "full":
+		return Full{Meter: m}, nil
+	case "uniform":
+		return Uniform{Meter: m}, nil
+	case "lhs":
+		return LHS{Meter: m}, nil
+	case "stratified":
+		return Stratified{Meter: m}, nil
+	case "uips":
+		return UIPS{Meter: m}, nil
+	case "maxent":
+		return MaxEnt{NumClusters: numClusters, Meter: m}, nil
+	default:
+		return nil, fmt.Errorf("sampling: unknown point sampler %q", name)
+	}
+}
+
+// MethodNames lists the registered point samplers (for CLIs and sweeps).
+func MethodNames() []string {
+	return []string{"full", "random", "uniform", "lhs", "stratified", "uips", "maxent"}
+}
+
+// SelectCubesForDataset runs phase 1 once, on the snapshot refSnap, and
+// returns the cube set to use for every snapshot. Holding the cube set
+// fixed across time is what makes spatiotemporal windows well-defined: the
+// same spatial region is observed at every timestep (fixed sensor regions).
+func SelectCubesForDataset(d *grid.Dataset, refSnap int, cfg PipelineConfig) ([]grid.Hypercube, error) {
+	cfg.defaults()
+	f := d.Snapshots[refSnap]
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	hsel, err := NewHypercubeSelector(cfg.Hypercubes, cfg.NumClusters, cfg.Meter)
+	if err != nil {
+		return nil, err
+	}
+	cubes := grid.Tile(f, cfg.CubeSx, cfg.CubeSy, cfg.CubeSz)
+	if len(cubes) == 0 {
+		return nil, fmt.Errorf("sampling: grid %dx%dx%d too small for %dx%dx%d cubes",
+			f.Nx, f.Ny, f.Nz, cfg.CubeSx, cfg.CubeSy, cfg.CubeSz)
+	}
+	return hsel.SelectCubes(f, cubes, d.ClusterVar, cfg.NumHypercubes, rng), nil
+}
+
+// SubsampleSnapshotWithCubes runs phase 2 on one snapshot over a fixed cube
+// set. The rng is seeded per snapshot, so results do not depend on how
+// snapshots are distributed across ranks.
+func SubsampleSnapshotWithCubes(d *grid.Dataset, snap int, kept []grid.Hypercube, cfg PipelineConfig) ([]CubeSample, error) {
+	cfg.defaults()
+	f := d.Snapshots[snap]
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(snap)*7919))
+	psel, err := NewPointSampler(cfg.Method, cfg.NumClusters, cfg.Meter)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CubeSample, 0, len(kept))
+	for _, cube := range kept {
+		cs, err := samplePointsInCube(d, f, snap, cube, psel, cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cs)
+	}
+	return out, nil
+}
+
+// SubsampleSnapshot runs the full two-phase pipeline (Fig. 3) on one
+// snapshot in isolation: tile → phase-1 cube selection → phase-2 point
+// selection inside each kept cube. When cfg.Method == "full" the second
+// phase is skipped and every point of each cube is kept (the paper's
+// structured-cube baseline).
+func SubsampleSnapshot(d *grid.Dataset, snap int, cfg PipelineConfig) ([]CubeSample, error) {
+	kept, err := SelectCubesForDataset(d, snap, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return SubsampleSnapshotWithCubes(d, snap, kept, cfg)
+}
+
+func samplePointsInCube(d *grid.Dataset, f *grid.Field, snap int, cube grid.Hypercube,
+	psel PointSampler, cfg PipelineConfig, rng *rand.Rand) (CubeSample, error) {
+
+	flat := cube.Indices(f)
+	features := make([][]float64, len(flat))
+	backing := make([]float64, len(flat)*len(d.InputVars))
+	for r, idx := range flat {
+		row := backing[r*len(d.InputVars) : (r+1)*len(d.InputVars)]
+		f.Point(idx, d.InputVars, row)
+		features[r] = row
+	}
+	var kcv []float64
+	if d.ClusterVar != "" {
+		kcv = cube.VarValues(f, d.ClusterVar)
+	}
+	data := &Data{Features: features, ClusterVar: kcv}
+
+	n := cfg.NumSamples
+	if _, isFull := psel.(Full); isFull {
+		n = len(flat)
+	}
+	local := psel.SelectPoints(data, n, rng)
+
+	cs := CubeSample{Snapshot: snap, Cube: cube, LocalIdx: local}
+	cs.Features = make([][]float64, len(local))
+	cs.Targets = make([][]float64, len(local))
+	for r, li := range local {
+		cs.Features[r] = features[li]
+		tgt := make([]float64, len(d.OutputVars))
+		f.Point(flat[li], d.OutputVars, tgt)
+		cs.Targets[r] = tgt
+	}
+	return cs, nil
+}
+
+// SubsampleDataset runs the pipeline over every snapshot serially: one
+// phase-1 selection on snapshot 0, then phase-2 per snapshot over the fixed
+// cube set.
+func SubsampleDataset(d *grid.Dataset, cfg PipelineConfig) ([]CubeSample, error) {
+	kept, err := SelectCubesForDataset(d, 0, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var out []CubeSample
+	for t := range d.Snapshots {
+		cs, err := SubsampleSnapshotWithCubes(d, t, kept, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cs...)
+	}
+	return out, nil
+}
+
+// SubsampleParallel distributes snapshots across minimpi ranks (the unit of
+// parallelism in the artifact's `srun -n 32 subsample.py`), gathers results
+// on rank 0, and returns them with the world handle for comm-cost queries.
+func SubsampleParallel(d *grid.Dataset, cfg PipelineConfig, ranks int, cost minimpi.CostModel) ([]CubeSample, *minimpi.World, error) {
+	results := make([][]CubeSample, ranks)
+	errs := make([]error, ranks)
+	w := minimpi.Run(ranks, cost, func(c *minimpi.Comm) {
+		// Phase 1 is deterministic under cfg.Seed, so every rank derives
+		// the identical cube set locally (as each MPI rank reads the
+		// shared snapshot metadata).
+		kept, err := SelectCubesForDataset(d, 0, cfg)
+		if err != nil {
+			errs[c.Rank()] = err
+			return
+		}
+		lo, hi := c.PartitionRange(len(d.Snapshots))
+		var local []CubeSample
+		for t := lo; t < hi; t++ {
+			cs, err := SubsampleSnapshotWithCubes(d, t, kept, cfg)
+			if err != nil {
+				errs[c.Rank()] = err
+				break
+			}
+			local = append(local, cs...)
+		}
+		results[c.Rank()] = local
+		// Gather a summary (sample counts) to rank 0, mirroring the MPI
+		// communication pattern (and charging the cost model for it).
+		counts := []float64{float64(len(local))}
+		c.Gather(0, counts)
+	})
+	var out []CubeSample
+	for r := 0; r < ranks; r++ {
+		if errs[r] != nil {
+			return nil, w, errs[r]
+		}
+		out = append(out, results[r]...)
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Snapshot != out[b].Snapshot {
+			return out[a].Snapshot < out[b].Snapshot
+		}
+		return out[a].Cube.ID < out[b].Cube.ID
+	})
+	return out, w, nil
+}

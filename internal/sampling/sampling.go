@@ -1,0 +1,197 @@
+// Package sampling implements SICKLE's core contribution: the pluggable
+// subsampling strategies of paper §4 — random, Latin hypercube, stratified,
+// uniform-in-phase-space (UIPS), and the two-phase maximum-entropy (MaxEnt)
+// method — together with MaxEnt hypercube selection, temporal snapshot
+// selection, and a minimpi-parallel driver.
+//
+// All point samplers consume a Data view (feature matrix + the scalar
+// "K-means cluster variable" of Table 1) and return indices into it, so the
+// same machinery runs on raw snapshots, extracted hypercubes, or arbitrary
+// point clouds.
+package sampling
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/energy"
+)
+
+// Data is the point-cloud view a sampler operates on.
+type Data struct {
+	// Features is the n×d matrix of input variables (Table 1's Input
+	// column) used for phase-space methods.
+	Features [][]float64
+	// ClusterVar is the scalar per point driving K-means-based methods
+	// (Table 1's KCV column). When nil, the first feature column is used.
+	ClusterVar []float64
+}
+
+// N returns the number of points.
+func (d *Data) N() int { return len(d.Features) }
+
+// KCV returns the cluster variable, falling back to feature column 0.
+func (d *Data) KCV() []float64 {
+	if d.ClusterVar != nil {
+		return d.ClusterVar
+	}
+	out := make([]float64, len(d.Features))
+	for i, p := range d.Features {
+		out[i] = p[0]
+	}
+	return out
+}
+
+// PointSampler selects n point indices from a Data view.
+type PointSampler interface {
+	Name() string
+	SelectPoints(d *Data, n int, rng *rand.Rand) []int
+}
+
+// chargeSampling charges m for a sampler pass that touched points×dims
+// values with the given extra per-value op count.
+func chargeSampling(m *energy.Meter, points, dims int, opsPerValue int64) {
+	if m == nil {
+		return
+	}
+	vals := int64(points) * int64(dims)
+	m.AddFlops(vals * opsPerValue)
+	m.AddBytes(vals * 8)
+}
+
+// Random selects n points uniformly without replacement — the paper's
+// baseline that "performs quite well in many scenarios" (§7).
+type Random struct {
+	Meter *energy.Meter
+}
+
+// Name implements PointSampler.
+func (Random) Name() string { return "random" }
+
+// SelectPoints implements PointSampler.
+func (r Random) SelectPoints(d *Data, n int, rng *rand.Rand) []int {
+	validateRequest(d, n)
+	total := d.N()
+	if n >= total {
+		return allIndices(total)
+	}
+	idx := rng.Perm(total)[:n]
+	sort.Ints(idx)
+	chargeSampling(r.Meter, n, dims(d), 1)
+	return idx
+}
+
+// Full returns every point — the paper's "full" baseline (densest feasible
+// hypercubes, §4).
+type Full struct {
+	Meter *energy.Meter
+}
+
+// Name implements PointSampler.
+func (Full) Name() string { return "full" }
+
+// SelectPoints implements PointSampler.
+func (f Full) SelectPoints(d *Data, n int, rng *rand.Rand) []int {
+	chargeSampling(f.Meter, d.N(), dims(d), 1)
+	return allIndices(d.N())
+}
+
+func allIndices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func dims(d *Data) int {
+	if len(d.Features) == 0 {
+		return 1
+	}
+	return len(d.Features[0])
+}
+
+// normalizedCopy returns a [0,1]-scaled copy of the features (samplers must
+// not mutate caller data).
+func normalizedCopy(pts [][]float64) [][]float64 {
+	if len(pts) == 0 {
+		return nil
+	}
+	d := len(pts[0])
+	backing := make([]float64, len(pts)*d)
+	out := make([][]float64, len(pts))
+	for i, p := range pts {
+		row := backing[i*d : (i+1)*d]
+		copy(row, p)
+		out[i] = row
+	}
+	normalizeInPlace(out)
+	return out
+}
+
+func normalizeInPlace(pts [][]float64) {
+	if len(pts) == 0 {
+		return
+	}
+	d := len(pts[0])
+	for j := 0; j < d; j++ {
+		lo, hi := pts[0][j], pts[0][j]
+		for _, p := range pts {
+			if p[j] < lo {
+				lo = p[j]
+			}
+			if p[j] > hi {
+				hi = p[j]
+			}
+		}
+		r := hi - lo
+		for _, p := range pts {
+			if r > 0 {
+				p[j] = (p[j] - lo) / r
+			} else {
+				p[j] = 0
+			}
+		}
+	}
+}
+
+// weightedSampleWithoutReplacement draws n distinct indices with
+// probability proportional to w, using the Efraimidis-Spirakis exponential
+// keys method. Zero/negative weights are treated as tiny but nonzero so
+// every item remains reachable when the budget exceeds the positive mass.
+func weightedSampleWithoutReplacement(w []float64, n int, rng *rand.Rand) []int {
+	type key struct {
+		k   float64
+		idx int
+	}
+	if n >= len(w) {
+		return allIndices(len(w))
+	}
+	keys := make([]key, len(w))
+	for i, wi := range w {
+		if wi <= 0 || math.IsNaN(wi) {
+			wi = 1e-300
+		}
+		// Key = -Exp(1)/w; the n largest keys form a weighted sample.
+		keys[i] = key{k: -rng.ExpFloat64() / wi, idx: i}
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a].k > keys[b].k })
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = keys[i].idx
+	}
+	sort.Ints(out)
+	return out
+}
+
+// validateRequest panics on nonsensical sample requests; samplers share it.
+func validateRequest(d *Data, n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("sampling: negative sample count %d", n))
+	}
+	if d == nil || d.N() == 0 {
+		panic("sampling: empty data")
+	}
+}

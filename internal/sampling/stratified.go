@@ -1,0 +1,78 @@
+package sampling
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/energy"
+	"repro/internal/stats"
+)
+
+// Stratified bins the cluster variable into NumStrata equal-width strata
+// and draws an equal share of samples from each occupied stratum, topping
+// up from the global pool when strata run dry. Equal allocation (rather
+// than proportional) is what makes it a variance-reduction method: rare
+// strata are sampled at the same budget as dense ones.
+type Stratified struct {
+	NumStrata int // default 10
+	Meter     *energy.Meter
+}
+
+// Name implements PointSampler.
+func (Stratified) Name() string { return "stratified" }
+
+// SelectPoints implements PointSampler.
+func (s Stratified) SelectPoints(d *Data, n int, rng *rand.Rand) []int {
+	validateRequest(d, n)
+	total := d.N()
+	if n >= total {
+		return allIndices(total)
+	}
+	k := s.NumStrata
+	if k <= 0 {
+		k = 10
+	}
+	kcv := d.KCV()
+	h := stats.HistogramFromData(kcv, k)
+	members := make([][]int, k)
+	for i, x := range kcv {
+		b := h.BinIndex(x)
+		members[b] = append(members[b], i)
+	}
+	occupied := 0
+	for _, m := range members {
+		if len(m) > 0 {
+			occupied++
+		}
+	}
+	if occupied == 0 {
+		return nil
+	}
+	quota := n / occupied
+	picked := make(map[int]bool, n)
+	var out []int
+	for _, m := range members {
+		if len(m) == 0 {
+			continue
+		}
+		take := quota
+		if take > len(m) {
+			take = len(m)
+		}
+		for _, j := range rng.Perm(len(m))[:take] {
+			out = append(out, m[j])
+			picked[m[j]] = true
+		}
+	}
+	// Top up any shortfall uniformly from unpicked points.
+	for len(out) < n {
+		i := rng.Intn(total)
+		if !picked[i] {
+			picked[i] = true
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	chargeSampling(s.Meter, total, dims(d), 2)
+	return out
+}

@@ -1,0 +1,33 @@
+package sampling
+
+import (
+	"math/rand"
+
+	"repro/internal/energy"
+)
+
+// Uniform selects every k-th point (constant stride), the "uniform"
+// baseline of the paper's Fig. 9 foundation-model comparison. The stride is
+// chosen to spread n samples evenly over the point ordering (which follows
+// the grid, so the samples form a regular spatial lattice).
+type Uniform struct {
+	Meter *energy.Meter
+}
+
+// Name implements PointSampler.
+func (Uniform) Name() string { return "uniform" }
+
+// SelectPoints implements PointSampler.
+func (u Uniform) SelectPoints(d *Data, n int, rng *rand.Rand) []int {
+	validateRequest(d, n)
+	total := d.N()
+	if n >= total {
+		return allIndices(total)
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = i * total / n
+	}
+	chargeSampling(u.Meter, n, dims(d), 1)
+	return out
+}

@@ -1,0 +1,76 @@
+package sickle
+
+import "testing"
+
+func TestAblateClusterCount(t *testing.T) {
+	rows, err := AblateClusterCount(Small, []int{2, 10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Enough clusters must beat the degenerate 2-cluster case on tails.
+	if rows[1].TailCover <= rows[0].TailCover {
+		t.Fatalf("k=10 tail coverage %v should exceed k=2's %v",
+			rows[1].TailCover, rows[0].TailCover)
+	}
+	for _, r := range rows {
+		if r.TailCover <= 0 {
+			t.Fatalf("k=%v: empty tails", r.Value)
+		}
+	}
+}
+
+func TestAblateUIPSBins(t *testing.T) {
+	rows, err := AblateUIPSBins(Small, []int{4, 20, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// More bins flatten the 1-D PDF harder: tail coverage grows.
+	if !(rows[2].TailCover > rows[0].TailCover) {
+		t.Fatalf("100-bin tails %v should exceed 4-bin %v",
+			rows[2].TailCover, rows[0].TailCover)
+	}
+}
+
+func TestAblateCubeSize(t *testing.T) {
+	rows, err := AblateCubeSize(Small, []int{8, 16, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Work units decrease monotonically with cube edge.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].TailCover >= rows[i-1].TailCover {
+			t.Fatalf("cube count must shrink with edge: %v", rows)
+		}
+	}
+}
+
+func TestAblateCommLatency(t *testing.T) {
+	rows, err := AblateCommLatency(Small, []float64{2e-6, 200e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Higher latency cannot increase the knee rank.
+	if rows[1].TailCover > rows[0].TailCover {
+		t.Fatalf("knee grew with latency: %v -> %v", rows[0].TailCover, rows[1].TailCover)
+	}
+}
+
+func TestTemporalSelectionOnOF2D(t *testing.T) {
+	kept, total, err := TemporalSelectionSummary(Small, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept <= 0 || kept > total {
+		t.Fatalf("kept %d of %d", kept, total)
+	}
+	// The shedding trajectory is periodic: most snapshots are redundant.
+	if kept > total/2 {
+		t.Fatalf("temporal selection kept %d/%d periodic snapshots", kept, total)
+	}
+}

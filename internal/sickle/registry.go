@@ -1,0 +1,112 @@
+// Package sickle is the top-level framework tying SICKLE-Go together: a
+// dataset registry covering the paper's Table 1 cases (scaled-down
+// synthetic analogues), the T1→T2→T3 experiment pipeline (sample → train →
+// evaluate, Fig. 2), and one experiment driver per paper table/figure.
+package sickle
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cfd2d"
+	"repro/internal/cfd3d"
+	"repro/internal/grid"
+	"repro/internal/synth"
+)
+
+// Scale selects dataset sizes. Small keeps unit tests and benches fast;
+// Large is closer to (though still far below) the paper's grids and is
+// meant for the cmd/sickle-bench CLI.
+type Scale int
+
+// Scales.
+const (
+	Small Scale = iota
+	Large
+)
+
+// DatasetNames lists the Table 1 cases in paper order.
+func DatasetNames() []string {
+	return []string{"TC2D", "OF2D", "SST-P1F4", "SST-P1F100", "GESTS-2048", "GESTS-8192"}
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]*grid.Dataset{}
+)
+
+// BuildDataset constructs (and memoizes) a Table 1 dataset analogue.
+func BuildDataset(name string, scale Scale) (*grid.Dataset, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	key := fmt.Sprintf("%s/%d", name, scale)
+	if d, ok := cache[key]; ok {
+		return d, nil
+	}
+	d, err := buildDataset(name, scale)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("sickle: generated dataset %s invalid: %w", name, err)
+	}
+	cache[key] = d
+	return d, nil
+}
+
+func buildDataset(name string, scale Scale) (*grid.Dataset, error) {
+	big := scale == Large
+	pick := func(small, large int) int {
+		if big {
+			return large
+		}
+		return small
+	}
+	switch name {
+	case "TC2D":
+		return synth.TC2DDataset(synth.CombustionConfig{
+			Nx: pick(256, 640), Ny: pick(256, 640), Seed: 7,
+		}), nil
+	case "OF2D":
+		// 100 snapshots in the paper; enough shedding periods to regress
+		// drag. The lattice is sized so u,v,p snapshots stay light.
+		warm, snaps, per := 2500, pick(80, 160), 120
+		return cfd2d.OF2DDataset(cfd2d.Config{
+			Nx: pick(180, 300), Ny: pick(60, 120), U0: 0.1,
+			Reynolds: 150, D: float64(pick(12, 20)), Cx: 30, Cy: float64(pick(30, 60)),
+		}, warm, snaps, per), nil
+	case "SST-P1F4":
+		// Time-evolving Taylor-Green trajectory (125 snapshots in the
+		// paper).
+		return cfd3d.EvolveDataset("SST-P1F4", pick(10, 24), pick(2, 4), cfd3d.Config{
+			N: pick(32, 64), Seed: 11, BruntN: 2,
+		}), nil
+	case "SST-P1F100":
+		// Forced stratified turbulence, few snapshots, strongly
+		// anisotropic, gravity along y (the paper's P1F100 config).
+		d := synth.SSTDataset("SST-P1F100", pick(4, 8), synth.StratifiedConfig{
+			Nx: pick(64, 128), Ny: pick(32, 64), Nz: pick(64, 128),
+			Seed: 13, AnisoFactor: 6, Froude: 0.15, GravityAxis: 1,
+		})
+		d.InputVars = []string{"rhoy"}
+		d.OutputVars = []string{"ee"}
+		d.ClusterVar = "rhoy"
+		return d, nil
+	case "GESTS-2048":
+		return synth.GESTSDataset("GESTS-2048", synth.IsotropicConfig{
+			N: pick(32, 64), Seed: 17, KPeak: 4,
+		}), nil
+	case "GESTS-8192":
+		return synth.GESTSDataset("GESTS-8192", synth.IsotropicConfig{
+			N: pick(64, 128), Seed: 19, KPeak: 6,
+		}), nil
+	}
+	return nil, fmt.Errorf("sickle: unknown dataset %q (have %v)", name, DatasetNames())
+}
+
+// ClearCache drops memoized datasets (for memory-sensitive callers).
+func ClearCache() {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	cache = map[string]*grid.Dataset{}
+}

@@ -1,0 +1,154 @@
+package sickle
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/grid"
+	"repro/internal/sampling"
+)
+
+// The binary subsample format implements the paper's storage-reduction
+// feature: instead of archiving full snapshots, SICKLE persists only the
+// feature-rich subsampled points. Layout (little-endian):
+//
+//	magic "SKL1" | nCubes u32
+//	per cube: snapshot u32, cube {i0,j0,k0,sx,sy,sz,id} u32×7,
+//	          nPoints u32, nFeat u32, nTgt u32,
+//	          localIdx u32×n, features f64×n×nFeat, targets f64×n×nTgt
+
+var storeMagic = [4]byte{'S', 'K', 'L', '1'}
+
+// SaveCubeSamples writes cube samples to path.
+func SaveCubeSamples(path string, cubes []sampling.CubeSample) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if _, err := w.Write(storeMagic[:]); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	u32 := func(v int) error { return binary.Write(w, le, uint32(v)) }
+	if err := u32(len(cubes)); err != nil {
+		return err
+	}
+	for _, cs := range cubes {
+		hdr := []int{cs.Snapshot, cs.Cube.I0, cs.Cube.J0, cs.Cube.K0,
+			cs.Cube.Sx, cs.Cube.Sy, cs.Cube.Sz, cs.Cube.ID}
+		for _, v := range hdr {
+			if err := u32(v); err != nil {
+				return err
+			}
+		}
+		n := len(cs.LocalIdx)
+		nf, nt := 0, 0
+		if n > 0 {
+			nf = len(cs.Features[0])
+			nt = len(cs.Targets[0])
+		}
+		for _, v := range []int{n, nf, nt} {
+			if err := u32(v); err != nil {
+				return err
+			}
+		}
+		for _, li := range cs.LocalIdx {
+			if err := u32(li); err != nil {
+				return err
+			}
+		}
+		for _, row := range cs.Features {
+			if err := binary.Write(w, le, row); err != nil {
+				return err
+			}
+		}
+		for _, row := range cs.Targets {
+			if err := binary.Write(w, le, row); err != nil {
+				return err
+			}
+		}
+	}
+	return w.Flush()
+}
+
+// LoadCubeSamples reads cube samples from path.
+func LoadCubeSamples(path string) ([]sampling.CubeSample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != storeMagic {
+		return nil, fmt.Errorf("sickle: %s is not a SKL1 subsample file", path)
+	}
+	le := binary.LittleEndian
+	u32 := func() (int, error) {
+		var v uint32
+		err := binary.Read(r, le, &v)
+		return int(v), err
+	}
+	nCubes, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]sampling.CubeSample, 0, nCubes)
+	for c := 0; c < nCubes; c++ {
+		vals := make([]int, 11)
+		for i := range vals {
+			if vals[i], err = u32(); err != nil {
+				return nil, err
+			}
+		}
+		cs := sampling.CubeSample{
+			Snapshot: vals[0],
+			Cube: grid.Hypercube{I0: vals[1], J0: vals[2], K0: vals[3],
+				Sx: vals[4], Sy: vals[5], Sz: vals[6], ID: vals[7]},
+		}
+		n, nf, nt := vals[8], vals[9], vals[10]
+		cs.LocalIdx = make([]int, n)
+		for i := range cs.LocalIdx {
+			if cs.LocalIdx[i], err = u32(); err != nil {
+				return nil, err
+			}
+		}
+		cs.Features = make([][]float64, n)
+		for i := range cs.Features {
+			cs.Features[i] = make([]float64, nf)
+			if err := binary.Read(r, le, cs.Features[i]); err != nil {
+				return nil, err
+			}
+		}
+		cs.Targets = make([][]float64, n)
+		for i := range cs.Targets {
+			cs.Targets[i] = make([]float64, nt)
+			if err := binary.Read(r, le, cs.Targets[i]); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, cs)
+	}
+	return out, nil
+}
+
+// StorageReduction returns the size ratio full-dataset : subsample-file,
+// the figure of merit for the paper's storage-reduction claim.
+func StorageReduction(d *grid.Dataset, subsamplePath string) (float64, error) {
+	st, err := os.Stat(subsamplePath)
+	if err != nil {
+		return 0, err
+	}
+	if st.Size() == 0 {
+		return 0, fmt.Errorf("sickle: empty subsample file")
+	}
+	return float64(d.SizeBytes()) / float64(st.Size()), nil
+}

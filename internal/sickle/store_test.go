@@ -1,0 +1,78 @@
+package sickle
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sampling"
+)
+
+func TestSaveLoadCubeSamplesRoundTrip(t *testing.T) {
+	d, err := BuildDataset("SST-P1F4", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sampling.PipelineConfig{
+		Hypercubes: "maxent", Method: "maxent",
+		NumHypercubes: 2, NumSamples: 50,
+		CubeSx: 16, CubeSy: 16, CubeSz: 16, NumClusters: 4, Seed: 1,
+	}
+	cubes, err := sampling.SubsampleDataset(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sub.skl")
+	if err := SaveCubeSamples(path, cubes); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCubeSamples(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(cubes) {
+		t.Fatalf("round trip %d cubes, want %d", len(got), len(cubes))
+	}
+	for i := range got {
+		a, b := got[i], cubes[i]
+		if a.Snapshot != b.Snapshot || a.Cube != b.Cube {
+			t.Fatalf("cube %d header mismatch", i)
+		}
+		for r := range a.LocalIdx {
+			if a.LocalIdx[r] != b.LocalIdx[r] {
+				t.Fatal("local index mismatch")
+			}
+			for v := range a.Features[r] {
+				if a.Features[r][v] != b.Features[r][v] {
+					t.Fatal("feature value mismatch")
+				}
+			}
+			for v := range a.Targets[r] {
+				if a.Targets[r][v] != b.Targets[r][v] {
+					t.Fatal("target value mismatch")
+				}
+			}
+		}
+	}
+	// Storage reduction must be substantial (10% points, few cubes).
+	ratio, err := StorageReduction(d, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio < 10 {
+		t.Fatalf("storage reduction %vx, want >= 10x", ratio)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.skl")
+	if err := os.WriteFile(path, []byte("not a subsample"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCubeSamples(path); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+	if _, err := LoadCubeSamples(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

@@ -1,0 +1,316 @@
+package sickle
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/energy"
+	"repro/internal/grid"
+	"repro/internal/sampling"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+// Fig6Row reports the drag-surrogate accuracy study for one
+// (method, sample-count) cell: mean and standard deviation of the test
+// loss over replicates — the reproducibility comparison of Fig. 6.
+type Fig6Row struct {
+	Method     string
+	NumSamples int
+	MeanLoss   float64
+	StdLoss    float64
+}
+
+// Fig6Config scales the experiment.
+type Fig6Config struct {
+	SampleSizes []int // paper: 540, 1080, 2160
+	Replicates  int   // paper: 3
+	Epochs      int
+	Window      int // paper: 3
+}
+
+func (c *Fig6Config) defaults() {
+	if len(c.SampleSizes) == 0 {
+		c.SampleSizes = []int{540, 1080, 2160}
+	}
+	if c.Replicates <= 0 {
+		c.Replicates = 3
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 60
+	}
+	if c.Window <= 0 {
+		c.Window = 3
+	}
+}
+
+// Fig6 trains LSTM drag surrogates on OF2D with random vs MaxEnt sampling
+// across sample counts and replicates.
+func Fig6(scale Scale, cfg Fig6Config) ([]Fig6Row, error) {
+	cfg.defaults()
+	d, err := BuildDataset("OF2D", scale)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig6Row
+	for _, method := range []string{"random", "maxent"} {
+		for _, ns := range cfg.SampleSizes {
+			var losses []float64
+			for rep := 0; rep < cfg.Replicates; rep++ {
+				seed := int64(1000*rep + ns)
+				pcfg := sampling.PipelineConfig{
+					Hypercubes: "random", Method: method,
+					NumHypercubes: 1 << 30, // keep every cube: 2-D snapshot-wide sampling
+					NumSamples:    ns,
+					CubeSx:        d.Snapshots[0].Nx, CubeSy: d.Snapshots[0].Ny, CubeSz: 1,
+					NumClusters: 10, Seed: seed,
+				}
+				cubes, err := sampling.SubsampleDataset(d, pcfg)
+				if err != nil {
+					return nil, err
+				}
+				ex, err := train.BuildSampleSingle(d, cubes, cfg.Window)
+				if err != nil {
+					return nil, err
+				}
+				factory := func(rng *rand.Rand) train.Model {
+					return train.NewLSTMModel(rng, ex[0].Input.Dim(1), 16, 1)
+				}
+				_, hist, err := train.Train(factory, ex, train.Config{
+					Epochs: cfg.Epochs, Batch: 8, Seed: seed, Normalize: true,
+				})
+				if err != nil {
+					return nil, err
+				}
+				losses = append(losses, hist.FinalLoss)
+			}
+			m := stats.ComputeMoments(losses)
+			out = append(out, Fig6Row{
+				Method: method, NumSamples: ns,
+				MeanLoss: m.Mean, StdLoss: math.Sqrt(m.Variance),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Fig8Case is one point of the loss-vs-energy comparison: a hypercube
+// selector × point sampler combination on one dataset, with metered
+// sampling and training energy (Eq. 3's two cost terms).
+type Fig8Case struct {
+	Dataset string
+	Case    string // e.g. "Hmaxent-Xmaxent"
+	Report  energy.Report
+}
+
+// Fig8Config scales the experiment.
+type Fig8Config struct {
+	Datasets []string
+	Epochs   int
+	CubeEdge int
+	NumCubes int
+}
+
+func (c *Fig8Config) defaults() {
+	if len(c.Datasets) == 0 {
+		c.Datasets = []string{"SST-P1F4", "SST-P1F100", "GESTS-2048"}
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 12
+	}
+	if c.CubeEdge <= 0 {
+		c.CubeEdge = 16
+	}
+	if c.NumCubes <= 0 {
+		c.NumCubes = 2
+	}
+}
+
+// Fig8 runs the paper's case matrix (the slurm script's CASES list) and
+// reports test loss vs total energy for each.
+func Fig8(scale Scale, cfg Fig8Config) ([]Fig8Case, error) {
+	cfg.defaults()
+	cases := []struct {
+		name, hsel, method string
+	}{
+		{"Hmaxent-Xmaxent", "maxent", "maxent"},
+		{"Hmaxent-Xuips", "maxent", "uips"},
+		{"Hrandom-Xfull", "random", "full"},
+		{"Hrandom-Xmaxent", "random", "maxent"},
+		{"Hrandom-Xuips", "random", "uips"},
+	}
+	var out []Fig8Case
+	for _, dsName := range cfg.Datasets {
+		d, err := BuildDataset(dsName, scale)
+		if err != nil {
+			return nil, err
+		}
+		edge := cfg.CubeEdge
+		if d.Snapshots[0].Nz < edge {
+			edge = d.Snapshots[0].Nz
+		}
+		for _, cs := range cases {
+			meterSample := energy.NewMeter()
+			meterTrain := energy.NewMeter()
+			pcfg := sampling.PipelineConfig{
+				Hypercubes: cs.hsel, Method: cs.method,
+				NumHypercubes: cfg.NumCubes,
+				NumSamples:    edge * edge * edge / 10, // the paper's 10% rate
+				CubeSx:        edge, CubeSy: edge, CubeSz: edge,
+				NumClusters: 5, Seed: 4, Meter: meterSample,
+			}
+			cubes, err := sampling.SubsampleDataset(d, pcfg)
+			if err != nil {
+				return nil, err
+			}
+			var ex []train.Example
+			var factory train.ModelFactory
+			inV, outV := len(d.InputVars), len(d.OutputVars)
+			if cs.method == "full" {
+				// Dense cubes -> CNN-Transformer (per the paper's notes).
+				ex, err = train.BuildFullFull(d, cubes, 1)
+				factory = func(rng *rand.Rand) train.Model {
+					return train.NewCNNTransformer(rng, inV, 16, 2, outV, edge)
+				}
+			} else {
+				ex, err = train.BuildSampleFull(d, cubes, 1)
+				factory = func(rng *rand.Rand) train.Model {
+					return train.NewMLPTransformer(rng, inV, 16, 2, outV, edge)
+				}
+			}
+			if err != nil {
+				return nil, err
+			}
+			_, hist, err := train.Train(factory, ex, train.Config{
+				Epochs: cfg.Epochs, Batch: 4, Seed: 5, Normalize: true, Meter: meterTrain,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Fig8Case{
+				Dataset: dsName, Case: cs.name,
+				Report: energy.Report{
+					Label:        fmt.Sprintf("%s/%s", dsName, cs.name),
+					SampleJoules: meterSample.Joules(),
+					TrainJoules:  meterTrain.Joules(),
+					EvalLoss:     hist.FinalLoss,
+				},
+			})
+		}
+	}
+	return out, nil
+}
+
+// Fig9Row reports the MATEY foundation-model comparison for one sampling
+// strategy: validation loss and total energy at 10% sampling.
+type Fig9Row struct {
+	Method string
+	Report energy.Report
+}
+
+// Fig9Config scales the experiment.
+type Fig9Config struct {
+	Epochs   int // paper: 50
+	CubeEdge int
+	NumCubes int
+}
+
+func (c *Fig9Config) defaults() {
+	if c.Epochs <= 0 {
+		c.Epochs = 15
+	}
+	if c.CubeEdge <= 0 {
+		c.CubeEdge = 16
+	}
+	if c.NumCubes <= 0 {
+		c.NumCubes = 2
+	}
+}
+
+// Fig9 trains the MATEY-like multiscale model on SST-P1F4 with uniform,
+// random, and MaxEnt sampling at 10%: sampled points are scattered into
+// zero-masked dense cubes (SICKLE as a data-sparsification preprocessor for
+// a dense foundation model).
+func Fig9(scale Scale, cfg Fig9Config) ([]Fig9Row, error) {
+	cfg.defaults()
+	d, err := BuildDataset("SST-P1F4", scale)
+	if err != nil {
+		return nil, err
+	}
+	edge := cfg.CubeEdge
+	if d.Snapshots[0].Nz < edge {
+		edge = d.Snapshots[0].Nz
+	}
+	var out []Fig9Row
+	for _, method := range []string{"uniform", "random", "maxent"} {
+		meterSample := energy.NewMeter()
+		meterTrain := energy.NewMeter()
+		pcfg := sampling.PipelineConfig{
+			Hypercubes: "random", Method: method,
+			NumHypercubes: cfg.NumCubes,
+			NumSamples:    edge * edge * edge / 10,
+			CubeSx:        edge, CubeSy: edge, CubeSz: edge,
+			NumClusters: 5, Seed: 6, Meter: meterSample,
+		}
+		cubes, err := sampling.SubsampleDataset(d, pcfg)
+		if err != nil {
+			return nil, err
+		}
+		ex, err := buildMaskedFullFull(d, cubes, edge)
+		if err != nil {
+			return nil, err
+		}
+		inV, outV := len(d.InputVars), len(d.OutputVars)
+		factory := func(rng *rand.Rand) train.Model {
+			return train.NewMATEYModel(rng, inV, 16, 2, outV, edge)
+		}
+		_, hist, err := train.Train(factory, ex, train.Config{
+			Epochs: cfg.Epochs, Batch: 4, Seed: 7, Normalize: true, Meter: meterTrain,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig9Row{
+			Method: method,
+			Report: energy.Report{
+				Label:        "MATEY/" + method,
+				SampleJoules: meterSample.Joules(),
+				TrainJoules:  meterTrain.Joules(),
+				EvalLoss:     hist.FinalLoss,
+			},
+		})
+	}
+	return out, nil
+}
+
+// buildMaskedFullFull scatters each cube's sampled points into a dense,
+// zero-masked input cube (unsampled points = 0), with the dense output
+// cube as target — how a dense foundation model consumes sparse samples.
+func buildMaskedFullFull(d *grid.Dataset, cubes []sampling.CubeSample, edge int) ([]train.Example, error) {
+	cIn := len(d.InputVars)
+	var out []train.Example
+	for _, cs := range cubes {
+		f := d.Snapshots[cs.Snapshot]
+		flat := cs.Cube.Indices(f)
+		in := tensor.New(1, cIn, edge, edge, edge)
+		for r, li := range cs.LocalIdx {
+			for v := 0; v < cIn; v++ {
+				in.Data[v*edge*edge*edge+li] = cs.Features[r][v]
+			}
+		}
+		tgt := tensor.New(1, len(d.OutputVars), edge, edge, edge)
+		for v, name := range d.OutputVars {
+			src := f.Var(name)
+			for p, fi := range flat {
+				tgt.Data[v*edge*edge*edge+p] = src[fi]
+			}
+		}
+		out = append(out, train.Example{Input: in, Target: tgt})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sickle: no masked examples built")
+	}
+	return out, nil
+}

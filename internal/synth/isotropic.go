@@ -1,0 +1,189 @@
+// Package synth generates the synthetic analogues of the paper's DNS
+// datasets (Table 1). Since the original multi-terabyte data (GESTS
+// isotropic boxes, SST stratified ensembles, NREL combustion planes) is not
+// available, each generator reproduces the statistical structure the
+// sampling experiments depend on: spectral content, (an)isotropy, layered
+// gradients, and heavy-tailed derived quantities. See DESIGN.md for the
+// substitution rationale.
+package synth
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/grid"
+	"repro/internal/spectral"
+)
+
+// IsotropicConfig controls the GESTS-like isotropic turbulence generator.
+type IsotropicConfig struct {
+	N        int     // cube edge (power of two)
+	Spectrum float64 // spectral slope, default -5/3
+	KPeak    float64 // energy-containing wavenumber, default 4
+	URMS     float64 // target RMS velocity per component, default 1
+	Nu       float64 // viscosity used for the dissipation field, default 1e-3
+	Seed     int64
+}
+
+func (c *IsotropicConfig) defaults() {
+	if c.N == 0 {
+		c.N = 32
+	}
+	if c.Spectrum == 0 {
+		c.Spectrum = -5.0 / 3.0
+	}
+	if c.KPeak == 0 {
+		c.KPeak = 4
+	}
+	if c.URMS == 0 {
+		c.URMS = 1
+	}
+	if c.Nu == 0 {
+		c.Nu = 1e-3
+	}
+}
+
+// Isotropic synthesizes a divergence-free velocity field with a model
+// energy spectrum E(k) ∝ k^4 exp(-2(k/kp)²) for k < kp crossing into
+// k^slope beyond the peak (a standard von Kármán-like shape), derives
+// pressure from the spectral Poisson equation, and computes dissipation
+// and enstrophy. The result carries the GESTS variable set of Table 1:
+// u, v, w, dissipation (inputs), p (output), enstrophy (KCV).
+func Isotropic(cfg IsotropicConfig) *grid.Field {
+	cfg.defaults()
+	n := cfg.N
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	gu := spectral.NewGrid3(n, n, n)
+	gv := spectral.NewGrid3(n, n, n)
+	gw := spectral.NewGrid3(n, n, n)
+
+	fillSpectralVelocity(gu, gv, gw, rng, func(kmag float64) float64 {
+		return modelSpectrum(kmag, cfg.KPeak, cfg.Spectrum)
+	})
+
+	gu.IFFT3()
+	gv.IFFT3()
+	gw.IFFT3()
+
+	f := grid.NewField(n, n, n)
+	f.Dx = 2 * math.Pi / float64(n)
+	f.Dy, f.Dz = f.Dx, f.Dx
+	u := gu.RealPart(nil)
+	v := gv.RealPart(nil)
+	w := gw.RealPart(nil)
+	// A single common factor preserves the solenoidal projection; isotropy
+	// makes the per-component RMS statistically equal anyway.
+	rescaleRMSCommon(cfg.URMS, u, v, w)
+	f.AddVar("u", u)
+	f.AddVar("v", v)
+	f.AddVar("w", w)
+	f.AddVar("p", spectral.PressureFromVelocity(u, v, w, n, n, n))
+	f.ComputeDissipation(cfg.Nu)
+	f.ComputeEnstrophy()
+	return f
+}
+
+// modelSpectrum is the target E(k): k⁴ rise to the peak, power-law decay
+// beyond it.
+func modelSpectrum(k, kp, slope float64) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k < kp {
+		r := k / kp
+		return r * r * r * r
+	}
+	return math.Pow(k/kp, slope)
+}
+
+// fillSpectralVelocity populates û, v̂, ŵ with random divergence-free modes
+// whose shell energy follows espec(k). Hermitian symmetry is enforced by
+// generating a real white-noise field first and shaping it in spectral
+// space, which keeps the inverse transform real.
+func fillSpectralVelocity(gu, gv, gw *spectral.Grid3, rng *rand.Rand, espec func(float64) float64) {
+	n := gu.Nx
+	npts := n * n * n
+	// Start from real white noise so spectral coefficients automatically
+	// satisfy the Hermitian symmetry of a real field.
+	for _, g := range []*spectral.Grid3{gu, gv, gw} {
+		noise := make([]float64, npts)
+		for i := range noise {
+			noise[i] = rng.NormFloat64()
+		}
+		g.FromReal(noise)
+		g.FFT3()
+	}
+	for k := 0; k < n; k++ {
+		kz := spectral.WaveNumber(k, n)
+		for j := 0; j < n; j++ {
+			ky := spectral.WaveNumber(j, n)
+			for i := 0; i < n; i++ {
+				kx := spectral.WaveNumber(i, n)
+				idx := (k*n+j)*n + i
+				k2 := kx*kx + ky*ky + kz*kz
+				// Zero the mean mode and the Nyquist planes: Nyquist modes
+				// are self-conjugate, so the solenoidal projection (whose
+				// k-vector does not flip sign there) would break Hermitian
+				// symmetry and leak divergence into the real part.
+				if k2 == 0 || i == n/2 || j == n/2 || k == n/2 {
+					gu.Data[idx], gv.Data[idx], gw.Data[idx] = 0, 0, 0
+					continue
+				}
+				kmag := math.Sqrt(k2)
+				// Divergence-free (solenoidal) projection: û ← û - k̂(k̂·û).
+				du, dv, dw := gu.Data[idx], gv.Data[idx], gw.Data[idx]
+				dot := (complex(kx, 0)*du + complex(ky, 0)*dv + complex(kz, 0)*dw) / complex(k2, 0)
+				du -= complex(kx, 0) * dot
+				dv -= complex(ky, 0) * dot
+				dw -= complex(kz, 0) * dot
+				// Shape to the target spectrum: amplitude ∝ sqrt(E(k)/k²)
+				// (shell surface area absorbs k² in 3-D).
+				amp := math.Sqrt(espec(kmag) / k2)
+				gu.Data[idx] = du * complex(amp, 0)
+				gv.Data[idx] = dv * complex(amp, 0)
+				gw.Data[idx] = dw * complex(amp, 0)
+			}
+		}
+	}
+}
+
+// rescaleRMSCommon scales all components by one factor chosen so the mean
+// per-component RMS equals target. A uniform factor commutes with the
+// divergence operator, so solenoidal fields stay solenoidal.
+func rescaleRMSCommon(target float64, comps ...[]float64) {
+	s, n := 0.0, 0
+	for _, c := range comps {
+		for _, x := range c {
+			s += x * x
+		}
+		n += len(c)
+	}
+	if n == 0 {
+		return
+	}
+	rms := math.Sqrt(s / float64(n))
+	if rms == 0 {
+		return
+	}
+	f := target / rms
+	for _, c := range comps {
+		for i := range c {
+			c[i] *= f
+		}
+	}
+}
+
+// GESTSDataset builds the single-snapshot GESTS-like dataset with Table 1
+// metadata (inputs u,v,w,ε; output p; KCV enstrophy).
+func GESTSDataset(label string, cfg IsotropicConfig) *grid.Dataset {
+	f := Isotropic(cfg)
+	return &grid.Dataset{
+		Label:       label,
+		Description: "3D forced isotropic turbulence (synthetic GESTS analogue)",
+		Snapshots:   []*grid.Field{f},
+		InputVars:   []string{"u", "v", "w", "dissipation"},
+		OutputVars:  []string{"p"},
+		ClusterVar:  "enstrophy",
+	}
+}

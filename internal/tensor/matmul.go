@@ -1,0 +1,153 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the minimum number of output rows before MatMul
+// fans work out across goroutines; below it the scheduling overhead
+// outweighs the speedup.
+const parallelThreshold = 64
+
+// MatMul returns a @ b for 2-D tensors a (m×k) and b (k×n).
+func MatMul(a, b *Tensor) *Tensor {
+	m, k, n := checkMatMul(a, b)
+	out := New(m, n)
+	matmulInto(out.Data, a.Data, b.Data, m, k, n)
+	return out
+}
+
+// MatMulInto computes dst = a @ b, reusing dst's storage.
+func MatMulInto(dst, a, b *Tensor) {
+	m, k, n := checkMatMul(a, b)
+	if dst.NDim() != 2 || dst.Dim(0) != m || dst.Dim(1) != n {
+		panic(fmt.Sprintf("tensor: MatMulInto dst shape %v, want [%d %d]", dst.Shape, m, n))
+	}
+	matmulInto(dst.Data, a.Data, b.Data, m, k, n)
+}
+
+func checkMatMul(a, b *Tensor) (m, k, n int) {
+	if a.NDim() != 2 || b.NDim() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul needs 2-D tensors, got %v and %v", a.Shape, b.Shape))
+	}
+	if a.Dim(1) != b.Dim(0) {
+		panic(fmt.Sprintf("tensor: MatMul inner dims differ: %v vs %v", a.Shape, b.Shape))
+	}
+	return a.Dim(0), a.Dim(1), b.Dim(1)
+}
+
+// matmulInto is an ikj-order kernel: the inner loop runs over contiguous
+// rows of b and dst, which keeps memory access sequential.
+func matmulInto(dst, a, b []float64, m, k, n int) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	rows := func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			ar := a[i*k : (i+1)*k]
+			dr := dst[i*n : (i+1)*n]
+			for l, av := range ar {
+				if av == 0 {
+					continue
+				}
+				br := b[l*n : (l+1)*n]
+				for j, bv := range br {
+					dr[j] += av * bv
+				}
+			}
+		}
+	}
+	if m < parallelThreshold {
+		rows(0, m)
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	chunk := (m + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		i0 := w * chunk
+		i1 := i0 + chunk
+		if i1 > m {
+			i1 = m
+		}
+		if i0 >= i1 {
+			break
+		}
+		wg.Add(1)
+		go func(i0, i1 int) {
+			defer wg.Done()
+			rows(i0, i1)
+		}(i0, i1)
+	}
+	wg.Wait()
+}
+
+// Transpose returns the transpose of a 2-D tensor.
+func Transpose(a *Tensor) *Tensor {
+	if a.NDim() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose needs a 2-D tensor, got %v", a.Shape))
+	}
+	m, n := a.Dim(0), a.Dim(1)
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		for j, v := range row {
+			out.Data[j*m+i] = v
+		}
+	}
+	return out
+}
+
+// MatVec returns a @ x for a (m×k) and x (k).
+func MatVec(a, x *Tensor) *Tensor {
+	if a.NDim() != 2 || x.NDim() != 1 || a.Dim(1) != x.Dim(0) {
+		panic(fmt.Sprintf("tensor: MatVec shapes %v, %v incompatible", a.Shape, x.Shape))
+	}
+	m, k := a.Dim(0), a.Dim(1)
+	out := New(m)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*k : (i+1)*k]
+		s := 0.0
+		for j, v := range row {
+			s += v * x.Data[j]
+		}
+		out.Data[i] = s
+	}
+	return out
+}
+
+// AddRowVecInto computes dst[i,j] = a[i,j] + v[j] for a 2-D a and 1-D v
+// (broadcast bias addition).
+func AddRowVecInto(dst, a, v *Tensor) {
+	if a.NDim() != 2 || v.NDim() != 1 || a.Dim(1) != v.Dim(0) || !SameShape(dst, a) {
+		panic(fmt.Sprintf("tensor: AddRowVec shapes %v, %v, %v incompatible", dst.Shape, a.Shape, v.Shape))
+	}
+	m, n := a.Dim(0), a.Dim(1)
+	for i := 0; i < m; i++ {
+		ar := a.Data[i*n : (i+1)*n]
+		dr := dst.Data[i*n : (i+1)*n]
+		for j := range dr {
+			dr[j] = ar[j] + v.Data[j]
+		}
+	}
+}
+
+// SumRowsInto accumulates the column sums of 2-D a into 1-D dst:
+// dst[j] += sum_i a[i,j]. Used for bias gradients.
+func SumRowsInto(dst, a *Tensor) {
+	if a.NDim() != 2 || dst.NDim() != 1 || a.Dim(1) != dst.Dim(0) {
+		panic(fmt.Sprintf("tensor: SumRows shapes %v, %v incompatible", dst.Shape, a.Shape))
+	}
+	m, n := a.Dim(0), a.Dim(1)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		for j, v := range row {
+			dst.Data[j] += v
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroInitialized(t *testing.T) {
+	a := New(3, 4)
+	if a.Len() != 12 {
+		t.Fatalf("Len = %d, want 12", a.Len())
+	}
+	for i, v := range a.Data {
+		if v != 0 {
+			t.Fatalf("Data[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestFromSliceShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched shape")
+		}
+	}()
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	a := New(2, 3, 4)
+	a.Set(7.5, 1, 2, 3)
+	if got := a.At(1, 2, 3); got != 7.5 {
+		t.Fatalf("At = %v, want 7.5", got)
+	}
+	// Row-major layout: offset = (1*3+2)*4+3 = 23.
+	if a.Data[23] != 7.5 {
+		t.Fatalf("row-major offset wrong: Data[23]=%v", a.Data[23])
+	}
+}
+
+func TestReshapeInfer(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := a.Reshape(3, -1)
+	if b.Dim(0) != 3 || b.Dim(1) != 2 {
+		t.Fatalf("Reshape got %v, want [3 2]", b.Shape)
+	}
+	b.Data[0] = 99
+	if a.Data[0] != 99 {
+		t.Fatal("Reshape must be a view, not a copy")
+	}
+}
+
+func TestReshapeBadCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 3).Reshape(4, 2)
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3}, 3)
+	b := FromSlice([]float64{10, 20, 30}, 3)
+	if got := Add(a, b).Data; got[0] != 11 || got[2] != 33 {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := Sub(b, a).Data; got[1] != 18 {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := Mul(a, b).Data; got[2] != 90 {
+		t.Fatalf("Mul = %v", got)
+	}
+	c := a.Clone()
+	c.AddScaled(2, b)
+	if c.Data[0] != 21 {
+		t.Fatalf("AddScaled = %v", c.Data)
+	}
+	if a.Data[0] != 1 {
+		t.Fatal("Clone must not alias")
+	}
+}
+
+func TestReductions(t *testing.T) {
+	a := FromSlice([]float64{-1, 4, 2, -7}, 4)
+	if a.Sum() != -2 {
+		t.Fatalf("Sum = %v", a.Sum())
+	}
+	if a.Mean() != -0.5 {
+		t.Fatalf("Mean = %v", a.Mean())
+	}
+	if a.Max() != 4 || a.Min() != -7 {
+		t.Fatalf("Max/Min = %v/%v", a.Max(), a.Min())
+	}
+	if got := a.Norm2(); math.Abs(got-math.Sqrt(70)) > 1e-12 {
+		t.Fatalf("Norm2 = %v", got)
+	}
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Fatalf("MatMul[%d] = %v, want %v", i, c.Data[i], w)
+		}
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := Rand(rng, 1, 5, 5)
+	id := New(5, 5)
+	for i := 0; i < 5; i++ {
+		id.Set(1, i, i)
+	}
+	c := MatMul(a, id)
+	for i := range a.Data {
+		if math.Abs(c.Data[i]-a.Data[i]) > 1e-14 {
+			t.Fatalf("A@I != A at %d", i)
+		}
+	}
+}
+
+// TestMatMulParallelMatchesSerial exercises the goroutine path (m >=
+// parallelThreshold) against a naive triple loop.
+func TestMatMulParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, k, n := 97, 33, 41
+	a := Rand(rng, 1, m, k)
+	b := Rand(rng, 1, k, n)
+	got := MatMul(a, b)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for l := 0; l < k; l++ {
+				s += a.At(i, l) * b.At(l, j)
+			}
+			if math.Abs(got.At(i, j)-s) > 1e-10 {
+				t.Fatalf("MatMul(%d,%d) = %v, want %v", i, j, got.At(i, j), s)
+			}
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	at := Transpose(a)
+	if at.Dim(0) != 3 || at.Dim(1) != 2 {
+		t.Fatalf("Transpose shape %v", at.Shape)
+	}
+	if at.At(2, 1) != a.At(1, 2) {
+		t.Fatal("Transpose values wrong")
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	x := FromSlice([]float64{5, 6}, 2)
+	y := MatVec(a, x)
+	if y.Data[0] != 17 || y.Data[1] != 39 {
+		t.Fatalf("MatVec = %v", y.Data)
+	}
+}
+
+func TestAddRowVecSumRows(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	v := FromSlice([]float64{10, 20, 30}, 3)
+	dst := New(2, 3)
+	AddRowVecInto(dst, a, v)
+	if dst.At(1, 2) != 36 {
+		t.Fatalf("AddRowVec = %v", dst.Data)
+	}
+	s := New(3)
+	SumRowsInto(s, a)
+	if s.Data[0] != 5 || s.Data[1] != 7 || s.Data[2] != 9 {
+		t.Fatalf("SumRows = %v", s.Data)
+	}
+}
+
+// Property: matmul distributes over addition, A(B+C) = AB + AC.
+func TestMatMulDistributive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := Rand(rng, 1, 4, 5)
+		b := Rand(rng, 1, 5, 3)
+		c := Rand(rng, 1, 5, 3)
+		lhs := MatMul(a, Add(b, c))
+		rhs := Add(MatMul(a, b), MatMul(a, c))
+		for i := range lhs.Data {
+			if math.Abs(lhs.Data[i]-rhs.Data[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (A^T)^T = A and (AB)^T = B^T A^T.
+func TestTransposeProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := Rand(rng, 1, 3, 6)
+		b := Rand(rng, 1, 6, 4)
+		att := Transpose(Transpose(a))
+		for i := range a.Data {
+			if att.Data[i] != a.Data[i] {
+				return false
+			}
+		}
+		lhs := Transpose(MatMul(a, b))
+		rhs := MatMul(Transpose(b), Transpose(a))
+		for i := range lhs.Data {
+			if math.Abs(lhs.Data[i]-rhs.Data[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: dot(x, x) = |x|² >= 0.
+func TestDotNormConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := Rand(rng, 2, 17)
+		d := Dot(x, x)
+		n := x.Norm2()
+		return d >= 0 && math.Abs(d-n*n) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyAndFill(t *testing.T) {
+	a := New(4)
+	a.Fill(2)
+	a.Apply(func(x float64) float64 { return x * x })
+	for _, v := range a.Data {
+		if v != 4 {
+			t.Fatalf("Apply = %v", a.Data)
+		}
+	}
+	a.Zero()
+	if a.Sum() != 0 {
+		t.Fatal("Zero failed")
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := Rand(rng, 1, 128, 128)
+	y := Rand(rng, 1, 128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}

@@ -1,0 +1,213 @@
+package train
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/grid"
+	"repro/internal/sampling"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// Example is one training pair; Input and Target carry no batch dimension.
+type Example struct {
+	Input  *tensor.Tensor
+	Target *tensor.Tensor
+}
+
+// stack assembles a batch tensor from per-example tensors.
+func stack(xs []*tensor.Tensor) *tensor.Tensor {
+	shape := append([]int{len(xs)}, xs[0].Shape...)
+	out := tensor.New(shape...)
+	stride := xs[0].Len()
+	for i, x := range xs {
+		if x.Len() != stride {
+			panic("train: ragged examples in batch")
+		}
+		copy(out.Data[i*stride:(i+1)*stride], x.Data)
+	}
+	return out
+}
+
+// SplitTrainTest shuffles and splits examples (paper: 90:10).
+func SplitTrainTest(ex []Example, testFrac float64, seed int64) (trainSet, testSet []Example) {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(ex))
+	nTest := int(float64(len(ex)) * testFrac)
+	if nTest < 1 && len(ex) > 1 {
+		nTest = 1
+	}
+	for i, p := range perm {
+		if i < nTest {
+			testSet = append(testSet, ex[p])
+		} else {
+			trainSet = append(trainSet, ex[p])
+		}
+	}
+	return
+}
+
+// BuildSampleFull converts subsampled cubes into sample-full examples for
+// the MLP-Transformer: input = the cube's sampled points over a window of
+// snapshots [T, N, C]; target = the dense cube of output variables at the
+// final window snapshot [1, C', G, G, G]. Cubes are matched across
+// snapshots by cube ID, so a window slides along time for each cube.
+func BuildSampleFull(d *grid.Dataset, cubes []sampling.CubeSample, window int) ([]Example, error) {
+	if window <= 0 {
+		window = 1
+	}
+	byCube := map[int][]sampling.CubeSample{}
+	for _, cs := range cubes {
+		byCube[cs.Cube.ID] = append(byCube[cs.Cube.ID], cs)
+	}
+	var out []Example
+	for _, series := range byCube {
+		for start := 0; start+window <= len(series); start++ {
+			win := series[start : start+window]
+			n := len(win[0].Features)
+			c := len(d.InputVars)
+			ok := true
+			for _, w := range win {
+				if len(w.Features) != n {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			in := tensor.New(window, n, c)
+			for t, w := range win {
+				for p, feat := range w.Features {
+					copy(in.Data[(t*n+p)*c:(t*n+p)*c+c], feat)
+				}
+			}
+			lastCS := win[window-1]
+			g := lastCS.Cube.Sx
+			f := d.Snapshots[lastCS.Snapshot]
+			tgt := tensor.New(1, len(d.OutputVars), g, g, g)
+			flat := lastCS.Cube.Indices(f)
+			for v, name := range d.OutputVars {
+				src := f.Var(name)
+				for p, fi := range flat {
+					tgt.Data[v*g*g*g+p] = src[fi]
+				}
+			}
+			out = append(out, Example{Input: in, Target: tgt})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("train: no sample-full examples could be built")
+	}
+	return out, nil
+}
+
+// BuildFullFull converts full-cube samples into full-full examples for the
+// CNN-Transformer: input = dense input-variable cube window [T, C, G, G, G];
+// target = dense output cube at the final snapshot [1, C', G, G, G].
+func BuildFullFull(d *grid.Dataset, cubes []sampling.CubeSample, window int) ([]Example, error) {
+	if window <= 0 {
+		window = 1
+	}
+	byCube := map[int][]sampling.CubeSample{}
+	for _, cs := range cubes {
+		byCube[cs.Cube.ID] = append(byCube[cs.Cube.ID], cs)
+	}
+	var out []Example
+	for _, series := range byCube {
+		for start := 0; start+window <= len(series); start++ {
+			win := series[start : start+window]
+			g := win[0].Cube.Sx
+			cIn := len(d.InputVars)
+			in := tensor.New(window, cIn, g, g, g)
+			for t, w := range win {
+				f := d.Snapshots[w.Snapshot]
+				flat := w.Cube.Indices(f)
+				for v, name := range d.InputVars {
+					src := f.Var(name)
+					for p, fi := range flat {
+						in.Data[(t*cIn+v)*g*g*g+p] = src[fi]
+					}
+				}
+			}
+			lastCS := win[window-1]
+			f := d.Snapshots[lastCS.Snapshot]
+			flat := lastCS.Cube.Indices(f)
+			tgt := tensor.New(1, len(d.OutputVars), g, g, g)
+			for v, name := range d.OutputVars {
+				src := f.Var(name)
+				for p, fi := range flat {
+					tgt.Data[v*g*g*g+p] = src[fi]
+				}
+			}
+			out = append(out, Example{Input: in, Target: tgt})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("train: no full-full examples could be built")
+	}
+	return out, nil
+}
+
+// BuildSampleSingle converts subsampled snapshots into sample-single
+// examples for the LSTM drag surrogate: input = per-snapshot summary
+// statistics (mean and std of every input variable over the sampled
+// points) across a window [T, 2C]; target = the dataset's global target
+// (drag) at the final window snapshot [1].
+func BuildSampleSingle(d *grid.Dataset, cubes []sampling.CubeSample, window int) ([]Example, error) {
+	if d.GlobalTargets == nil {
+		return nil, fmt.Errorf("train: dataset %q has no global targets", d.Label)
+	}
+	if window <= 0 {
+		window = 1
+	}
+	c := len(d.InputVars)
+	// Aggregate all sampled points of each snapshot.
+	bySnap := map[int][][]float64{}
+	for _, cs := range cubes {
+		bySnap[cs.Snapshot] = append(bySnap[cs.Snapshot], cs.Features...)
+	}
+	nSnap := len(d.Snapshots)
+	feats := make([][]float64, nSnap)
+	for t := 0; t < nSnap; t++ {
+		pts := bySnap[t]
+		if len(pts) == 0 {
+			return nil, fmt.Errorf("train: snapshot %d has no sampled points", t)
+		}
+		row := make([]float64, 2*c)
+		for v := 0; v < c; v++ {
+			col := make([]float64, len(pts))
+			for p := range pts {
+				col[p] = pts[p][v]
+			}
+			m := stats.ComputeMoments(col)
+			row[2*v] = m.Mean
+			row[2*v+1] = mSqrt(m.Variance)
+		}
+		feats[t] = row
+	}
+	var out []Example
+	for start := 0; start+window <= nSnap; start++ {
+		in := tensor.New(window, 2*c)
+		for t := 0; t < window; t++ {
+			copy(in.Data[t*2*c:(t+1)*2*c], feats[start+t])
+		}
+		tgt := tensor.FromSlice([]float64{d.GlobalTargets[start+window-1]}, 1)
+		out = append(out, Example{Input: in, Target: tgt})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("train: window %d longer than trajectory %d", window, nSnap)
+	}
+	return out, nil
+}
+
+// mSqrt is a non-negative square root (stddev from a variance that may be
+// -0 due to rounding).
+func mSqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

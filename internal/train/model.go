@@ -1,0 +1,86 @@
+// Package train implements SICKLE-Go's model zoo (the three architectures
+// of the paper's Table 2: LSTM, MLP-Transformer, CNN-Transformer, plus the
+// MATEY-like multiscale model of Fig. 9), batch assembly from subsampled
+// cubes, and the training loop with data-parallel execution over minimpi
+// ranks and energy accounting.
+package train
+
+import (
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Model is a trainable network with explicit forward/backward passes.
+type Model interface {
+	nn.Module
+	Name() string
+	// Forward maps a batch input to a batch prediction.
+	Forward(x *tensor.Tensor) *tensor.Tensor
+	// Backward consumes dL/dpred and accumulates parameter gradients.
+	Backward(dy *tensor.Tensor)
+}
+
+// LSTMModel is the paper's sample-single architecture: two LSTM layers and
+// three dense layers mapping an input sequence [B, T, C] to a single
+// per-sequence prediction [B, C'] (e.g. drag at the final timestep).
+type LSTMModel struct {
+	lstm1, lstm2     *nn.LSTM
+	d1, d2, d3       *nn.Linear
+	a1, a2           *nn.Activation
+	batch, seq, hid2 int
+}
+
+// NewLSTMModel builds the two-LSTM/three-dense stack of Table 2.
+func NewLSTMModel(rng *rand.Rand, inDim, hidden, outDim int) *LSTMModel {
+	return &LSTMModel{
+		lstm1: nn.NewLSTM(rng, inDim, hidden),
+		lstm2: nn.NewLSTM(rng, hidden, hidden),
+		d1:    nn.NewLinear(rng, hidden, hidden),
+		a1:    nn.NewActivation("relu"),
+		d2:    nn.NewLinear(rng, hidden, hidden/2+1),
+		a2:    nn.NewActivation("relu"),
+		d3:    nn.NewLinear(rng, hidden/2+1, outDim),
+	}
+}
+
+// Name implements Model.
+func (m *LSTMModel) Name() string { return "LSTM" }
+
+// Params implements nn.Module.
+func (m *LSTMModel) Params() []*nn.Param {
+	out := append([]*nn.Param{}, m.lstm1.Params()...)
+	out = append(out, m.lstm2.Params()...)
+	out = append(out, m.d1.Params()...)
+	out = append(out, m.d2.Params()...)
+	out = append(out, m.d3.Params()...)
+	return out
+}
+
+// Forward maps x [B, T, C] to [B, C'].
+func (m *LSTMModel) Forward(x *tensor.Tensor) *tensor.Tensor {
+	b, t := x.Dim(0), x.Dim(1)
+	m.batch, m.seq = b, t
+	h := m.lstm2.Forward(m.lstm1.Forward(x)) // [B, T, H]
+	m.hid2 = h.Dim(2)
+	// Take the final timestep.
+	last := tensor.New(b, m.hid2)
+	for i := 0; i < b; i++ {
+		copy(last.Data[i*m.hid2:(i+1)*m.hid2],
+			h.Data[(i*t+t-1)*m.hid2:(i*t+t-1)*m.hid2+m.hid2])
+	}
+	return m.d3.Forward(m.a2.Forward(m.d2.Forward(m.a1.Forward(m.d1.Forward(last)))))
+}
+
+// Backward implements Model.
+func (m *LSTMModel) Backward(dy *tensor.Tensor) {
+	dLast := m.d1.Backward(m.a1.Backward(m.d2.Backward(m.a2.Backward(m.d3.Backward(dy)))))
+	// Scatter the last-timestep gradient back into the sequence.
+	dh := tensor.New(m.batch, m.seq, m.hid2)
+	for i := 0; i < m.batch; i++ {
+		copy(dh.Data[(i*m.seq+m.seq-1)*m.hid2:(i*m.seq+m.seq-1)*m.hid2+m.hid2],
+			dLast.Data[i*m.hid2:(i+1)*m.hid2])
+	}
+	m.lstm1.Backward(m.lstm2.Backward(dh))
+}

@@ -1,0 +1,281 @@
+package train
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/energy"
+	"repro/internal/minimpi"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Config mirrors the artifact's train.py options.
+type Config struct {
+	Epochs    int     // default 50
+	Batch     int     // default 16 (paper's setting)
+	LR        float64 // default 0.001 (paper's setting)
+	Patience  int     // default 20 (paper's LR-plateau patience)
+	TestFrac  float64 // default 0.1 (paper's 90:10 split)
+	Seed      int64
+	Ranks     int // data-parallel ranks, default 1
+	Meter     *energy.Meter
+	CostModel minimpi.CostModel
+	// Normalize standardizes inputs and targets from training statistics.
+	Normalize bool
+	// ClipNorm caps the global gradient norm before each step (default 5;
+	// set negative to disable). Guards LSTM runs against the occasional
+	// exploding-gradient divergence.
+	ClipNorm float64
+	Verbose  bool
+}
+
+func (c *Config) defaults() {
+	if c.Epochs <= 0 {
+		c.Epochs = 50
+	}
+	if c.Batch <= 0 {
+		c.Batch = 16
+	}
+	if c.LR == 0 {
+		c.LR = 0.001
+	}
+	if c.Patience <= 0 {
+		c.Patience = 20
+	}
+	if c.TestFrac <= 0 {
+		c.TestFrac = 0.1
+	}
+	if c.Ranks <= 0 {
+		c.Ranks = 1
+	}
+	if c.ClipNorm == 0 {
+		c.ClipNorm = 5
+	}
+}
+
+// History records the training run.
+type History struct {
+	TrainLoss []float64
+	TestLoss  []float64
+	FinalLoss float64 // the artifact's "Evaluation on test set"
+	Epochs    int
+	Params    int
+}
+
+// ModelFactory builds a fresh model replica from a seed; DDP requires
+// identically initialized replicas per rank.
+type ModelFactory func(rng *rand.Rand) Model
+
+// chargeTraining applies the Eq. 3 training-cost model to the meter:
+// flops ≈ 6·params per example-element pass (2 forward + 4 backward), and
+// the batch's tensors move through memory once per pass.
+func chargeTraining(m *energy.Meter, params, batchElems int) {
+	if m == nil {
+		return
+	}
+	m.AddFlops(int64(6) * int64(params) * int64(batchElems) / 64)
+	m.AddBytes(int64(batchElems)*8*3 + int64(params)*8)
+}
+
+// Train fits a model on the examples. With cfg.Ranks > 1 it runs
+// synchronous data-parallel training over minimpi: each rank owns an
+// identically seeded replica, computes gradients on its shard of every
+// batch, and gradients are averaged with Allreduce before each optimizer
+// step — torch DistributedDataParallel's algorithm.
+func Train(factory ModelFactory, examples []Example, cfg Config) (Model, *History, error) {
+	cfg.defaults()
+	if len(examples) < 2 {
+		return nil, nil, fmt.Errorf("train: need at least 2 examples, got %d", len(examples))
+	}
+	trainSet, testSet := SplitTrainTest(examples, cfg.TestFrac, cfg.Seed)
+	if cfg.Normalize {
+		// Normalize copies: callers may reuse the same examples across
+		// runs (replicates, hyperparameter search), so mutating their
+		// tensors would silently re-normalize already-normalized data.
+		trainSet = cloneExamples(trainSet)
+		testSet = cloneExamples(testSet)
+		normalizeExamples(trainSet, testSet)
+	}
+
+	models := make([]Model, cfg.Ranks)
+	for r := range models {
+		models[r] = factory(rand.New(rand.NewSource(cfg.Seed + 1)))
+	}
+	params := nn.ParamCount(models[0])
+
+	opts := make([]*nn.Adam, cfg.Ranks)
+	scheds := make([]*nn.PlateauScheduler, cfg.Ranks)
+	for r := range opts {
+		opts[r] = nn.NewAdam(cfg.LR)
+		scheds[r] = nn.NewPlateauScheduler(opts[r], cfg.Patience, 0.5)
+	}
+
+	hist := &History{Params: params}
+	order := rand.New(rand.NewSource(cfg.Seed + 2))
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := order.Perm(len(trainSet))
+		epochLoss := 0.0
+		nBatches := 0
+		for b0 := 0; b0 < len(perm); b0 += cfg.Batch {
+			b1 := b0 + cfg.Batch
+			if b1 > len(perm) {
+				b1 = len(perm)
+			}
+			batch := make([]Example, 0, b1-b0)
+			for _, p := range perm[b0:b1] {
+				batch = append(batch, trainSet[p])
+			}
+			loss := trainBatch(models, opts, batch, cfg)
+			epochLoss += loss
+			nBatches++
+			chargeTraining(cfg.Meter, params, len(batch)*batch[0].Input.Len())
+		}
+		epochLoss /= float64(nBatches)
+		testLoss := Evaluate(models[0], testSet)
+		hist.TrainLoss = append(hist.TrainLoss, epochLoss)
+		hist.TestLoss = append(hist.TestLoss, testLoss)
+		for r := range scheds {
+			scheds[r].Observe(testLoss)
+		}
+		if cfg.Verbose {
+			fmt.Printf("epoch %3d  train %.6f  test %.6f  lr %.2g\n",
+				epoch, epochLoss, testLoss, opts[0].LR)
+		}
+	}
+	hist.Epochs = cfg.Epochs
+	hist.FinalLoss = Evaluate(models[0], testSet)
+	return models[0], hist, nil
+}
+
+// trainBatch runs one synchronous step. Ranks shard the batch; each
+// computes local gradients; Allreduce averages them; every rank applies the
+// identical update.
+func trainBatch(models []Model, opts []*nn.Adam, batch []Example, cfg Config) float64 {
+	ranks := len(models)
+	if ranks == 1 {
+		m := models[0]
+		nn.ZeroGrads(m)
+		in, tgt := stackBatch(batch)
+		pred := m.Forward(in)
+		loss, g := nn.MSELoss(pred, tgt)
+		m.Backward(g)
+		if cfg.ClipNorm > 0 {
+			nn.ClipGradNorm(m, cfg.ClipNorm)
+		}
+		opts[0].Step(m)
+		return loss
+	}
+
+	losses := make([]float64, ranks)
+	shardSizes := make([]float64, ranks)
+	minimpi.Run(ranks, cfg.CostModel, func(c *minimpi.Comm) {
+		r := c.Rank()
+		m := models[r]
+		nn.ZeroGrads(m)
+		lo, hi := c.PartitionRange(len(batch))
+		var localLoss float64
+		n := hi - lo
+		shardSizes[r] = float64(n)
+		if n > 0 {
+			in, tgt := stackBatch(batch[lo:hi])
+			pred := m.Forward(in)
+			loss, g := nn.MSELoss(pred, tgt)
+			// Scale so the allreduced average equals the full-batch
+			// gradient: local grads are means over the shard.
+			localLoss = loss * float64(n)
+			m.Backward(g)
+			for _, p := range m.Params() {
+				p.Grad.Scale(float64(n))
+			}
+		}
+		// Flatten all gradients into one buffer for a single Allreduce,
+		// as DDP's gradient bucketing does.
+		var flat []float64
+		for _, p := range m.Params() {
+			flat = append(flat, p.Grad.Data...)
+		}
+		flat = append(flat, localLoss)
+		c.Allreduce(flat, minimpi.Sum)
+		inv := 1 / float64(len(batch))
+		off := 0
+		for _, p := range m.Params() {
+			for i := range p.Grad.Data {
+				p.Grad.Data[i] = flat[off+i] * inv
+			}
+			off += p.Grad.Len()
+		}
+		losses[r] = flat[off] * inv
+		if cfg.ClipNorm > 0 {
+			nn.ClipGradNorm(m, cfg.ClipNorm)
+		}
+		opts[r].Step(m)
+	})
+	return losses[0]
+}
+
+func stackBatch(batch []Example) (in, tgt *tensor.Tensor) {
+	ins := make([]*tensor.Tensor, len(batch))
+	tgts := make([]*tensor.Tensor, len(batch))
+	for i, ex := range batch {
+		ins[i] = ex.Input
+		tgts[i] = ex.Target
+	}
+	return stack(ins), stack(tgts)
+}
+
+// Evaluate returns the MSE of the model over a set (batch of all examples).
+func Evaluate(m Model, set []Example) float64 {
+	if len(set) == 0 {
+		return 0
+	}
+	in, tgt := stackBatch(set)
+	pred := m.Forward(in)
+	loss, _ := nn.MSELoss(pred, tgt)
+	return loss
+}
+
+func cloneExamples(set []Example) []Example {
+	out := make([]Example, len(set))
+	for i, ex := range set {
+		out[i] = Example{Input: ex.Input.Clone(), Target: ex.Target.Clone()}
+	}
+	return out
+}
+
+// normalizeExamples standardizes inputs and targets in place using
+// statistics of the training inputs/targets (applied to both sets).
+func normalizeExamples(trainSet, testSet []Example) {
+	stats := func(get func(Example) *tensor.Tensor) (mean, std float64) {
+		var s, s2 float64
+		var n int
+		for _, ex := range trainSet {
+			for _, v := range get(ex).Data {
+				s += v
+				s2 += v * v
+				n++
+			}
+		}
+		mean = s / float64(n)
+		variance := s2/float64(n) - mean*mean
+		if variance <= 0 {
+			return mean, 1
+		}
+		return mean, mSqrt(variance)
+	}
+	apply := func(get func(Example) *tensor.Tensor, mean, std float64) {
+		for _, set := range [][]Example{trainSet, testSet} {
+			for _, ex := range set {
+				t := get(ex)
+				for i := range t.Data {
+					t.Data[i] = (t.Data[i] - mean) / std
+				}
+			}
+		}
+	}
+	im, is := stats(func(e Example) *tensor.Tensor { return e.Input })
+	apply(func(e Example) *tensor.Tensor { return e.Input }, im, is)
+	tm, ts := stats(func(e Example) *tensor.Tensor { return e.Target })
+	apply(func(e Example) *tensor.Tensor { return e.Target }, tm, ts)
+}

@@ -1,0 +1,234 @@
+package train
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// cubeDecoder upsamples a per-timestep latent vector to a dense cube
+// [C', G, G, G] through a linear seed plus stacked ConvTranspose3D layers
+// (kernel 2, stride 2), the paper's ConvTranspose3D decoder.
+type cubeDecoder struct {
+	seedDim, seedCh, outCh, outG int
+	lin                          *nn.Linear
+	ups                          []*nn.ConvTranspose3D
+	acts                         []*nn.Activation
+	bt                           int
+}
+
+// newCubeDecoder targets a G³ output cube with outCh channels from latent
+// dimension d. G must be seed·2^k for the 2³ seed (G ∈ {4, 8, 16, 32, ...}).
+func newCubeDecoder(rng *rand.Rand, d, outCh, outG int) *cubeDecoder {
+	seed := 2
+	levels := 0
+	for g := seed; g < outG; g *= 2 {
+		levels++
+	}
+	if seed<<levels != outG {
+		panic(fmt.Sprintf("train: decoder output size %d must be 2·2^k", outG))
+	}
+	ch := 8
+	dec := &cubeDecoder{seedDim: d, seedCh: ch, outCh: outCh, outG: outG,
+		lin: nn.NewLinear(rng, d, ch*seed*seed*seed)}
+	cur := ch
+	for l := 0; l < levels; l++ {
+		next := cur / 2
+		if next < outCh || l == levels-1 {
+			next = outCh
+		}
+		dec.ups = append(dec.ups, nn.NewConvTranspose3D(rng, cur, next, 2, 2))
+		if l < levels-1 {
+			dec.acts = append(dec.acts, nn.NewActivation("relu"))
+		} else {
+			dec.acts = append(dec.acts, nil)
+		}
+		cur = next
+	}
+	return dec
+}
+
+func (d *cubeDecoder) params() []*nn.Param {
+	out := append([]*nn.Param{}, d.lin.Params()...)
+	for _, u := range d.ups {
+		out = append(out, u.Params()...)
+	}
+	return out
+}
+
+// forward maps z [BT, D] to [BT, C', G, G, G].
+func (d *cubeDecoder) forward(z *tensor.Tensor) *tensor.Tensor {
+	d.bt = z.Dim(0)
+	h := d.lin.Forward(z).Reshape(d.bt, d.seedCh, 2, 2, 2)
+	var cur *tensor.Tensor = h
+	for l, u := range d.ups {
+		cur = u.Forward(cur)
+		if d.acts[l] != nil {
+			cur = d.acts[l].Forward(cur)
+		}
+	}
+	return cur
+}
+
+// backward consumes dL/dout and returns dL/dz.
+func (d *cubeDecoder) backward(dy *tensor.Tensor) *tensor.Tensor {
+	cur := dy
+	for l := len(d.ups) - 1; l >= 0; l-- {
+		if d.acts[l] != nil {
+			cur = d.acts[l].Backward(cur)
+		}
+		cur = d.ups[l].Backward(cur)
+	}
+	return d.lin.Backward(cur.Reshape(d.bt, d.seedCh*8))
+}
+
+// MLPTransformer is the sample-full architecture of Table 2: unstructured
+// subsampled points [B, T, C, N] are embedded point-wise by an MLP encoder,
+// mean-pooled per timestep, passed through a transformer encoder over time,
+// and decoded to dense cubes [B, T, C', G, G, G].
+type MLPTransformer struct {
+	InVars, NPoints, ModelDim, OutVars, OutG int
+	enc1, enc2                               *nn.Linear
+	encAct                                   *nn.Activation
+	block                                    *nn.TransformerBlock
+	dec                                      *cubeDecoder
+	b, t                                     int
+}
+
+// NewMLPTransformer builds the MLP-encoder/transformer/CNN-decoder stack.
+func NewMLPTransformer(rng *rand.Rand, inVars, modelDim, heads, outVars, outG int) *MLPTransformer {
+	return &MLPTransformer{
+		InVars: inVars, ModelDim: modelDim, OutVars: outVars, OutG: outG,
+		enc1:   nn.NewLinear(rng, inVars, modelDim),
+		encAct: nn.NewActivation("relu"),
+		enc2:   nn.NewLinear(rng, modelDim, modelDim),
+		block:  nn.NewTransformerBlock(rng, modelDim, heads, 2*modelDim),
+		dec:    newCubeDecoder(rng, modelDim, outVars, outG),
+	}
+}
+
+// Name implements Model.
+func (m *MLPTransformer) Name() string { return "MLP_Transformer" }
+
+// Params implements nn.Module.
+func (m *MLPTransformer) Params() []*nn.Param {
+	out := append([]*nn.Param{}, m.enc1.Params()...)
+	out = append(out, m.enc2.Params()...)
+	out = append(out, m.block.Params()...)
+	out = append(out, m.dec.params()...)
+	return out
+}
+
+// Forward maps x [B, T, N, C] to [B, T, C', G, G, G].
+// (Point-major layout: N points each with C features.)
+func (m *MLPTransformer) Forward(x *tensor.Tensor) *tensor.Tensor {
+	b, t, n, c := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	m.b, m.t, m.NPoints = b, t, n
+	flatPts := x.Reshape(b*t*n, c)
+	emb := m.enc2.Forward(m.encAct.Forward(m.enc1.Forward(flatPts))) // [B*T*N, D]
+	// Mean-pool over points.
+	pooled := tensor.New(b*t, m.ModelDim)
+	inv := 1 / float64(n)
+	for row := 0; row < b*t; row++ {
+		dst := pooled.Data[row*m.ModelDim : (row+1)*m.ModelDim]
+		for p := 0; p < n; p++ {
+			src := emb.Data[(row*n+p)*m.ModelDim : (row*n+p+1)*m.ModelDim]
+			for j := range dst {
+				dst[j] += src[j] * inv
+			}
+		}
+	}
+	z := m.block.Forward(pooled.Reshape(b, t, m.ModelDim)).Reshape(b*t, m.ModelDim)
+	cube := m.dec.forward(z) // [B*T, C', G, G, G]
+	return cube.Reshape(b, t, m.OutVars, m.OutG, m.OutG, m.OutG)
+}
+
+// Backward implements Model.
+func (m *MLPTransformer) Backward(dy *tensor.Tensor) {
+	b, t, n := m.b, m.t, m.NPoints
+	dz := m.dec.backward(dy.Reshape(b*t, m.OutVars, m.OutG, m.OutG, m.OutG))
+	dpooled := m.block.Backward(dz.Reshape(b, t, m.ModelDim)).Reshape(b*t, m.ModelDim)
+	// Un-pool: each point receives dpooled/n.
+	demb := tensor.New(b*t*n, m.ModelDim)
+	inv := 1 / float64(n)
+	for row := 0; row < b*t; row++ {
+		src := dpooled.Data[row*m.ModelDim : (row+1)*m.ModelDim]
+		for p := 0; p < n; p++ {
+			dst := demb.Data[(row*n+p)*m.ModelDim : (row*n+p+1)*m.ModelDim]
+			for j := range dst {
+				dst[j] = src[j] * inv
+			}
+		}
+	}
+	m.enc1.Backward(m.encAct.Backward(m.enc2.Backward(demb)))
+}
+
+// CNNTransformer is the full-full architecture of Table 2: dense hypercubes
+// [B, T, C, G, G, G] are encoded with strided Conv3D layers, passed through
+// a transformer encoder over time, and decoded back to cubes.
+type CNNTransformer struct {
+	InVars, ModelDim, OutVars, G int
+	conv1, conv2                 *nn.Conv3D
+	act1, act2                   *nn.Activation
+	toLatent                     *nn.Linear
+	block                        *nn.TransformerBlock
+	dec                          *cubeDecoder
+	b, t, flatDim, encG          int
+}
+
+// NewCNNTransformer builds the Conv3D/transformer/ConvTranspose3D stack for
+// G³ cubes (G a power of two ≥ 8).
+func NewCNNTransformer(rng *rand.Rand, inVars, modelDim, heads, outVars, g int) *CNNTransformer {
+	c1 := nn.NewConv3D(rng, inVars, 4, 2, 2, 0) // G -> G/2
+	c2 := nn.NewConv3D(rng, 4, 8, 2, 2, 0)      // G/2 -> G/4
+	encG := g / 4
+	flat := 8 * encG * encG * encG
+	return &CNNTransformer{
+		InVars: inVars, ModelDim: modelDim, OutVars: outVars, G: g,
+		conv1: c1, act1: nn.NewActivation("relu"),
+		conv2: c2, act2: nn.NewActivation("relu"),
+		toLatent: nn.NewLinear(rng, flat, modelDim),
+		block:    nn.NewTransformerBlock(rng, modelDim, heads, 2*modelDim),
+		dec:      newCubeDecoder(rng, modelDim, outVars, g),
+		flatDim:  flat, encG: encG,
+	}
+}
+
+// Name implements Model.
+func (m *CNNTransformer) Name() string { return "CNN_Transformer" }
+
+// Params implements nn.Module.
+func (m *CNNTransformer) Params() []*nn.Param {
+	out := append([]*nn.Param{}, m.conv1.Params()...)
+	out = append(out, m.conv2.Params()...)
+	out = append(out, m.toLatent.Params()...)
+	out = append(out, m.block.Params()...)
+	out = append(out, m.dec.params()...)
+	return out
+}
+
+// Forward maps x [B, T, C, G, G, G] to [B, T, C', G, G, G].
+func (m *CNNTransformer) Forward(x *tensor.Tensor) *tensor.Tensor {
+	b, t := x.Dim(0), x.Dim(1)
+	m.b, m.t = b, t
+	g := m.G
+	h := x.Reshape(b*t, m.InVars, g, g, g)
+	h = m.act1.Forward(m.conv1.Forward(h))
+	h = m.act2.Forward(m.conv2.Forward(h))
+	z := m.toLatent.Forward(h.Reshape(b*t, m.flatDim))
+	z = m.block.Forward(z.Reshape(b, t, m.ModelDim)).Reshape(b*t, m.ModelDim)
+	cube := m.dec.forward(z)
+	return cube.Reshape(b, t, m.OutVars, g, g, g)
+}
+
+// Backward implements Model.
+func (m *CNNTransformer) Backward(dy *tensor.Tensor) {
+	b, t, g := m.b, m.t, m.G
+	dz := m.dec.backward(dy.Reshape(b*t, m.OutVars, g, g, g))
+	dz = m.block.Backward(dz.Reshape(b, t, m.ModelDim)).Reshape(b*t, m.ModelDim)
+	dh := m.toLatent.Backward(dz).Reshape(b*t, 8, m.encG, m.encG, m.encG)
+	dh = m.conv2.Backward(m.act2.Backward(dh))
+	m.conv1.Backward(m.act1.Backward(dh))
+}

@@ -1,0 +1,150 @@
+// Package tune implements SICKLE-Go's hyperparameter search — the analogue
+// of the paper's DeepHyper integration (`--tune`). It performs random
+// search with successive-halving early stopping over learning rate, hidden
+// width, and batch size: cheap low-epoch evaluations prune the field, and
+// survivors are re-trained longer. Random search is the standard strong
+// baseline DeepHyper's Bayesian strategies are measured against, and it
+// parallelizes across minimpi ranks the same way.
+package tune
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/minimpi"
+	"repro/internal/train"
+)
+
+// Space defines the search ranges.
+type Space struct {
+	LRMin, LRMax  float64 // log-uniform, defaults 1e-4..1e-2
+	HiddenChoices []int   // defaults {8, 16, 32}
+	BatchChoices  []int   // defaults {4, 8, 16}
+}
+
+func (s *Space) defaults() {
+	if s.LRMin <= 0 {
+		s.LRMin = 1e-4
+	}
+	if s.LRMax <= 0 {
+		s.LRMax = 1e-2
+	}
+	if len(s.HiddenChoices) == 0 {
+		s.HiddenChoices = []int{8, 16, 32}
+	}
+	if len(s.BatchChoices) == 0 {
+		s.BatchChoices = []int{4, 8, 16}
+	}
+}
+
+// Trial is one hyperparameter configuration with its measured loss.
+type Trial struct {
+	LR     float64
+	Hidden int
+	Batch  int
+	Loss   float64
+	Epochs int
+}
+
+// Config controls the search.
+type Config struct {
+	Trials      int // total configurations sampled, default 8
+	RungEpochs  int // epochs for the screening rung, default 5
+	FinalEpochs int // epochs for survivors, default 20
+	Survivors   int // configurations promoted to the final rung, default 2
+	Seed        int64
+	Ranks       int // parallel evaluation ranks, default 1
+}
+
+func (c *Config) defaults() {
+	if c.Trials <= 0 {
+		c.Trials = 8
+	}
+	if c.RungEpochs <= 0 {
+		c.RungEpochs = 5
+	}
+	if c.FinalEpochs <= 0 {
+		c.FinalEpochs = 20
+	}
+	if c.Survivors <= 0 {
+		c.Survivors = 2
+	}
+	if c.Survivors > c.Trials {
+		c.Survivors = c.Trials
+	}
+	if c.Ranks <= 0 {
+		c.Ranks = 1
+	}
+}
+
+// FactoryFor builds a model factory from a hidden-width hyperparameter.
+type FactoryFor func(hidden int) train.ModelFactory
+
+// Search runs the two-rung random search and returns all trials sorted by
+// final loss (best first).
+func Search(factoryFor FactoryFor, examples []train.Example, space Space, cfg Config) ([]Trial, error) {
+	space.defaults()
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	trials := make([]Trial, cfg.Trials)
+	for i := range trials {
+		u := rng.Float64()
+		lr := math.Exp(math.Log(space.LRMin) + u*(math.Log(space.LRMax)-math.Log(space.LRMin)))
+		trials[i] = Trial{
+			LR:     lr,
+			Hidden: space.HiddenChoices[rng.Intn(len(space.HiddenChoices))],
+			Batch:  space.BatchChoices[rng.Intn(len(space.BatchChoices))],
+		}
+	}
+
+	evaluate := func(ts []Trial, epochs int) error {
+		errs := make([]error, cfg.Ranks)
+		minimpi.Run(cfg.Ranks, minimpi.CostModel{}, func(c *minimpi.Comm) {
+			lo, hi := c.PartitionRange(len(ts))
+			for i := lo; i < hi; i++ {
+				_, hist, err := train.Train(factoryFor(ts[i].Hidden), examples, train.Config{
+					Epochs: epochs, Batch: ts[i].Batch, LR: ts[i].LR,
+					Seed: cfg.Seed + int64(i), Normalize: true,
+				})
+				if err != nil {
+					errs[c.Rank()] = err
+					return
+				}
+				ts[i].Loss = hist.FinalLoss
+				ts[i].Epochs = epochs
+			}
+		})
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Rung 1: screen everything briefly.
+	if err := evaluate(trials, cfg.RungEpochs); err != nil {
+		return nil, err
+	}
+	sort.Slice(trials, func(a, b int) bool { return trials[a].Loss < trials[b].Loss })
+
+	// Rung 2: promote the survivors to a full run.
+	if err := evaluate(trials[:cfg.Survivors], cfg.FinalEpochs); err != nil {
+		return nil, err
+	}
+	sort.Slice(trials, func(a, b int) bool { return trials[a].Loss < trials[b].Loss })
+	return trials, nil
+}
+
+// Best formats the winning trial.
+func Best(trials []Trial) string {
+	if len(trials) == 0 {
+		return "no trials"
+	}
+	t := trials[0]
+	return fmt.Sprintf("lr=%.2g hidden=%d batch=%d loss=%.6f (%d epochs)",
+		t.LR, t.Hidden, t.Batch, t.Loss, t.Epochs)
+}

@@ -1,0 +1,103 @@
+package tune
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+func regressionExamples(n int, seed int64) []train.Example {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]train.Example, n)
+	for i := range out {
+		in := tensor.Randn(rng, 1, 2, 2).Reshape(2, 2)
+		s := 0.0
+		for _, v := range in.Data {
+			s += v
+		}
+		out[i] = train.Example{Input: in, Target: tensor.FromSlice([]float64{s / 4}, 1)}
+	}
+	return out
+}
+
+func factoryFor(hidden int) train.ModelFactory {
+	return func(rng *rand.Rand) train.Model {
+		return train.NewLSTMModel(rng, 2, hidden, 1)
+	}
+}
+
+func TestSearchReturnsSortedTrials(t *testing.T) {
+	ex := regressionExamples(40, 1)
+	trials, err := Search(factoryFor, ex, Space{}, Config{
+		Trials: 4, RungEpochs: 3, FinalEpochs: 8, Survivors: 2, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trials) != 4 {
+		t.Fatalf("%d trials", len(trials))
+	}
+	for i := 1; i < len(trials); i++ {
+		if trials[i].Loss < trials[i-1].Loss {
+			t.Fatal("trials not sorted by loss")
+		}
+	}
+	// Survivors got the longer budget.
+	if trials[0].Epochs != 8 {
+		t.Fatalf("winner trained %d epochs, want 8", trials[0].Epochs)
+	}
+	// Hyperparameters drawn from the space.
+	for _, tr := range trials {
+		if tr.LR < 1e-4 || tr.LR > 1e-2 {
+			t.Fatalf("LR %v out of range", tr.LR)
+		}
+		if tr.Hidden != 8 && tr.Hidden != 16 && tr.Hidden != 32 {
+			t.Fatalf("hidden %d not in choices", tr.Hidden)
+		}
+	}
+}
+
+func TestSearchParallelRanks(t *testing.T) {
+	ex := regressionExamples(30, 3)
+	trials, err := Search(factoryFor, ex, Space{}, Config{
+		Trials: 4, RungEpochs: 2, FinalEpochs: 4, Survivors: 1, Seed: 4, Ranks: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range trials {
+		if tr.Loss <= 0 && tr.Epochs == 0 {
+			t.Fatal("a trial was never evaluated")
+		}
+	}
+}
+
+func TestSearchDeterministicUnderSeed(t *testing.T) {
+	ex := regressionExamples(30, 5)
+	a, err := Search(factoryFor, ex, Space{}, Config{Trials: 3, RungEpochs: 2, FinalEpochs: 3, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Search(factoryFor, ex, Space{}, Config{Trials: 3, RungEpochs: 2, FinalEpochs: 3, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].LR != b[i].LR || a[i].Loss != b[i].Loss {
+			t.Fatal("search not deterministic under seed")
+		}
+	}
+}
+
+func TestBestString(t *testing.T) {
+	if Best(nil) != "no trials" {
+		t.Fatal("empty Best")
+	}
+	s := Best([]Trial{{LR: 0.001, Hidden: 16, Batch: 8, Loss: 0.5, Epochs: 10}})
+	if !strings.Contains(s, "hidden=16") {
+		t.Fatalf("Best = %q", s)
+	}
+}
