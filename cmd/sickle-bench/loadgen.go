@@ -1,0 +1,254 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// runLoadGen drives a running sickle-serve instance (the acceptance
+// harness for the serve subsystem): it replays a fixed input set serially
+// to get unbatched reference outputs, then replays it through `clients`
+// concurrent connections and verifies every response is bit-identical to
+// the reference while micro-batching engages (mean batch size > 1). It
+// also issues a repeated /v1/subsample request to show the dataset LRU
+// serving hits.
+func runLoadGen(base, model string, clients, requests int) error {
+	if clients < 1 || requests < 1 {
+		return fmt.Errorf("need -clients >= 1 and -requests >= 1 (got %d, %d)", clients, requests)
+	}
+	base = strings.TrimRight(base, "/")
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	entry, err := pickModel(client, base, model)
+	if err != nil {
+		return err
+	}
+	if len(entry.InputShape) == 0 {
+		return fmt.Errorf("model %q registered without inputShape; pass one at registration", entry.Name)
+	}
+	fmt.Printf("target model: %s@v%d (%s), input shape %v\n",
+		entry.Name, entry.Version, entry.Spec.Arch, entry.InputShape)
+
+	// A small pool of distinct deterministic inputs, reused round-robin so
+	// concurrent responses can be checked against the serial reference.
+	const pool = 8
+	rng := rand.New(rand.NewSource(42))
+	n := 1
+	for _, d := range entry.InputShape {
+		n *= d
+	}
+	inputs := make([]serve.InferItem, pool)
+	for i := range inputs {
+		data := make([]float64, n)
+		for j := range data {
+			data[j] = rng.NormFloat64()
+		}
+		inputs[i] = serve.InferItem{Shape: entry.InputShape, Data: data}
+	}
+
+	fmt.Printf("phase 1: %d serial requests (unbatched reference)...\n", pool)
+	refs := make([]serve.InferItem, pool)
+	for i := range inputs {
+		resp, err := postInfer(client, base, entry.Name, inputs[i])
+		if err != nil {
+			return err
+		}
+		refs[i] = resp.Outputs[0]
+	}
+
+	fmt.Printf("phase 2: %d requests over %d concurrent clients...\n", requests, clients)
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		latencies []time.Duration
+		mismatch  int
+		firstErr  error
+	)
+	next := make(chan int, requests)
+	for i := 0; i < requests; i++ {
+		next <- i
+	}
+	close(next)
+	t0 := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				in := i % pool
+				s0 := time.Now()
+				resp, err := postInfer(client, base, entry.Name, inputs[in])
+				lat := time.Since(s0)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+				} else {
+					latencies = append(latencies, lat)
+					if !sameItem(resp.Outputs[0], refs[in]) {
+						mismatch++
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	if firstErr != nil {
+		return firstErr
+	}
+	if len(latencies) == 0 {
+		return fmt.Errorf("no successful requests recorded")
+	}
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	pct := func(p float64) time.Duration {
+		return latencies[int(p*float64(len(latencies)-1))]
+	}
+	fmt.Printf("  %d ok, %.0f req/s, latency p50 %v p95 %v p99 %v\n",
+		len(latencies), float64(len(latencies))/elapsed.Seconds(), pct(0.50), pct(0.95), pct(0.99))
+	if mismatch > 0 {
+		return fmt.Errorf("%d responses differ from unbatched reference", mismatch)
+	}
+	fmt.Println("  all concurrent responses bit-identical to unbatched reference ✓")
+
+	mean, err := meanBatchSize(client, base)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  mean micro-batch size: %.2f", mean)
+	if mean > 1 {
+		fmt.Println(" (batching engaged ✓)")
+	} else {
+		fmt.Println(" (no batching observed — raise concurrency or -window-ms)")
+	}
+
+	fmt.Println("phase 3: repeated /v1/subsample (dataset LRU)...")
+	sub := serve.SubsampleRequest{Dataset: "GESTS-2048", Cube: 8, NumHypercubes: 2, NumSamples: 32, Seed: 1}
+	for i := 0; i < 2; i++ {
+		var out serve.SubsampleResponse
+		if err := postJSON(client, base+"/v1/subsample", sub, &out); err != nil {
+			return err
+		}
+		fmt.Printf("  run %d: %d cubes, %d points, cacheHit=%v, %.1f ms\n",
+			i+1, out.Cubes, out.Points, out.CacheHit, out.ElapsedMS)
+	}
+	return nil
+}
+
+func pickModel(client *http.Client, base, want string) (*serve.ModelEntry, error) {
+	resp, err := client.Get(base + "/v1/models")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var entries []*serve.ModelEntry
+	if err := json.NewDecoder(resp.Body).Decode(&entries); err != nil {
+		return nil, err
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("server has no registered models (start sickle-serve with -demo or -name/-ckpt)")
+	}
+	if want == "" {
+		return entries[0], nil
+	}
+	for _, e := range entries {
+		if e.Name == want {
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("model %q not registered on server", want)
+}
+
+func postInfer(client *http.Client, base, model string, item serve.InferItem) (*serve.InferResponse, error) {
+	var out serve.InferResponse
+	err := postJSON(client, base+"/v1/infer",
+		serve.InferRequest{Model: model, Items: []serve.InferItem{item}}, &out)
+	if err != nil {
+		return nil, err
+	}
+	if len(out.Outputs) != 1 {
+		return nil, fmt.Errorf("expected 1 output, got %d", len(out.Outputs))
+	}
+	return &out, nil
+}
+
+func postJSON(client *http.Client, url string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: HTTP %d: %s", url, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func sameItem(a, b serve.InferItem) bool {
+	if len(a.Shape) != len(b.Shape) || len(a.Data) != len(b.Data) {
+		return false
+	}
+	for i := range a.Shape {
+		if a.Shape[i] != b.Shape[i] {
+			return false
+		}
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// meanBatchSize scrapes /metrics for sickle_batch_size_sum / _count.
+func meanBatchSize(client *http.Client, base string) (float64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	var sum, count float64
+	for _, line := range strings.Split(string(raw), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[0] {
+		case "sickle_batch_size_sum":
+			sum = v
+		case "sickle_batch_size_count":
+			count = v
+		}
+	}
+	if count == 0 {
+		return 0, nil
+	}
+	return sum / count, nil
+}

@@ -6,6 +6,12 @@
 //
 //	sickle-bench -exp table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|all
 //	             [-scale small|large] [-outdir plots]
+//
+// With -serve it becomes a load generator against a running sickle-serve
+// instance instead, verifying micro-batched inference against the
+// unbatched reference and exercising the dataset LRU:
+//
+//	sickle-bench -serve http://localhost:8080 [-model demo] [-clients 32] [-requests 256]
 package main
 
 import (
@@ -23,7 +29,18 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (table1, fig3..fig9, all)")
 	scaleStr := flag.String("scale", "small", "dataset scale: small or large")
 	outdir := flag.String("outdir", "plots", "directory for figure artifacts")
+	serveURL := flag.String("serve", "", "load-generator mode: base URL of a running sickle-serve")
+	model := flag.String("model", "", "model to load-test (default: first registered)")
+	clients := flag.Int("clients", 32, "concurrent clients in load-generator mode")
+	requests := flag.Int("requests", 256, "total requests in load-generator mode")
 	flag.Parse()
+
+	if *serveURL != "" {
+		if err := runLoadGen(*serveURL, *model, *clients, *requests); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	scale := sickle.Small
 	if *scaleStr == "large" {

@@ -1,0 +1,192 @@
+// sickle-serve exposes SICKLE-Go online: trained surrogates behind a
+// micro-batched inference endpoint and the subsampling pipeline behind an
+// LRU-cached dataset resolver. See internal/serve for the subsystem.
+//
+// Usage:
+//
+//	sickle-serve -addr :8080 -demo
+//	sickle-serve -name drag -arch lstm -ckpt model.sknn -in-dim 8 -out-dim 1 \
+//	             -input-shape 5,8
+//	sickle-serve -case case.yaml -demo
+//
+// Routes: POST /v1/infer, POST /v1/subsample, GET|POST /v1/models,
+// GET /healthz, GET /metrics. Additional models (and hot-swapped versions
+// of existing ones) can be loaded at runtime through POST /v1/models.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/nn"
+	"repro/internal/sampling"
+	"repro/internal/serve"
+	"repro/internal/sickle"
+	"repro/internal/train"
+)
+
+func main() {
+	addr := flag.String("addr", "", "listen address (default :8080 or the case file's serve.addr)")
+	caseFile := flag.String("case", "", "YAML case file with an optional serve: section")
+	maxBatch := flag.Int("max-batch", 0, "micro-batch cap (default 16)")
+	windowMS := flag.Int("window-ms", 0, "batch collection window in ms (default 2)")
+	workers := flag.Int("workers", 0, "worker pool size (default GOMAXPROCS)")
+	cacheEntries := flag.Int("cache-entries", 0, "dataset/shard LRU capacity (default 8)")
+	replicas := flag.Int("replicas", 0, "model replicas per registered model (default 2)")
+
+	name := flag.String("name", "", "register a model under this name at startup")
+	arch := flag.String("arch", "", "architecture: lstm|mlp_transformer|cnn_transformer|matey")
+	ckpt := flag.String("ckpt", "", "checkpoint written by sickle-train -ckpt-out")
+	inDim := flag.Int("in-dim", 0, "model input width / input variables")
+	hidden := flag.Int("hidden", 16, "hidden size / model dim")
+	heads := flag.Int("heads", 2, "attention heads")
+	outDim := flag.Int("out-dim", 0, "model output width / output variables")
+	edge := flag.Int("edge", 0, "decoder cube edge (transformers/MATEY)")
+	inputShape := flag.String("input-shape", "", "per-example input shape, comma-separated (e.g. 1,64,4)")
+
+	demo := flag.Bool("demo", false, "train a small surrogate at startup and register it as \"demo\"")
+	flag.Parse()
+
+	cfg := serve.Config{}
+	if *caseFile != "" {
+		c, err := config.LoadCase(*caseFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg = serve.Config{
+			Addr:         c.Serve.Addr,
+			MaxBatch:     c.Serve.MaxBatch,
+			Window:       time.Duration(c.Serve.WindowMS) * time.Millisecond,
+			Workers:      c.Serve.Workers,
+			CacheEntries: c.Serve.CacheEntries,
+			Replicas:     c.Serve.Replicas,
+		}
+	}
+	if *addr != "" {
+		cfg.Addr = *addr
+	}
+	if *maxBatch > 0 {
+		cfg.MaxBatch = *maxBatch
+	}
+	if *windowMS > 0 {
+		cfg.Window = time.Duration(*windowMS) * time.Millisecond
+	}
+	if *workers > 0 {
+		cfg.Workers = *workers
+	}
+	if *cacheEntries > 0 {
+		cfg.CacheEntries = *cacheEntries
+	}
+	if *replicas > 0 {
+		cfg.Replicas = *replicas
+	}
+
+	s := serve.NewServer(cfg)
+
+	if *name != "" {
+		spec := train.ArchSpec{Arch: *arch, InDim: *inDim, Hidden: *hidden,
+			Heads: *heads, OutDim: *outDim, Edge: *edge}
+		shape, err := parseShape(*inputShape)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := s.Registry().Register(*name, spec, *ckpt, shape, cfg.Replicas); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("registered model %q (%s) from %s", *name, spec.Arch, *ckpt)
+	}
+	if *demo {
+		if err := registerDemoModel(s, cfg.Replicas); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, drain in-flight
+	// batches, then exit.
+	done := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("draining...")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		close(done)
+	}()
+
+	log.Printf("sickle-serve listening")
+	if err := s.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+	<-done
+}
+
+func parseShape(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad -input-shape %q", s)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// registerDemoModel runs the paper's offline T1→T2 pipeline at toy scale —
+// subsample GESTS-2048, train an MLP-Transformer, checkpoint it — and
+// registers the result, so a bare `sickle-serve -demo` is immediately
+// load-testable with `sickle-bench -serve`.
+func registerDemoModel(s *serve.Server, replicas int) error {
+	d, err := sickle.BuildDataset("GESTS-2048", sickle.Small)
+	if err != nil {
+		return err
+	}
+	cubes, err := sampling.SubsampleDataset(d, sampling.PipelineConfig{
+		Hypercubes: "random", Method: "random",
+		NumHypercubes: 6, NumSamples: 64,
+		CubeSx: 8, Seed: 1,
+	})
+	if err != nil {
+		return err
+	}
+	ex, err := train.BuildSampleFull(d, cubes, 1)
+	if err != nil {
+		return err
+	}
+	spec := train.ArchSpec{Arch: "mlp_transformer", InDim: len(d.InputVars),
+		Hidden: 16, Heads: 2, OutDim: len(d.OutputVars), Edge: 8}
+	model, hist, err := train.Train(spec.Factory(), ex, train.Config{
+		Epochs: 5, Batch: 4, Seed: 1,
+	})
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(os.TempDir(), fmt.Sprintf("sickle-demo-%d.sknn", os.Getpid()))
+	if err := nn.SaveCheckpoint(path, model); err != nil {
+		return err
+	}
+	if _, err := s.Registry().Register("demo", spec, path, ex[0].Input.Shape, replicas); err != nil {
+		return err
+	}
+	log.Printf("demo model trained (%d params, test loss %.4g) and registered from %s",
+		hist.Params, hist.FinalLoss, path)
+	return nil
+}

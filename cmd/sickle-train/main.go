@@ -8,16 +8,18 @@
 //
 //	sickle-train -dataset SST-P1F4 -arch MLP_Transformer -epochs 20 -n 2
 //	sickle-train -in sub.skl -dataset SST-P1F4 -arch MLP_Transformer
+//	sickle-train -dataset SST-P1F4 -arch LSTM -ckpt-out model.sknn   # then serve it
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 	"strings"
 
 	"repro/internal/energy"
+	"repro/internal/nn"
 	"repro/internal/sampling"
 	"repro/internal/sickle"
 	"repro/internal/train"
@@ -36,6 +38,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	scaleStr := flag.String("scale", "small", "dataset scale")
 	doTune := flag.Bool("tune", false, "run hyperparameter search first (the paper's --tune / DeepHyper analogue)")
+	ckptOut := flag.String("ckpt-out", "", "save the trained model checkpoint here (servable by sickle-serve)")
 	flag.Parse()
 
 	scale := sickle.Small
@@ -84,44 +87,30 @@ func main() {
 	meterTrain := energy.NewMeter()
 	inV, outV := len(d.InputVars), len(d.OutputVars)
 	var ex []train.Example
-	var factory train.ModelFactory
 	edge := cubes[0].Cube.Sx
 
-	switch strings.ToLower(*arch) {
+	// The spec is both the model factory and, with -ckpt-out, the recipe a
+	// serving process needs to rebuild checkpoint-compatible replicas.
+	spec := train.ArchSpec{Arch: strings.ToLower(*arch), InDim: inV, Hidden: 16, Heads: 2, OutDim: outV, Edge: edge}
+	switch spec.Arch {
 	case "lstm":
 		ex, err = train.BuildSampleSingle(d, cubes, *window)
 		if err != nil {
 			log.Fatal(err)
 		}
-		dim := ex[0].Input.Dim(1)
-		factory = func(rng *rand.Rand) train.Model { return train.NewLSTMModel(rng, dim, 16, 1) }
+		spec.InDim, spec.OutDim, spec.Edge = ex[0].Input.Dim(1), 1, 0
 	case "mlp_transformer":
 		ex, err = train.BuildSampleFull(d, cubes, *window)
-		if err != nil {
-			log.Fatal(err)
-		}
-		factory = func(rng *rand.Rand) train.Model {
-			return train.NewMLPTransformer(rng, inV, 16, 2, outV, edge)
-		}
-	case "cnn_transformer":
+	case "cnn_transformer", "matey":
 		ex, err = train.BuildFullFull(d, cubes, *window)
-		if err != nil {
-			log.Fatal(err)
-		}
-		factory = func(rng *rand.Rand) train.Model {
-			return train.NewCNNTransformer(rng, inV, 16, 2, outV, edge)
-		}
-	case "matey":
-		ex, err = train.BuildFullFull(d, cubes, *window)
-		if err != nil {
-			log.Fatal(err)
-		}
-		factory = func(rng *rand.Rand) train.Model {
-			return train.NewMATEYModel(rng, inV, 16, 2, outV, edge)
-		}
-	default:
-		log.Fatalf("unknown arch %q", *arch)
 	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := spec.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	factory := spec.Factory()
 
 	lr := 0.001
 	if *doTune {
@@ -129,9 +118,10 @@ func main() {
 		// architectures the factory ignores it and the search tunes LR
 		// and batch.
 		factoryFor := func(hidden int) train.ModelFactory {
-			if strings.EqualFold(*arch, "lstm") {
-				dim := ex[0].Input.Dim(1)
-				return func(rng *rand.Rand) train.Model { return train.NewLSTMModel(rng, dim, hidden, 1) }
+			if spec.Arch == "lstm" {
+				s := spec
+				s.Hidden = hidden
+				return s.Factory()
 			}
 			return factory
 		}
@@ -156,6 +146,14 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *ckptOut != "" {
+		if err := nn.SaveCheckpoint(*ckptOut, model); err != nil {
+			log.Fatal(err)
+		}
+		specJSON, _ := json.Marshal(spec)
+		fmt.Printf("wrote checkpoint %s (arch spec: %s, input shape %v)\n",
+			*ckptOut, specJSON, ex[0].Input.Shape)
+	}
 	fmt.Printf("model: %s (%d parameters), %d examples, %d ranks\n",
 		model.Name(), hist.Params, len(ex), *ranks)
 	fmt.Printf("Evaluation on test set: %.6f\n", hist.FinalLoss)

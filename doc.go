@@ -5,7 +5,9 @@
 // The library lives under internal/: sampling (the paper's MaxEnt/UIPS/
 // baseline samplers), synth+cfd2d+cfd3d (synthetic DNS dataset analogues),
 // nn+train (the neural-network stack and Table 2 architectures), minimpi
-// (goroutine message passing), energy (counter-based energy model), and
-// sickle (the experiment harness regenerating every paper table/figure).
-// See README.md, DESIGN.md and EXPERIMENTS.md.
+// (goroutine message passing), energy (counter-based energy model), sickle
+// (the experiment harness regenerating every paper table/figure), and
+// serve (the online subsystem: micro-batched surrogate inference and
+// LRU-cached subsampling behind an HTTP API, served by cmd/sickle-serve
+// and load-tested by cmd/sickle-bench -serve). See README.md.
 package repro

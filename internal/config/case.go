@@ -34,6 +34,19 @@ type Case struct {
 	Arch     string
 	Sequence bool
 	Seed     int64
+	// serve
+	Serve ServeCase
+}
+
+// ServeCase is the optional `serve:` section of a case file, sizing the
+// sickle-serve service (see internal/serve.Config for the semantics).
+type ServeCase struct {
+	Addr         string
+	MaxBatch     int
+	WindowMS     int
+	Workers      int
+	CacheEntries int
+	Replicas     int
 }
 
 // LoadCase reads and parses a case file from disk.
@@ -54,6 +67,7 @@ func ParseCase(src string) (*Case, error) {
 	shared := m.GetMap("shared")
 	sub := m.GetMap("subsample")
 	tr := m.GetMap("train")
+	sv := m.GetMap("serve")
 
 	c := &Case{
 		Dims:       shared.GetInt("dims", 3),
@@ -84,6 +98,17 @@ func ParseCase(src string) (*Case, error) {
 		Arch:     tr.GetString("arch", "MLP_transformer"),
 		Sequence: tr.GetBool("sequence", false),
 		Seed:     int64(tr.GetInt("seed", 0)),
+
+		// Unset serve keys stay zero: internal/serve.Config owns the
+		// defaults, so they live in exactly one place.
+		Serve: ServeCase{
+			Addr:         sv.GetString("addr", ""),
+			MaxBatch:     sv.GetInt("max_batch", 0),
+			WindowMS:     sv.GetInt("window_ms", 0),
+			Workers:      sv.GetInt("workers", 0),
+			CacheEntries: sv.GetInt("cache_entries", 0),
+			Replicas:     sv.GetInt("replicas", 0),
+		},
 	}
 	if len(c.InputVars) == 0 {
 		return nil, fmt.Errorf("config: case has no input_vars")

@@ -195,3 +195,37 @@ func TestParseCaseRequiresInputVars(t *testing.T) {
 		t.Fatal("expected error for missing input_vars")
 	}
 }
+
+func TestParseCaseServeSection(t *testing.T) {
+	src := `shared:
+  input_vars: [u, v]
+serve:
+  addr: ":9090"
+  max_batch: 32
+  window_ms: 5
+  workers: 4
+  cache_entries: 3
+  replicas: 1
+`
+	c, err := ParseCase(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := c.Serve
+	if sv.Addr != ":9090" || sv.MaxBatch != 32 || sv.WindowMS != 5 ||
+		sv.Workers != 4 || sv.CacheEntries != 3 || sv.Replicas != 1 {
+		t.Fatalf("serve section = %+v", sv)
+	}
+}
+
+func TestParseCaseServeUnsetStaysZero(t *testing.T) {
+	// Unset serve keys must parse to zero values so internal/serve.Config
+	// remains the single owner of the serving defaults.
+	c, err := ParseCase("shared:\n  input_vars: [u]\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Serve != (ServeCase{}) {
+		t.Fatalf("serve section should be zero when unset, got %+v", c.Serve)
+	}
+}

@@ -13,13 +13,19 @@ import (
 // param: nameLen u32, name bytes, rank u32, dims u32×rank, data f64×len.
 var ckptMagic = [4]byte{'S', 'K', 'N', 'N'}
 
-// SaveCheckpoint writes a module's parameters to path.
-func SaveCheckpoint(path string, m Module) error {
+// SaveCheckpoint writes a module's parameters to path. Close errors are
+// propagated so a checkpoint truncated by a full disk is reported rather
+// than silently accepted.
+func SaveCheckpoint(path string, m Module) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	w := bufio.NewWriter(f)
 	if _, err := w.Write(ckptMagic[:]); err != nil {
 		return err

@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// inferRequest is one example awaiting inference. The batcher owns it from
+// enqueue until a result (or error) is delivered on resp.
+type inferRequest struct {
+	input *tensor.Tensor // per-example tensor, no batch dimension
+	resp  chan inferResult
+}
+
+type inferResult struct {
+	output    *tensor.Tensor
+	version   int
+	batchSize int
+	err       error
+}
+
+// Batcher implements the service's micro-batch scheduler: per-model queues
+// feed per-model dispatcher goroutines that collect up to MaxBatch requests
+// or wait at most Window after the first arrival, then hand the batch to a
+// bounded worker pool (default GOMAXPROCS workers) that runs ONE forward
+// pass for the whole batch on a pooled model replica. Batching amortizes
+// per-request overhead exactly like inventory batching in queueing systems:
+// under load the mean batch size rises and per-item cost falls, while the
+// Window bound caps the latency a lone request pays.
+//
+// Row independence of the Table 2 architectures (matmuls, layer norms,
+// attention and convolutions never mix batch rows) makes batched outputs
+// bit-identical to single-request inference — the invariant the tests and
+// the load generator check.
+type Batcher struct {
+	reg      *Registry
+	met      *Metrics
+	maxBatch int
+	window   time.Duration
+
+	jobs chan func()
+
+	mu     sync.Mutex
+	queues map[string]chan *inferRequest
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wgDisp   sync.WaitGroup // dispatcher goroutines
+	wgWork   sync.WaitGroup // worker goroutines
+}
+
+// queueCap bounds each per-model queue; enqueues beyond it block, applying
+// backpressure to clients instead of growing memory without bound.
+const queueCap = 1024
+
+// NewBatcher starts the worker pool. maxBatch <= 0 defaults to 16, window
+// <= 0 to 2ms, workers <= 0 to GOMAXPROCS.
+func NewBatcher(reg *Registry, met *Metrics, maxBatch int, window time.Duration, workers int) *Batcher {
+	if maxBatch <= 0 {
+		maxBatch = 16
+	}
+	if window <= 0 {
+		window = 2 * time.Millisecond
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	b := &Batcher{
+		reg: reg, met: met, maxBatch: maxBatch, window: window,
+		jobs:   make(chan func(), workers),
+		queues: map[string]chan *inferRequest{},
+		stop:   make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		b.wgWork.Add(1)
+		go func() {
+			defer b.wgWork.Done()
+			for job := range b.jobs {
+				job()
+			}
+		}()
+	}
+	met.SetQueueDepthFunc(b.QueueDepth)
+	return b
+}
+
+// Infer enqueues one example for the named model and blocks until its
+// result is ready.
+func (b *Batcher) Infer(model string, input *tensor.Tensor) (*tensor.Tensor, int, int, error) {
+	if _, ok := b.reg.Lookup(model); !ok {
+		return nil, 0, 0, fmt.Errorf("serve: unknown model %q", model)
+	}
+	req := &inferRequest{input: input, resp: make(chan inferResult, 1)}
+	b.queueFor(model) <- req
+	res := <-req.resp
+	return res.output, res.version, res.batchSize, res.err
+}
+
+func (b *Batcher) queueFor(model string) chan *inferRequest {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	q, ok := b.queues[model]
+	if !ok {
+		q = make(chan *inferRequest, queueCap)
+		b.queues[model] = q
+		b.wgDisp.Add(1)
+		go b.dispatch(model, q)
+	}
+	return q
+}
+
+// QueueDepth returns the total number of queued (not yet dispatched)
+// requests across models.
+func (b *Batcher) QueueDepth() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, q := range b.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// dispatch is the per-model collection loop.
+func (b *Batcher) dispatch(model string, q chan *inferRequest) {
+	defer b.wgDisp.Done()
+	for {
+		var first *inferRequest
+		select {
+		case <-b.stop:
+			return
+		case first = <-q:
+		}
+		batch := []*inferRequest{first}
+		timer := time.NewTimer(b.window)
+	collect:
+		for len(batch) < b.maxBatch {
+			select {
+			case r := <-q:
+				batch = append(batch, r)
+			case <-timer.C:
+				break collect
+			}
+		}
+		timer.Stop()
+		b.met.ObserveBatch(len(batch))
+		select {
+		case <-b.stop:
+			// Shutdown raced the dispatch; run inline so waiters drain.
+			b.runBatch(model, batch)
+		case b.jobs <- func() { b.runBatch(model, batch) }:
+		}
+	}
+}
+
+// runBatch stacks the batch, runs one forward pass on a pooled replica,
+// and scatters the output rows back to the waiting requests.
+func (b *Batcher) runBatch(model string, batch []*inferRequest) {
+	fail := func(err error) {
+		for _, r := range batch {
+			r.resp <- inferResult{err: err}
+		}
+	}
+	entry, ok := b.reg.Lookup(model)
+	if !ok {
+		fail(fmt.Errorf("serve: model %q disappeared", model))
+		return
+	}
+	shape := batch[0].input.Shape
+	for _, r := range batch[1:] {
+		if !sameShape(r.input.Shape, shape) {
+			// Mixed shapes cannot share a forward pass; split rather than
+			// reject, so clients with heterogeneous windows still work.
+			b.runBatch(model, []*inferRequest{r})
+		}
+	}
+	uniform := batch[:0]
+	for _, r := range batch {
+		if sameShape(r.input.Shape, shape) {
+			uniform = append(uniform, r)
+		}
+	}
+	batch = uniform
+
+	in := stackInputs(batch)
+	rep := entry.Acquire()
+	out, err := forward(rep, in)
+	entry.Release(rep)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if out.Dim(0) != len(batch) {
+		fail(fmt.Errorf("serve: model %q returned batch %d for input batch %d", model, out.Dim(0), len(batch)))
+		return
+	}
+	rowShape := append([]int(nil), out.Shape[1:]...)
+	stride := out.Len() / out.Dim(0)
+	for i, r := range batch {
+		row := tensor.New(rowShape...)
+		copy(row.Data, out.Data[i*stride:(i+1)*stride])
+		r.resp <- inferResult{output: row, version: entry.Version, batchSize: len(batch)}
+	}
+}
+
+// forward runs the model's forward pass, converting panics (shape
+// mismatches inside the nn stack) into errors so a malformed request cannot
+// crash the service.
+func forward(m interface {
+	Forward(*tensor.Tensor) *tensor.Tensor
+}, in *tensor.Tensor) (out *tensor.Tensor, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: forward pass failed: %v", r)
+		}
+	}()
+	return m.Forward(in), nil
+}
+
+// stackInputs assembles [B, ...] from per-example tensors of equal shape.
+func stackInputs(batch []*inferRequest) *tensor.Tensor {
+	shape := append([]int{len(batch)}, batch[0].input.Shape...)
+	out := tensor.New(shape...)
+	stride := batch[0].input.Len()
+	for i, r := range batch {
+		copy(out.Data[i*stride:(i+1)*stride], r.input.Data)
+	}
+	return out
+}
+
+func sameShape(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Stop terminates the dispatchers and workers. Call only after the HTTP
+// server has drained: requests still queued at Stop time are completed
+// inline by their dispatcher before it exits.
+func (b *Batcher) Stop() {
+	b.stopOnce.Do(func() {
+		close(b.stop)
+		// Wait for dispatchers first: they are the only senders on b.jobs,
+		// so closing it is only safe once they have exited.
+		b.wgDisp.Wait()
+		b.mu.Lock()
+		queues := make([]chan *inferRequest, 0, len(b.queues))
+		for _, q := range b.queues {
+			queues = append(queues, q)
+		}
+		b.mu.Unlock()
+		for _, q := range queues {
+		drain:
+			for {
+				select {
+				case r := <-q:
+					r.resp <- inferResult{err: fmt.Errorf("serve: shutting down")}
+				default:
+					break drain
+				}
+			}
+		}
+		close(b.jobs)
+		b.wgWork.Wait()
+	})
+}

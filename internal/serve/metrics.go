@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// batchBuckets are the upper bounds of the batch-size histogram.
+var batchBuckets = []int{1, 2, 4, 8, 16, 32, 64}
+
+// Metrics is the service's instrumentation: per-route request counters and
+// latency accumulators, the micro-batch size histogram, queue depth, and
+// cache counters. It renders in Prometheus text exposition format so any
+// scraper (or the load generator in cmd/sickle-bench) can consume it.
+type Metrics struct {
+	mu sync.Mutex
+
+	routeCount   map[string]int64
+	routeErrors  map[string]int64
+	routeSeconds map[string]float64
+
+	batchCounts  []int64 // parallel to batchBuckets, plus +Inf at the end
+	batchSum     int64
+	batchBatches int64
+
+	inflight int64
+
+	// queueDepth reports the live aggregate depth of the per-model queues;
+	// installed by the batcher.
+	queueDepth func() int
+}
+
+// NewMetrics returns an empty collector.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		routeCount:   map[string]int64{},
+		routeErrors:  map[string]int64{},
+		routeSeconds: map[string]float64{},
+		batchCounts:  make([]int64, len(batchBuckets)+1),
+	}
+}
+
+// ObserveRequest records one request on a route.
+func (m *Metrics) ObserveRequest(route string, d time.Duration, failed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.routeCount[route]++
+	m.routeSeconds[route] += d.Seconds()
+	if failed {
+		m.routeErrors[route]++
+	}
+}
+
+// ObserveBatch records one dispatched micro-batch of the given size.
+func (m *Metrics) ObserveBatch(size int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	i := 0
+	for i < len(batchBuckets) && size > batchBuckets[i] {
+		i++
+	}
+	m.batchCounts[i]++
+	m.batchSum += int64(size)
+	m.batchBatches++
+}
+
+// MeanBatchSize returns the average size of dispatched batches (0 if none).
+func (m *Metrics) MeanBatchSize() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.batchBatches == 0 {
+		return 0
+	}
+	return float64(m.batchSum) / float64(m.batchBatches)
+}
+
+// AddInflight adjusts the in-flight request gauge.
+func (m *Metrics) AddInflight(d int64) {
+	m.mu.Lock()
+	m.inflight += d
+	m.mu.Unlock()
+}
+
+// SetQueueDepthFunc installs the live queue-depth probe.
+func (m *Metrics) SetQueueDepthFunc(f func() int) {
+	m.mu.Lock()
+	m.queueDepth = f
+	m.mu.Unlock()
+}
+
+// Render writes the Prometheus text format. cache may be nil.
+func (m *Metrics) Render(cache *LRU) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "# TYPE sickle_requests_total counter\n")
+	for _, route := range sortedKeys(m.routeCount) {
+		fmt.Fprintf(&b, "sickle_requests_total{route=%q} %d\n", route, m.routeCount[route])
+	}
+	fmt.Fprintf(&b, "# TYPE sickle_request_errors_total counter\n")
+	for _, route := range sortedKeys(m.routeErrors) {
+		fmt.Fprintf(&b, "sickle_request_errors_total{route=%q} %d\n", route, m.routeErrors[route])
+	}
+	fmt.Fprintf(&b, "# TYPE sickle_request_seconds_sum counter\n")
+	for _, route := range sortedKeys(m.routeSeconds) {
+		fmt.Fprintf(&b, "sickle_request_seconds_sum{route=%q} %g\n", route, m.routeSeconds[route])
+	}
+
+	fmt.Fprintf(&b, "# TYPE sickle_batch_size histogram\n")
+	cum := int64(0)
+	for i, ub := range batchBuckets {
+		cum += m.batchCounts[i]
+		fmt.Fprintf(&b, "sickle_batch_size_bucket{le=\"%d\"} %d\n", ub, cum)
+	}
+	cum += m.batchCounts[len(batchBuckets)]
+	fmt.Fprintf(&b, "sickle_batch_size_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(&b, "sickle_batch_size_sum %d\n", m.batchSum)
+	fmt.Fprintf(&b, "sickle_batch_size_count %d\n", m.batchBatches)
+
+	fmt.Fprintf(&b, "# TYPE sickle_inflight_requests gauge\n")
+	fmt.Fprintf(&b, "sickle_inflight_requests %d\n", m.inflight)
+	if m.queueDepth != nil {
+		fmt.Fprintf(&b, "# TYPE sickle_queue_depth gauge\n")
+		fmt.Fprintf(&b, "sickle_queue_depth %d\n", m.queueDepth())
+	}
+
+	if cache != nil {
+		hits, misses, evictions := cache.Stats()
+		fmt.Fprintf(&b, "# TYPE sickle_cache_hits_total counter\n")
+		fmt.Fprintf(&b, "sickle_cache_hits_total %d\n", hits)
+		fmt.Fprintf(&b, "# TYPE sickle_cache_misses_total counter\n")
+		fmt.Fprintf(&b, "sickle_cache_misses_total %d\n", misses)
+		fmt.Fprintf(&b, "# TYPE sickle_cache_evictions_total counter\n")
+		fmt.Fprintf(&b, "sickle_cache_evictions_total %d\n", evictions)
+		fmt.Fprintf(&b, "# TYPE sickle_cache_entries gauge\n")
+		fmt.Fprintf(&b, "sickle_cache_entries %d\n", cache.Len())
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

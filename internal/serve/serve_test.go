@@ -1,0 +1,376 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+// testSpec is a tiny LSTM: input [T=3, C=4] → output [2].
+var testSpec = train.ArchSpec{Arch: "lstm", InDim: 4, Hidden: 8, OutDim: 2}
+
+var testShape = []int{3, 4}
+
+// newTestServer registers one checkpointed model under "m" and returns the
+// server plus a reference replica for computing expected outputs.
+func newTestServer(t *testing.T, cfg Config) (*Server, train.Model) {
+	t.Helper()
+	ref, err := testSpec.Build(rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(t.TempDir(), "m.sknn")
+	if err := nn.SaveCheckpoint(ckpt, ref); err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(cfg)
+	t.Cleanup(func() { s.batcher.Stop() })
+	if _, err := s.Registry().Register("m", testSpec, ckpt, testShape, 2); err != nil {
+		t.Fatal(err)
+	}
+	return s, ref
+}
+
+func randomItem(rng *rand.Rand) InferItem {
+	data := make([]float64, 3*4)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	return InferItem{Shape: testShape, Data: data}
+}
+
+// expect runs the reference model unbatched (batch dimension 1).
+func expect(ref train.Model, item InferItem) []float64 {
+	in := tensor.FromSlice(append([]float64(nil), item.Data...), append([]int{1}, item.Shape...)...)
+	out := ref.Forward(in)
+	return append([]float64(nil), out.Data...)
+}
+
+// doInfer posts one inference request; safe to call from any goroutine.
+func doInfer(url string, req InferRequest) (*InferResponse, int, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := http.Post(url+"/v1/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, resp.StatusCode, nil
+	}
+	var out InferResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, resp.StatusCode, err
+	}
+	return &out, resp.StatusCode, nil
+}
+
+// checkOutput compares a response item to the expected row bit for bit.
+func checkOutput(got InferItem, want []float64) error {
+	if len(got.Data) != len(want) {
+		return fmt.Errorf("output len %d, want %d", len(got.Data), len(want))
+	}
+	for j := range want {
+		if got.Data[j] != want[j] {
+			return fmt.Errorf("output[%d] = %v, want %v", j, got.Data[j], want[j])
+		}
+	}
+	return nil
+}
+
+// TestBatchedInferenceMatchesSingle is the core correctness property: many
+// concurrent clients, whose requests coalesce into micro-batches, must each
+// receive the output a lone unbatched request would have produced — bit for
+// bit.
+func TestBatchedInferenceMatchesSingle(t *testing.T) {
+	// A generous window so the concurrent burst reliably coalesces.
+	s, ref := newTestServer(t, Config{MaxBatch: 8, Window: 50 * time.Millisecond, Workers: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	rng := rand.New(rand.NewSource(3))
+	const n = 24
+	items := make([]InferItem, n)
+	want := make([][]float64, n)
+	for i := range items {
+		items[i] = randomItem(rng)
+		want[i] = expect(ref, items[i])
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, code, err := doInfer(ts.URL, InferRequest{Model: "m", Items: []InferItem{items[i]}})
+			if err != nil || code != http.StatusOK {
+				errs[i] = fmt.Errorf("HTTP %d, err %v", code, err)
+				return
+			}
+			if err := checkOutput(resp.Outputs[0], want[i]); err != nil {
+				errs[i] = fmt.Errorf("%w (batch %d)", err, resp.BatchSizes[0])
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if mean := s.Metrics().MeanBatchSize(); mean <= 1 {
+		t.Errorf("mean batch size %.2f; micro-batching never engaged under %d concurrent clients", mean, n)
+	}
+}
+
+// TestMultiItemRequest checks that one request carrying several items gets
+// per-item outputs in order.
+func TestMultiItemRequest(t *testing.T) {
+	s, ref := newTestServer(t, Config{MaxBatch: 4, Window: 5 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	rng := rand.New(rand.NewSource(5))
+	items := []InferItem{randomItem(rng), randomItem(rng), randomItem(rng)}
+	resp, code, err := doInfer(ts.URL, InferRequest{Model: "m", Items: items})
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("HTTP %d, err %v", code, err)
+	}
+	if len(resp.Outputs) != len(items) {
+		t.Fatalf("%d outputs for %d items", len(resp.Outputs), len(items))
+	}
+	for i, item := range items {
+		if err := checkOutput(resp.Outputs[i], expect(ref, item)); err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+	}
+}
+
+// TestInferErrors exercises the failure paths: unknown model and malformed
+// shapes must produce JSON errors, not hung requests or a crashed server.
+func TestInferErrors(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	_ = s
+
+	rng := rand.New(rand.NewSource(6))
+	if _, code, err := doInfer(ts.URL, InferRequest{Model: "nope", Items: []InferItem{randomItem(rng)}}); err != nil || code == http.StatusOK {
+		t.Fatalf("unknown model must fail (code %d, err %v)", code, err)
+	}
+	bad := InferItem{Shape: []int{2}, Data: []float64{1, 2, 3}}
+	if _, code, err := doInfer(ts.URL, InferRequest{Model: "m", Items: []InferItem{bad}}); err != nil || code != http.StatusBadRequest {
+		t.Fatalf("shape/data mismatch must be a 400 (code %d, err %v)", code, err)
+	}
+	// A well-formed item whose shape the model cannot consume: the forward
+	// panic must come back as an error response.
+	weird := InferItem{Shape: []int{7}, Data: make([]float64, 7)}
+	if _, code, err := doInfer(ts.URL, InferRequest{Model: "m", Items: []InferItem{weird}}); err != nil || code == http.StatusOK {
+		t.Fatalf("unconsumable shape must fail (code %d, err %v)", code, err)
+	}
+	// And the server must still answer afterwards.
+	if _, code, err := doInfer(ts.URL, InferRequest{Model: "m", Items: []InferItem{randomItem(rng)}}); err != nil || code != http.StatusOK {
+		t.Fatalf("server did not survive a failed forward pass (code %d, err %v)", code, err)
+	}
+}
+
+// TestHotSwap registers a second version under the same name and checks new
+// requests see it.
+func TestHotSwap(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	_ = s
+
+	ref2, err := testSpec.Build(rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt2 := filepath.Join(t.TempDir(), "m2.sknn")
+	if err := nn.SaveCheckpoint(ckpt2, ref2); err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(RegisterModelRequest{Name: "m", Spec: testSpec, Checkpoint: ckpt2, InputShape: testShape})
+	resp, err := http.Post(ts.URL+"/v1/models", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hot-swap HTTP %d", resp.StatusCode)
+	}
+
+	rng := rand.New(rand.NewSource(8))
+	item := randomItem(rng)
+	out, code, err := doInfer(ts.URL, InferRequest{Model: "m", Items: []InferItem{item}})
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("HTTP %d, err %v", code, err)
+	}
+	if out.Version != 2 {
+		t.Fatalf("served version %d after hot-swap, want 2", out.Version)
+	}
+	if err := checkOutput(out.Outputs[0], expect(ref2, item)); err != nil {
+		t.Fatalf("output is not from the swapped weights: %v", err)
+	}
+}
+
+// TestGracefulShutdownDrains starts a real listener, launches a burst of
+// requests, waits until every one has been admitted, then shuts down under
+// them: every admitted request must still receive its real (bit-correct)
+// response.
+func TestGracefulShutdownDrains(t *testing.T) {
+	s, ref := newTestServer(t, Config{MaxBatch: 4, Window: 20 * time.Millisecond})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(l) }()
+	url := "http://" + l.Addr().String()
+
+	rng := rand.New(rand.NewSource(11))
+	const n = 16
+	items := make([]InferItem, n)
+	want := make([][]float64, n)
+	for i := range items {
+		items[i] = randomItem(rng)
+		want[i] = expect(ref, items[i])
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, code, err := doInfer(url, InferRequest{Model: "m", Items: []InferItem{items[i]}})
+			if err != nil || code != http.StatusOK {
+				errs[i] = fmt.Errorf("HTTP %d, err %v", code, err)
+				return
+			}
+			errs[i] = checkOutput(resp.Outputs[0], want[i])
+		}(i)
+	}
+
+	// Wait until all n requests have entered their handler (in-flight or
+	// already finished); Shutdown then must drain, not drop, them.
+	admitted := func() int64 {
+		s.met.mu.Lock()
+		defer s.met.mu.Unlock()
+		return s.met.inflight + s.met.routeCount["/v1/infer"]
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for admitted() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d requests admitted", admitted(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}
+
+// TestSubsampleCacheHit checks the LRU path end to end: the second
+// identical /v1/subsample request must be served from cache.
+func TestSubsampleCacheHit(t *testing.T) {
+	s, _ := newTestServer(t, Config{CacheEntries: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := SubsampleRequest{Dataset: "GESTS-2048", Cube: 8, NumHypercubes: 2, NumSamples: 16, Seed: 1}
+	var first, second SubsampleResponse
+	for i, out := range []*SubsampleResponse{&first, &second} {
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(ts.URL+"/v1/subsample", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("run %d: HTTP %d", i, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if first.CacheHit {
+		t.Fatal("first request cannot be a cache hit")
+	}
+	if !second.CacheHit {
+		t.Fatal("second identical request must hit the dataset cache")
+	}
+	if first.Cubes != second.Cubes || first.Points != second.Points {
+		t.Fatalf("cached run selected %d/%d, fresh run %d/%d",
+			second.Cubes, second.Points, first.Cubes, first.Points)
+	}
+	hits, misses, _ := s.Cache().Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("cache stats %d hits / %d misses, want 1/1", hits, misses)
+	}
+	// /metrics must expose the hit.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "sickle_cache_hits_total 1") {
+		t.Fatalf("metrics missing cache hit counter:\n%s", buf.String())
+	}
+}
+
+// TestHealthz sanity-checks the health endpoint shape.
+func TestHealthz(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	_ = s
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Status string   `json:"status"`
+		Models []string `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || len(h.Models) != 1 || h.Models[0] != "m@v1" {
+		t.Fatalf("healthz = %+v", h)
+	}
+}

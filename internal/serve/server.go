@@ -1,0 +1,289 @@
+// Package serve turns SICKLE-Go's offline pipeline into an online service:
+// an HTTP JSON API over the trained surrogates (micro-batched inference
+// through a bounded worker pool) and the subsampling pipeline (datasets and
+// .skl shards resolved through a bounded LRU cache), with health and
+// Prometheus-style metrics endpoints. cmd/sickle-serve is the binary;
+// cmd/sickle-bench -serve is the matching load generator.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+// Config sizes the service. Zero values select the documented defaults.
+type Config struct {
+	Addr         string        // listen address (default :8080)
+	MaxBatch     int           // micro-batch cap (default 16)
+	Window       time.Duration // batch collection window (default 2ms)
+	Workers      int           // worker pool size (default GOMAXPROCS)
+	CacheEntries int           // LRU capacity for datasets/shards (default 8)
+	Replicas     int           // model replicas per registered model (default 2)
+}
+
+func (c *Config) defaults() {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 8
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+}
+
+// Server wires the registry, batcher, cache and metrics behind an HTTP mux.
+type Server struct {
+	cfg     Config
+	reg     *Registry
+	batcher *Batcher
+	cache   *LRU
+	met     *Metrics
+	httpSrv *http.Server
+	start   time.Time
+}
+
+// NewServer builds a ready-to-listen server.
+func NewServer(cfg Config) *Server {
+	cfg.defaults()
+	met := NewMetrics()
+	reg := NewRegistry()
+	s := &Server{
+		cfg:     cfg,
+		reg:     reg,
+		batcher: NewBatcher(reg, met, cfg.MaxBatch, cfg.Window, cfg.Workers),
+		cache:   NewLRU(cfg.CacheEntries),
+		met:     met,
+		start:   time.Now(),
+	}
+	s.httpSrv = &http.Server{Addr: cfg.Addr, Handler: s.Handler()}
+	return s
+}
+
+// Registry exposes the model registry for pre-registering models.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Metrics exposes the collector (tests assert on mean batch size).
+func (s *Server) Metrics() *Metrics { return s.met }
+
+// Cache exposes the dataset/shard LRU.
+func (s *Server) Cache() *LRU { return s.cache }
+
+// Handler returns the route mux (also usable under httptest).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/infer", s.instrument("/v1/infer", s.handleInfer))
+	mux.HandleFunc("/v1/subsample", s.instrument("/v1/subsample", s.handleSubsample))
+	mux.HandleFunc("/v1/models", s.instrument("/v1/models", s.handleModels))
+	return mux
+}
+
+// ListenAndServe blocks serving on cfg.Addr until Shutdown.
+func (s *Server) ListenAndServe() error {
+	l, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Serve blocks serving on l until Shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	err := s.httpSrv.Serve(l)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains gracefully: the HTTP server stops accepting and waits for
+// in-flight handlers (each blocked on its batched result), then the batcher
+// is torn down. A request that was admitted before Shutdown always gets its
+// real response.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.httpSrv.Shutdown(ctx)
+	s.batcher.Stop()
+	return err
+}
+
+// instrument wraps a handler with latency/error accounting.
+func (s *Server) instrument(route string, h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		s.met.AddInflight(1)
+		err := h(w, r)
+		s.met.AddInflight(-1)
+		s.met.ObserveRequest(route, time.Since(t0), err != nil)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	return json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) error {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+	return err
+}
+
+// InferItem is one example: a flat row-major payload plus its shape
+// (without the batch dimension).
+type InferItem struct {
+	Shape []int     `json:"shape"`
+	Data  []float64 `json:"data"`
+}
+
+// InferRequest is the JSON body of POST /v1/infer.
+type InferRequest struct {
+	Model string      `json:"model"`
+	Items []InferItem `json:"items"`
+}
+
+// InferResponse returns one output per input item, in order. BatchSizes
+// records the micro-batch each item rode in — the load generator uses it to
+// show batching engaged.
+type InferResponse struct {
+	Model      string      `json:"model"`
+	Version    int         `json:"version"`
+	Outputs    []InferItem `json:"outputs"`
+	BatchSizes []int       `json:"batchSizes"`
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) error {
+	if r.Method != http.MethodPost {
+		return writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+	}
+	var req InferRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
+	}
+	if req.Model == "" || len(req.Items) == 0 {
+		return writeError(w, http.StatusBadRequest, fmt.Errorf("need model and at least one item"))
+	}
+	if _, ok := s.reg.Lookup(req.Model); !ok {
+		return writeError(w, http.StatusNotFound, fmt.Errorf("unknown model %q", req.Model))
+	}
+	inputs := make([]*tensor.Tensor, len(req.Items))
+	for i, it := range req.Items {
+		n := 1
+		for _, d := range it.Shape {
+			if d <= 0 {
+				return writeError(w, http.StatusBadRequest, fmt.Errorf("item %d: bad shape %v", i, it.Shape))
+			}
+			n *= d
+		}
+		if len(it.Shape) == 0 || n != len(it.Data) {
+			return writeError(w, http.StatusBadRequest,
+				fmt.Errorf("item %d: shape %v wants %d values, got %d", i, it.Shape, n, len(it.Data)))
+		}
+		inputs[i] = tensor.FromSlice(it.Data, it.Shape...)
+	}
+	// Enqueue every item separately so items from concurrent clients can
+	// share micro-batches, then gather in order.
+	type itemOut struct {
+		out     *tensor.Tensor
+		version int
+		batch   int
+		err     error
+	}
+	outs := make([]itemOut, len(inputs))
+	done := make(chan int, len(inputs))
+	for i := range inputs {
+		go func(i int) {
+			o, v, bsz, err := s.batcher.Infer(req.Model, inputs[i])
+			outs[i] = itemOut{o, v, bsz, err}
+			done <- i
+		}(i)
+	}
+	for range inputs {
+		<-done
+	}
+	resp := InferResponse{Model: req.Model}
+	for i, o := range outs {
+		if o.err != nil {
+			return writeError(w, http.StatusInternalServerError, fmt.Errorf("item %d: %w", i, o.err))
+		}
+		resp.Version = o.version
+		resp.Outputs = append(resp.Outputs, InferItem{Shape: o.out.Shape, Data: o.out.Data})
+		resp.BatchSizes = append(resp.BatchSizes, o.batch)
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSubsample(w http.ResponseWriter, r *http.Request) error {
+	if r.Method != http.MethodPost {
+		return writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+	}
+	var req SubsampleRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
+	}
+	resp, err := s.handleSubsampleRequest(&req)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err)
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// RegisterModelRequest is the JSON body of POST /v1/models: load (or
+// hot-swap) a checkpoint under a name.
+type RegisterModelRequest struct {
+	Name       string         `json:"name"`
+	Spec       train.ArchSpec `json:"spec"`
+	Checkpoint string         `json:"checkpoint"`
+	InputShape []int          `json:"inputShape,omitempty"`
+	Replicas   int            `json:"replicas,omitempty"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) error {
+	switch r.Method {
+	case http.MethodGet:
+		return writeJSON(w, http.StatusOK, s.reg.List())
+	case http.MethodPost:
+		var req RegisterModelRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			return writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
+		}
+		replicas := req.Replicas
+		if replicas <= 0 {
+			replicas = s.cfg.Replicas
+		}
+		e, err := s.reg.Register(req.Name, req.Spec, req.Checkpoint, req.InputShape, replicas)
+		if err != nil {
+			return writeError(w, http.StatusBadRequest, err)
+		}
+		return writeJSON(w, http.StatusOK, e)
+	default:
+		return writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET or POST"))
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) error {
+	models := []string{}
+	for _, e := range s.reg.List() {
+		models = append(models, fmt.Sprintf("%s@v%d", e.Name, e.Version))
+	}
+	return writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"uptimeSeconds": time.Since(s.start).Seconds(),
+		"models":        models,
+		"queueDepth":    s.batcher.QueueDepth(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprint(w, s.met.Render(s.cache))
+}

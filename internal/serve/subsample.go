@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/sampling"
+	"repro/internal/sickle"
+)
+
+// SubsampleRequest is the JSON body of POST /v1/subsample: either a named
+// registry dataset (synthesized on first use, then cached) or a .skl shard
+// path written by sickle-subsample, plus the two-phase pipeline parameters.
+type SubsampleRequest struct {
+	Dataset string `json:"dataset,omitempty"` // a sickle.DatasetNames entry
+	Scale   string `json:"scale,omitempty"`   // "small" (default) | "large"
+	Shard   string `json:"shard,omitempty"`   // path to a .skl file instead of a dataset
+
+	Snapshot      int    `json:"snapshot"`
+	Hypercubes    string `json:"hypercubes,omitempty"`
+	Method        string `json:"method,omitempty"`
+	NumHypercubes int    `json:"numHypercubes,omitempty"`
+	NumSamples    int    `json:"numSamples,omitempty"`
+	Cube          int    `json:"cube,omitempty"` // cube edge (clamped to the grid)
+	NumClusters   int    `json:"numClusters,omitempty"`
+	Seed          int64  `json:"seed,omitempty"`
+}
+
+// SubsampleResponse summarizes the pipeline run (or shard read).
+type SubsampleResponse struct {
+	Dataset   string  `json:"dataset"`
+	Snapshot  int     `json:"snapshot"`
+	Cubes     int     `json:"cubes"`
+	Points    int     `json:"points"`
+	CacheHit  bool    `json:"cacheHit"`
+	ElapsedMS float64 `json:"elapsedMs"`
+}
+
+// datasetKey namespaces cache entries so a dataset name can never collide
+// with a shard path.
+func datasetKey(name, scale string) string { return "dataset:" + name + "/" + scale }
+func shardKey(path string) string          { return "shard:" + path }
+
+// resolveDataset returns the (possibly cached) dataset for a request.
+func (s *Server) resolveDataset(name, scaleStr string) (*grid.Dataset, bool, error) {
+	scale := sickle.Small
+	if strings.EqualFold(scaleStr, "large") {
+		scale = sickle.Large
+		scaleStr = "large"
+	} else {
+		scaleStr = "small"
+	}
+	v, hit, err := s.cache.GetOrLoad(datasetKey(name, scaleStr), func() (any, error) {
+		return sickle.BuildDatasetUncached(name, scale)
+	})
+	if err != nil {
+		return nil, hit, err
+	}
+	return v.(*grid.Dataset), hit, nil
+}
+
+// resolveShard returns the (possibly cached) cube samples of a .skl file.
+func (s *Server) resolveShard(path string) ([]sampling.CubeSample, bool, error) {
+	v, hit, err := s.cache.GetOrLoad(shardKey(path), func() (any, error) {
+		return sickle.LoadCubeSamples(path)
+	})
+	if err != nil {
+		return nil, hit, err
+	}
+	return v.([]sampling.CubeSample), hit, nil
+}
+
+// handleSubsampleRequest runs the two-phase pipeline (or reads a shard) and
+// reports what was selected. Only dataset/shard loading is cached — the
+// pipeline itself is cheap relative to synthesis and depends on the full
+// request, so it runs per call.
+func (s *Server) handleSubsampleRequest(req *SubsampleRequest) (*SubsampleResponse, error) {
+	t0 := time.Now()
+	if req.Shard != "" {
+		cubes, hit, err := s.resolveShard(req.Shard)
+		if err != nil {
+			return nil, err
+		}
+		points := 0
+		for _, cs := range cubes {
+			points += len(cs.LocalIdx)
+		}
+		return &SubsampleResponse{
+			Dataset: req.Shard, Cubes: len(cubes), Points: points,
+			CacheHit: hit, ElapsedMS: msSince(t0),
+		}, nil
+	}
+	if req.Dataset == "" {
+		return nil, fmt.Errorf("serve: request needs dataset or shard")
+	}
+	d, hit, err := s.resolveDataset(req.Dataset, req.Scale)
+	if err != nil {
+		return nil, err
+	}
+	if req.Snapshot < 0 || req.Snapshot >= len(d.Snapshots) {
+		return nil, fmt.Errorf("serve: snapshot %d out of range (dataset has %d)", req.Snapshot, len(d.Snapshots))
+	}
+	f := d.Snapshots[req.Snapshot]
+	pcfg := sampling.PipelineConfig{
+		Hypercubes:    req.Hypercubes,
+		Method:        req.Method,
+		NumHypercubes: req.NumHypercubes,
+		NumSamples:    req.NumSamples,
+		NumClusters:   req.NumClusters,
+		Seed:          req.Seed,
+	}
+	edge := req.Cube
+	if edge <= 0 {
+		edge = 16
+	}
+	pcfg.CubeSx = clamp(edge, f.Nx)
+	pcfg.CubeSy = clamp(edge, f.Ny)
+	pcfg.CubeSz = clamp(edge, f.Nz)
+	cubes, err := sampling.SubsampleSnapshot(d, req.Snapshot, pcfg)
+	if err != nil {
+		return nil, err
+	}
+	points := 0
+	for _, cs := range cubes {
+		points += len(cs.LocalIdx)
+	}
+	return &SubsampleResponse{
+		Dataset: d.Label, Snapshot: req.Snapshot, Cubes: len(cubes),
+		Points: points, CacheHit: hit, ElapsedMS: msSince(t0),
+	}, nil
+}
+
+func clamp(v, hi int) int {
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func msSince(t time.Time) float64 { return float64(time.Since(t)) / float64(time.Millisecond) }

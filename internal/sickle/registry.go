@@ -43,6 +43,19 @@ func BuildDataset(name string, scale Scale) (*grid.Dataset, error) {
 	if d, ok := cache[key]; ok {
 		return d, nil
 	}
+	d, err := BuildDatasetUncached(name, scale)
+	if err != nil {
+		return nil, err
+	}
+	cache[key] = d
+	return d, nil
+}
+
+// BuildDatasetUncached constructs a fresh dataset without consulting or
+// populating the package-level memo. Serving layers that manage their own
+// bounded LRU (internal/serve) use this so eviction there actually frees
+// the memory instead of leaving a second unbounded copy here.
+func BuildDatasetUncached(name string, scale Scale) (*grid.Dataset, error) {
 	d, err := buildDataset(name, scale)
 	if err != nil {
 		return nil, err
@@ -50,7 +63,6 @@ func BuildDataset(name string, scale Scale) (*grid.Dataset, error) {
 	if err := d.Validate(); err != nil {
 		return nil, fmt.Errorf("sickle: generated dataset %s invalid: %w", name, err)
 	}
-	cache[key] = d
 	return d, nil
 }
 

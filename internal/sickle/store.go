@@ -22,13 +22,20 @@ import (
 
 var storeMagic = [4]byte{'S', 'K', 'L', '1'}
 
-// SaveCubeSamples writes cube samples to path.
-func SaveCubeSamples(path string, cubes []sampling.CubeSample) error {
+// SaveCubeSamples writes cube samples to path. The file handle's Close
+// error is propagated: on full disks the kernel may only report the lost
+// write at close time, and swallowing it would leave a truncated .skl file
+// that looks successfully written.
+func SaveCubeSamples(path string, cubes []sampling.CubeSample) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	w := bufio.NewWriter(f)
 	if _, err := w.Write(storeMagic[:]); err != nil {
 		return err

@@ -1,0 +1,80 @@
+package train
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// ArchSpec names one of the Table 2 architectures together with the
+// dimensions needed to rebuild an identical replica — the contract a
+// checkpoint written by nn.SaveCheckpoint imposes on its reader. It is the
+// shared currency between cmd/sickle-train (which writes checkpoints) and
+// internal/serve's model registry (which loads them into worker replicas).
+type ArchSpec struct {
+	Arch   string `json:"arch"`             // lstm | mlp_transformer | cnn_transformer | matey
+	InDim  int    `json:"inDim"`            // lstm: input width; others: input variables
+	Hidden int    `json:"hidden,omitempty"` // lstm hidden size / transformer model dim (default 16)
+	Heads  int    `json:"heads,omitempty"`  // attention heads (default 2)
+	OutDim int    `json:"outDim"`           // lstm: output width; others: output variables
+	Edge   int    `json:"edge,omitempty"`   // decoder cube edge (transformer/MATEY only)
+}
+
+func (s ArchSpec) withDefaults() ArchSpec {
+	if s.Hidden <= 0 {
+		s.Hidden = 16
+	}
+	if s.Heads <= 0 {
+		s.Heads = 2
+	}
+	return s
+}
+
+// Validate reports whether the spec can build a model.
+func (s ArchSpec) Validate() error {
+	switch strings.ToLower(s.Arch) {
+	case "lstm":
+		if s.InDim <= 0 || s.OutDim <= 0 {
+			return fmt.Errorf("train: lstm spec needs inDim and outDim, got %+v", s)
+		}
+	case "mlp_transformer", "cnn_transformer", "matey":
+		if s.InDim <= 0 || s.OutDim <= 0 || s.Edge <= 0 {
+			return fmt.Errorf("train: %s spec needs inDim, outDim and edge, got %+v", s.Arch, s)
+		}
+	default:
+		return fmt.Errorf("train: unknown arch %q (want lstm|mlp_transformer|cnn_transformer|matey)", s.Arch)
+	}
+	return nil
+}
+
+// Build constructs a freshly initialized model from the spec.
+func (s ArchSpec) Build(rng *rand.Rand) (Model, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	s = s.withDefaults()
+	switch strings.ToLower(s.Arch) {
+	case "lstm":
+		return NewLSTMModel(rng, s.InDim, s.Hidden, s.OutDim), nil
+	case "mlp_transformer":
+		return NewMLPTransformer(rng, s.InDim, s.Hidden, s.Heads, s.OutDim, s.Edge), nil
+	case "cnn_transformer":
+		return NewCNNTransformer(rng, s.InDim, s.Hidden, s.Heads, s.OutDim, s.Edge), nil
+	case "matey":
+		return NewMATEYModel(rng, s.InDim, s.Hidden, s.Heads, s.OutDim, s.Edge), nil
+	}
+	return nil, fmt.Errorf("train: unknown arch %q", s.Arch)
+}
+
+// Factory adapts the spec to the ModelFactory signature Train expects.
+// Validate first; Build errors surface as a panic here because the training
+// loop has no error channel for replica construction.
+func (s ArchSpec) Factory() ModelFactory {
+	return func(rng *rand.Rand) Model {
+		m, err := s.Build(rng)
+		if err != nil {
+			panic(err)
+		}
+		return m
+	}
+}
