@@ -33,10 +33,18 @@ func main() {
 	model := flag.String("model", "", "model to load-test (default: first registered)")
 	clients := flag.Int("clients", 32, "concurrent clients in load-generator mode")
 	requests := flag.Int("requests", 256, "total requests in load-generator mode")
+	streamBench := flag.Bool("stream", false, "streaming-pipeline bench mode: run the in-situ pipeline and emit a JSON report")
+	streamOut := flag.String("streamout", "BENCH_stream.json", "output path for the -stream JSON report")
 	flag.Parse()
 
 	if *serveURL != "" {
 		if err := runLoadGen(*serveURL, *model, *clients, *requests); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *streamBench {
+		if err := runStreamBench(*streamOut); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/sampling"
+	"repro/internal/sickle"
+	"repro/internal/stream"
+)
+
+// streamBenchReport is the BENCH_stream.json schema CI accumulates: the
+// in-situ pipeline's throughput and memory trajectory plus the
+// selection-quality scalar, so perf regressions in the streaming subsystem
+// show up as a diffable artifact.
+type streamBenchReport struct {
+	Dataset           string  `json:"dataset"`
+	Ranks             int     `json:"ranks"`
+	Window            int     `json:"window"`
+	Snapshots         int     `json:"snapshots"`
+	Points            int     `json:"points"`
+	SnapshotsPerSec   float64 `json:"snapshots_per_sec"`
+	PeakBuffered      int     `json:"peak_buffered"`
+	PeakBufferedBytes int64   `json:"peak_buffered_bytes"`
+	MergeRounds       int     `json:"merge_rounds"`
+	Uniformity        float64 `json:"uniformity"`
+	SimCommSeconds    float64 `json:"sim_comm_seconds"`
+}
+
+// runStreamBench drives the streaming pipeline over the small SST-P1F4
+// replay with a tight window and writes the JSON report to outPath.
+func runStreamBench(outPath string) error {
+	d, err := sickle.BuildDataset("SST-P1F4", sickle.Small)
+	if err != nil {
+		return err
+	}
+	cfg := stream.Config{
+		Pipeline: sampling.PipelineConfig{
+			Hypercubes: "maxent", Method: "uips",
+			NumHypercubes: 4, NumSamples: 256,
+			CubeSx: 16, CubeSy: 16, CubeSz: 16,
+			NumClusters: 5, Seed: 1,
+		},
+		Ranks: 4, Window: 2, MergeEvery: 4,
+		Cost: sickle.DefaultCostModel(),
+	}
+	res, err := stream.Run(stream.NewReplaySource(d), cfg)
+	if err != nil {
+		return err
+	}
+	rep := streamBenchReport{
+		Dataset:           d.Label,
+		Ranks:             cfg.Ranks,
+		Window:            cfg.Window,
+		Snapshots:         res.Snapshots,
+		Points:            res.Points,
+		SnapshotsPerSec:   res.SnapshotsPerSec,
+		PeakBuffered:      res.PeakBuffered,
+		PeakBufferedBytes: res.PeakBufferedBytes,
+		MergeRounds:       res.MergeRounds,
+		Uniformity:        res.Sketch.UniformityIndex(),
+		SimCommSeconds:    res.World.MaxSimCommSeconds(),
+	}
+	if res.PeakBuffered > cfg.Window {
+		return fmt.Errorf("stream bench: peak buffered %d exceeded window %d",
+			res.PeakBuffered, cfg.Window)
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("stream bench: %d snapshots at %.2f/s, peak %d buffered (%.2f MiB), uniformity %.3f\n",
+		rep.Snapshots, rep.SnapshotsPerSec, rep.PeakBuffered,
+		float64(rep.PeakBufferedBytes)/(1<<20), rep.Uniformity)
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}

@@ -1,0 +1,180 @@
+// sickle-stream is the in-situ variant of the T1 stage: instead of
+// materializing a full dataset on disk and then subsampling it, it couples a
+// snapshot producer (a live solver, a synthetic generator, or a replay of a
+// registry dataset) directly to the two-phase sampling pipeline under a
+// fixed in-flight snapshot window, streaming the selection into per-rank
+// .skl shards. It reports throughput, the peak-RSS proxy (max buffered
+// snapshot bytes), and selection-quality stats, optionally against the
+// offline sickle-subsample result.
+//
+// Usage:
+//
+//	sickle-stream -source replay -dataset SST-P1F4 -n 4 -window 2 -o stream
+//	sickle-stream -source cfd3d -grid 32 -snapshots 16 -steps-per 2 -o stream
+//	sickle-stream -case case.yaml -compare-offline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/cfd2d"
+	"repro/internal/cfd3d"
+	"repro/internal/config"
+	"repro/internal/energy"
+	"repro/internal/grid"
+	"repro/internal/sampling"
+	"repro/internal/sickle"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/synth"
+)
+
+func main() {
+	caseFile := flag.String("case", "", "YAML case file (optional; flags override)")
+	source := flag.String("source", "replay", "snapshot source: replay|cfd2d|cfd3d|synth")
+	dataset := flag.String("dataset", "SST-P1F4", "dataset name for -source replay")
+	scaleStr := flag.String("scale", "small", "dataset scale for -source replay")
+	snapshots := flag.Int("snapshots", 8, "snapshots to stream from a live source")
+	stepsPer := flag.Int("steps-per", 2, "solver steps between snapshots (live sources)")
+	gridN := flag.Int("grid", 32, "grid edge for live 3-D sources (power of two)")
+	ranks := flag.Int("n", 0, "minimpi worker ranks")
+	window := flag.Int("window", 0, "max in-flight snapshots (memory budget)")
+	mergeEvery := flag.Int("merge-every", 0, "collective sketch merge period in snapshots (0 = end only)")
+	budget := flag.Int("budget", 0, "per-cube reservoir budget across the stream (0 = keep all)")
+	out := flag.String("o", "", "shard path prefix (empty = keep selection in memory)")
+	hsel := flag.String("hypercubes", "", "phase-1 selector: random|maxent")
+	method := flag.String("method", "", "phase-2 sampler: full|random|uniform|lhs|stratified|uips|maxent")
+	compare := flag.Bool("compare-offline", false, "also run the offline pipeline and compare selection quality (replay source only)")
+	flag.Parse()
+	// Explicitly-set flags override the case file even at their zero value
+	// (-budget 0 must force parity mode, -o "" in-memory mode, etc.).
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	pcfg := sampling.PipelineConfig{Hypercubes: "maxent", Method: "maxent", NumClusters: 5, Seed: 1}
+	scfg := stream.Config{}
+	if *caseFile != "" {
+		c, err := config.LoadCase(*caseFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pcfg.Hypercubes = c.Hypercubes
+		pcfg.Method = c.Method
+		pcfg.NumHypercubes = c.NumHypercubes
+		pcfg.NumSamples = c.NumSamples
+		pcfg.NumClusters = c.NumClusters
+		pcfg.CubeSx, pcfg.CubeSy, pcfg.CubeSz = c.NxSL, c.NySL, c.NzSL
+		pcfg.Seed = c.Seed
+		scfg.Ranks = c.Stream.Ranks
+		scfg.Window = c.Stream.Window
+		scfg.MergeEvery = c.Stream.MergeEvery
+		scfg.SketchBins = c.Stream.SketchBins
+		scfg.ReservoirBudget = c.Stream.Reservoir
+		scfg.ShardPrefix = c.Stream.ShardPrefix
+	}
+	if *hsel != "" {
+		pcfg.Hypercubes = *hsel
+	}
+	if *method != "" {
+		pcfg.Method = *method
+	}
+	if set["n"] {
+		scfg.Ranks = *ranks
+	}
+	if set["window"] {
+		scfg.Window = *window
+	}
+	if set["merge-every"] {
+		scfg.MergeEvery = *mergeEvery
+	}
+	if set["budget"] {
+		scfg.ReservoirBudget = *budget
+	}
+	if set["o"] {
+		scfg.ShardPrefix = *out
+	}
+
+	var (
+		src       stream.SnapshotSource
+		offlineDS *grid.Dataset
+	)
+	switch *source {
+	case "replay":
+		scale := sickle.Small
+		if *scaleStr == "large" {
+			scale = sickle.Large
+		}
+		d, err := sickle.BuildDataset(*dataset, scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		offlineDS = d
+		src = stream.NewReplaySource(d)
+	case "cfd2d":
+		src = stream.NewCFD2DSource(cfd2d.Config{
+			Nx: 180, Ny: 60, U0: 0.1, Reynolds: 150, D: 12, Cx: 30, Cy: 30,
+		}, 500, *snapshots, *stepsPer)
+	case "cfd3d":
+		src = stream.NewCFD3DSource(cfd3d.Config{N: *gridN, Seed: 11, BruntN: 2},
+			*snapshots, *stepsPer)
+	case "synth":
+		src = stream.NewSynthSource(synth.StratifiedConfig{
+			Nx: *gridN, Ny: *gridN / 2, Nz: *gridN, Seed: 13, AnisoFactor: 6, Froude: 0.15,
+		}, *snapshots)
+	default:
+		log.Fatalf("unknown source %q (want replay|cfd2d|cfd3d|synth)", *source)
+	}
+	defer src.Close()
+
+	meter := energy.NewMeter()
+	pcfg.Meter = meter
+	scfg.Pipeline = pcfg
+	scfg.Cost = sickle.DefaultCostModel()
+
+	res, err := stream.Run(src, scfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	meta := src.Meta()
+	fmt.Printf("source: %s (%s), %d snapshots streamed\n", *source, meta.Label, res.Snapshots)
+	fmt.Printf("pipeline: H%s-X%s, %d cubes kept, %d points selected\n",
+		pcfg.Hypercubes, pcfg.Method, len(res.Kept), res.Points)
+	fmt.Printf("throughput: %.2f snapshots/s (elapsed %v, sim comm %.3g s, %d merge rounds)\n",
+		res.SnapshotsPerSec, res.Elapsed, res.World.MaxSimCommSeconds(), res.MergeRounds)
+	fmt.Printf("memory: peak %d buffered snapshots (%.2f MiB) — window budget held\n",
+		res.PeakBuffered, float64(res.PeakBufferedBytes)/(1<<20))
+	fmt.Printf("selection quality: sketch uniformity %.3f over %d occupied cells\n",
+		res.Sketch.UniformityIndex(), res.Sketch.OccupiedCells())
+	fmt.Println(meter.String())
+	for _, p := range res.ShardPaths {
+		fmt.Printf("wrote %s\n", p)
+	}
+
+	if *compare {
+		if offlineDS == nil {
+			log.Fatal("-compare-offline requires -source replay")
+		}
+		// Use the clamped config the stream actually ran with, so both
+		// selections share the same cube geometry.
+		offline, err := sampling.SubsampleDataset(offlineDS, res.Pipeline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Score the offline selection on the stream's own sketch geometry so
+		// the two uniformity numbers are directly comparable.
+		ho := stats.NewNDHistogram(res.Sketch.Lo, res.Sketch.Hi, res.Sketch.Bins)
+		nOffline := 0
+		for i := range offline {
+			for _, row := range offline[i].Features {
+				ho.Add(row)
+			}
+			nOffline += len(offline[i].LocalIdx)
+		}
+		du := res.Sketch.UniformityIndex() - ho.UniformityIndex()
+		fmt.Printf("offline reference: %d points, uniformity %.3f (stream-offline delta %+.4f)\n",
+			nOffline, ho.UniformityIndex(), du)
+	}
+}

@@ -6,8 +6,12 @@
 // baseline samplers), synth+cfd2d+cfd3d (synthetic DNS dataset analogues),
 // nn+train (the neural-network stack and Table 2 architectures), minimpi
 // (goroutine message passing), energy (counter-based energy model), sickle
-// (the experiment harness regenerating every paper table/figure), and
-// serve (the online subsystem: micro-batched surrogate inference and
-// LRU-cached subsampling behind an HTTP API, served by cmd/sickle-serve
-// and load-tested by cmd/sickle-bench -serve). See README.md.
+// (the experiment harness regenerating every paper table/figure), serve
+// (the online subsystem: micro-batched surrogate inference and LRU-cached
+// subsampling behind an HTTP API, served by cmd/sickle-serve and
+// load-tested by cmd/sickle-bench -serve), and stream (the in-situ
+// subsystem: solver-coupled streaming subsampling under a bounded snapshot
+// window with collective sketch merges and sharded .skl output, driven by
+// cmd/sickle-stream and benchmarked by cmd/sickle-bench -stream). See
+// README.md.
 package repro

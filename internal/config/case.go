@@ -36,6 +36,8 @@ type Case struct {
 	Seed     int64
 	// serve
 	Serve ServeCase
+	// stream
+	Stream StreamCase
 }
 
 // ServeCase is the optional `serve:` section of a case file, sizing the
@@ -47,6 +49,18 @@ type ServeCase struct {
 	Workers      int
 	CacheEntries int
 	Replicas     int
+}
+
+// StreamCase is the optional `stream:` section of a case file, sizing the
+// sickle-stream in-situ pipeline (see internal/stream.Config for the
+// semantics). Unset keys stay zero so stream.Config owns the defaults.
+type StreamCase struct {
+	Ranks       int
+	Window      int
+	MergeEvery  int
+	SketchBins  int
+	Reservoir   int
+	ShardPrefix string
 }
 
 // LoadCase reads and parses a case file from disk.
@@ -68,6 +82,7 @@ func ParseCase(src string) (*Case, error) {
 	sub := m.GetMap("subsample")
 	tr := m.GetMap("train")
 	sv := m.GetMap("serve")
+	st := m.GetMap("stream")
 
 	c := &Case{
 		Dims:       shared.GetInt("dims", 3),
@@ -108,6 +123,17 @@ func ParseCase(src string) (*Case, error) {
 			Workers:      sv.GetInt("workers", 0),
 			CacheEntries: sv.GetInt("cache_entries", 0),
 			Replicas:     sv.GetInt("replicas", 0),
+		},
+
+		// Unset stream keys stay zero: internal/stream.Config owns the
+		// defaults (same discipline as serve).
+		Stream: StreamCase{
+			Ranks:       st.GetInt("ranks", 0),
+			Window:      st.GetInt("window", 0),
+			MergeEvery:  st.GetInt("merge_every", 0),
+			SketchBins:  st.GetInt("sketch_bins", 0),
+			Reservoir:   st.GetInt("reservoir", 0),
+			ShardPrefix: st.GetString("shard_prefix", ""),
 		},
 	}
 	if len(c.InputVars) == 0 {

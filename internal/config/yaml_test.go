@@ -218,6 +218,40 @@ serve:
 	}
 }
 
+func TestParseCaseStreamSection(t *testing.T) {
+	src := `shared:
+  input_vars: [u, v]
+stream:
+  ranks: 4
+  window: 3
+  merge_every: 8
+  sketch_bins: 12
+  reservoir: 500
+  shard_prefix: "out/stream"
+`
+	c, err := ParseCase(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stream
+	if st.Ranks != 4 || st.Window != 3 || st.MergeEvery != 8 ||
+		st.SketchBins != 12 || st.Reservoir != 500 || st.ShardPrefix != "out/stream" {
+		t.Fatalf("stream section = %+v", st)
+	}
+}
+
+func TestParseCaseStreamUnsetStaysZero(t *testing.T) {
+	// Unset stream keys must parse to zero values so internal/stream.Config
+	// remains the single owner of the streaming defaults.
+	c, err := ParseCase("shared:\n  input_vars: [u]\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stream != (StreamCase{}) {
+		t.Fatalf("stream section should be zero when unset, got %+v", c.Stream)
+	}
+}
+
 func TestParseCaseServeUnsetStaysZero(t *testing.T) {
 	// Unset serve keys must parse to zero values so internal/serve.Config
 	// remains the single owner of the serving defaults.

@@ -125,6 +125,107 @@ func TestAllreduceRepeatable(t *testing.T) {
 	})
 }
 
+// TestFanInContention drives the point-to-point mailboxes under load: every
+// non-root rank streams a burst of messages at rank 0 concurrently, and rank
+// 0 must observe each source's messages in send order. Run with -race; this
+// is the communication pattern the streaming pipeline's result gather uses.
+func TestFanInContention(t *testing.T) {
+	const ranks, burst = 8, 64
+	Run(ranks, CostModel{}, func(c *Comm) {
+		if c.Rank() == 0 {
+			for src := 1; src < ranks; src++ {
+				for m := 0; m < burst; m++ {
+					got := c.Recv(src)
+					if len(got) != 2 || int(got[0]) != src || int(got[1]) != m {
+						t.Errorf("from %d msg %d: got %v", src, m, got)
+						return
+					}
+				}
+			}
+		} else {
+			for m := 0; m < burst; m++ {
+				c.Send(0, []float64{float64(c.Rank()), float64(m)})
+			}
+		}
+	})
+}
+
+// TestAllPairsExchange has every rank send to and receive from every other
+// rank concurrently — the densest point-to-point pattern the (src,dst)
+// mailbox slack of one message must sustain without deadlock.
+func TestAllPairsExchange(t *testing.T) {
+	const ranks = 6
+	Run(ranks, CostModel{}, func(c *Comm) {
+		me := c.Rank()
+		for dst := 0; dst < ranks; dst++ {
+			if dst != me {
+				c.Send(dst, []float64{float64(me*100 + dst)})
+			}
+		}
+		for src := 0; src < ranks; src++ {
+			if src == me {
+				continue
+			}
+			got := c.Recv(src)
+			if int(got[0]) != src*100+me {
+				t.Errorf("rank %d from %d: got %v", me, src, got)
+			}
+		}
+	})
+}
+
+// TestBarrierStressOrdering reuses the cyclic barrier across many
+// generations under contention: within each iteration every rank's
+// pre-barrier increment must be visible to every rank after the barrier,
+// and no rank may run ahead a generation.
+func TestBarrierStressOrdering(t *testing.T) {
+	const ranks, iters = 8, 200
+	var phase [iters]int32
+	Run(ranks, CostModel{}, func(c *Comm) {
+		for it := 0; it < iters; it++ {
+			atomic.AddInt32(&phase[it], 1)
+			c.Barrier()
+			if got := atomic.LoadInt32(&phase[it]); got != ranks {
+				t.Errorf("iter %d: rank %d saw %d/%d arrivals after barrier",
+					it, c.Rank(), got, ranks)
+				return
+			}
+			if it+1 < iters {
+				if got := atomic.LoadInt32(&phase[it+1]); got != 0 {
+					t.Errorf("iter %d: rank %d saw next generation started early", it, c.Rank())
+					return
+				}
+			}
+			c.Barrier()
+		}
+	})
+}
+
+// TestMixedCollectivesUnderContention interleaves sends, barriers, and
+// allreduces the way the streaming sketch-merge protocol does, checking
+// the collectives stay aligned when mailbox traffic is in flight.
+func TestMixedCollectivesUnderContention(t *testing.T) {
+	const ranks, rounds = 4, 25
+	Run(ranks, CostModel{}, func(c *Comm) {
+		next := (c.Rank() + 1) % ranks
+		prev := (c.Rank() + ranks - 1) % ranks
+		for r := 0; r < rounds; r++ {
+			c.Send(next, []float64{float64(c.Rank() + r)})
+			got := c.Recv(prev)
+			if int(got[0]) != prev+r {
+				t.Errorf("round %d: rank %d got %v from %d", r, c.Rank(), got, prev)
+				return
+			}
+			buf := []float64{1}
+			c.Allreduce(buf, Sum)
+			if buf[0] != ranks {
+				t.Errorf("round %d: allreduce = %v", r, buf[0])
+				return
+			}
+		}
+	})
+}
+
 func TestPartitionRange(t *testing.T) {
 	// 10 items over 4 ranks: 3,3,2,2.
 	wants := [][2]int{{0, 3}, {3, 6}, {6, 8}, {8, 10}}

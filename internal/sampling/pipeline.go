@@ -108,8 +108,15 @@ func MethodNames() []string {
 // fixed across time is what makes spatiotemporal windows well-defined: the
 // same spatial region is observed at every timestep (fixed sensor regions).
 func SelectCubesForDataset(d *grid.Dataset, refSnap int, cfg PipelineConfig) ([]grid.Hypercube, error) {
+	return SelectCubesForField(d.Snapshots[refSnap], d.ClusterVar, cfg)
+}
+
+// SelectCubesForField runs phase 1 on a single in-memory snapshot (the
+// streaming twin of SelectCubesForDataset): the rng is seeded from cfg.Seed
+// alone, so streamed and offline runs derive the identical cube set from the
+// same reference snapshot.
+func SelectCubesForField(f *grid.Field, clusterVar string, cfg PipelineConfig) ([]grid.Hypercube, error) {
 	cfg.defaults()
-	f := d.Snapshots[refSnap]
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	hsel, err := NewHypercubeSelector(cfg.Hypercubes, cfg.NumClusters, cfg.Meter)
 	if err != nil {
@@ -120,15 +127,26 @@ func SelectCubesForDataset(d *grid.Dataset, refSnap int, cfg PipelineConfig) ([]
 		return nil, fmt.Errorf("sampling: grid %dx%dx%d too small for %dx%dx%d cubes",
 			f.Nx, f.Ny, f.Nz, cfg.CubeSx, cfg.CubeSy, cfg.CubeSz)
 	}
-	return hsel.SelectCubes(f, cubes, d.ClusterVar, cfg.NumHypercubes, rng), nil
+	return hsel.SelectCubes(f, cubes, clusterVar, cfg.NumHypercubes, rng), nil
 }
 
 // SubsampleSnapshotWithCubes runs phase 2 on one snapshot over a fixed cube
 // set. The rng is seeded per snapshot, so results do not depend on how
 // snapshots are distributed across ranks.
 func SubsampleSnapshotWithCubes(d *grid.Dataset, snap int, kept []grid.Hypercube, cfg PipelineConfig) ([]CubeSample, error) {
+	return SubsampleFieldWithCubes(d.Snapshots[snap], snap, kept,
+		d.InputVars, d.OutputVars, d.ClusterVar, cfg)
+}
+
+// SubsampleFieldWithCubes runs phase 2 on a single in-memory snapshot
+// without requiring a materialized Dataset — the entry point for in-situ
+// streaming consumers that receive snapshots one at a time. snap seeds the
+// per-snapshot rng exactly as the offline pipeline does (Seed + snap·7919),
+// so a streamed selection reproduces the offline result bit-for-bit.
+func SubsampleFieldWithCubes(f *grid.Field, snap int, kept []grid.Hypercube,
+	inVars, outVars []string, clusterVar string, cfg PipelineConfig) ([]CubeSample, error) {
+
 	cfg.defaults()
-	f := d.Snapshots[snap]
 	rng := rand.New(rand.NewSource(cfg.Seed + int64(snap)*7919))
 	psel, err := NewPointSampler(cfg.Method, cfg.NumClusters, cfg.Meter)
 	if err != nil {
@@ -136,7 +154,7 @@ func SubsampleSnapshotWithCubes(d *grid.Dataset, snap int, kept []grid.Hypercube
 	}
 	out := make([]CubeSample, 0, len(kept))
 	for _, cube := range kept {
-		cs, err := samplePointsInCube(d, f, snap, cube, psel, cfg, rng)
+		cs, err := samplePointsInCube(f, snap, cube, psel, cfg, rng, inVars, outVars, clusterVar)
 		if err != nil {
 			return nil, err
 		}
@@ -158,20 +176,21 @@ func SubsampleSnapshot(d *grid.Dataset, snap int, cfg PipelineConfig) ([]CubeSam
 	return SubsampleSnapshotWithCubes(d, snap, kept, cfg)
 }
 
-func samplePointsInCube(d *grid.Dataset, f *grid.Field, snap int, cube grid.Hypercube,
-	psel PointSampler, cfg PipelineConfig, rng *rand.Rand) (CubeSample, error) {
+func samplePointsInCube(f *grid.Field, snap int, cube grid.Hypercube,
+	psel PointSampler, cfg PipelineConfig, rng *rand.Rand,
+	inVars, outVars []string, clusterVar string) (CubeSample, error) {
 
 	flat := cube.Indices(f)
 	features := make([][]float64, len(flat))
-	backing := make([]float64, len(flat)*len(d.InputVars))
+	backing := make([]float64, len(flat)*len(inVars))
 	for r, idx := range flat {
-		row := backing[r*len(d.InputVars) : (r+1)*len(d.InputVars)]
-		f.Point(idx, d.InputVars, row)
+		row := backing[r*len(inVars) : (r+1)*len(inVars)]
+		f.Point(idx, inVars, row)
 		features[r] = row
 	}
 	var kcv []float64
-	if d.ClusterVar != "" {
-		kcv = cube.VarValues(f, d.ClusterVar)
+	if clusterVar != "" {
+		kcv = cube.VarValues(f, clusterVar)
 	}
 	data := &Data{Features: features, ClusterVar: kcv}
 
@@ -186,8 +205,8 @@ func samplePointsInCube(d *grid.Dataset, f *grid.Field, snap int, cube grid.Hype
 	cs.Targets = make([][]float64, len(local))
 	for r, li := range local {
 		cs.Features[r] = features[li]
-		tgt := make([]float64, len(d.OutputVars))
-		f.Point(flat[li], d.OutputVars, tgt)
+		tgt := make([]float64, len(outVars))
+		f.Point(flat[li], outVars, tgt)
 		cs.Targets[r] = tgt
 	}
 	return cs, nil

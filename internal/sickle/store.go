@@ -26,61 +26,146 @@ var storeMagic = [4]byte{'S', 'K', 'L', '1'}
 // error is propagated: on full disks the kernel may only report the lost
 // write at close time, and swallowing it would leave a truncated .skl file
 // that looks successfully written.
-func SaveCubeSamples(path string, cubes []sampling.CubeSample) (err error) {
-	f, err := os.Create(path)
+func SaveCubeSamples(path string, cubes []sampling.CubeSample) error {
+	a, err := OpenShardAppender(path)
 	if err != nil {
 		return err
 	}
+	if err := a.Append(cubes...); err != nil {
+		a.Close()
+		return err
+	}
+	return a.Close()
+}
+
+// ShardAppender incrementally writes cube samples to a .skl shard. Unlike
+// SaveCubeSamples it does not need the full sample set up front: streaming
+// producers append cubes as snapshots are consumed, and Close patches the
+// cube count into the header, yielding a file LoadCubeSamples reads
+// unchanged. Not safe for concurrent use; give each writer its own shard.
+type ShardAppender struct {
+	path   string
+	f      *os.File
+	w      *bufio.Writer
+	n      int
+	closed bool
+	// failed records a mid-record write failure. A partial record may
+	// already have auto-flushed to disk, and a file whose header counts
+	// only the complete records would load cleanly with data silently
+	// missing — so Close removes the shard instead of finalizing it.
+	failed error
+}
+
+// OpenShardAppender creates (truncating) a shard at path and writes the
+// header with a zero cube count placeholder.
+func OpenShardAppender(path string) (*ShardAppender, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	a := &ShardAppender{path: path, f: f, w: bufio.NewWriter(f)}
+	if _, err := a.w.Write(storeMagic[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := binary.Write(a.w, binary.LittleEndian, uint32(0)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return a, nil
+}
+
+// Count returns the number of cube samples appended so far.
+func (a *ShardAppender) Count() int { return a.n }
+
+// Append writes cube samples to the shard.
+func (a *ShardAppender) Append(cubes ...sampling.CubeSample) error {
+	if a.closed {
+		return fmt.Errorf("sickle: append to closed shard %s", a.path)
+	}
+	if a.failed != nil {
+		return a.failed
+	}
+	for i := range cubes {
+		if err := writeCubeSample(a.w, &cubes[i]); err != nil {
+			a.failed = err
+			return err
+		}
+		a.n++
+	}
+	return nil
+}
+
+// Close flushes buffered data, patches the cube count into the header, and
+// closes the file. As with SaveCubeSamples, the Close error of the
+// underlying handle is propagated so full-disk truncation is not silently
+// swallowed. If any Append failed, the shard is removed rather than
+// finalized: a partially-written file must not survive looking valid.
+// Closing twice is a no-op.
+func (a *ShardAppender) Close() (err error) {
+	if a.closed {
+		return nil
+	}
+	a.closed = true
+	if a.failed != nil {
+		a.f.Close()
+		os.Remove(a.path)
+		return a.failed
+	}
 	defer func() {
-		if cerr := f.Close(); err == nil {
+		if cerr := a.f.Close(); err == nil {
 			err = cerr
 		}
 	}()
-	w := bufio.NewWriter(f)
-	if _, err := w.Write(storeMagic[:]); err != nil {
+	if err := a.w.Flush(); err != nil {
 		return err
 	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(a.n))
+	if _, err := a.f.WriteAt(hdr[:], int64(len(storeMagic))); err != nil {
+		return err
+	}
+	return nil
+}
+
+// writeCubeSample serializes one cube record in the SKL1 layout.
+func writeCubeSample(w io.Writer, cs *sampling.CubeSample) error {
 	le := binary.LittleEndian
 	u32 := func(v int) error { return binary.Write(w, le, uint32(v)) }
-	if err := u32(len(cubes)); err != nil {
-		return err
-	}
-	for _, cs := range cubes {
-		hdr := []int{cs.Snapshot, cs.Cube.I0, cs.Cube.J0, cs.Cube.K0,
-			cs.Cube.Sx, cs.Cube.Sy, cs.Cube.Sz, cs.Cube.ID}
-		for _, v := range hdr {
-			if err := u32(v); err != nil {
-				return err
-			}
-		}
-		n := len(cs.LocalIdx)
-		nf, nt := 0, 0
-		if n > 0 {
-			nf = len(cs.Features[0])
-			nt = len(cs.Targets[0])
-		}
-		for _, v := range []int{n, nf, nt} {
-			if err := u32(v); err != nil {
-				return err
-			}
-		}
-		for _, li := range cs.LocalIdx {
-			if err := u32(li); err != nil {
-				return err
-			}
-		}
-		for _, row := range cs.Features {
-			if err := binary.Write(w, le, row); err != nil {
-				return err
-			}
-		}
-		for _, row := range cs.Targets {
-			if err := binary.Write(w, le, row); err != nil {
-				return err
-			}
+	hdr := []int{cs.Snapshot, cs.Cube.I0, cs.Cube.J0, cs.Cube.K0,
+		cs.Cube.Sx, cs.Cube.Sy, cs.Cube.Sz, cs.Cube.ID}
+	for _, v := range hdr {
+		if err := u32(v); err != nil {
+			return err
 		}
 	}
-	return w.Flush()
+	n := len(cs.LocalIdx)
+	nf, nt := 0, 0
+	if n > 0 {
+		nf = len(cs.Features[0])
+		nt = len(cs.Targets[0])
+	}
+	for _, v := range []int{n, nf, nt} {
+		if err := u32(v); err != nil {
+			return err
+		}
+	}
+	for _, li := range cs.LocalIdx {
+		if err := u32(li); err != nil {
+			return err
+		}
+	}
+	for _, row := range cs.Features {
+		if err := binary.Write(w, le, row); err != nil {
+			return err
+		}
+	}
+	for _, row := range cs.Targets {
+		if err := binary.Write(w, le, row); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // LoadCubeSamples reads cube samples from path.
@@ -143,6 +228,15 @@ func LoadCubeSamples(path string) ([]sampling.CubeSample, error) {
 			}
 		}
 		out = append(out, cs)
+	}
+	// A well-formed shard ends exactly after the declared records; trailing
+	// bytes mean a corrupt or partially-written file and must fail loudly
+	// rather than load as a smaller, valid-looking dataset.
+	if _, err := r.ReadByte(); err != io.EOF {
+		if err == nil {
+			return nil, fmt.Errorf("sickle: %s has trailing bytes after %d cubes", path, nCubes)
+		}
+		return nil, err
 	}
 	return out, nil
 }

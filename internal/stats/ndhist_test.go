@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNDHistogramAddWeighted(t *testing.T) {
+	h := NewNDHistogram([]float64{0, 0}, []float64{1, 1}, 4)
+	h.AddWeighted([]float64{0.1, 0.1}, 3)
+	h.AddWeighted([]float64{0.9, 0.9}, 2)
+	h.AddWeighted([]float64{0.5, 0.5}, 0) // no-op
+	if h.N != 5 {
+		t.Fatalf("N = %d, want 5", h.N)
+	}
+	if got := h.Probability([]float64{0.1, 0.1}); math.Abs(got-3.0/5) > 1e-15 {
+		t.Fatalf("Probability = %v, want 0.6", got)
+	}
+	if h.OccupiedCells() != 2 {
+		t.Fatalf("occupied = %d, want 2", h.OccupiedCells())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative weight should panic")
+		}
+	}()
+	h.AddWeighted([]float64{0.1, 0.1}, -1)
+}
+
+func TestNDHistogramMergeMatchesPooledAdd(t *testing.T) {
+	lo, hi := []float64{-1, -1, -1}, []float64{1, 1, 1}
+	rng := rand.New(rand.NewSource(42))
+	pooled := NewNDHistogram(lo, hi, 5)
+	parts := []*NDHistogram{
+		NewNDHistogram(lo, hi, 5),
+		NewNDHistogram(lo, hi, 5),
+		NewNDHistogram(lo, hi, 5),
+	}
+	for i := 0; i < 3000; i++ {
+		p := []float64{rng.NormFloat64() * 0.5, rng.NormFloat64() * 0.5, rng.Float64()*2 - 1}
+		pooled.Add(p)
+		parts[i%3].Add(p)
+	}
+	merged := NewNDHistogram(lo, hi, 5)
+	for _, part := range parts {
+		if err := merged.Merge(part); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if merged.N != pooled.N {
+		t.Fatalf("merged N = %d, pooled N = %d", merged.N, pooled.N)
+	}
+	if len(merged.Counts) != len(pooled.Counts) {
+		t.Fatalf("merged cells = %d, pooled cells = %d", len(merged.Counts), len(pooled.Counts))
+	}
+	for cell, c := range pooled.Counts {
+		if merged.Counts[cell] != c {
+			t.Fatalf("cell %d: merged %d, pooled %d", cell, merged.Counts[cell], c)
+		}
+	}
+	if a, b := merged.UniformityIndex(), pooled.UniformityIndex(); math.Abs(a-b) > 1e-12 {
+		t.Fatalf("uniformity %v vs %v", a, b)
+	}
+}
+
+func TestNDHistogramMergeRejectsMismatch(t *testing.T) {
+	h := NewNDHistogram([]float64{0}, []float64{1}, 4)
+	if err := h.Merge(NewNDHistogram([]float64{0, 0}, []float64{1, 1}, 4)); err == nil {
+		t.Fatal("dims mismatch should error")
+	}
+	if err := h.Merge(NewNDHistogram([]float64{0}, []float64{1}, 8)); err == nil {
+		t.Fatal("bins mismatch should error")
+	}
+	if err := h.Merge(NewNDHistogram([]float64{0}, []float64{2}, 4)); err == nil {
+		t.Fatal("bounds mismatch should error")
+	}
+}
+
+func TestNDHistogramTotalCells(t *testing.T) {
+	if got := NewNDHistogram([]float64{0}, []float64{1}, 4).TotalCells(); got != 4 {
+		t.Fatalf("TotalCells = %d, want 4", got)
+	}
+	if got := NewNDHistogram([]float64{0, 0, 0}, []float64{1, 1, 1}, 5).TotalCells(); got != 125 {
+		t.Fatalf("TotalCells = %d, want 125", got)
+	}
+}

@@ -1,0 +1,595 @@
+// Package stream is SICKLE-Go's in-situ streaming subsampling subsystem:
+// it couples the simulation producers (internal/synth, internal/cfd2d,
+// internal/cfd3d — or a replay of an on-disk dataset) directly to the
+// two-phase sampler under a fixed memory budget, so extreme-scale DNS output
+// never has to land on disk before being subsampled.
+//
+// The pipeline is producer → bounded window → rank workers → shard writers:
+//
+//   - a single producer pulls snapshots from a SnapshotSource and
+//     round-robins them to minimpi rank workers through bounded channels;
+//     a window semaphore caps how many snapshots are in flight, which is
+//     the pipeline's peak-RSS proxy (backpressure stalls the solver, it
+//     never buffers unboundedly);
+//   - phase 1 (hypercube selection) runs once on the first snapshot, exactly
+//     as the offline pipeline runs it on snapshot 0, so streamed and offline
+//     runs share the cube set;
+//   - each worker runs phase 2 per snapshot with the offline per-snapshot
+//     seeding, updates an online NDHistogram sketch of the selected
+//     feature-space occupancy, and either appends results to its own .skl
+//     shard (ShardPrefix), feeds a per-cube budgeted reservoir
+//     (ReservoirBudget), or collects them in memory;
+//   - the producer injects merge markers every MergeEvery snapshots (and
+//     once at end-of-stream); on a marker every rank joins a collective
+//     sketch merge over minimpi (dense Allreduce of the per-rank deltas), so
+//     each rank's global sketch converges without any rank ever seeing the
+//     full dataset.
+//
+// With ReservoirBudget == 0 the streamed selection is bit-identical to the
+// offline sampling.SubsampleDataset result (asserted in tests); with a
+// budget it becomes a streaming UIPS-style selector whose inverse-density
+// weights come from the merged sketch.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/minimpi"
+	"repro/internal/sampling"
+	"repro/internal/sickle"
+	"repro/internal/stats"
+)
+
+// Config sizes the streaming pipeline.
+type Config struct {
+	// Pipeline is the two-phase sampling configuration, shared verbatim
+	// with the offline pipeline (same seeds → same selection).
+	Pipeline sampling.PipelineConfig
+	// Ranks is the number of minimpi worker ranks (default 1).
+	Ranks int
+	// Window caps in-flight snapshots (producer blocks when full);
+	// default 2. This is the pipeline's memory budget knob.
+	Window int
+	// MergeEvery injects a collective sketch merge every N snapshots
+	// (0 = merge only at end of stream).
+	MergeEvery int
+	// SketchBins is the per-dimension bin count of the online feature
+	// sketch (default 8, shrunk automatically if bins^dims would exceed
+	// the dense-merge budget).
+	SketchBins int
+	// ReservoirBudget, when > 0, caps the samples kept per hypercube
+	// across the whole stream via weighted reservoir sampling with
+	// inverse-density weights from the merged sketch. 0 keeps every
+	// per-snapshot selection (offline-parity mode).
+	ReservoirBudget int
+	// ShardPrefix, when non-empty, streams results to per-rank
+	// "<prefix>-rankNNN.skl" shards instead of holding them in memory.
+	ShardPrefix string
+	// Cost is the simulated interconnect model charged for the merges.
+	Cost minimpi.CostModel
+}
+
+func (c *Config) defaults() {
+	if c.Ranks <= 0 {
+		c.Ranks = 1
+	}
+	if c.Window <= 0 {
+		c.Window = 2
+	}
+	if c.SketchBins <= 0 {
+		c.SketchBins = 8
+	}
+}
+
+// Result summarizes a streaming run.
+type Result struct {
+	// Cubes holds the selection when ShardPrefix is empty (in-memory
+	// mode), ordered snapshot-major like the offline pipeline output.
+	Cubes []sampling.CubeSample
+	// Kept is the fixed phase-1 cube set.
+	Kept []grid.Hypercube
+	// Pipeline is the effective sampling configuration after cube-geometry
+	// clamping against the reference snapshot — use it (not the input
+	// config) to reproduce the run offline.
+	Pipeline sampling.PipelineConfig
+	// Snapshots is how many snapshots the stream carried.
+	Snapshots int
+	// Points is the total number of selected points.
+	Points int
+	// PeakBuffered is the high-water mark of simultaneously buffered
+	// snapshots (always ≤ Window).
+	PeakBuffered int
+	// PeakBufferedBytes is the high-water mark of buffered snapshot
+	// bytes — the pipeline's peak-RSS proxy.
+	PeakBufferedBytes int64
+	// MergeRounds counts the collective sketch merges performed.
+	MergeRounds int
+	// Sketch is the merged global occupancy sketch of the selected
+	// features (its UniformityIndex is the selection-quality stat).
+	Sketch *stats.NDHistogram
+	// ShardPaths lists the shards written (sharded mode only).
+	ShardPaths []string
+	// Elapsed is the wall-clock pipeline time; SnapshotsPerSec the
+	// resulting throughput.
+	Elapsed         time.Duration
+	SnapshotsPerSec float64
+	// World exposes the minimpi world for sim-comm-cost queries.
+	World *minimpi.World
+}
+
+// message is one unit of work handed to a rank worker: either a snapshot or
+// a merge marker. The producer sends markers to every rank at the same
+// stream position, so the collective merges stay aligned across ranks.
+type message struct {
+	f     *grid.Field
+	snap  int
+	bytes int64
+	merge bool
+}
+
+// windowTracker enforces the in-flight snapshot window and records the
+// high-water marks reported in Result. A slot is reserved BEFORE the source
+// materializes the next snapshot, so the snapshot in the producer's hand is
+// counted: the reported peak is the true residency, not residency minus one.
+type windowTracker struct {
+	sem       chan struct{}
+	mu        sync.Mutex
+	cur, peak int
+	curBytes  int64
+	peakBytes int64
+}
+
+func newWindowTracker(window int) *windowTracker {
+	return &windowTracker{sem: make(chan struct{}, window)}
+}
+
+// reserve claims a window slot for a snapshot about to be produced.
+func (t *windowTracker) reserve() {
+	t.sem <- struct{}{}
+	t.mu.Lock()
+	t.cur++
+	if t.cur > t.peak {
+		t.peak = t.cur
+	}
+	t.mu.Unlock()
+}
+
+// addBytes records the size of the snapshot that filled the reserved slot.
+func (t *windowTracker) addBytes(bytes int64) {
+	t.mu.Lock()
+	t.curBytes += bytes
+	if t.curBytes > t.peakBytes {
+		t.peakBytes = t.curBytes
+	}
+	t.mu.Unlock()
+}
+
+// cancel returns a reserved slot that never received a snapshot (EOF/error).
+func (t *windowTracker) cancel() {
+	t.mu.Lock()
+	t.cur--
+	t.mu.Unlock()
+	<-t.sem
+}
+
+func (t *windowTracker) release(bytes int64) {
+	t.mu.Lock()
+	t.cur--
+	t.curBytes -= bytes
+	t.mu.Unlock()
+	<-t.sem
+}
+
+// ShardPath returns the shard file for one rank under a prefix.
+func ShardPath(prefix string, rank int) string {
+	return fmt.Sprintf("%s-rank%03d.skl", prefix, rank)
+}
+
+// Run drives the in-situ pipeline over a snapshot source until io.EOF.
+func Run(src SnapshotSource, cfg Config) (*Result, error) {
+	cfg.defaults()
+	meta := src.Meta()
+	if len(meta.InputVars) == 0 {
+		return nil, errors.New("stream: source declares no input variables")
+	}
+	cs := &countingSource{src: src}
+	tracker := newWindowTracker(cfg.Window)
+	tracker.reserve()
+	f0, err := cs.next()
+	if err != nil {
+		if err == io.EOF {
+			return nil, errors.New("stream: empty snapshot stream")
+		}
+		return nil, err
+	}
+	tracker.addBytes(f0.SizeBytes())
+
+	// Clamp cube geometry to the reference snapshot, mirroring the offline
+	// CLI's behaviour, so live sources with modest grids just work.
+	pcfg := cfg.Pipeline
+	if pcfg.CubeSx <= 0 || pcfg.CubeSx > f0.Nx {
+		pcfg.CubeSx = min(32, f0.Nx)
+	}
+	if pcfg.CubeSy <= 0 || pcfg.CubeSy > f0.Ny {
+		pcfg.CubeSy = min(32, f0.Ny)
+	}
+	if pcfg.CubeSz <= 0 || pcfg.CubeSz > f0.Nz {
+		pcfg.CubeSz = min(32, f0.Nz)
+	}
+
+	// Phase 1 once, on the reference snapshot — the fixed sensor regions
+	// every streamed snapshot is sampled through.
+	kept, err := sampling.SelectCubesForField(f0, meta.ClusterVar, pcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	lo, hi := featureBounds(f0, meta.InputVars)
+	bins, err := effectiveBins(cfg.SketchBins, len(meta.InputVars))
+	if err != nil {
+		return nil, err
+	}
+
+	chans := make([]chan message, cfg.Ranks)
+	for r := range chans {
+		chans[r] = make(chan message, cfg.Window+1)
+	}
+
+	var (
+		prodErr     error
+		snapTotal   int
+		mergeRounds int
+	)
+	start := time.Now()
+	go func() {
+		defer func() {
+			for _, ch := range chans {
+				ch <- message{merge: true} // final end-of-stream merge
+			}
+			mergeRounds++
+			for _, ch := range chans {
+				close(ch)
+			}
+		}()
+		emit := func(f *grid.Field, snap int) {
+			chans[snap%cfg.Ranks] <- message{f: f, snap: snap, bytes: f.SizeBytes()}
+		}
+		emit(f0, 0) // its slot was reserved before phase 1 ran
+		snapTotal = 1
+		for {
+			// Reserve before asking the source to materialize: the snapshot
+			// being produced occupies real memory and must count against
+			// the window.
+			tracker.reserve()
+			f, err := cs.next()
+			if err == io.EOF {
+				tracker.cancel()
+				return
+			}
+			if err != nil {
+				tracker.cancel()
+				prodErr = err
+				return
+			}
+			tracker.addBytes(f.SizeBytes())
+			snap := snapTotal
+			snapTotal++
+			emit(f, snap)
+			if cfg.MergeEvery > 0 && snapTotal%cfg.MergeEvery == 0 {
+				for _, ch := range chans {
+					ch <- message{merge: true}
+				}
+				mergeRounds++
+			}
+		}
+	}()
+
+	results := make([][]sampling.CubeSample, cfg.Ranks)
+	reservoirsPerRank := make([]map[int]*cubeReservoir, cfg.Ranks)
+	pointsPerRank := make([]int, cfg.Ranks)
+	errs := make([]error, cfg.Ranks)
+	var shardPaths []string
+	if cfg.ShardPrefix != "" {
+		// Remove stale shards under this prefix first: a previous run with
+		// more ranks (or one that failed mid-stream) leaves files a
+		// `<prefix>-rank*.skl` glob would silently union with this run's
+		// output.
+		if stale, gerr := filepath.Glob(cfg.ShardPrefix + "-rank*.skl"); gerr == nil {
+			for _, p := range stale {
+				os.Remove(p)
+			}
+		}
+		shardPaths = make([]string, cfg.Ranks)
+		for r := range shardPaths {
+			shardPaths[r] = ShardPath(cfg.ShardPrefix, r)
+		}
+	}
+	var mergedSketch *stats.NDHistogram
+
+	world := minimpi.Run(cfg.Ranks, cfg.Cost, func(c *minimpi.Comm) {
+		rank := c.Rank()
+		delta := stats.NewNDHistogram(lo, hi, bins)
+		global := stats.NewNDHistogram(lo, hi, bins)
+		var app *sickle.ShardAppender
+		if cfg.ShardPrefix != "" && cfg.ReservoirBudget == 0 {
+			// In reservoir mode the survivors are only known after the
+			// cross-rank reservoir reduction; shards are written then.
+			var aerr error
+			app, aerr = sickle.OpenShardAppender(shardPaths[rank])
+			if aerr != nil {
+				errs[rank] = aerr
+			}
+		}
+		reservoirs := map[int]*cubeReservoir{}
+
+		for msg := range chans[rank] {
+			if msg.merge {
+				// Merges are collective: every rank must join even after a
+				// local failure, or the others would deadlock in Allreduce.
+				if merr := mergeSketches(c, &delta, global); merr != nil && errs[rank] == nil {
+					errs[rank] = merr
+				}
+				continue
+			}
+			func() {
+				defer tracker.release(msg.bytes)
+				if errs[rank] != nil {
+					return // keep draining so backpressure keeps moving
+				}
+				out, serr := sampling.SubsampleFieldWithCubes(msg.f, msg.snap, kept,
+					meta.InputVars, meta.OutputVars, meta.ClusterVar, pcfg)
+				if serr != nil {
+					errs[rank] = serr
+					return
+				}
+				for i := range out {
+					for _, row := range out[i].Features {
+						delta.Add(row)
+					}
+				}
+				switch {
+				case cfg.ReservoirBudget > 0:
+					offerToReservoirs(reservoirs, out, msg.snap, cfg.ReservoirBudget,
+						pcfg.Seed, global, delta)
+				case app != nil:
+					if aerr := app.Append(out...); aerr != nil {
+						errs[rank] = aerr
+						return
+					}
+					for i := range out {
+						pointsPerRank[rank] += len(out[i].LocalIdx)
+					}
+				default:
+					// Compact before retaining: Features rows alias the
+					// per-cube backing slab (cube volume × vars floats), and
+					// keeping them as-is would pin every slab for the
+					// stream's lifetime — the overhead the window exists to
+					// prevent. Targets are already per-point allocations.
+					compactFeatures(out)
+					results[rank] = append(results[rank], out...)
+					for i := range out {
+						pointsPerRank[rank] += len(out[i].LocalIdx)
+					}
+				}
+			}()
+		}
+
+		if cfg.ReservoirBudget > 0 {
+			reservoirsPerRank[rank] = reservoirs
+		}
+		if app != nil {
+			if cerr := app.Close(); cerr != nil && errs[rank] == nil {
+				errs[rank] = cerr
+			}
+		}
+		// Gather per-rank point counts (reservoir-held candidates in budget
+		// mode, selected points otherwise) on rank 0, charging the cost
+		// model for the same wrap-up communication the offline driver
+		// performs.
+		count := float64(pointsPerRank[rank])
+		if cfg.ReservoirBudget > 0 {
+			for _, r := range reservoirs {
+				count += float64(len(r.items))
+			}
+		}
+		c.Gather(0, []float64{count})
+		if rank == 0 {
+			mergedSketch = global
+		}
+	})
+
+	elapsed := time.Since(start)
+	// A failed run must not leave valid-looking shards behind.
+	cleanupShards := func() {
+		for _, p := range shardPaths {
+			os.Remove(p)
+		}
+	}
+	if prodErr != nil {
+		cleanupShards()
+		return nil, prodErr
+	}
+	for r := 0; r < cfg.Ranks; r++ {
+		if errs[r] != nil {
+			cleanupShards()
+			return nil, fmt.Errorf("stream: rank %d: %w", r, errs[r])
+		}
+	}
+
+	res := &Result{
+		Kept:              kept,
+		Pipeline:          pcfg,
+		Snapshots:         snapTotal,
+		PeakBuffered:      tracker.peak,
+		PeakBufferedBytes: tracker.peakBytes,
+		MergeRounds:       mergeRounds,
+		Sketch:            mergedSketch,
+		ShardPaths:        shardPaths,
+		Elapsed:           elapsed,
+		World:             world,
+	}
+	if elapsed > 0 {
+		res.SnapshotsPerSec = float64(snapTotal) / elapsed.Seconds()
+	}
+	for _, p := range pointsPerRank {
+		res.Points += p
+	}
+	if cfg.ReservoirBudget > 0 {
+		// Cross-rank reservoir reduction: the global top-budget per cube is
+		// always contained in the union of the per-rank top-budget sets, so
+		// re-offering every survivor into a fresh reservoir recovers it.
+		flushed := flushReservoirs(mergeRankReservoirs(reservoirsPerRank, cfg.ReservoirBudget))
+		for i := range flushed {
+			res.Points += len(flushed[i].LocalIdx)
+		}
+		if cfg.ShardPrefix == "" {
+			res.Cubes = flushed
+		} else if err := writeShards(shardPaths, flushed); err != nil {
+			cleanupShards()
+			return nil, err
+		}
+		return res, nil
+	}
+	if cfg.ShardPrefix == "" {
+		for r := 0; r < cfg.Ranks; r++ {
+			res.Cubes = append(res.Cubes, results[r]...)
+		}
+		sort.SliceStable(res.Cubes, func(a, b int) bool {
+			if res.Cubes[a].Snapshot != res.Cubes[b].Snapshot {
+				return res.Cubes[a].Snapshot < res.Cubes[b].Snapshot
+			}
+			return res.Cubes[a].Cube.ID < res.Cubes[b].Cube.ID
+		})
+	}
+	return res, nil
+}
+
+// compactFeatures rewrites each cube sample's Features rows into a fresh
+// backing array sized to the selected points, releasing the per-cube slab
+// they were subsliced from.
+func compactFeatures(cubes []sampling.CubeSample) {
+	for i := range cubes {
+		cs := &cubes[i]
+		if len(cs.Features) == 0 {
+			continue
+		}
+		d := len(cs.Features[0])
+		backing := make([]float64, len(cs.Features)*d)
+		for r, row := range cs.Features {
+			dst := backing[r*d : (r+1)*d]
+			copy(dst, row)
+			cs.Features[r] = dst
+		}
+	}
+}
+
+// mergeRankReservoirs reduces the per-rank reservoirs to one global
+// budgeted reservoir per cube by re-offering every locally-kept item.
+func mergeRankReservoirs(perRank []map[int]*cubeReservoir, budget int) map[int]*cubeReservoir {
+	merged := map[int]*cubeReservoir{}
+	for _, rankRes := range perRank {
+		for id, r := range rankRes {
+			g, ok := merged[id]
+			if !ok {
+				g = newCubeReservoir(r.cube, budget)
+				merged[id] = g
+			}
+			for _, it := range r.items {
+				g.offer(it)
+			}
+		}
+	}
+	return merged
+}
+
+// writeShards distributes finalized cube samples round-robin across the
+// per-rank shard files.
+func writeShards(paths []string, cubes []sampling.CubeSample) error {
+	for r, path := range paths {
+		a, err := sickle.OpenShardAppender(path)
+		if err != nil {
+			return err
+		}
+		for i := r; i < len(cubes); i += len(paths) {
+			if err := a.Append(cubes[i]); err != nil {
+				a.Close()
+				return err
+			}
+		}
+		if err := a.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeSketches is the collective sketch merge: each rank contributes its
+// unmerged delta as a dense vector, the Allreduce sums them, every rank
+// folds the sum into its global sketch, and the delta resets. The dense
+// buffer is bounded by effectiveBins.
+func mergeSketches(c *minimpi.Comm, delta **stats.NDHistogram, global *stats.NDHistogram) error {
+	d := *delta
+	buf := make([]float64, d.TotalCells())
+	for cell, cnt := range d.Counts {
+		buf[cell] = float64(cnt)
+	}
+	c.Allreduce(buf, minimpi.Sum)
+	summed := stats.NewNDHistogram(d.Lo, d.Hi, d.Bins)
+	for cell, v := range buf {
+		if v > 0 {
+			n := int(v + 0.5)
+			summed.Counts[cell] = n
+			summed.N += n
+		}
+	}
+	if err := global.Merge(summed); err != nil {
+		return err
+	}
+	*delta = stats.NewNDHistogram(d.Lo, d.Hi, d.Bins)
+	return nil
+}
+
+// offerToReservoirs feeds one snapshot's phase-2 selection into the per-cube
+// budgeted reservoirs. The Exp(1) key draws come from a per-snapshot rng
+// (seeded like the offline per-snapshot seeding) and so are independent of
+// rank layout, but the inverse-density weights read the rank's own sketch
+// state, which does depend on which snapshots the rank has seen and how
+// many merges have landed — reservoir selections are therefore reproducible
+// for a fixed (seed, ranks, merge cadence) but only approximately invariant
+// across rank counts. Only parity mode (ReservoirBudget == 0) is bit-exact.
+func offerToReservoirs(reservoirs map[int]*cubeReservoir, out []sampling.CubeSample,
+	snap, budget int, seed int64, global, delta *stats.NDHistogram) {
+
+	rng := newKeyRNG(seed, snap)
+	for i := range out {
+		cs := &out[i]
+		r, ok := reservoirs[cs.Cube.ID]
+		if !ok {
+			r = newCubeReservoir(cs.Cube, budget)
+			reservoirs[cs.Cube.ID] = r
+		}
+		for p := range cs.LocalIdx {
+			w := invDensityWeight(global, delta, cs.Features[p])
+			// Copy the feature row: cs.Features rows are subslices of one
+			// per-cube backing slab, and holding a reference from the
+			// reservoir would pin the whole slab (cube volume × vars) for
+			// the stream's lifetime, silently breaking the memory budget.
+			// Targets are already per-point allocations.
+			r.offer(resItem{
+				key:      -rng.ExpFloat64() / w,
+				snap:     snap,
+				localIdx: cs.LocalIdx[p],
+				features: append([]float64(nil), cs.Features[p]...),
+				targets:  cs.Targets[p],
+			})
+		}
+	}
+}

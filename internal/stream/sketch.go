@@ -1,0 +1,213 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/grid"
+	"repro/internal/sampling"
+	"repro/internal/stats"
+)
+
+// newKeyRNG seeds the reservoir-key rng per snapshot (mirroring the offline
+// per-snapshot seeding), so the kept set does not depend on which rank
+// happened to process which snapshot.
+func newKeyRNG(seed int64, snap int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(snap)*104729 + 1))
+}
+
+// featureBounds returns the per-input-variable (lo, hi) box of the reference
+// snapshot, padded like stats.NDHistogramFromPoints so the max value stays
+// inside the last cell. All ranks build their sketches over these shared
+// bounds, which is what makes the periodic minimpi merges well-defined;
+// later snapshots that drift outside the box are clamped to the edge cells
+// (NDHistogram.CellIndex clamps).
+func featureBounds(f *grid.Field, inVars []string) (lo, hi []float64) {
+	lo = make([]float64, len(inVars))
+	hi = make([]float64, len(inVars))
+	for j, name := range inVars {
+		v := f.Var(name)
+		l, h := v[0], v[0]
+		for _, x := range v[1:] {
+			if x < l {
+				l = x
+			}
+			if x > h {
+				h = x
+			}
+		}
+		if h == l {
+			h = l + 1
+		} else {
+			h += (h - l) * 1e-9
+		}
+		lo[j], hi[j] = l, h
+	}
+	return lo, hi
+}
+
+// maxDenseCells bounds the dense buffer a sketch merge allreduces: 2^20
+// cells = 8 MiB of float64 per rank per merge, well within the pipeline's
+// memory story.
+const maxDenseCells = 1 << 20
+
+// effectiveBins shrinks the per-dimension bin count until bins^dims fits the
+// dense-merge budget, so high-dimensional feature spaces cannot blow up the
+// collective. Sources whose dimensionality cannot fit even at 2 bins per
+// dimension are rejected outright rather than silently over-allocating.
+func effectiveBins(bins, dims int) (int, error) {
+	if bins < 2 {
+		bins = 2
+	}
+	fits := func(b int) bool {
+		cells := 1
+		for i := 0; i < dims; i++ {
+			cells *= b
+			if cells > maxDenseCells {
+				return false
+			}
+		}
+		return true
+	}
+	for bins > 2 && !fits(bins) {
+		bins--
+	}
+	if !fits(bins) {
+		return 0, fmt.Errorf("stream: %d feature dimensions exceed the sketch-merge budget (2^%d cells > %d)",
+			dims, dims, maxDenseCells)
+	}
+	return bins, nil
+}
+
+// invDensityWeight is the streaming UIPS weight of point p: total mass over
+// the mass of p's cell, estimated from the rank's merged global sketch plus
+// its unmerged local delta. Rarely-seen phase-space regions get large
+// weights, so the budgeted reservoir keeps them preferentially — the
+// incremental analogue of the offline inverse-PDF acceptance.
+func invDensityWeight(global, delta *stats.NDHistogram, p []float64) float64 {
+	n := global.N + delta.N
+	if n == 0 {
+		return 1
+	}
+	cell := global.CellIndex(p)
+	c := global.Counts[cell] + delta.Counts[cell]
+	if c <= 0 {
+		c = 1
+	}
+	return float64(n) / float64(c)
+}
+
+// resItem is one candidate point held by a budgeted reservoir.
+type resItem struct {
+	key      float64 // Efraimidis-Spirakis key (-Exp(1)/w); larger wins
+	snap     int
+	localIdx int
+	features []float64
+	targets  []float64
+}
+
+// cubeReservoir maintains at most budget points per hypercube across the
+// whole stream, using weighted reservoir sampling (A-Res with the same
+// -Exp(1)/w keys as sampling.weightedSampleWithoutReplacement): the kept set
+// is the budget-many largest keys seen so far, maintained as a min-heap so
+// each offer is O(log budget).
+type cubeReservoir struct {
+	cube   grid.Hypercube
+	budget int
+	items  []resItem // min-heap on key
+}
+
+func newCubeReservoir(cube grid.Hypercube, budget int) *cubeReservoir {
+	return &cubeReservoir{cube: cube, budget: budget}
+}
+
+// offer considers one candidate; it is kept iff its key beats the current
+// minimum (or the reservoir is not yet full).
+func (r *cubeReservoir) offer(it resItem) {
+	if len(r.items) < r.budget {
+		r.items = append(r.items, it)
+		r.siftUp(len(r.items) - 1)
+		return
+	}
+	if r.budget == 0 || it.key <= r.items[0].key {
+		return
+	}
+	r.items[0] = it
+	r.siftDown(0)
+}
+
+func (r *cubeReservoir) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if r.items[parent].key <= r.items[i].key {
+			return
+		}
+		r.items[parent], r.items[i] = r.items[i], r.items[parent]
+		i = parent
+	}
+}
+
+func (r *cubeReservoir) siftDown(i int) {
+	n := len(r.items)
+	for {
+		l, rr := 2*i+1, 2*i+2
+		small := i
+		if l < n && r.items[l].key < r.items[small].key {
+			small = l
+		}
+		if rr < n && r.items[rr].key < r.items[small].key {
+			small = rr
+		}
+		if small == i {
+			return
+		}
+		r.items[i], r.items[small] = r.items[small], r.items[i]
+		i = small
+	}
+}
+
+// flushReservoirs converts the surviving reservoir contents back into
+// CubeSamples grouped per (snapshot, cube), ordered like the offline
+// pipeline output (snapshot-major, then cube ID, then local index).
+func flushReservoirs(reservoirs map[int]*cubeReservoir) []sampling.CubeSample {
+	type group struct {
+		snap  int
+		cube  grid.Hypercube
+		items []resItem
+	}
+	groups := map[[2]int]*group{}
+	for _, r := range reservoirs {
+		for _, it := range r.items {
+			key := [2]int{it.snap, r.cube.ID}
+			g, ok := groups[key]
+			if !ok {
+				g = &group{snap: it.snap, cube: r.cube}
+				groups[key] = g
+			}
+			g.items = append(g.items, it)
+		}
+	}
+	ordered := make([]*group, 0, len(groups))
+	for _, g := range groups {
+		ordered = append(ordered, g)
+	}
+	sort.Slice(ordered, func(a, b int) bool {
+		if ordered[a].snap != ordered[b].snap {
+			return ordered[a].snap < ordered[b].snap
+		}
+		return ordered[a].cube.ID < ordered[b].cube.ID
+	})
+	out := make([]sampling.CubeSample, 0, len(ordered))
+	for _, g := range ordered {
+		sort.Slice(g.items, func(a, b int) bool { return g.items[a].localIdx < g.items[b].localIdx })
+		cs := sampling.CubeSample{Snapshot: g.snap, Cube: g.cube}
+		for _, it := range g.items {
+			cs.LocalIdx = append(cs.LocalIdx, it.localIdx)
+			cs.Features = append(cs.Features, it.features)
+			cs.Targets = append(cs.Targets, it.targets)
+		}
+		out = append(out, cs)
+	}
+	return out
+}
