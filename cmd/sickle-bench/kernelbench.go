@@ -1,0 +1,323 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/cfd2d"
+	"repro/internal/cfd3d"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+// kernelReport is the BENCH_kernels.json schema: the compute engine's
+// throughput on the training and solver hot paths, each measured with the
+// worker pool enabled and disabled IN THE SAME RUN. The speedup ratios are
+// the regression-gated quantities — unlike absolute GFLOP/s they compare
+// meaningfully across machines, so a baseline committed on one host still
+// catches "the pool stopped helping" on CI hardware. parity_ok asserts the
+// pooled kernels reproduced the serial results bit for bit during the run.
+type kernelReport struct {
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	MatMul     []matmulBench `json:"matmul"`
+	TrainStep  stepBench     `json:"train_step"`
+	CFD2DStep  stepBench     `json:"cfd2d_step"`
+	CFD3DStep  []cfd3dBench  `json:"cfd3d_step"`
+	ParityOK   bool          `json:"parity_ok"`
+}
+
+type matmulBench struct {
+	Size         int     `json:"size"`
+	GFLOPS       float64 `json:"gflops"`
+	GFLOPSSerial float64 `json:"gflops_serial"`
+	Speedup      float64 `json:"speedup"`
+}
+
+type stepBench struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Speedup     float64 `json:"speedup"`
+}
+
+type cfd3dBench struct {
+	N int `json:"n"`
+	stepBench
+}
+
+// timeIt runs fn repeatedly until minDur has elapsed (at least minIters
+// times) and returns ns/op plus heap allocations per op.
+func timeIt(minIters int, minDur time.Duration, fn func()) (nsPerOp, allocsPerOp float64) {
+	fn() // warmup
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	iters := 0
+	for iters < minIters || time.Since(start) < minDur {
+		fn()
+		iters++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	return float64(elapsed.Nanoseconds()) / float64(iters),
+		float64(ms1.Mallocs-ms0.Mallocs) / float64(iters)
+}
+
+// withSerial runs fn with the kernel pool disabled.
+func withSerial(fn func() (float64, float64)) (float64, float64) {
+	tensor.SetParallel(false)
+	defer tensor.SetParallel(true)
+	return fn()
+}
+
+func benchMatMul(size int) matmulBench {
+	rng := rand.New(rand.NewSource(1))
+	a := tensor.Randn(rng, 1, size, size)
+	b := tensor.Randn(rng, 1, size, size)
+	dst := tensor.New(size, size)
+	flops := 2 * float64(size) * float64(size) * float64(size)
+	run := func() (float64, float64) {
+		return timeIt(8, 300*time.Millisecond, func() { tensor.MatMulInto(dst, a, b) })
+	}
+	nsPar, _ := run()
+	nsSer, _ := withSerial(run)
+	return matmulBench{
+		Size:         size,
+		GFLOPS:       flops / nsPar,
+		GFLOPSSerial: flops / nsSer,
+		Speedup:      nsSer / nsPar,
+	}
+}
+
+func benchTrainStep() stepBench {
+	rng := rand.New(rand.NewSource(1))
+	m := train.NewMLPTransformer(rng, 3, 16, 2, 1, 8)
+	opt := nn.NewAdam(1e-3)
+	in := tensor.Randn(rng, 1, 8, 2, 16, 3)
+	tgt := tensor.Randn(rng, 1, 8, 2, 1, 8, 8, 8)
+	step := func() {
+		nn.ZeroGrads(m)
+		pred := m.Forward(in)
+		g := tensor.Get(pred.Shape...)
+		nn.MSELossInto(g, pred, tgt)
+		m.Backward(g)
+		tensor.Put(g)
+		nn.ClipGradNorm(m, 5)
+		opt.Step(m)
+	}
+	run := func() (float64, float64) { return timeIt(5, 500*time.Millisecond, step) }
+	nsPar, allocs := run()
+	nsSer, _ := withSerial(run)
+	return stepBench{
+		NsPerOp: nsPar, OpsPerSec: 1e9 / nsPar,
+		AllocsPerOp: allocs, Speedup: nsSer / nsPar,
+	}
+}
+
+func benchCFD2D() stepBench {
+	s := cfd2d.New(cfd2d.Config{Nx: 300, Ny: 120})
+	run := func() (float64, float64) {
+		return timeIt(10, 500*time.Millisecond, s.Step)
+	}
+	nsPar, allocs := run()
+	nsSer, _ := withSerial(run)
+	return stepBench{
+		NsPerOp: nsPar, OpsPerSec: 1e9 / nsPar,
+		AllocsPerOp: allocs, Speedup: nsSer / nsPar,
+	}
+}
+
+// benchCFD3D measures cfd3d.Step at cube edge n. The solver's spectral
+// projection requires power-of-two edges, so the report covers n=32 and
+// n=64 (bracketing the n=48 working point, which the radix-2 FFT cannot
+// represent).
+func benchCFD3D(n int) cfd3dBench {
+	s := cfd3d.NewTaylorGreen(cfd3d.Config{N: n, Seed: 1})
+	run := func() (float64, float64) {
+		return timeIt(3, 500*time.Millisecond, s.Step)
+	}
+	nsPar, allocs := run()
+	nsSer, _ := withSerial(run)
+	return cfd3dBench{N: n, stepBench: stepBench{
+		NsPerOp: nsPar, OpsPerSec: 1e9 / nsPar,
+		AllocsPerOp: allocs, Speedup: nsSer / nsPar,
+	}}
+}
+
+// checkParity re-verifies pooled == serial bit-identity on a matmul and a
+// short cfd3d trajectory inside the bench binary (the in-package tests
+// assert the same against the unexported reference kernels).
+func checkParity() bool {
+	rng := rand.New(rand.NewSource(3))
+	a := tensor.Randn(rng, 1, 130, 70)
+	b := tensor.Randn(rng, 1, 70, 90)
+	got := tensor.MatMul(a, b)
+	tensor.SetParallel(false)
+	want := tensor.MatMul(a, b)
+	tensor.SetParallel(true)
+	for i := range got.Data {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+			return false
+		}
+	}
+
+	sp := cfd3d.NewTaylorGreen(cfd3d.Config{N: 16, Seed: 5})
+	ss := cfd3d.NewTaylorGreen(cfd3d.Config{N: 16, Seed: 5})
+	for i := 0; i < 3; i++ {
+		sp.Step()
+		tensor.SetParallel(false)
+		ss.Step()
+		tensor.SetParallel(true)
+	}
+	for i := range sp.U {
+		if math.Float64bits(sp.U[i]) != math.Float64bits(ss.U[i]) ||
+			math.Float64bits(sp.R[i]) != math.Float64bits(ss.R[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// runKernelBench measures the kernel engine, writes the report, and — when
+// a baseline is provided — fails if any speedup ratio regressed by more
+// than tol (relative) against it.
+func runKernelBench(outPath, baselinePath string, tol float64) error {
+	rep := kernelReport{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	fmt.Println("kernel bench: matmul...")
+	for _, size := range []int{64, 128, 256} {
+		rep.MatMul = append(rep.MatMul, benchMatMul(size))
+	}
+	fmt.Println("kernel bench: train step...")
+	rep.TrainStep = benchTrainStep()
+	fmt.Println("kernel bench: cfd2d step...")
+	rep.CFD2DStep = benchCFD2D()
+	for _, n := range []int{32, 64} {
+		fmt.Printf("kernel bench: cfd3d step n=%d...\n", n)
+		rep.CFD3DStep = append(rep.CFD3DStep, benchCFD3D(n))
+	}
+	fmt.Println("kernel bench: parity...")
+	rep.ParityOK = checkParity()
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, m := range rep.MatMul {
+		fmt.Printf("  matmul %3d: %6.2f GFLOP/s (serial %6.2f, speedup %.2fx)\n",
+			m.Size, m.GFLOPS, m.GFLOPSSerial, m.Speedup)
+	}
+	fmt.Printf("  train step: %8.0f ns/op, %6.1f allocs/op, speedup %.2fx\n",
+		rep.TrainStep.NsPerOp, rep.TrainStep.AllocsPerOp, rep.TrainStep.Speedup)
+	fmt.Printf("  cfd2d step: %6.1f steps/s, %4.1f allocs/op, speedup %.2fx\n",
+		rep.CFD2DStep.OpsPerSec, rep.CFD2DStep.AllocsPerOp, rep.CFD2DStep.Speedup)
+	for _, c := range rep.CFD3DStep {
+		fmt.Printf("  cfd3d n=%2d: %6.2f steps/s, speedup %.2fx\n", c.N, c.OpsPerSec, c.Speedup)
+	}
+	fmt.Printf("  parity_ok: %v\nwrote %s\n", rep.ParityOK, outPath)
+
+	if !rep.ParityOK {
+		return fmt.Errorf("kernel bench: pooled kernels are NOT bit-identical to serial")
+	}
+	if err := checkParallelFloor(rep); err != nil {
+		return err
+	}
+	if baselinePath == "" {
+		return nil
+	}
+	return compareKernelBaseline(rep, baselinePath, tol)
+}
+
+// minParallelSpeedup is the absolute floor the strongly-parallel benchmarks
+// must clear whenever more than one core is available. The committed
+// baseline may come from a single-core builder (where pooled == serial and
+// every ratio is ~1.0), which would make a relative-only gate vacuous; this
+// floor guarantees a multi-core CI runner still fails if the pool stops
+// fanning work out at all. 1.3x is deliberately conservative for a 2-core
+// runner; typical 4-vCPU runners measure well above it.
+const minParallelSpeedup = 1.3
+
+func checkParallelFloor(rep kernelReport) error {
+	if rep.GOMAXPROCS <= 1 {
+		return nil
+	}
+	var failures []string
+	need := func(name string, speedup float64) {
+		if speedup < minParallelSpeedup {
+			failures = append(failures,
+				fmt.Sprintf("%s speedup %.2fx < %.1fx floor on %d cores", name, speedup, minParallelSpeedup, rep.GOMAXPROCS))
+		}
+	}
+	for _, m := range rep.MatMul {
+		if m.Size >= 256 {
+			need(fmt.Sprintf("matmul%d", m.Size), m.Speedup)
+		}
+	}
+	need("cfd2d_step", rep.CFD2DStep.Speedup)
+	for _, c := range rep.CFD3DStep {
+		need(fmt.Sprintf("cfd3d_n%d", c.N), c.Speedup)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "kernel regression:", f)
+		}
+		return fmt.Errorf("kernel bench: pool is not delivering parallel speedup (%d failure(s))", len(failures))
+	}
+	return nil
+}
+
+// compareKernelBaseline gates on speedup ratios: absolute throughput is
+// machine-bound, but "parallel ÷ serial on the same machine" must not decay
+// below (1 - tol) of the committed baseline's ratio.
+func compareKernelBaseline(cur kernelReport, path string, tol float64) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("kernel bench: reading baseline: %w", err)
+	}
+	var base kernelReport
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("kernel bench: parsing baseline: %w", err)
+	}
+	var failures []string
+	check := func(name string, curS, baseS float64) {
+		if baseS <= 0 {
+			return
+		}
+		if curS < baseS*(1-tol) {
+			failures = append(failures,
+				fmt.Sprintf("%s speedup %.2fx < baseline %.2fx × (1-%.2f)", name, curS, baseS, tol))
+		}
+	}
+	for _, bm := range base.MatMul {
+		for _, cm := range cur.MatMul {
+			if cm.Size == bm.Size {
+				check(fmt.Sprintf("matmul%d", bm.Size), cm.Speedup, bm.Speedup)
+			}
+		}
+	}
+	check("train_step", cur.TrainStep.Speedup, base.TrainStep.Speedup)
+	check("cfd2d_step", cur.CFD2DStep.Speedup, base.CFD2DStep.Speedup)
+	for _, bc := range base.CFD3DStep {
+		for _, cc := range cur.CFD3DStep {
+			if cc.N == bc.N {
+				check(fmt.Sprintf("cfd3d_n%d", bc.N), cc.Speedup, bc.Speedup)
+			}
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "kernel regression:", f)
+		}
+		return fmt.Errorf("kernel bench: %d regression(s) vs %s", len(failures), path)
+	}
+	fmt.Printf("kernel bench: no regressions vs %s (tol %.0f%%)\n", path, tol*100)
+	return nil
+}

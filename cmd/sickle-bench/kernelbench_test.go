@@ -1,0 +1,73 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, rep kernelReport) string {
+	t.Helper()
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareKernelBaseline(t *testing.T) {
+	base := kernelReport{
+		MatMul:    []matmulBench{{Size: 128, Speedup: 3.0}},
+		TrainStep: stepBench{Speedup: 2.5},
+		CFD2DStep: stepBench{Speedup: 2.0},
+		CFD3DStep: []cfd3dBench{{N: 32, stepBench: stepBench{Speedup: 2.2}}},
+	}
+	path := writeBaseline(t, base)
+
+	ok := base
+	ok.MatMul = []matmulBench{{Size: 128, Speedup: 2.6}} // within 20% of 3.0
+	if err := compareKernelBaseline(ok, path, 0.20); err != nil {
+		t.Fatalf("within-tolerance run flagged as regression: %v", err)
+	}
+
+	bad := base
+	bad.TrainStep.Speedup = 1.2 // far below 2.5·0.8
+	if err := compareKernelBaseline(bad, path, 0.20); err == nil {
+		t.Fatal("regressed train-step speedup not flagged")
+	}
+
+	// Benchmarks missing from the baseline (or with zero speedup) are
+	// skipped rather than failing, so the gate tolerates schema growth.
+	sparsePath := writeBaseline(t, kernelReport{})
+	if err := compareKernelBaseline(base, sparsePath, 0.20); err != nil {
+		t.Fatalf("empty baseline should gate nothing: %v", err)
+	}
+}
+
+func TestCheckParallelFloor(t *testing.T) {
+	// Single-core hosts are exempt (pooled == serial there by design).
+	serial := kernelReport{GOMAXPROCS: 1, CFD2DStep: stepBench{Speedup: 1.0}}
+	if err := checkParallelFloor(serial); err != nil {
+		t.Fatalf("single-core run must not be floor-gated: %v", err)
+	}
+	// Multi-core hosts must show real fan-out on the parallel benchmarks.
+	flat := kernelReport{
+		GOMAXPROCS: 4,
+		MatMul:     []matmulBench{{Size: 256, Speedup: 1.0}},
+		CFD2DStep:  stepBench{Speedup: 2.0},
+		CFD3DStep:  []cfd3dBench{{N: 32, stepBench: stepBench{Speedup: 2.0}}},
+	}
+	if err := checkParallelFloor(flat); err == nil {
+		t.Fatal("dead pool on 4 cores must fail the floor")
+	}
+	good := flat
+	good.MatMul = []matmulBench{{Size: 256, Speedup: 2.8}}
+	if err := checkParallelFloor(good); err != nil {
+		t.Fatalf("healthy multi-core run flagged: %v", err)
+	}
+}

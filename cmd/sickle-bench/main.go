@@ -12,6 +12,13 @@
 // unbatched reference and exercising the dataset LRU:
 //
 //	sickle-bench -serve http://localhost:8080 [-model demo] [-clients 32] [-requests 256]
+//
+// With -kernels it benchmarks the tensor/solver compute engine (matmul
+// GFLOP/s, train-step and solver-step throughput, allocs/op, pooled÷serial
+// speedups) into BENCH_kernels.json and optionally gates regressions
+// against a committed baseline:
+//
+//	sickle-bench -kernels [-kernelsout BENCH_kernels.json] [-baseline BENCH_kernels.json] [-tol 0.20]
 package main
 
 import (
@@ -35,6 +42,10 @@ func main() {
 	requests := flag.Int("requests", 256, "total requests in load-generator mode")
 	streamBench := flag.Bool("stream", false, "streaming-pipeline bench mode: run the in-situ pipeline and emit a JSON report")
 	streamOut := flag.String("streamout", "BENCH_stream.json", "output path for the -stream JSON report")
+	kernels := flag.Bool("kernels", false, "kernel bench mode: measure the tensor/solver compute engine and emit a JSON report")
+	kernelsOut := flag.String("kernelsout", "BENCH_kernels.json", "output path for the -kernels JSON report")
+	baseline := flag.String("baseline", "", "committed BENCH_kernels.json to gate speedup regressions against (with -kernels)")
+	tol := flag.Float64("tol", 0.20, "relative speedup-regression tolerance for -baseline")
 	flag.Parse()
 
 	if *serveURL != "" {
@@ -45,6 +56,12 @@ func main() {
 	}
 	if *streamBench {
 		if err := runStreamBench(*streamOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *kernels {
+		if err := runKernelBench(*kernelsOut, *baseline, *tol); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -14,4 +14,12 @@
 // window with collective sketch merges and sharded .skl output, driven by
 // cmd/sickle-stream and benchmarked by cmd/sickle-bench -stream). See
 // README.md.
+//
+// All of these share the tensor package's kernel engine: a persistent
+// worker pool (tensor.Pool) with a deterministic ParallelFor, a
+// cache-blocked transpose-free matmul family, and a size-classed tensor
+// workspace (Get/Put). Every pooled kernel is bit-identical to its serial
+// reference — asserted by parity tests — and cmd/sickle-bench -kernels
+// tracks throughput and pooled÷serial speedups in BENCH_kernels.json,
+// which CI gates against the committed baseline (README "Performance").
 package repro

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"repro/internal/grid"
+	"repro/internal/tensor"
 )
 
 // D2Q9 lattice directions and weights.
@@ -66,6 +67,10 @@ type Solver struct {
 	ftmp  []float64
 	Solid []bool
 	Steps int
+	// Per-(direction, row) momentum-exchange partials; combined in index
+	// order after streaming so the force sum is deterministic regardless
+	// of how rows are scheduled across the worker pool.
+	fxRow, fyRow []float64
 	// Fx, Fy hold the instantaneous momentum-exchange force on the
 	// cylinder from the most recent Step.
 	Fx, Fy float64
@@ -85,6 +90,8 @@ func New(cfg Config) *Solver {
 		f:     make([]float64, 9*cfg.Nx*cfg.Ny),
 		ftmp:  make([]float64, 9*cfg.Nx*cfg.Ny),
 		Solid: make([]bool, cfg.Nx*cfg.Ny),
+		fxRow: make([]float64, 9*cfg.Ny),
+		fyRow: make([]float64, 9*cfg.Ny),
 	}
 	r2 := (cfg.D / 2) * (cfg.D / 2)
 	for y := 0; y < cfg.Ny; y++ {
@@ -138,40 +145,56 @@ func (s *Solver) Macro(x, y int) (rho, ux, uy float64) {
 	return
 }
 
-// Step advances one LBM collide-stream cycle and updates the drag force.
-func (s *Solver) Step() {
+// Step advances one LBM collide-stream cycle and updates the drag force,
+// decomposed over the kernel pool: collision is parallel over rows (each
+// cell updates only itself) and streaming is parallel over (direction, row)
+// units, whose destination writes are disjoint — every ftmp slot has a
+// unique source because bounce-back targets are fluid cells whose mirrored
+// source is solid and therefore skipped. Momentum exchange accumulates into
+// per-(direction, row) partials combined in index order, so Step is
+// bit-identical to the serial reference stepRef.
+func (s *Solver) Step() { s.step(tensor.DefaultPool()) }
+
+// stepRef is the serial reference implementation: the same decomposition
+// executed inline. The parity test asserts Step == stepRef bit for bit.
+func (s *Solver) stepRef() { s.step(nil) }
+
+func (s *Solver) step(p *tensor.Pool) {
 	nx, ny := s.Nx, s.Ny
 	invTau := 1 / s.Tau
 
 	// Collide.
-	for y := 0; y < ny; y++ {
-		for x := 0; x < nx; x++ {
-			if s.Solid[y*nx+x] {
-				continue
-			}
-			var rho, ux, uy float64
-			base := y*nx + x
-			for i := 0; i < 9; i++ {
-				fi := s.f[i*nx*ny+base]
-				rho += fi
-				ux += fi * float64(ex[i])
-				uy += fi * float64(ey[i])
-			}
-			ux /= rho
-			uy /= rho
-			for i := 0; i < 9; i++ {
-				p := i*nx*ny + base
-				s.f[p] += (equilibrium(i, rho, ux, uy) - s.f[p]) * invTau
+	p.ParallelFor(ny, 4, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			for x := 0; x < nx; x++ {
+				if s.Solid[y*nx+x] {
+					continue
+				}
+				var rho, ux, uy float64
+				base := y*nx + x
+				for i := 0; i < 9; i++ {
+					fi := s.f[i*nx*ny+base]
+					rho += fi
+					ux += fi * float64(ex[i])
+					uy += fi * float64(ey[i])
+				}
+				ux /= rho
+				uy /= rho
+				for i := 0; i < 9; i++ {
+					pi := i*nx*ny + base
+					s.f[pi] += (equilibrium(i, rho, ux, uy) - s.f[pi]) * invTau
+				}
 			}
 		}
-	}
+	})
 
-	// Stream with half-way bounce-back; accumulate momentum exchange.
-	var fx, fy float64
-	for i := 0; i < 9; i++ {
-		plane := i * nx * ny
-		oplane := opp[i] * nx * ny
-		for y := 0; y < ny; y++ {
+	// Stream with half-way bounce-back; accumulate momentum exchange into
+	// per-(direction, row) partials.
+	p.ParallelFor(9*ny, 8, func(u0, u1 int) {
+		for u := u0; u < u1; u++ {
+			i, y := u/ny, u%ny
+			plane := i * nx * ny
+			oplane := opp[i] * nx * ny
 			yd := y + ey[i]
 			// Periodic in y.
 			if yd < 0 {
@@ -179,6 +202,7 @@ func (s *Solver) Step() {
 			} else if yd >= ny {
 				yd -= ny
 			}
+			var fx, fy float64
 			for x := 0; x < nx; x++ {
 				src := plane + y*nx + x
 				if s.Solid[y*nx+x] {
@@ -186,8 +210,14 @@ func (s *Solver) Step() {
 				}
 				xd := x + ex[i]
 				if xd < 0 || xd >= nx {
-					// Handled by inflow/outflow below; keep value in place.
-					s.ftmp[src] = s.f[src]
+					// Populations leaving through x=0 / x=nx-1 are NOT
+					// copied into ftmp: both boundary columns are fully
+					// regenerated below (inflow equilibrium, outflow
+					// zero-gradient copy) before anything reads them, and
+					// skipping the write keeps every ftmp slot single-writer
+					// — a boundary slot is otherwise also the streaming
+					// destination of a diagonal direction from the adjacent
+					// row, which would race across (direction, row) units.
 					continue
 				}
 				if s.Solid[yd*nx+xd] {
@@ -200,7 +230,14 @@ func (s *Solver) Step() {
 				}
 				s.ftmp[plane+yd*nx+xd] = s.f[src]
 			}
+			s.fxRow[u] = fx
+			s.fyRow[u] = fy
 		}
+	})
+	var fx, fy float64
+	for u := 0; u < 9*ny; u++ {
+		fx += s.fxRow[u]
+		fy += s.fyRow[u]
 	}
 	s.f, s.ftmp = s.ftmp, s.f
 	s.Fx, s.Fy = fx, fy

@@ -3,6 +3,8 @@ package cfd2d
 import (
 	"math"
 	"testing"
+
+	"repro/internal/tensor"
 )
 
 func TestEquilibriumConservesMoments(t *testing.T) {
@@ -172,6 +174,41 @@ func TestMassConservationInterior(t *testing.T) {
 
 func BenchmarkLBMStep(b *testing.B) {
 	s := New(Config{Nx: 200, Ny: 80})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+// TestStepBitIdenticalToSerialRef runs two identically configured solvers,
+// one through the pooled Step and one through the serial reference, and
+// asserts the full distribution state and forces agree bit for bit.
+func TestStepBitIdenticalToSerialRef(t *testing.T) {
+	tensor.SetWorkers(4) // force a real pool even on single-core machines
+	defer tensor.SetWorkers(0)
+	a := New(Config{Nx: 96, Ny: 48})
+	b := New(Config{Nx: 96, Ny: 48})
+	for step := 0; step < 25; step++ {
+		a.Step()
+		b.stepRef()
+	}
+	for i := range a.f {
+		if math.Float64bits(a.f[i]) != math.Float64bits(b.f[i]) {
+			t.Fatalf("step 25: f[%d] differs: %v vs %v", i, a.f[i], b.f[i])
+		}
+	}
+	if math.Float64bits(a.Fx) != math.Float64bits(b.Fx) ||
+		math.Float64bits(a.Fy) != math.Float64bits(b.Fy) {
+		t.Fatalf("forces differ: (%v,%v) vs (%v,%v)", a.Fx, a.Fy, b.Fx, b.Fy)
+	}
+}
+
+// BenchmarkLBMStepAllocs asserts the solver step allocates nothing at
+// steady state (scratch lives on the Solver).
+func BenchmarkLBMStepAllocs(b *testing.B) {
+	s := New(Config{Nx: 150, Ny: 60})
+	s.Step()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Step()

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/grid"
 	"repro/internal/spectral"
+	"repro/internal/tensor"
 )
 
 // Config sets up the Boussinesq solver.
@@ -53,6 +54,11 @@ type Solver struct {
 	U, V, W, R []float64
 	Time       float64
 	Steps      int
+	// Persistent scratch: the next-state fields Step writes into (swapped
+	// with the live fields each step) and the spectral grids the projection
+	// reuses, so the steady-state step allocates nothing.
+	scrU, scrV, scrW, scrR []float64
+	gu, gv, gw             *spectral.Grid3
 }
 
 // NewTaylorGreen initializes the classic Taylor-Green vortex array
@@ -70,6 +76,13 @@ func NewTaylorGreen(cfg Config) *Solver {
 	s.V = make([]float64, np)
 	s.W = make([]float64, np)
 	s.R = make([]float64, np)
+	s.scrU = make([]float64, np)
+	s.scrV = make([]float64, np)
+	s.scrW = make([]float64, np)
+	s.scrR = make([]float64, np)
+	s.gu = spectral.NewGrid3(n, n, n)
+	s.gv = spectral.NewGrid3(n, n, n)
+	s.gw = spectral.NewGrid3(n, n, n)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	for k := 0; k < n; k++ {
 		z := float64(k) * s.H
@@ -123,45 +136,55 @@ func (s *Solver) laplacian(f []float64, i, j, k int) float64 {
 	return (sum - 6*c) / (s.H * s.H)
 }
 
-// Step advances one explicit Euler step with pressure projection.
-func (s *Solver) Step() {
+// Step advances one explicit Euler step with pressure projection. The
+// finite-difference update reads only the previous-state fields and writes
+// only the scratch fields, so z-planes fan out across the kernel pool with
+// bit-identical results to the serial reference stepRef; the spectral
+// projection parallelizes the same way (independent lines/planes).
+func (s *Solver) Step() { s.step(tensor.DefaultPool()) }
+
+// stepRef is the serial reference implementation used by the parity tests:
+// the identical decomposition executed inline.
+func (s *Solver) stepRef() { s.step(nil) }
+
+func (s *Solver) step(p *tensor.Pool) {
 	n := s.N
 	dt := s.Cfg.Dt
 	nu := s.Cfg.Nu
 	kap := s.Cfg.Kappa
 	n2 := s.Cfg.BruntN * s.Cfg.BruntN
 
-	nu2 := make([]float64, len(s.U))
-	nv2 := make([]float64, len(s.V))
-	nw2 := make([]float64, len(s.W))
-	nr2 := make([]float64, len(s.R))
+	nu2, nv2, nw2, nr2 := s.scrU, s.scrV, s.scrW, s.scrR
 
-	for k := 0; k < n; k++ {
-		for j := 0; j < n; j++ {
-			for i := 0; i < n; i++ {
-				id := s.idx(i, j, k)
-				u, v, w := s.U[id], s.V[id], s.W[id]
-				adv := func(f []float64) float64 {
-					return u*s.deriv(f, i, j, k, 0) + v*s.deriv(f, i, j, k, 1) + w*s.deriv(f, i, j, k, 2)
+	p.ParallelFor(n, 1, func(k0, k1 int) {
+		for k := k0; k < k1; k++ {
+			for j := 0; j < n; j++ {
+				for i := 0; i < n; i++ {
+					id := s.idx(i, j, k)
+					u, v, w := s.U[id], s.V[id], s.W[id]
+					adv := func(f []float64) float64 {
+						return u*s.deriv(f, i, j, k, 0) + v*s.deriv(f, i, j, k, 1) + w*s.deriv(f, i, j, k, 2)
+					}
+					nu2[id] = u + dt*(-adv(s.U)+nu*s.laplacian(s.U, i, j, k))
+					nv2[id] = v + dt*(-adv(s.V)+nu*s.laplacian(s.V, i, j, k))
+					// Buoyancy couples w and r as a local oscillator at
+					// frequency N. Explicit Euler amplifies oscillations
+					// (growth √(1+(N·dt)²) per step), so the w↔r pair is
+					// advanced semi-implicitly: the 2×2 linear system
+					//   w' = A - dt·N²·r',  r' = B + dt·w'
+					// is solved in closed form, which is neutrally stable.
+					a := w + dt*(-adv(s.W)+nu*s.laplacian(s.W, i, j, k))
+					bb := s.R[id] + dt*(-adv(s.R)+kap*s.laplacian(s.R, i, j, k))
+					wNew := (a - dt*n2*bb) / (1 + dt*dt*n2)
+					nw2[id] = wNew
+					nr2[id] = bb + dt*wNew
 				}
-				nu2[id] = u + dt*(-adv(s.U)+nu*s.laplacian(s.U, i, j, k))
-				nv2[id] = v + dt*(-adv(s.V)+nu*s.laplacian(s.V, i, j, k))
-				// Buoyancy couples w and r as a local oscillator at
-				// frequency N. Explicit Euler amplifies oscillations
-				// (growth √(1+(N·dt)²) per step), so the w↔r pair is
-				// advanced semi-implicitly: the 2×2 linear system
-				//   w' = A - dt·N²·r',  r' = B + dt·w'
-				// is solved in closed form, which is neutrally stable.
-				a := w + dt*(-adv(s.W)+nu*s.laplacian(s.W, i, j, k))
-				bb := s.R[id] + dt*(-adv(s.R)+kap*s.laplacian(s.R, i, j, k))
-				wNew := (a - dt*n2*bb) / (1 + dt*dt*n2)
-				nw2[id] = wNew
-				nr2[id] = bb + dt*wNew
 			}
 		}
-	}
-	s.U, s.V, s.W, s.R = nu2, nv2, nw2, nr2
-	s.project()
+	})
+	s.U, s.V, s.W, s.R, s.scrU, s.scrV, s.scrW, s.scrR =
+		nu2, nv2, nw2, nr2, s.U, s.V, s.W, s.R
+	s.projectP(p)
 	s.Time += dt
 	s.Steps++
 }
@@ -170,40 +193,43 @@ func (s *Solver) Step() {
 // solenoidal projection in spectral space: û ← û − k̂(k̂·û). Nyquist planes
 // are zeroed (they are self-conjugate, so the projection would break
 // Hermitian symmetry there; zeroing doubles as a mild dealiasing filter).
-func (s *Solver) project() {
+func (s *Solver) project() { s.projectP(tensor.DefaultPool()) }
+
+func (s *Solver) projectP(p *tensor.Pool) {
 	n := s.N
-	gu := spectral.NewGrid3(n, n, n)
-	gv := spectral.NewGrid3(n, n, n)
-	gw := spectral.NewGrid3(n, n, n)
+	gu, gv, gw := s.gu, s.gv, s.gw
 	gu.FromReal(s.U)
 	gv.FromReal(s.V)
 	gw.FromReal(s.W)
 	gu.FFT3()
 	gv.FFT3()
 	gw.FFT3()
-	for k := 0; k < n; k++ {
-		kz := spectral.WaveNumber(k, n)
-		for j := 0; j < n; j++ {
-			ky := spectral.WaveNumber(j, n)
-			for i := 0; i < n; i++ {
-				kx := spectral.WaveNumber(i, n)
-				idx := (k*n+j)*n + i
-				if i == n/2 || j == n/2 || k == n/2 {
-					gu.Data[idx], gv.Data[idx], gw.Data[idx] = 0, 0, 0
-					continue
+	// The per-mode projection is independent cell-wise; fan out z-planes.
+	p.ParallelFor(n, 1, func(k0, k1 int) {
+		for k := k0; k < k1; k++ {
+			kz := spectral.WaveNumber(k, n)
+			for j := 0; j < n; j++ {
+				ky := spectral.WaveNumber(j, n)
+				for i := 0; i < n; i++ {
+					kx := spectral.WaveNumber(i, n)
+					idx := (k*n+j)*n + i
+					if i == n/2 || j == n/2 || k == n/2 {
+						gu.Data[idx], gv.Data[idx], gw.Data[idx] = 0, 0, 0
+						continue
+					}
+					k2 := kx*kx + ky*ky + kz*kz
+					if k2 == 0 {
+						continue // mean flow is divergence-free; keep it
+					}
+					du, dv, dw := gu.Data[idx], gv.Data[idx], gw.Data[idx]
+					dot := (complex(kx, 0)*du + complex(ky, 0)*dv + complex(kz, 0)*dw) / complex(k2, 0)
+					gu.Data[idx] = du - complex(kx, 0)*dot
+					gv.Data[idx] = dv - complex(ky, 0)*dot
+					gw.Data[idx] = dw - complex(kz, 0)*dot
 				}
-				k2 := kx*kx + ky*ky + kz*kz
-				if k2 == 0 {
-					continue // mean flow is divergence-free; keep it
-				}
-				du, dv, dw := gu.Data[idx], gv.Data[idx], gw.Data[idx]
-				dot := (complex(kx, 0)*du + complex(ky, 0)*dv + complex(kz, 0)*dw) / complex(k2, 0)
-				gu.Data[idx] = du - complex(kx, 0)*dot
-				gv.Data[idx] = dv - complex(ky, 0)*dot
-				gw.Data[idx] = dw - complex(kz, 0)*dot
 			}
 		}
-	}
+	})
 	gu.IFFT3()
 	gv.IFFT3()
 	gw.IFFT3()

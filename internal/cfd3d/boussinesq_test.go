@@ -1,8 +1,11 @@
 package cfd3d
 
 import (
+	"fmt"
 	"math"
 	"testing"
+
+	"repro/internal/tensor"
 )
 
 func TestTaylorGreenInitProjected(t *testing.T) {
@@ -122,5 +125,46 @@ func BenchmarkStep16(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Step()
+	}
+}
+
+// TestStepBitIdenticalToSerialRef evolves two identically seeded solvers,
+// one through the pooled Step and one through the serial reference, and
+// asserts all four fields agree bit for bit.
+func TestStepBitIdenticalToSerialRef(t *testing.T) {
+	tensor.SetWorkers(4) // force a real pool even on single-core machines
+	defer tensor.SetWorkers(0)
+	a := NewTaylorGreen(Config{N: 16, Seed: 3})
+	b := NewTaylorGreen(Config{N: 16, Seed: 3})
+	for step := 0; step < 8; step++ {
+		a.Step()
+		b.stepRef()
+	}
+	fields := [][2][]float64{{a.U, b.U}, {a.V, b.V}, {a.W, b.W}, {a.R, b.R}}
+	names := []string{"U", "V", "W", "R"}
+	for fi, pair := range fields {
+		for i := range pair[0] {
+			if math.Float64bits(pair[0][i]) != math.Float64bits(pair[1][i]) {
+				t.Fatalf("%s[%d] differs after 8 steps: %v vs %v",
+					names[fi], i, pair[0][i], pair[1][i])
+			}
+		}
+	}
+}
+
+// BenchmarkBoussinesqStep measures solver throughput; scratch reuse keeps
+// the finite-difference part allocation-free (the spectral projection still
+// allocates small per-chunk line buffers).
+func BenchmarkBoussinesqStep(b *testing.B) {
+	for _, n := range []int{16, 32} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			s := NewTaylorGreen(Config{N: n, Seed: 1})
+			s.Step()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Step()
+			}
+		})
 	}
 }

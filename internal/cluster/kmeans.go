@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/tensor"
 )
 
 // Result holds a fitted clustering.
@@ -102,6 +104,23 @@ func nearest(p []float64, cents [][]float64) (int, float64) {
 	return best, bestD
 }
 
+// assignAll computes the nearest centroid (and its squared distance) for
+// every point across the kernel pool. Each point's result is independent,
+// so the fan-out is bit-identical to a serial loop; callers that accumulate
+// (centroid sums, inertia) do so serially in point order afterwards, which
+// keeps the whole algorithm deterministic.
+func assignAll(pts [][]float64, cents [][]float64, labels []int, d2 []float64) {
+	tensor.DefaultPool().ParallelFor(len(pts), 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			j, dd := nearest(pts[i], cents)
+			labels[i] = j
+			if d2 != nil {
+				d2[i] = dd
+			}
+		}
+	})
+}
+
 // KMeans runs Lloyd's algorithm with k-means++ seeding on pts (n points,
 // each of equal dimension). When cfg.BatchSize > 0 it uses mini-batch
 // updates (Sculley 2010), which is what makes clustering tractable on
@@ -130,12 +149,12 @@ func KMeans(pts [][]float64, cfg Config) (*Result, error) {
 		lloyd(pts, cents, cfg)
 	}
 
-	// Final full assignment.
+	// Final full assignment (parallel), inertia summed in point order.
 	labels := make([]int, n)
+	d2 := make([]float64, n)
+	assignAll(pts, cents, labels, d2)
 	inertia := 0.0
-	for i, p := range pts {
-		j, dd := nearest(p, cents)
-		labels[i] = j
+	for _, dd := range d2 {
 		inertia += dd
 	}
 	return &Result{Centroids: cents, Labels: labels, Inertia: inertia, Iters: cfg.MaxIters}, nil
@@ -148,6 +167,7 @@ func lloyd(pts [][]float64, cents [][]float64, cfg Config) {
 	for j := range sums {
 		sums[j] = make([]float64, d)
 	}
+	labels := make([]int, n)
 	for it := 0; it < cfg.MaxIters; it++ {
 		for j := range sums {
 			counts[j] = 0
@@ -155,8 +175,11 @@ func lloyd(pts [][]float64, cents [][]float64, cfg Config) {
 				sums[j][x] = 0
 			}
 		}
+		// Assignment is the O(n·k·d) hot phase — parallel; the centroid
+		// sums accumulate serially in point order (deterministic).
+		assignAll(pts, cents, labels, nil)
 		for i := 0; i < n; i++ {
-			j, _ := nearest(pts[i], cents)
+			j := labels[i]
 			counts[j]++
 			for x, v := range pts[i] {
 				sums[j][x] += v
@@ -205,12 +228,11 @@ func miniBatch(pts [][]float64, cents [][]float64, cfg Config, rng *rand.Rand) {
 	}
 }
 
-// Assign returns the index of the nearest centroid for each point.
+// Assign returns the index of the nearest centroid for each point,
+// computed across the kernel pool.
 func Assign(pts [][]float64, cents [][]float64) []int {
 	labels := make([]int, len(pts))
-	for i, p := range pts {
-		labels[i], _ = nearest(p, cents)
-	}
+	assignAll(pts, cents, labels, nil)
 	return labels
 }
 

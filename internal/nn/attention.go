@@ -29,34 +29,37 @@ func NewLayerNorm(d int) *LayerNorm {
 // Params implements Module.
 func (l *LayerNorm) Params() []*Param { return []*Param{l.Gain, l.Bias} }
 
-// Forward normalizes each row of x [N, D].
+// Forward normalizes each row of x [N, D]. Rows are independent, so they
+// fan out across the kernel pool.
 func (l *LayerNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
 	n, d := x.Dim(0), x.Dim(1)
 	l.x = x
 	l.xhat = tensor.New(n, d)
 	l.invSD = make([]float64, n)
 	out := tensor.New(n, d)
-	for i := 0; i < n; i++ {
-		row := x.Data[i*d : (i+1)*d]
-		mean := 0.0
-		for _, v := range row {
-			mean += v
+	tensor.DefaultPool().ParallelFor(n, 16, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			row := x.Data[i*d : (i+1)*d]
+			mean := 0.0
+			for _, v := range row {
+				mean += v
+			}
+			mean /= float64(d)
+			varr := 0.0
+			for _, v := range row {
+				dv := v - mean
+				varr += dv * dv
+			}
+			varr /= float64(d)
+			inv := 1 / math.Sqrt(varr+l.Eps)
+			l.invSD[i] = inv
+			for j, v := range row {
+				xh := (v - mean) * inv
+				l.xhat.Data[i*d+j] = xh
+				out.Data[i*d+j] = xh*l.Gain.W.Data[j] + l.Bias.W.Data[j]
+			}
 		}
-		mean /= float64(d)
-		varr := 0.0
-		for _, v := range row {
-			dv := v - mean
-			varr += dv * dv
-		}
-		varr /= float64(d)
-		inv := 1 / math.Sqrt(varr+l.Eps)
-		l.invSD[i] = inv
-		for j, v := range row {
-			xh := (v - mean) * inv
-			l.xhat.Data[i*d+j] = xh
-			out.Data[i*d+j] = xh*l.Gain.W.Data[j] + l.Bias.W.Data[j]
-		}
-	}
+	})
 	return out
 }
 
@@ -137,7 +140,13 @@ func (m *MultiHeadAttention) Forward(x *tensor.Tensor) *tensor.Tensor {
 	m.attn = make([][]*tensor.Tensor, b)
 	for bi := 0; bi < b; bi++ {
 		m.attn[bi] = make([]*tensor.Tensor, m.H)
-		for h := 0; h < m.H; h++ {
+	}
+	// (batch, head) pairs are independent: each writes its own attn matrix
+	// and a disjoint column block of ctx, so the fan-out is bit-identical
+	// to the serial loop.
+	tensor.DefaultPool().ParallelFor(b*m.H, 1, func(u0, u1 int) {
+		for u := u0; u < u1; u++ {
+			bi, h := u/m.H, u%m.H
 			off := h * hd
 			// scores[t1][t2] = q(bi,t1,h)·k(bi,t2,h)·scale
 			a := tensor.New(t, t)
@@ -178,7 +187,7 @@ func (m *MultiHeadAttention) Forward(x *tensor.Tensor) *tensor.Tensor {
 			}
 			m.attn[bi][h] = a
 		}
-	}
+	})
 	out := m.WO.Forward(ctx)
 	return out.Reshape(b, t, d)
 }
@@ -196,14 +205,17 @@ func (m *MultiHeadAttention) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	dk := tensor.New(b*t, d)
 	dv := tensor.New(b*t, d)
 
-	for bi := 0; bi < b; bi++ {
-		for h := 0; h < m.H; h++ {
+	// Like Forward, (batch, head) pairs touch disjoint column blocks of
+	// dq/dk/dv, so they fan out across the pool bit-identically.
+	tensor.DefaultPool().ParallelFor(b*m.H, 1, func(u0, u1 int) {
+		dattn := make([]float64, t) // scratch, local to this chunk
+		for u := u0; u < u1; u++ {
+			bi, h := u/m.H, u%m.H
 			off := h * hd
 			a := m.attn[bi][h]
 			for t1 := 0; t1 < t; t1++ {
 				dcrow := dctx.Data[(bi*t+t1)*d+off : (bi*t+t1)*d+off+hd]
 				// dattn[t2] = dctx·v(t2); dv(t2) += attn[t1][t2]·dctx
-				dattn := make([]float64, t)
 				for t2 := 0; t2 < t; t2++ {
 					vrow := m.v.Data[(bi*t+t2)*d+off : (bi*t+t2)*d+off+hd]
 					dvrow := dv.Data[(bi*t+t2)*d+off : (bi*t+t2)*d+off+hd]
@@ -233,7 +245,7 @@ func (m *MultiHeadAttention) Backward(dy *tensor.Tensor) *tensor.Tensor {
 				}
 			}
 		}
-	}
+	})
 
 	dx := m.WQ.Backward(dq)
 	dx.AddScaled(1, m.WK.Backward(dk))

@@ -8,7 +8,10 @@ import (
 
 // Conv3D is a 3-D convolution over inputs [B, Ci, D, H, W] with cubic
 // kernels, stride and zero padding — the encoder building block of the
-// paper's CNN-Transformer (Table 2).
+// paper's CNN-Transformer (Table 2). Forward fans (batch, out-channel)
+// pairs across the kernel pool; Backward fans batch items with per-item
+// gradient partials combined in batch order, so parallel and serial runs
+// are bit-identical.
 type Conv3D struct {
 	Ci, Co, K, Stride, Pad int
 	W                      *Param // [Co, Ci, K, K, K]
@@ -41,14 +44,19 @@ func (c *Conv3D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	od, oh, ow := c.OutDim(dd), c.OutDim(hh), c.OutDim(ww)
 	y := tensor.New(b, c.Co, od, oh, ow)
 	k, s, p := c.K, c.Stride, c.Pad
-	for bi := 0; bi < b; bi++ {
-		for co := 0; co < c.Co; co++ {
-			bias := c.B.W.Data[co]
+	xd, wd, yd, bd := x.Data, c.W.W.Data, y.Data, c.B.W.Data
+	// Each (bi, co) unit writes its own output volume — disjoint.
+	tensor.DefaultPool().ParallelFor(b*c.Co, 1, func(u0, u1 int) {
+		for u := u0; u < u1; u++ {
+			bi, co := u/c.Co, u%c.Co
+			bias := bd[co]
 			for zd := 0; zd < od; zd++ {
 				for zh := 0; zh < oh; zh++ {
 					for zw := 0; zw < ow; zw++ {
 						sum := bias
 						for cin := 0; cin < ci; cin++ {
+							xBase := (bi*ci + cin) * dd
+							wBase := ((co*ci + cin) * k) * k * k
 							for kd := 0; kd < k; kd++ {
 								id := zd*s + kd - p
 								if id < 0 || id >= dd {
@@ -59,62 +67,76 @@ func (c *Conv3D) Forward(x *tensor.Tensor) *tensor.Tensor {
 									if ih < 0 || ih >= hh {
 										continue
 									}
+									xRow := ((xBase+id)*hh + ih) * ww
+									wRow := wBase + (kd*k+kh)*k
 									for kw := 0; kw < k; kw++ {
 										iw := zw*s + kw - p
 										if iw < 0 || iw >= ww {
 											continue
 										}
-										sum += x.At(bi, cin, id, ih, iw) * c.W.W.At(co, cin, kd, kh, kw)
+										sum += xd[xRow+iw] * wd[wRow+kw]
 									}
 								}
 							}
 						}
-						y.Set(sum, bi, co, zd, zh, zw)
+						yd[(((bi*c.Co+co)*od+zd)*oh+zh)*ow+zw] = sum
 					}
 				}
 			}
 		}
-	}
+	})
 	return y
 }
 
-// Backward propagates dL/dy and accumulates kernel/bias grads.
+// Backward propagates dL/dy and accumulates kernel/bias grads. Batch items
+// accumulate into per-item partial gradients (workspace tensors) that are
+// combined in batch order — deterministic regardless of worker count.
 func (c *Conv3D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	x := c.x
 	b, ci, dd, hh, ww := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3), x.Dim(4)
 	od, oh, ow := dy.Dim(2), dy.Dim(3), dy.Dim(4)
 	dx := tensor.New(b, ci, dd, hh, ww)
 	k, s, p := c.K, c.Stride, c.Pad
-	for bi := 0; bi < b; bi++ {
-		for co := 0; co < c.Co; co++ {
-			for zd := 0; zd < od; zd++ {
-				for zh := 0; zh < oh; zh++ {
-					for zw := 0; zw < ow; zw++ {
-						g := dy.At(bi, co, zd, zh, zw)
-						if g == 0 {
-							continue
-						}
-						c.B.Grad.Data[co] += g
-						for cin := 0; cin < ci; cin++ {
-							for kd := 0; kd < k; kd++ {
-								id := zd*s + kd - p
-								if id < 0 || id >= dd {
-									continue
-								}
-								for kh := 0; kh < k; kh++ {
-									ih := zh*s + kh - p
-									if ih < 0 || ih >= hh {
+	xd, wd, dyd, dxd := x.Data, c.W.W.Data, dy.Data, dx.Data
+	wGrads := make([]*tensor.Tensor, b)
+	bGrads := make([]*tensor.Tensor, b)
+	tensor.DefaultPool().ParallelFor(b, 1, func(b0, b1 int) {
+		for bi := b0; bi < b1; bi++ {
+			wg := tensor.Get(c.W.W.Shape...)
+			bg := tensor.Get(c.Co)
+			wGrads[bi], bGrads[bi] = wg, bg
+			for co := 0; co < c.Co; co++ {
+				for zd := 0; zd < od; zd++ {
+					for zh := 0; zh < oh; zh++ {
+						for zw := 0; zw < ow; zw++ {
+							g := dyd[(((bi*c.Co+co)*od+zd)*oh+zh)*ow+zw]
+							if g == 0 {
+								continue
+							}
+							bg.Data[co] += g
+							for cin := 0; cin < ci; cin++ {
+								xBase := (bi*ci + cin) * dd
+								wBase := ((co*ci + cin) * k) * k * k
+								for kd := 0; kd < k; kd++ {
+									id := zd*s + kd - p
+									if id < 0 || id >= dd {
 										continue
 									}
-									for kw := 0; kw < k; kw++ {
-										iw := zw*s + kw - p
-										if iw < 0 || iw >= ww {
+									for kh := 0; kh < k; kh++ {
+										ih := zh*s + kh - p
+										if ih < 0 || ih >= hh {
 											continue
 										}
-										xv := x.At(bi, cin, id, ih, iw)
-										wv := c.W.W.At(co, cin, kd, kh, kw)
-										c.W.Grad.Data[(((co*ci+cin)*k+kd)*k+kh)*k+kw] += g * xv
-										dx.Data[((bi*ci+cin)*dd+id)*hh*ww+ih*ww+iw] += g * wv
+										xRow := ((xBase+id)*hh + ih) * ww
+										wRow := wBase + (kd*k+kh)*k
+										for kw := 0; kw < k; kw++ {
+											iw := zw*s + kw - p
+											if iw < 0 || iw >= ww {
+												continue
+											}
+											wg.Data[wRow+kw] += g * xd[xRow+iw]
+											dxd[xRow+iw] += g * wd[wRow+kw]
+										}
 									}
 								}
 							}
@@ -123,13 +145,20 @@ func (c *Conv3D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 				}
 			}
 		}
+	})
+	for bi := 0; bi < b; bi++ {
+		c.W.Grad.AddScaled(1, wGrads[bi])
+		c.B.Grad.AddScaled(1, bGrads[bi])
+		tensor.Put(wGrads[bi])
+		tensor.Put(bGrads[bi])
 	}
 	return dx
 }
 
 // ConvTranspose3D is the transposed (fractionally strided) 3-D convolution
 // used by the paper's decoders: input [B, Ci, D, H, W] → output
-// [B, Co, (D-1)·S+K, ...] (no padding).
+// [B, Co, (D-1)·S+K, ...] (no padding). Parallel decomposition mirrors
+// Conv3D: batch items are independent units.
 type ConvTranspose3D struct {
 	Ci, Co, K, Stride int
 	W                 *Param // [Ci, Co, K, K, K]
@@ -158,32 +187,35 @@ func (c *ConvTranspose3D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	od, oh, ow := c.OutDim(dd), c.OutDim(hh), c.OutDim(ww)
 	y := tensor.New(b, c.Co, od, oh, ow)
 	k, s := c.K, c.Stride
-	// Bias.
-	for bi := 0; bi < b; bi++ {
-		for co := 0; co < c.Co; co++ {
-			base := ((bi*c.Co + co) * od) * oh * ow
-			bias := c.B.W.Data[co]
-			for i := 0; i < od*oh*ow; i++ {
-				y.Data[base+i] = bias
+	xd, wd, yd, bd := x.Data, c.W.W.Data, y.Data, c.B.W.Data
+	// Output volumes are per-batch-item disjoint; scatter-adds from
+	// different input cells of the same item stay on one worker.
+	tensor.DefaultPool().ParallelFor(b, 1, func(b0, b1 int) {
+		for bi := b0; bi < b1; bi++ {
+			for co := 0; co < c.Co; co++ {
+				base := ((bi*c.Co + co) * od) * oh * ow
+				bias := bd[co]
+				for i := 0; i < od*oh*ow; i++ {
+					yd[base+i] = bias
+				}
 			}
-		}
-	}
-	for bi := 0; bi < b; bi++ {
-		for cin := 0; cin < ci; cin++ {
-			for zd := 0; zd < dd; zd++ {
-				for zh := 0; zh < hh; zh++ {
-					for zw := 0; zw < ww; zw++ {
-						xv := x.At(bi, cin, zd, zh, zw)
-						if xv == 0 {
-							continue
-						}
-						for co := 0; co < c.Co; co++ {
-							for kd := 0; kd < k; kd++ {
-								for kh := 0; kh < k; kh++ {
-									for kw := 0; kw < k; kw++ {
-										od0, oh0, ow0 := zd*s+kd, zh*s+kh, zw*s+kw
-										y.Data[(((bi*c.Co+co)*od+od0)*oh+oh0)*ow+ow0] +=
-											xv * c.W.W.At(cin, co, kd, kh, kw)
+			for cin := 0; cin < ci; cin++ {
+				for zd := 0; zd < dd; zd++ {
+					for zh := 0; zh < hh; zh++ {
+						for zw := 0; zw < ww; zw++ {
+							xv := xd[(((bi*ci+cin)*dd+zd)*hh+zh)*ww+zw]
+							if xv == 0 {
+								continue
+							}
+							for co := 0; co < c.Co; co++ {
+								wBase := ((cin*c.Co + co) * k) * k * k
+								for kd := 0; kd < k; kd++ {
+									for kh := 0; kh < k; kh++ {
+										yRow := (((bi*c.Co+co)*od+zd*s+kd)*oh+zh*s+kh)*ow + zw*s
+										wRow := wBase + (kd*k+kh)*k
+										for kw := 0; kw < k; kw++ {
+											yd[yRow+kw] += xv * wd[wRow+kw]
+										}
 									}
 								}
 							}
@@ -192,49 +224,65 @@ func (c *ConvTranspose3D) Forward(x *tensor.Tensor) *tensor.Tensor {
 				}
 			}
 		}
-	}
+	})
 	return y
 }
 
-// Backward propagates dL/dy and accumulates grads.
+// Backward propagates dL/dy and accumulates grads, with per-batch-item
+// weight-gradient partials combined in batch order (bit-identical serial or
+// parallel).
 func (c *ConvTranspose3D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	x := c.x
 	b, ci, dd, hh, ww := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3), x.Dim(4)
 	od, oh, ow := dy.Dim(2), dy.Dim(3), dy.Dim(4)
 	dx := tensor.New(b, ci, dd, hh, ww)
 	k, s := c.K, c.Stride
-	// Bias grads.
-	for bi := 0; bi < b; bi++ {
-		for co := 0; co < c.Co; co++ {
-			base := ((bi*c.Co + co) * od) * oh * ow
-			for i := 0; i < od*oh*ow; i++ {
-				c.B.Grad.Data[co] += dy.Data[base+i]
+	xd, wd, dyd, dxd := x.Data, c.W.W.Data, dy.Data, dx.Data
+	wGrads := make([]*tensor.Tensor, b)
+	bGrads := make([]*tensor.Tensor, b)
+	tensor.DefaultPool().ParallelFor(b, 1, func(b0, b1 int) {
+		for bi := b0; bi < b1; bi++ {
+			wg := tensor.Get(c.W.W.Shape...)
+			bg := tensor.Get(c.Co)
+			wGrads[bi], bGrads[bi] = wg, bg
+			for co := 0; co < c.Co; co++ {
+				base := ((bi*c.Co + co) * od) * oh * ow
+				for i := 0; i < od*oh*ow; i++ {
+					bg.Data[co] += dyd[base+i]
+				}
 			}
-		}
-	}
-	for bi := 0; bi < b; bi++ {
-		for cin := 0; cin < ci; cin++ {
-			for zd := 0; zd < dd; zd++ {
-				for zh := 0; zh < hh; zh++ {
-					for zw := 0; zw < ww; zw++ {
-						xv := x.At(bi, cin, zd, zh, zw)
-						var acc float64
-						for co := 0; co < c.Co; co++ {
-							for kd := 0; kd < k; kd++ {
-								for kh := 0; kh < k; kh++ {
-									for kw := 0; kw < k; kw++ {
-										g := dy.Data[(((bi*c.Co+co)*od+zd*s+kd)*oh+zh*s+kh)*ow+zw*s+kw]
-										acc += g * c.W.W.At(cin, co, kd, kh, kw)
-										c.W.Grad.Data[(((cin*c.Co+co)*k+kd)*k+kh)*k+kw] += g * xv
+			for cin := 0; cin < ci; cin++ {
+				for zd := 0; zd < dd; zd++ {
+					for zh := 0; zh < hh; zh++ {
+						for zw := 0; zw < ww; zw++ {
+							xv := xd[(((bi*ci+cin)*dd+zd)*hh+zh)*ww+zw]
+							var acc float64
+							for co := 0; co < c.Co; co++ {
+								wBase := ((cin*c.Co + co) * k) * k * k
+								for kd := 0; kd < k; kd++ {
+									for kh := 0; kh < k; kh++ {
+										yRow := (((bi*c.Co+co)*od+zd*s+kd)*oh+zh*s+kh)*ow + zw*s
+										wRow := wBase + (kd*k+kh)*k
+										for kw := 0; kw < k; kw++ {
+											g := dyd[yRow+kw]
+											acc += g * wd[wRow+kw]
+											wg.Data[wRow+kw] += g * xv
+										}
 									}
 								}
 							}
+							dxd[(((bi*ci+cin)*dd+zd)*hh+zh)*ww+zw] = acc
 						}
-						dx.Data[((bi*ci+cin)*dd+zd)*hh*ww+zh*ww+zw] = acc
 					}
 				}
 			}
 		}
+	})
+	for bi := 0; bi < b; bi++ {
+		c.W.Grad.AddScaled(1, wGrads[bi])
+		c.B.Grad.AddScaled(1, bGrads[bi])
+		tensor.Put(wGrads[bi])
+		tensor.Put(bGrads[bi])
 	}
 	return dx
 }

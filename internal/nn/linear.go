@@ -28,11 +28,12 @@ func NewLinear(rng *rand.Rand, in, out int) *Linear {
 // Params implements Module.
 func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
 
-// Forward computes y[B,Out] from x[B,In], caching x for backward.
+// Forward computes y[B,Out] from x[B,In], caching x for backward. The
+// weight is consumed in its stored [Out, In] orientation via MatMulTransB —
+// no transposed copy is materialized per call.
 func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
 	l.x = x
-	wt := tensor.Transpose(l.W.W) // [In, Out]
-	y := tensor.MatMul(x, wt)
+	y := tensor.MatMulTransB(x, l.W.W)
 	tensor.AddRowVecInto(y, y, l.B.W)
 	return y
 }
@@ -40,9 +41,8 @@ func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
 // Backward takes dL/dy [B,Out], accumulates parameter grads, and returns
 // dL/dx [B,In].
 func (l *Linear) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	// dW += dyᵀ·x ; db += Σ_B dy ; dx = dy·W
-	dw := tensor.MatMul(tensor.Transpose(dy), l.x) // [Out, In]
-	l.W.Grad.AddScaled(1, dw)
+	// dW += dyᵀ·x directly into the grad accumulator; db += Σ_B dy; dx = dy·W.
+	tensor.MatMulTransAAccum(l.W.Grad, dy, l.x)
 	tensor.SumRowsInto(l.B.Grad, dy)
 	return tensor.MatMul(dy, l.W.W)
 }

@@ -92,9 +92,10 @@ func (l *LSTM) Forward(x *tensor.Tensor) *tensor.Tensor {
 		xt := timeSlice(x, t)
 		var pre [4]*tensor.Tensor
 		for g := 0; g < 4; g++ {
-			p := tensor.MatMul(xt, tensor.Transpose(l.Wx[g].W))
-			ph := tensor.MatMul(h, tensor.Transpose(l.Wh[g].W))
-			tensor.AddInto(p, p, ph)
+			// x·Wᵀ and h·Uᵀ in the weights' stored orientation; the hidden
+			// product accumulates straight into p — no transposes, no temp.
+			p := tensor.MatMulTransB(xt, l.Wx[g].W)
+			tensor.MatMulTransBAccum(p, h, l.Wh[g].W)
 			tensor.AddRowVecInto(p, p, l.B[g].W)
 			pre[g] = p
 		}
@@ -178,13 +179,13 @@ func (l *LSTM) Backward(dout *tensor.Tensor) *tensor.Tensor {
 		dxt := tensor.New(b, l.In)
 		dhPrev := tensor.New(b, l.Hidden)
 		for gi := 0; gi < 4; gi++ {
-			// Parameter grads.
-			l.Wx[gi].Grad.AddScaled(1, tensor.MatMul(tensor.Transpose(dPre[gi]), xt))
-			l.Wh[gi].Grad.AddScaled(1, tensor.MatMul(tensor.Transpose(dPre[gi]), hPrev))
+			// Parameter grads accumulate in place (no transpose temps).
+			tensor.MatMulTransAAccum(l.Wx[gi].Grad, dPre[gi], xt)
+			tensor.MatMulTransAAccum(l.Wh[gi].Grad, dPre[gi], hPrev)
 			tensor.SumRowsInto(l.B[gi].Grad, dPre[gi])
 			// Input/previous-hidden grads.
-			dxt.AddScaled(1, tensor.MatMul(dPre[gi], l.Wx[gi].W))
-			dhPrev.AddScaled(1, tensor.MatMul(dPre[gi], l.Wh[gi].W))
+			tensor.MatMulAccum(dxt, dPre[gi], l.Wx[gi].W)
+			tensor.MatMulAccum(dhPrev, dPre[gi], l.Wh[gi].W)
 		}
 		setTimeSlice(dx, dxt, t)
 

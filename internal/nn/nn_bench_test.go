@@ -1,0 +1,76 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// Forward/backward micro-benchmarks with allocation tracking. The matmul
+// family keeps layer math out of the allocator; remaining allocs are the
+// layer outputs themselves (which escape by design).
+
+func BenchmarkLinearForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLinear(rng, 128, 128)
+	x := tensor.Randn(rng, 1, 64, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Forward(x)
+	}
+}
+
+func BenchmarkLinearBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLinear(rng, 128, 128)
+	x := tensor.Randn(rng, 1, 64, 128)
+	dy := tensor.Randn(rng, 1, 64, 128)
+	l.Forward(x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Backward(dy)
+	}
+}
+
+func BenchmarkLSTMForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLSTM(rng, 32, 64)
+	x := tensor.Randn(rng, 1, 8, 10, 32)
+	dy := tensor.Randn(rng, 1, 8, 10, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Forward(x)
+		l.Backward(dy)
+	}
+}
+
+func BenchmarkAttentionForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMultiHeadAttention(rng, 64, 4)
+	x := tensor.Randn(rng, 1, 4, 16, 64)
+	dy := tensor.Randn(rng, 1, 4, 16, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(x)
+		m.Backward(dy)
+	}
+}
+
+func BenchmarkConv3DForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewConv3D(rng, 4, 8, 2, 2, 0)
+	x := tensor.Randn(rng, 1, 4, 4, 16, 16, 16)
+	c.Forward(x)
+	dy := tensor.Randn(rng, 1, 4, 8, 8, 8, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Forward(x)
+		c.Backward(dy)
+	}
+}

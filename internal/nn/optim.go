@@ -9,18 +9,26 @@ import (
 // MSELoss returns ½-free mean squared error L = mean((pred-target)²) and
 // dL/dpred.
 func MSELoss(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
-	if pred.Len() != target.Len() {
+	grad := tensor.New(pred.Shape...)
+	return MSELossInto(grad, pred, target), grad
+}
+
+// MSELossInto writes dL/dpred into grad (which must match pred's length)
+// and returns the loss. It exists so hot loops can route the gradient
+// buffer through the tensor workspace (Get/Put) instead of allocating one
+// per step.
+func MSELossInto(grad, pred, target *tensor.Tensor) float64 {
+	if pred.Len() != target.Len() || grad.Len() != pred.Len() {
 		panic("nn: MSE length mismatch")
 	}
 	n := float64(pred.Len())
-	grad := tensor.New(pred.Shape...)
 	loss := 0.0
 	for i := range pred.Data {
 		d := pred.Data[i] - target.Data[i]
 		loss += d * d
 		grad.Data[i] = 2 * d / n
 	}
-	return loss / n, grad
+	return loss / n
 }
 
 // Adam is the Adam optimizer (Kingma & Ba 2015) with optional weight decay.
@@ -57,17 +65,22 @@ func (a *Adam) Step(mod Module) {
 			vel = make([]float64, p.W.Len())
 			a.v[p] = vel
 		}
-		for i := range p.W.Data {
-			g := p.Grad.Data[i]
-			if a.WeightDecay > 0 {
-				g += a.WeightDecay * p.W.Data[i]
+		// The per-element update is independent, so it fans out across the
+		// kernel pool (bit-identical to the serial loop).
+		w, grad := p.W.Data, p.Grad.Data
+		tensor.DefaultPool().ParallelFor(len(w), 4096, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				g := grad[i]
+				if a.WeightDecay > 0 {
+					g += a.WeightDecay * w[i]
+				}
+				mom[i] = a.Beta1*mom[i] + (1-a.Beta1)*g
+				vel[i] = a.Beta2*vel[i] + (1-a.Beta2)*g*g
+				mh := mom[i] / bc1
+				vh := vel[i] / bc2
+				w[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
 			}
-			mom[i] = a.Beta1*mom[i] + (1-a.Beta1)*g
-			vel[i] = a.Beta2*vel[i] + (1-a.Beta2)*g*g
-			mh := mom[i] / bc1
-			vh := vel[i] / bc2
-			p.W.Data[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
-		}
+		})
 	}
 }
 

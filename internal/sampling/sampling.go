@@ -15,8 +15,10 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/energy"
+	"repro/internal/tensor"
 )
 
 // Data is the point-cloud view a sampler operates on.
@@ -137,23 +139,39 @@ func normalizeInPlace(pts [][]float64) {
 	}
 	d := len(pts[0])
 	for j := 0; j < d; j++ {
+		// Min/max are order-independent, so the scan fans out over the
+		// kernel pool; the rescale writes each point exactly once.
 		lo, hi := pts[0][j], pts[0][j]
-		for _, p := range pts {
-			if p[j] < lo {
-				lo = p[j]
+		var mu sync.Mutex
+		tensor.DefaultPool().ParallelFor(len(pts), 4096, func(p0, p1 int) {
+			clo, chi := pts[p0][j], pts[p0][j]
+			for _, p := range pts[p0:p1] {
+				if p[j] < clo {
+					clo = p[j]
+				}
+				if p[j] > chi {
+					chi = p[j]
+				}
 			}
-			if p[j] > hi {
-				hi = p[j]
+			mu.Lock()
+			if clo < lo {
+				lo = clo
 			}
-		}
+			if chi > hi {
+				hi = chi
+			}
+			mu.Unlock()
+		})
 		r := hi - lo
-		for _, p := range pts {
-			if r > 0 {
-				p[j] = (p[j] - lo) / r
-			} else {
-				p[j] = 0
+		tensor.DefaultPool().ParallelFor(len(pts), 4096, func(p0, p1 int) {
+			for _, p := range pts[p0:p1] {
+				if r > 0 {
+					p[j] = (p[j] - lo) / r
+				} else {
+					p[j] = 0
+				}
 			}
-		}
+		})
 	}
 }
 

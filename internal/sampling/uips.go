@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/energy"
 	"repro/internal/stats"
+	"repro/internal/tensor"
 )
 
 // UIPS implements uniform-in-phase-space selection (Hassanaly et al. 2023)
@@ -54,16 +55,23 @@ func (u UIPS) SelectPoints(d *Data, n int, rng *rand.Rand) []int {
 	for _, p := range pts {
 		h.Add(p)
 	}
-	// Inverse-PDF weights, clipped relative to the mean weight.
+	// Inverse-PDF weights, clipped relative to the mean weight. The
+	// histogram is frozen after the build pass, so per-point lookups fan
+	// out over the kernel pool; the mean is summed in point order so the
+	// selection stays deterministic.
 	w := make([]float64, total)
-	sum := 0.0
-	for i, p := range pts {
-		prob := h.Probability(p)
-		if prob <= 0 {
-			prob = 1e-12
+	tensor.DefaultPool().ParallelFor(total, 2048, func(p0, p1 int) {
+		for i := p0; i < p1; i++ {
+			prob := h.Probability(pts[i])
+			if prob <= 0 {
+				prob = 1e-12
+			}
+			w[i] = 1 / prob
 		}
-		w[i] = 1 / prob
-		sum += w[i]
+	})
+	sum := 0.0
+	for _, wi := range w {
+		sum += wi
 	}
 	mean := sum / float64(total)
 	for i := range w {

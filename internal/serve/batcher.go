@@ -190,6 +190,10 @@ func (b *Batcher) runBatch(model string, batch []*inferRequest) {
 	rep := entry.Acquire()
 	out, err := forward(rep, in)
 	entry.Release(rep)
+	// The stacked input is dead once the forward pass returns (replicas
+	// re-cache on the next forward), so recycle it into the workspace:
+	// steady-state batching allocates no input buffers.
+	tensor.Put(in)
 	if err != nil {
 		fail(err)
 		return
@@ -221,10 +225,11 @@ func forward(m interface {
 	return m.Forward(in), nil
 }
 
-// stackInputs assembles [B, ...] from per-example tensors of equal shape.
+// stackInputs assembles [B, ...] from per-example tensors of equal shape,
+// drawing the batch buffer from the tensor workspace.
 func stackInputs(batch []*inferRequest) *tensor.Tensor {
 	shape := append([]int{len(batch)}, batch[0].input.Shape...)
-	out := tensor.New(shape...)
+	out := tensor.Get(shape...)
 	stride := batch[0].input.Len()
 	for i, r := range batch {
 		copy(out.Data[i*stride:(i+1)*stride], r.input.Data)

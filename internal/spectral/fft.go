@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+
+	"repro/internal/tensor"
 )
 
 // FFT computes the in-place forward discrete Fourier transform of x,
@@ -102,9 +104,11 @@ func (g *Grid3) FromReal(v []float64) {
 	if len(v) != len(g.Data) {
 		panic("spectral: FromReal length mismatch")
 	}
-	for i, x := range v {
-		g.Data[i] = complex(x, 0)
-	}
+	tensor.DefaultPool().ParallelFor(len(v), 8192, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			g.Data[i] = complex(v[i], 0)
+		}
+	})
 }
 
 // RealPart extracts the real part into dst (allocated if nil).
@@ -112,9 +116,11 @@ func (g *Grid3) RealPart(dst []float64) []float64 {
 	if dst == nil {
 		dst = make([]float64, len(g.Data))
 	}
-	for i, c := range g.Data {
-		dst[i] = real(c)
-	}
+	tensor.DefaultPool().ParallelFor(len(g.Data), 8192, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = real(g.Data[i])
+		}
+	})
 	return dst
 }
 
@@ -126,6 +132,10 @@ func (g *Grid3) FFT3() { g.transform(false) }
 // IFFT3 performs the inverse 3-D transform (normalized) in place.
 func (g *Grid3) IFFT3() { g.transform(true) }
 
+// transform runs the separable 3-D FFT as three passes of independent 1-D
+// line transforms; each pass fans its lines out across the kernel pool
+// (every line touches a disjoint set of grid cells, so parallel and serial
+// execution are bit-identical).
 func (g *Grid3) transform(inverse bool) {
 	do := func(line []complex128) {
 		if inverse {
@@ -134,17 +144,20 @@ func (g *Grid3) transform(inverse bool) {
 			FFT(line)
 		}
 	}
-	// x-lines are contiguous.
-	for k := 0; k < g.Nz; k++ {
-		for j := 0; j < g.Ny; j++ {
+	p := tensor.DefaultPool()
+	// x-lines are contiguous; one unit per (k, j) line.
+	p.ParallelFor(g.Nz*g.Ny, 8, func(u0, u1 int) {
+		for u := u0; u < u1; u++ {
+			k, j := u/g.Ny, u%g.Ny
 			base := g.idx(0, j, k)
 			do(g.Data[base : base+g.Nx])
 		}
-	}
-	// y-lines.
-	buf := make([]complex128, g.Ny)
-	for k := 0; k < g.Nz; k++ {
-		for i := 0; i < g.Nx; i++ {
+	})
+	// y-lines; one unit per (k, i) line, with a per-chunk gather buffer.
+	p.ParallelFor(g.Nz*g.Nx, 8, func(u0, u1 int) {
+		buf := make([]complex128, g.Ny)
+		for u := u0; u < u1; u++ {
+			k, i := u/g.Nx, u%g.Nx
 			for j := 0; j < g.Ny; j++ {
 				buf[j] = g.Data[g.idx(i, j, k)]
 			}
@@ -153,12 +166,13 @@ func (g *Grid3) transform(inverse bool) {
 				g.Data[g.idx(i, j, k)] = buf[j]
 			}
 		}
-	}
-	// z-lines.
+	})
+	// z-lines; one unit per (j, i) line.
 	if g.Nz > 1 {
-		bufz := make([]complex128, g.Nz)
-		for j := 0; j < g.Ny; j++ {
-			for i := 0; i < g.Nx; i++ {
+		p.ParallelFor(g.Ny*g.Nx, 8, func(u0, u1 int) {
+			bufz := make([]complex128, g.Nz)
+			for u := u0; u < u1; u++ {
+				j, i := u/g.Nx, u%g.Nx
 				for k := 0; k < g.Nz; k++ {
 					bufz[k] = g.Data[g.idx(i, j, k)]
 				}
@@ -167,7 +181,7 @@ func (g *Grid3) transform(inverse bool) {
 					g.Data[g.idx(i, j, k)] = bufz[k]
 				}
 			}
-		}
+		})
 	}
 }
 

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/tensor"
 )
 
 func TestFFTMatchesNaiveDFT(t *testing.T) {
@@ -259,5 +261,32 @@ func BenchmarkFFT3_64cubed(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		g.FFT3()
 		g.IFFT3()
+	}
+}
+
+// TestFFT3BitIdenticalSerialVsParallel asserts the pooled line fan-out of
+// the 3-D transform matches the serial execution bit for bit.
+func TestFFT3BitIdenticalSerialVsParallel(t *testing.T) {
+	tensor.SetWorkers(4) // force a real pool even on single-core machines
+	defer tensor.SetWorkers(0)
+	mk := func() *Grid3 {
+		g := NewGrid3(16, 8, 4)
+		for i := range g.Data {
+			g.Data[i] = complex(math.Sin(float64(i)*0.7), math.Cos(float64(i)*1.3))
+		}
+		return g
+	}
+	a, b := mk(), mk()
+	tensor.SetParallel(false)
+	b.FFT3()
+	b.IFFT3()
+	tensor.SetParallel(true)
+	a.FFT3()
+	a.IFFT3()
+	for i := range a.Data {
+		if math.Float64bits(real(a.Data[i])) != math.Float64bits(real(b.Data[i])) ||
+			math.Float64bits(imag(a.Data[i])) != math.Float64bits(imag(b.Data[i])) {
+			t.Fatalf("FFT3 parallel vs serial differs at %d: %v vs %v", i, a.Data[i], b.Data[i])
+		}
 	}
 }

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/grid"
 	"repro/internal/sampling"
 	"repro/internal/stats"
+	"repro/internal/tensor"
 )
 
 // newKeyRNG seeds the reservoir-key rng per snapshot (mirroring the offline
@@ -28,15 +30,29 @@ func featureBounds(f *grid.Field, inVars []string) (lo, hi []float64) {
 	hi = make([]float64, len(inVars))
 	for j, name := range inVars {
 		v := f.Var(name)
+		// Min/max is exact under any evaluation order, so the scan over a
+		// snapshot-sized variable fans out across the kernel pool.
 		l, h := v[0], v[0]
-		for _, x := range v[1:] {
-			if x < l {
-				l = x
+		var mu sync.Mutex
+		tensor.DefaultPool().ParallelFor(len(v), 8192, func(p0, p1 int) {
+			cl, ch := v[p0], v[p0]
+			for _, x := range v[p0:p1] {
+				if x < cl {
+					cl = x
+				}
+				if x > ch {
+					ch = x
+				}
 			}
-			if x > h {
-				h = x
+			mu.Lock()
+			if cl < l {
+				l = cl
 			}
-		}
+			if ch > h {
+				h = ch
+			}
+			mu.Unlock()
+		})
 		if h == l {
 			h = l + 1
 		} else {

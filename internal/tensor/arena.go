@@ -1,0 +1,88 @@
+package tensor
+
+import "sync"
+
+// The workspace is a size-classed free list of tensor backing arrays. Hot
+// loops that allocate same-shaped temporaries every iteration (the trainer's
+// batch stacking, the serve batcher's input stacking, solver scratch) call
+// Get/Put instead of New, which makes their steady state allocation-free:
+// after warmup every Get is satisfied from the free list.
+//
+// Semantics: Get returns a ZEROED tensor — identical to New — so swapping
+// New for Get never changes results. Put recycles a tensor's storage; the
+// caller must not touch the tensor afterwards (the canonical use is
+// Get → fill → consume → Put within one loop iteration). Put on a tensor
+// whose Data is shared with a live view would corrupt the view; only Put
+// storage you own outright.
+
+// maxFreePerClass bounds how many buffers each size class retains, so a
+// burst of huge temporaries cannot pin memory forever.
+const maxFreePerClass = 64
+
+type sizeClass struct {
+	mu   sync.Mutex
+	bufs [][]float64
+}
+
+var (
+	arenaMu sync.RWMutex
+	arena   = map[int]*sizeClass{}
+)
+
+func classFor(n int) *sizeClass {
+	arenaMu.RLock()
+	sc := arena[n]
+	arenaMu.RUnlock()
+	if sc != nil {
+		return sc
+	}
+	arenaMu.Lock()
+	defer arenaMu.Unlock()
+	if sc = arena[n]; sc == nil {
+		sc = &sizeClass{}
+		arena[n] = sc
+	}
+	return sc
+}
+
+// Get returns a zeroed tensor with the given shape, reusing recycled
+// storage when available. It is safe for concurrent use.
+func Get(shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		if s < 0 {
+			panic("tensor: negative dimension in Get")
+		}
+		n *= s
+	}
+	sc := classFor(n)
+	sc.mu.Lock()
+	var data []float64
+	if len(sc.bufs) > 0 {
+		data = sc.bufs[len(sc.bufs)-1]
+		sc.bufs = sc.bufs[:len(sc.bufs)-1]
+	}
+	sc.mu.Unlock()
+	if data == nil {
+		data = make([]float64, n)
+	} else {
+		clear(data)
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// Put recycles t's storage into the workspace free list. t must not be used
+// after Put. Putting nil is a no-op.
+func Put(t *Tensor) {
+	if t == nil || t.Data == nil {
+		return
+	}
+	data := t.Data
+	t.Data = nil
+	sc := classFor(len(data))
+	sc.mu.Lock()
+	if len(sc.bufs) < maxFreePerClass {
+		sc.bufs = append(sc.bufs, data)
+	}
+	sc.mu.Unlock()
+}

@@ -1,0 +1,109 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Kernel micro-benchmarks. ReportAllocs is on everywhere: the Into/Accum
+// kernels must be zero-alloc, and MatMul's only allocation is its output.
+// Run `go test -bench 'MatMul|Ewise|Reduce' -benchmem ./internal/tensor/`.
+
+func benchMats(m, k, n int) (*Tensor, *Tensor, *Tensor) {
+	rng := rand.New(rand.NewSource(1))
+	return Randn(rng, 1, m, k), Randn(rng, 1, k, n), New(m, n)
+}
+
+func BenchmarkMatMulInto(b *testing.B) {
+	for _, size := range []int{64, 128, 256} {
+		b.Run(fmt.Sprintf("n%d", size), func(b *testing.B) {
+			x, y, dst := benchMats(size, size, size)
+			flops := 2 * int64(size) * int64(size) * int64(size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulInto(dst, x, y)
+			}
+			b.SetBytes(flops) // reported as "bytes/op" == flops/op
+		})
+	}
+}
+
+func BenchmarkMatMulIntoSerial(b *testing.B) {
+	SetParallel(false)
+	defer SetParallel(true)
+	for _, size := range []int{64, 128, 256} {
+		b.Run(fmt.Sprintf("n%d", size), func(b *testing.B) {
+			x, y, dst := benchMats(size, size, size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulInto(dst, x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulTransBInto(b *testing.B) {
+	for _, size := range []int{64, 128, 256} {
+		b.Run(fmt.Sprintf("n%d", size), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			x := Randn(rng, 1, size, size)
+			w := Randn(rng, 1, size, size)
+			dst := New(size, size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulTransBInto(dst, x, w)
+			}
+		})
+	}
+}
+
+// BenchmarkTransposeThenMatMul measures the pattern the nn layers used
+// before this engine existed (materialize Wᵀ every call), for comparison
+// with BenchmarkMatMulTransBInto.
+func BenchmarkTransposeThenMatMul(b *testing.B) {
+	size := 128
+	rng := rand.New(rand.NewSource(1))
+	x := Randn(rng, 1, size, size)
+	w := Randn(rng, 1, size, size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, Transpose(w))
+	}
+}
+
+func BenchmarkEwiseAddInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := Randn(rng, 1, 1<<16)
+	y := Randn(rng, 1, 1<<16)
+	dst := New(1 << 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AddInto(dst, x, y)
+	}
+}
+
+func BenchmarkReduceSum(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := Randn(rng, 1, 1<<16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s = x.Sum()
+	}
+	_ = s
+}
+
+func BenchmarkParallelForOverhead(b *testing.B) {
+	p := NewPool(4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.ParallelFor(1<<14, ewiseGrain, func(lo, hi int) {})
+	}
+}

@@ -1,31 +1,84 @@
 package tensor
 
-import (
-	"fmt"
-	"runtime"
-	"sync"
+import "fmt"
+
+// Matmul kernel tuning. rowGrain batches output rows per ParallelFor chunk;
+// blockK × blockJ tiles keep the active slab of b and the dst row segment
+// resident in L2 while a row of a streams through. The tiling only reorders
+// which (i, j) cells are visited when — for any fixed output cell the terms
+// still accumulate over l in ascending order, exactly as the serial
+// reference kernel does, so blocked and reference results are bit-identical.
+const (
+	rowGrain = 8
+	blockK   = 64
+	blockJ   = 256
 )
 
-// parallelThreshold is the minimum number of output rows before MatMul
-// fans work out across goroutines; below it the scheduling overhead
-// outweighs the speedup.
-const parallelThreshold = 64
-
-// MatMul returns a @ b for 2-D tensors a (m×k) and b (k×n).
+// MatMul returns a @ b for 2-D tensors a (m×k) and b (k×n). The output of
+// New is already zeroed, so the kernel accumulates directly — no redundant
+// clearing pass.
 func MatMul(a, b *Tensor) *Tensor {
 	m, k, n := checkMatMul(a, b)
 	out := New(m, n)
-	matmulInto(out.Data, a.Data, b.Data, m, k, n)
+	matmulAccum(out.Data, a.Data, b.Data, m, k, n, DefaultPool())
 	return out
 }
 
 // MatMulInto computes dst = a @ b, reusing dst's storage.
 func MatMulInto(dst, a, b *Tensor) {
 	m, k, n := checkMatMul(a, b)
-	if dst.NDim() != 2 || dst.Dim(0) != m || dst.Dim(1) != n {
-		panic(fmt.Sprintf("tensor: MatMulInto dst shape %v, want [%d %d]", dst.Shape, m, n))
+	checkDst2D(dst, m, n, "MatMulInto")
+	zeroParallel(dst.Data, DefaultPool())
+	matmulAccum(dst.Data, a.Data, b.Data, m, k, n, DefaultPool())
+}
+
+// MatMulAccum computes dst += a @ b — the gradient-accumulation primitive
+// that replaces the alloc-then-AddScaled pattern in backward passes.
+func MatMulAccum(dst, a, b *Tensor) {
+	m, k, n := checkMatMul(a, b)
+	checkDst2D(dst, m, n, "MatMulAccum")
+	matmulAccum(dst.Data, a.Data, b.Data, m, k, n, DefaultPool())
+}
+
+// MatMulTransB returns a @ bᵀ for a (m×k) and b (n×k) WITHOUT materializing
+// the transpose: it walks both operands row-major (contiguous dot products).
+// This is the natural orientation for nn layers whose weights are stored
+// [out, in]: y = x @ Wᵀ needs no Transpose allocation per forward.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	m, k, n := checkMatMulTransB(a, b)
+	out := New(m, n)
+	matmulTransBAccum(out.Data, a.Data, b.Data, m, k, n, DefaultPool())
+	return out
+}
+
+// MatMulTransBInto computes dst = a @ bᵀ, reusing dst's storage.
+func MatMulTransBInto(dst, a, b *Tensor) {
+	m, k, n := checkMatMulTransB(a, b)
+	checkDst2D(dst, m, n, "MatMulTransBInto")
+	zeroParallel(dst.Data, DefaultPool())
+	matmulTransBAccum(dst.Data, a.Data, b.Data, m, k, n, DefaultPool())
+}
+
+// MatMulTransBAccum computes dst += a @ bᵀ.
+func MatMulTransBAccum(dst, a, b *Tensor) {
+	m, k, n := checkMatMulTransB(a, b)
+	checkDst2D(dst, m, n, "MatMulTransBAccum")
+	matmulTransBAccum(dst.Data, a.Data, b.Data, m, k, n, DefaultPool())
+}
+
+// MatMulTransAAccum computes dst += aᵀ @ b for a (m×k) and b (m×n), giving
+// dst (k×n) — the dW += dyᵀ·x step of every linear backward, again without
+// materializing Transpose(dy).
+func MatMulTransAAccum(dst, a, b *Tensor) {
+	if a.NDim() != 2 || b.NDim() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA needs 2-D tensors, got %v and %v", a.Shape, b.Shape))
 	}
-	matmulInto(dst.Data, a.Data, b.Data, m, k, n)
+	if a.Dim(0) != b.Dim(0) {
+		panic(fmt.Sprintf("tensor: MatMulTransA outer dims differ: %v vs %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	checkDst2D(dst, k, n, "MatMulTransAAccum")
+	matmulTransAAccum(dst.Data, a.Data, b.Data, m, k, n, DefaultPool())
 }
 
 func checkMatMul(a, b *Tensor) (m, k, n int) {
@@ -38,17 +91,119 @@ func checkMatMul(a, b *Tensor) (m, k, n int) {
 	return a.Dim(0), a.Dim(1), b.Dim(1)
 }
 
-// matmulInto is an ikj-order kernel: the inner loop runs over contiguous
-// rows of b and dst, which keeps memory access sequential.
-func matmulInto(dst, a, b []float64, m, k, n int) {
-	for i := range dst {
-		dst[i] = 0
+func checkMatMulTransB(a, b *Tensor) (m, k, n int) {
+	if a.NDim() != 2 || b.NDim() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB needs 2-D tensors, got %v and %v", a.Shape, b.Shape))
 	}
-	rows := func(i0, i1 int) {
+	if a.Dim(1) != b.Dim(1) {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dims differ: %v vs %v", a.Shape, b.Shape))
+	}
+	return a.Dim(0), a.Dim(1), b.Dim(0)
+}
+
+func checkDst2D(dst *Tensor, m, n int, op string) {
+	if dst.NDim() != 2 || dst.Dim(0) != m || dst.Dim(1) != n {
+		panic(fmt.Sprintf("tensor: %s dst shape %v, want [%d %d]", op, dst.Shape, m, n))
+	}
+}
+
+// matmulAccum computes dst += a @ b with a cache-blocked ikj kernel,
+// parallel over output rows. Accumulation order over l is ascending for
+// every output cell — bit-identical to matmulAccumRef.
+func matmulAccum(dst, a, b []float64, m, k, n int, p *Pool) {
+	p.ParallelFor(m, rowGrain, func(i0, i1 int) {
+		for jb := 0; jb < n; jb += blockJ {
+			j1 := jb + blockJ
+			if j1 > n {
+				j1 = n
+			}
+			for lb := 0; lb < k; lb += blockK {
+				l1 := lb + blockK
+				if l1 > k {
+					l1 = k
+				}
+				for i := i0; i < i1; i++ {
+					ar := a[i*k : (i+1)*k]
+					dr := dst[i*n+jb : i*n+j1]
+					for l := lb; l < l1; l++ {
+						av := ar[l]
+						if av == 0 {
+							continue
+						}
+						br := b[l*n+jb : l*n+j1]
+						for j, bv := range br {
+							dr[j] += av * bv
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// matmulAccumRef is the serial reference: plain ikj, no tiling, no pool.
+// The parity tests assert the blocked/parallel kernel matches it bit for
+// bit.
+func matmulAccumRef(dst, a, b []float64, m, k, n int) {
+	for i := 0; i < m; i++ {
+		ar := a[i*k : (i+1)*k]
+		dr := dst[i*n : (i+1)*n]
+		for l, av := range ar {
+			if av == 0 {
+				continue
+			}
+			br := b[l*n : (l+1)*n]
+			for j, bv := range br {
+				dr[j] += av * bv
+			}
+		}
+	}
+}
+
+// matmulTransBAccum computes dst += a @ bᵀ (b stored n×k). Both operands
+// stream contiguously, so no tiling is needed; rows are parallel.
+func matmulTransBAccum(dst, a, b []float64, m, k, n int, p *Pool) {
+	p.ParallelFor(m, rowGrain, func(i0, i1 int) {
 		for i := i0; i < i1; i++ {
 			ar := a[i*k : (i+1)*k]
 			dr := dst[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				br := b[j*k : (j+1)*k]
+				s := 0.0
+				for l, av := range ar {
+					s += av * br[l]
+				}
+				dr[j] += s
+			}
+		}
+	})
+}
+
+// matmulTransBAccumRef is the serial reference for matmulTransBAccum.
+func matmulTransBAccumRef(dst, a, b []float64, m, k, n int) {
+	for i := 0; i < m; i++ {
+		ar := a[i*k : (i+1)*k]
+		dr := dst[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			br := b[j*k : (j+1)*k]
+			s := 0.0
 			for l, av := range ar {
+				s += av * br[l]
+			}
+			dr[j] += s
+		}
+	}
+}
+
+// matmulTransAAccum computes dst += aᵀ @ b (a stored m×k, dst k×n),
+// parallel over dst rows (columns of a). For each dst cell the terms
+// accumulate over the shared dimension m in ascending order.
+func matmulTransAAccum(dst, a, b []float64, m, k, n int, p *Pool) {
+	p.ParallelFor(k, rowGrain, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			dr := dst[i*n : (i+1)*n]
+			for l := 0; l < m; l++ {
+				av := a[l*k+i]
 				if av == 0 {
 					continue
 				}
@@ -58,36 +213,28 @@ func matmulInto(dst, a, b []float64, m, k, n int) {
 				}
 			}
 		}
-	}
-	if m < parallelThreshold {
-		rows(0, m)
-		return
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m {
-		workers = m
-	}
-	chunk := (m + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		i0 := w * chunk
-		i1 := i0 + chunk
-		if i1 > m {
-			i1 = m
-		}
-		if i0 >= i1 {
-			break
-		}
-		wg.Add(1)
-		go func(i0, i1 int) {
-			defer wg.Done()
-			rows(i0, i1)
-		}(i0, i1)
-	}
-	wg.Wait()
+	})
 }
 
-// Transpose returns the transpose of a 2-D tensor.
+// matmulTransAAccumRef is the serial reference for matmulTransAAccum.
+func matmulTransAAccumRef(dst, a, b []float64, m, k, n int) {
+	for i := 0; i < k; i++ {
+		dr := dst[i*n : (i+1)*n]
+		for l := 0; l < m; l++ {
+			av := a[l*k+i]
+			if av == 0 {
+				continue
+			}
+			br := b[l*n : (l+1)*n]
+			for j, bv := range br {
+				dr[j] += av * bv
+			}
+		}
+	}
+}
+
+// Transpose returns the transpose of a 2-D tensor. Prefer the TransB/TransA
+// matmul variants over materializing a transpose in hot paths.
 func Transpose(a *Tensor) *Tensor {
 	if a.NDim() != 2 {
 		panic(fmt.Sprintf("tensor: Transpose needs a 2-D tensor, got %v", a.Shape))
@@ -103,42 +250,49 @@ func Transpose(a *Tensor) *Tensor {
 	return out
 }
 
-// MatVec returns a @ x for a (m×k) and x (k).
+// MatVec returns a @ x for a (m×k) and x (k), parallel over rows.
 func MatVec(a, x *Tensor) *Tensor {
 	if a.NDim() != 2 || x.NDim() != 1 || a.Dim(1) != x.Dim(0) {
 		panic(fmt.Sprintf("tensor: MatVec shapes %v, %v incompatible", a.Shape, x.Shape))
 	}
 	m, k := a.Dim(0), a.Dim(1)
 	out := New(m)
-	for i := 0; i < m; i++ {
-		row := a.Data[i*k : (i+1)*k]
-		s := 0.0
-		for j, v := range row {
-			s += v * x.Data[j]
+	xd := x.Data
+	DefaultPool().ParallelFor(m, 4*rowGrain, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			row := a.Data[i*k : (i+1)*k]
+			s := 0.0
+			for j, v := range row {
+				s += v * xd[j]
+			}
+			out.Data[i] = s
 		}
-		out.Data[i] = s
-	}
+	})
 	return out
 }
 
 // AddRowVecInto computes dst[i,j] = a[i,j] + v[j] for a 2-D a and 1-D v
-// (broadcast bias addition).
+// (broadcast bias addition), parallel over rows.
 func AddRowVecInto(dst, a, v *Tensor) {
 	if a.NDim() != 2 || v.NDim() != 1 || a.Dim(1) != v.Dim(0) || !SameShape(dst, a) {
 		panic(fmt.Sprintf("tensor: AddRowVec shapes %v, %v, %v incompatible", dst.Shape, a.Shape, v.Shape))
 	}
 	m, n := a.Dim(0), a.Dim(1)
-	for i := 0; i < m; i++ {
-		ar := a.Data[i*n : (i+1)*n]
-		dr := dst.Data[i*n : (i+1)*n]
-		for j := range dr {
-			dr[j] = ar[j] + v.Data[j]
+	vd := v.Data
+	DefaultPool().ParallelFor(m, 4*rowGrain, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			ar := a.Data[i*n : (i+1)*n]
+			dr := dst.Data[i*n : (i+1)*n]
+			for j := range dr {
+				dr[j] = ar[j] + vd[j]
+			}
 		}
-	}
+	})
 }
 
 // SumRowsInto accumulates the column sums of 2-D a into 1-D dst:
-// dst[j] += sum_i a[i,j]. Used for bias gradients.
+// dst[j] += sum_i a[i,j]. Used for bias gradients. Serial: each dst[j] is a
+// shared accumulator and column counts are small in practice.
 func SumRowsInto(dst, a *Tensor) {
 	if a.NDim() != 2 || dst.NDim() != 1 || a.Dim(1) != dst.Dim(0) {
 		panic(fmt.Sprintf("tensor: SumRows shapes %v, %v incompatible", dst.Shape, a.Shape))
@@ -150,4 +304,11 @@ func SumRowsInto(dst, a *Tensor) {
 			dst.Data[j] += v
 		}
 	}
+}
+
+// zeroParallel clears data, fanning large buffers across the pool.
+func zeroParallel(data []float64, p *Pool) {
+	p.ParallelFor(len(data), ewiseGrain, func(lo, hi int) {
+		clear(data[lo:hi])
+	})
 }

@@ -1,0 +1,156 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a persistent worker pool for data-parallel kernels. It exists so
+// that hot loops (matmul, element-wise ops, solver steps) do not pay a
+// goroutine spawn + scheduler wakeup per call: the workers are started once
+// and fed closures through a bounded queue.
+//
+// Determinism contract: ParallelFor decomposes [0, n) into fixed chunks of
+// `grain` iterations. The decomposition depends only on (n, grain) — never
+// on the worker count or on whether a pool is present — so any kernel whose
+// per-chunk work writes disjoint outputs (or fills per-chunk partials that
+// are combined in chunk order afterwards) produces bit-identical results
+// serial or parallel, on any machine. All kernels in this repository follow
+// that contract, and the parity tests assert it.
+type Pool struct {
+	workers int
+	tasks   chan func()
+}
+
+// NewPool starts a pool with the given number of workers (minimum 1). The
+// calling goroutine always participates in ParallelFor, so a pool of W
+// workers can have W+1 goroutines executing chunks.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers, tasks: make(chan func(), 4*workers)}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for task := range p.tasks {
+				task()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+var (
+	defaultPool     atomic.Pointer[Pool]
+	defaultPoolOnce sync.Once
+	parallelOff     atomic.Bool
+)
+
+// DefaultPool returns the process-wide kernel pool, sized to GOMAXPROCS at
+// first use. It returns nil — meaning "run serial" — on single-core
+// processes (where workers can only add overhead) and while parallelism is
+// disabled via SetParallel(false). All kernels accept a nil pool.
+func DefaultPool() *Pool {
+	if parallelOff.Load() {
+		return nil
+	}
+	defaultPoolOnce.Do(func() {
+		if w := runtime.GOMAXPROCS(0); w > 1 {
+			defaultPool.Store(NewPool(w))
+		}
+	})
+	return defaultPool.Load()
+}
+
+// SetParallel toggles the default pool off/on. It exists for the parity
+// tests and the kernel benchmarks, which measure the identical code path
+// with and without workers; results are bit-identical either way (see the
+// Pool determinism contract).
+func SetParallel(on bool) { parallelOff.Store(!on) }
+
+// SetWorkers replaces the default pool with one of n workers; n <= 0
+// restores the GOMAXPROCS default and n == 1 means serial. The previous
+// pool's workers wind down only when the process exits, so this is a
+// configuration/testing knob, not something to call per-request. Kernels
+// already in flight keep the pool they started with.
+func SetWorkers(n int) {
+	defaultPoolOnce.Do(func() {})
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n == 1 {
+		defaultPool.Store(nil)
+		return
+	}
+	defaultPool.Store(NewPool(n))
+}
+
+// ParallelFor runs fn over [0, n) split into chunks of grain iterations.
+// fn(lo, hi) must be safe to run concurrently with other chunks (disjoint
+// writes). A nil pool, a single chunk, or a saturated task queue degrade to
+// inline execution on the caller; the chunk decomposition is unchanged, so
+// results are identical. ParallelFor may be called from inside a chunk
+// (nested data parallelism): the inner call simply shares the queue, and
+// because the caller always works through the remaining chunks itself, no
+// call can deadlock waiting for a free worker.
+func (p *Pool) ParallelFor(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	if p == nil || chunks == 1 {
+		fn(0, n)
+		return
+	}
+	// Completion is tracked per CHUNK, not per helper task: a queued helper
+	// that only starts after all chunks are claimed finds nothing to do and
+	// exits, and nobody waits on it. This is what makes nested ParallelFor
+	// deadlock-free — a worker blocked in the final wait is only ever
+	// waiting on chunks that some live goroutine is actively executing.
+	var next, done atomic.Int64
+	allDone := make(chan struct{})
+	run := func() {
+		for {
+			c := int(next.Add(1)) - 1
+			if c >= chunks {
+				return
+			}
+			lo := c * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+			if int(done.Add(1)) == chunks {
+				close(allDone)
+			}
+		}
+	}
+	helpers := p.workers
+	if helpers > chunks-1 {
+		helpers = chunks - 1
+	}
+	for i := 0; i < helpers; i++ {
+		select {
+		case p.tasks <- run:
+		default:
+			// Queue saturated (deep nesting or heavy load): skip the
+			// remaining helpers; the caller works through every chunk.
+			i = helpers
+		}
+	}
+	run()
+	<-allDone
+}

@@ -1,0 +1,135 @@
+package tensor
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	p := NewPool(4)
+	for _, n := range []int{0, 1, 7, 100, 4096, 10001} {
+		for _, grain := range []int{1, 3, 64, 4096} {
+			var hits atomic.Int64
+			seen := make([]int32, n)
+			p.ParallelFor(n, grain, func(lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("bad chunk [%d,%d) for n=%d grain=%d", lo, hi, n, grain)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+					hits.Add(1)
+				}
+			})
+			if hits.Load() != int64(n) {
+				t.Fatalf("n=%d grain=%d: %d iterations executed", n, grain, hits.Load())
+			}
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d grain=%d: index %d executed %d times", n, grain, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelForNilPoolRunsInline(t *testing.T) {
+	var p *Pool
+	calls := 0
+	p.ParallelFor(100, 10, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 100 {
+			t.Fatalf("nil pool should run one inline range, got [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("nil pool ran %d ranges", calls)
+	}
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool Workers() = %d", p.Workers())
+	}
+}
+
+// TestParallelForNested drives nested ParallelFor from inside workers hard
+// enough to saturate the task queue; the caller-participates design must
+// complete every inner loop without deadlock. Run with -race in CI.
+func TestParallelForNested(t *testing.T) {
+	p := NewPool(4)
+	var total atomic.Int64
+	p.ParallelFor(64, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p.ParallelFor(128, 8, func(ilo, ihi int) {
+				total.Add(int64(ihi - ilo))
+			})
+		}
+	})
+	if total.Load() != 64*128 {
+		t.Fatalf("nested iterations = %d, want %d", total.Load(), 64*128)
+	}
+}
+
+// TestPoolConcurrentKernels exercises many goroutines issuing pooled
+// kernels at once (the serve batcher's situation) under -race in CI.
+func TestPoolConcurrentKernels(t *testing.T) {
+	done := make(chan *Tensor, 8)
+	a := New(70, 40)
+	b := New(40, 50)
+	for i := range a.Data {
+		a.Data[i] = float64(i % 11)
+	}
+	for i := range b.Data {
+		b.Data[i] = float64(i % 7)
+	}
+	for g := 0; g < 8; g++ {
+		go func() { done <- MatMul(a, b) }()
+	}
+	first := <-done
+	for g := 1; g < 8; g++ {
+		got := <-done
+		for i := range got.Data {
+			if got.Data[i] != first.Data[i] {
+				t.Fatalf("concurrent MatMul results diverge at %d", i)
+			}
+		}
+	}
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	a := Get(13, 7)
+	if a.Dim(0) != 13 || a.Dim(1) != 7 || a.Len() != 91 {
+		t.Fatalf("Get shape %v", a.Shape)
+	}
+	for _, v := range a.Data {
+		if v != 0 {
+			t.Fatal("Get must return a zeroed tensor")
+		}
+	}
+	a.Fill(3)
+	Put(a)
+	if a.Data != nil {
+		t.Fatal("Put must nil out Data to catch use-after-put")
+	}
+	// The recycled buffer must come back zeroed.
+	b := Get(91)
+	for _, v := range b.Data {
+		if v != 0 {
+			t.Fatal("recycled Get must return a zeroed tensor")
+		}
+	}
+	Put(b)
+	Put(nil) // no-op
+}
+
+func TestGetPutSteadyStateAllocs(t *testing.T) {
+	// Warm the free list, then check the loop body is alloc-free apart from
+	// the Tensor header + shape slice.
+	Put(Get(32, 32))
+	allocs := testing.AllocsPerRun(100, func() {
+		w := Get(32, 32)
+		Put(w)
+	})
+	// Tensor struct + shape slice ≈ 2 allocations; the 1024-float backing
+	// array (the expensive part) must be recycled.
+	if allocs > 3 {
+		t.Fatalf("Get/Put steady state allocates %.1f objects per run", allocs)
+	}
+}

@@ -1,10 +1,29 @@
 // Package tensor provides dense float64 tensors with shape metadata and the
 // numerical kernels (element-wise ops, matrix multiplication, reductions)
-// that the neural-network and sampling layers of SICKLE-Go are built on.
+// that the neural-network, solver, and sampling layers of SICKLE-Go are
+// built on.
 //
 // Tensors are row-major and backed by a flat []float64, so they can be
-// sliced, reshaped, and passed to kernels without copying. Kernels that
-// dominate training time (matmul) are parallelised across goroutines.
+// sliced, reshaped, and passed to kernels without copying.
+//
+// The package doubles as the repository's kernel engine:
+//
+//   - Pool is a persistent GOMAXPROCS-sized worker pool with a
+//     deterministic ParallelFor; every kernel here (and the cfd2d/cfd3d
+//     solver steps, spectral transforms, and clustering built on it) is
+//     bit-identical serial or parallel, asserted against unexported *Ref
+//     serial kernels in the parity tests.
+//   - The matmul family includes cache-blocked MatMul/MatMulInto, the
+//     transpose-free MatMulTransB / MatMulTransAAccum orientations that nn
+//     layers use so no Transpose is materialized per forward/backward, and
+//     Accum variants for gradient accumulation without temporaries.
+//   - Get/Put is a size-classed workspace (free list) that makes per-
+//     iteration temporaries in the trainer and serve batcher steady-state
+//     allocation-free.
+//
+// Reductions (Sum, Dot, Norm2) use fixed-grain chunked accumulation with
+// partials combined in chunk order — deterministic on any machine and
+// identical with or without the pool.
 package tensor
 
 import (
@@ -160,13 +179,21 @@ func assertSameLen(a, b *Tensor, op string) {
 	}
 }
 
+// ewiseGrain is the fixed element-wise/reduction chunk size. It is part of
+// the determinism contract: chunk boundaries depend only on tensor length,
+// so chunked reductions give the same bits on every machine.
+const ewiseGrain = 4096
+
 // AddInto computes dst = a + b element-wise.
 func AddInto(dst, a, b *Tensor) {
 	assertSameLen(a, b, "add")
 	assertSameLen(dst, a, "add")
-	for i := range dst.Data {
-		dst.Data[i] = a.Data[i] + b.Data[i]
-	}
+	ad, bd, dd := a.Data, b.Data, dst.Data
+	DefaultPool().ParallelFor(len(dd), ewiseGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dd[i] = ad[i] + bd[i]
+		}
+	})
 }
 
 // Add returns a + b element-wise.
@@ -180,9 +207,12 @@ func Add(a, b *Tensor) *Tensor {
 func SubInto(dst, a, b *Tensor) {
 	assertSameLen(a, b, "sub")
 	assertSameLen(dst, a, "sub")
-	for i := range dst.Data {
-		dst.Data[i] = a.Data[i] - b.Data[i]
-	}
+	ad, bd, dd := a.Data, b.Data, dst.Data
+	DefaultPool().ParallelFor(len(dd), ewiseGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dd[i] = ad[i] - bd[i]
+		}
+	})
 }
 
 // Sub returns a - b element-wise.
@@ -196,9 +226,12 @@ func Sub(a, b *Tensor) *Tensor {
 func MulInto(dst, a, b *Tensor) {
 	assertSameLen(a, b, "mul")
 	assertSameLen(dst, a, "mul")
-	for i := range dst.Data {
-		dst.Data[i] = a.Data[i] * b.Data[i]
-	}
+	ad, bd, dd := a.Data, b.Data, dst.Data
+	DefaultPool().ParallelFor(len(dd), ewiseGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dd[i] = ad[i] * bd[i]
+		}
+	})
 }
 
 // Mul returns the Hadamard product a*b.
@@ -210,33 +243,82 @@ func Mul(a, b *Tensor) *Tensor {
 
 // Scale multiplies every element by s in place.
 func (t *Tensor) Scale(s float64) {
-	for i := range t.Data {
-		t.Data[i] *= s
-	}
+	d := t.Data
+	DefaultPool().ParallelFor(len(d), ewiseGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d[i] *= s
+		}
+	})
 }
 
 // AddScaled computes t += s*u in place (axpy).
 func (t *Tensor) AddScaled(s float64, u *Tensor) {
 	assertSameLen(t, u, "axpy")
-	for i := range t.Data {
-		t.Data[i] += s * u.Data[i]
-	}
+	d, ud := t.Data, u.Data
+	DefaultPool().ParallelFor(len(d), ewiseGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d[i] += s * ud[i]
+		}
+	})
 }
 
-// Apply replaces each element x with f(x).
+// Apply replaces each element x with f(x). f must be pure: it may run
+// concurrently across chunks.
 func (t *Tensor) Apply(f func(float64) float64) {
-	for i := range t.Data {
-		t.Data[i] = f(t.Data[i])
-	}
+	d := t.Data
+	DefaultPool().ParallelFor(len(d), ewiseGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d[i] = f(d[i])
+		}
+	})
 }
 
-// Sum returns the sum of all elements.
-func (t *Tensor) Sum() float64 {
+// chunkedSum reduces f over [0, n) with fixed ewiseGrain chunks: each
+// chunk's partial is accumulated left-to-right, partials are combined in
+// chunk order. The decomposition depends only on n, so the result is
+// bit-identical with or without a pool (see chunkedSumRef).
+func chunkedSum(n int, p *Pool, f func(lo, hi int) float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	chunks := (n + ewiseGrain - 1) / ewiseGrain
+	if chunks == 1 {
+		return f(0, n)
+	}
+	partials := make([]float64, chunks)
+	p.ParallelFor(chunks, 1, func(c0, c1 int) {
+		for c := c0; c < c1; c++ {
+			lo := c * ewiseGrain
+			hi := lo + ewiseGrain
+			if hi > n {
+				hi = n
+			}
+			partials[c] = f(lo, hi)
+		}
+	})
 	s := 0.0
-	for _, v := range t.Data {
+	for _, v := range partials {
 		s += v
 	}
 	return s
+}
+
+// chunkedSumRef is the serial reference for chunkedSum: identical chunk
+// decomposition, no pool. Parity tests assert both agree bit for bit.
+func chunkedSumRef(n int, f func(lo, hi int) float64) float64 {
+	return chunkedSum(n, nil, f)
+}
+
+// Sum returns the sum of all elements (chunked deterministic reduction).
+func (t *Tensor) Sum() float64 {
+	d := t.Data
+	return chunkedSum(len(d), DefaultPool(), func(lo, hi int) float64 {
+		s := 0.0
+		for _, v := range d[lo:hi] {
+			s += v
+		}
+		return s
+	})
 }
 
 // Mean returns the arithmetic mean of all elements (0 for empty tensors).
@@ -275,21 +357,30 @@ func (t *Tensor) Min() float64 {
 	return m
 }
 
-// Norm2 returns the Euclidean norm of the flattened tensor.
+// Norm2 returns the Euclidean norm of the flattened tensor (chunked
+// deterministic reduction).
 func (t *Tensor) Norm2() float64 {
-	s := 0.0
-	for _, v := range t.Data {
-		s += v * v
-	}
-	return math.Sqrt(s)
+	d := t.Data
+	ss := chunkedSum(len(d), DefaultPool(), func(lo, hi int) float64 {
+		s := 0.0
+		for _, v := range d[lo:hi] {
+			s += v * v
+		}
+		return s
+	})
+	return math.Sqrt(ss)
 }
 
-// Dot returns the inner product of the flattened tensors.
+// Dot returns the inner product of the flattened tensors (chunked
+// deterministic reduction).
 func Dot(a, b *Tensor) float64 {
 	assertSameLen(a, b, "dot")
-	s := 0.0
-	for i := range a.Data {
-		s += a.Data[i] * b.Data[i]
-	}
-	return s
+	ad, bd := a.Data, b.Data
+	return chunkedSum(len(ad), DefaultPool(), func(lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += ad[i] * bd[i]
+		}
+		return s
+	})
 }

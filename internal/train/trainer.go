@@ -159,8 +159,14 @@ func trainBatch(models []Model, opts []*nn.Adam, batch []Example, cfg Config) fl
 		nn.ZeroGrads(m)
 		in, tgt := stackBatch(batch)
 		pred := m.Forward(in)
-		loss, g := nn.MSELoss(pred, tgt)
+		g := tensor.Get(pred.Shape...)
+		loss := nn.MSELossInto(g, pred, tgt)
 		m.Backward(g)
+		// Recycle the step's batch and gradient buffers: backward is done,
+		// so nothing reads them again before the next stack overwrites.
+		tensor.Put(g)
+		tensor.Put(in)
+		tensor.Put(tgt)
 		if cfg.ClipNorm > 0 {
 			nn.ClipGradNorm(m, cfg.ClipNorm)
 		}
@@ -181,11 +187,15 @@ func trainBatch(models []Model, opts []*nn.Adam, batch []Example, cfg Config) fl
 		if n > 0 {
 			in, tgt := stackBatch(batch[lo:hi])
 			pred := m.Forward(in)
-			loss, g := nn.MSELoss(pred, tgt)
+			g := tensor.Get(pred.Shape...)
+			loss := nn.MSELossInto(g, pred, tgt)
 			// Scale so the allreduced average equals the full-batch
 			// gradient: local grads are means over the shard.
 			localLoss = loss * float64(n)
 			m.Backward(g)
+			tensor.Put(g)
+			tensor.Put(in)
+			tensor.Put(tgt)
 			for _, p := range m.Params() {
 				p.Grad.Scale(float64(n))
 			}
@@ -232,7 +242,11 @@ func Evaluate(m Model, set []Example) float64 {
 	}
 	in, tgt := stackBatch(set)
 	pred := m.Forward(in)
-	loss, _ := nn.MSELoss(pred, tgt)
+	g := tensor.Get(pred.Shape...)
+	loss := nn.MSELossInto(g, pred, tgt)
+	tensor.Put(g)
+	tensor.Put(in)
+	tensor.Put(tgt)
 	return loss
 }
 
