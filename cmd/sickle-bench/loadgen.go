@@ -1,36 +1,44 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
+	"errors"
 	"fmt"
-	"io"
 	"math/rand"
-	"net/http"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
-	"repro/internal/serve"
+	"repro/pkg/api"
+	"repro/pkg/client"
 )
 
-// runLoadGen drives a running sickle-serve instance (the acceptance
-// harness for the serve subsystem): it replays a fixed input set serially
-// to get unbatched reference outputs, then replays it through `clients`
-// concurrent connections and verifies every response is bit-identical to
-// the reference while micro-batching engages (mean batch size > 1). It
-// also issues a repeated /v1/subsample request to show the dataset LRU
-// serving hits.
+// runLoadGen drives a running sickle-serve instance through the pkg/client
+// SDK (the acceptance harness for the serve subsystem): it negotiates the
+// API version, replays a fixed input set serially to get unbatched
+// reference outputs, then replays it through `clients` concurrent
+// connections and verifies every response is bit-identical to the
+// reference while micro-batching engages (mean batch size > 1). It also
+// issues a repeated subsample request to show the dataset LRU serving
+// hits, and finishes with an asynchronous job round trip
+// (submit → poll → result).
 func runLoadGen(base, model string, clients, requests int) error {
 	if clients < 1 || requests < 1 {
 		return fmt.Errorf("need -clients >= 1 and -requests >= 1 (got %d, %d)", clients, requests)
 	}
-	base = strings.TrimRight(base, "/")
-	client := &http.Client{Timeout: 60 * time.Second}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	c := client.New(base, client.WithRetry(5, 100*time.Millisecond))
 
-	entry, err := pickModel(client, base, model)
+	version, err := c.Negotiate(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("negotiated API %s at %s\n", version, base)
+
+	entry, err := pickModel(ctx, c, model)
 	if err != nil {
 		return err
 	}
@@ -48,19 +56,19 @@ func runLoadGen(base, model string, clients, requests int) error {
 	for _, d := range entry.InputShape {
 		n *= d
 	}
-	inputs := make([]serve.InferItem, pool)
+	inputs := make([]api.InferItem, pool)
 	for i := range inputs {
 		data := make([]float64, n)
 		for j := range data {
 			data[j] = rng.NormFloat64()
 		}
-		inputs[i] = serve.InferItem{Shape: entry.InputShape, Data: data}
+		inputs[i] = api.InferItem{Shape: entry.InputShape, Data: data}
 	}
 
 	fmt.Printf("phase 1: %d serial requests (unbatched reference)...\n", pool)
-	refs := make([]serve.InferItem, pool)
+	refs := make([]api.InferItem, pool)
 	for i := range inputs {
-		resp, err := postInfer(client, base, entry.Name, inputs[i])
+		resp, err := inferOne(ctx, c, entry.Name, inputs[i])
 		if err != nil {
 			return err
 		}
@@ -81,14 +89,14 @@ func runLoadGen(base, model string, clients, requests int) error {
 	}
 	close(next)
 	t0 := time.Now()
-	for c := 0; c < clients; c++ {
+	for w := 0; w < clients; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
 				in := i % pool
 				s0 := time.Now()
-				resp, err := postInfer(client, base, entry.Name, inputs[in])
+				resp, err := inferOne(ctx, c, entry.Name, inputs[in])
 				lat := time.Since(s0)
 				mu.Lock()
 				if err != nil {
@@ -124,7 +132,7 @@ func runLoadGen(base, model string, clients, requests int) error {
 	}
 	fmt.Println("  all concurrent responses bit-identical to unbatched reference ✓")
 
-	mean, err := meanBatchSize(client, base)
+	mean, err := meanBatchSize(ctx, c)
 	if err != nil {
 		return err
 	}
@@ -135,74 +143,78 @@ func runLoadGen(base, model string, clients, requests int) error {
 		fmt.Println(" (no batching observed — raise concurrency or -window-ms)")
 	}
 
-	fmt.Println("phase 3: repeated /v1/subsample (dataset LRU)...")
-	sub := serve.SubsampleRequest{Dataset: "GESTS-2048", Cube: 8, NumHypercubes: 2, NumSamples: 32, Seed: 1}
+	fmt.Println("phase 3: repeated subsample (dataset LRU)...")
+	sub := api.SubsampleRequest{Dataset: "GESTS-2048", Cube: 8, NumHypercubes: 2, NumSamples: 32, Seed: 1}
 	for i := 0; i < 2; i++ {
-		var out serve.SubsampleResponse
-		if err := postJSON(client, base+"/v1/subsample", sub, &out); err != nil {
+		out, err := c.Subsample(ctx, &sub)
+		if err != nil {
 			return err
 		}
 		fmt.Printf("  run %d: %d cubes, %d points, cacheHit=%v, %.1f ms\n",
 			i+1, out.Cubes, out.Points, out.CacheHit, out.ElapsedMS)
 	}
+
+	fmt.Println("phase 4: async job round trip (submit → poll → result)...")
+	job, err := c.SubmitSubsampleJob(ctx, &sub)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  submitted %s (%s)\n", job.ID, job.State)
+	job, err = c.WaitJob(ctx, job.ID, 50*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  terminal state %s (stage %q, %d/%d)\n",
+		job.State, job.Progress.Stage, job.Progress.Done, job.Progress.Total)
+	if job.State != api.JobSucceeded {
+		return fmt.Errorf("job %s finished %s: %v", job.ID, job.State, job.Error)
+	}
+	res, err := c.JobResult(ctx, job.ID)
+	if err != nil {
+		return err
+	}
+	if res.Subsample == nil {
+		return fmt.Errorf("job %s result carries no subsample payload", job.ID)
+	}
+	fmt.Printf("  result: %d cubes, %d points ✓\n", res.Subsample.Cubes, res.Subsample.Points)
 	return nil
 }
 
-func pickModel(client *http.Client, base, want string) (*serve.ModelEntry, error) {
-	resp, err := client.Get(base + "/v1/models")
+func pickModel(ctx context.Context, c *client.Client, want string) (*api.ModelInfo, error) {
+	entries, err := c.Models(ctx)
 	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	var entries []*serve.ModelEntry
-	if err := json.NewDecoder(resp.Body).Decode(&entries); err != nil {
 		return nil, err
 	}
 	if len(entries) == 0 {
 		return nil, fmt.Errorf("server has no registered models (start sickle-serve with -demo or -name/-ckpt)")
 	}
 	if want == "" {
-		return entries[0], nil
+		return &entries[0], nil
 	}
-	for _, e := range entries {
-		if e.Name == want {
-			return e, nil
+	for i := range entries {
+		if entries[i].Name == want {
+			return &entries[i], nil
 		}
 	}
 	return nil, fmt.Errorf("model %q not registered on server", want)
 }
 
-func postInfer(client *http.Client, base, model string, item serve.InferItem) (*serve.InferResponse, error) {
-	var out serve.InferResponse
-	err := postJSON(client, base+"/v1/infer",
-		serve.InferRequest{Model: model, Items: []serve.InferItem{item}}, &out)
+func inferOne(ctx context.Context, c *client.Client, model string, item api.InferItem) (*api.InferResponse, error) {
+	out, err := c.Infer(ctx, &api.InferRequest{Model: model, Items: []api.InferItem{item}})
 	if err != nil {
+		var ae *api.Error
+		if errors.As(err, &ae) {
+			return nil, fmt.Errorf("infer %s: %w", model, ae)
+		}
 		return nil, err
 	}
 	if len(out.Outputs) != 1 {
 		return nil, fmt.Errorf("expected 1 output, got %d", len(out.Outputs))
 	}
-	return &out, nil
+	return out, nil
 }
 
-func postJSON(client *http.Client, url string, in, out any) error {
-	body, err := json.Marshal(in)
-	if err != nil {
-		return err
-	}
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("%s: HTTP %d: %s", url, resp.StatusCode, strings.TrimSpace(string(msg)))
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
-}
-
-func sameItem(a, b serve.InferItem) bool {
+func sameItem(a, b api.InferItem) bool {
 	if len(a.Shape) != len(b.Shape) || len(a.Data) != len(b.Data) {
 		return false
 	}
@@ -220,18 +232,13 @@ func sameItem(a, b serve.InferItem) bool {
 }
 
 // meanBatchSize scrapes /metrics for sickle_batch_size_sum / _count.
-func meanBatchSize(client *http.Client, base string) (float64, error) {
-	resp, err := client.Get(base + "/metrics")
-	if err != nil {
-		return 0, err
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
+func meanBatchSize(ctx context.Context, c *client.Client) (float64, error) {
+	raw, err := c.MetricsText(ctx)
 	if err != nil {
 		return 0, err
 	}
 	var sum, count float64
-	for _, line := range strings.Split(string(raw), "\n") {
+	for _, line := range strings.Split(raw, "\n") {
 		fields := strings.Fields(line)
 		if len(fields) != 2 {
 			continue

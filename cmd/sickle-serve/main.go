@@ -9,9 +9,21 @@
 //	             -input-shape 5,8
 //	sickle-serve -case case.yaml -demo
 //
-// Routes: POST /v1/infer, POST /v1/subsample, GET|POST /v1/models,
-// GET /healthz, GET /metrics. Additional models (and hot-swapped versions
-// of existing ones) can be loaded at runtime through POST /v1/models.
+// Routes (v2, the current surface — typed pkg/api error envelope):
+//
+//	POST /v2/infer          micro-batched inference
+//	POST /v2/subsample      synchronous two-phase pipeline
+//	GET|POST /v2/models     list / register-or-hot-swap models
+//	POST /v2/jobs           submit an async subsample or train job
+//	GET /v2/jobs[/{id}]     list / poll jobs
+//	GET /v2/jobs/{id}/result  fetch a succeeded job's output
+//	DELETE /v2/jobs/{id}    cancel (propagates through context into the
+//	                        sampling/training loops)
+//	GET /api/version        version negotiation handshake
+//
+// /v1/{infer,subsample,models} remain as a frozen byte-compatible shim
+// with the legacy {"error":"..."} envelope; GET /healthz and GET /metrics
+// are unversioned. Use pkg/client as the Go SDK.
 package main
 
 import (
@@ -41,8 +53,11 @@ func main() {
 	maxBatch := flag.Int("max-batch", 0, "micro-batch cap (default 16)")
 	windowMS := flag.Int("window-ms", 0, "batch collection window in ms (default 2)")
 	workers := flag.Int("workers", 0, "worker pool size (default GOMAXPROCS)")
+	queueCap := flag.Int("queue-cap", 0, "per-model queue bound before 429s (default 1024)")
 	cacheEntries := flag.Int("cache-entries", 0, "dataset/shard LRU capacity (default 8)")
 	replicas := flag.Int("replicas", 0, "model replicas per registered model (default 2)")
+	jobWorkers := flag.Int("job-workers", 0, "concurrent async jobs (default 2)")
+	jobTTLMin := flag.Int("job-ttl-min", 0, "terminal-job retention in minutes (default 15)")
 
 	name := flag.String("name", "", "register a model under this name at startup")
 	arch := flag.String("arch", "", "architecture: lstm|mlp_transformer|cnn_transformer|matey")
@@ -68,8 +83,11 @@ func main() {
 			MaxBatch:     c.Serve.MaxBatch,
 			Window:       time.Duration(c.Serve.WindowMS) * time.Millisecond,
 			Workers:      c.Serve.Workers,
+			QueueCap:     c.Serve.QueueCap,
 			CacheEntries: c.Serve.CacheEntries,
 			Replicas:     c.Serve.Replicas,
+			JobWorkers:   c.Serve.JobWorkers,
+			JobTTL:       time.Duration(c.Serve.JobTTLMin) * time.Minute,
 		}
 	}
 	if *addr != "" {
@@ -84,11 +102,20 @@ func main() {
 	if *workers > 0 {
 		cfg.Workers = *workers
 	}
+	if *queueCap > 0 {
+		cfg.QueueCap = *queueCap
+	}
 	if *cacheEntries > 0 {
 		cfg.CacheEntries = *cacheEntries
 	}
 	if *replicas > 0 {
 		cfg.Replicas = *replicas
+	}
+	if *jobWorkers > 0 {
+		cfg.JobWorkers = *jobWorkers
+	}
+	if *jobTTLMin > 0 {
+		cfg.JobTTL = time.Duration(*jobTTLMin) * time.Minute
 	}
 
 	s := serve.NewServer(cfg)
@@ -159,7 +186,7 @@ func registerDemoModel(s *serve.Server, replicas int) error {
 	if err != nil {
 		return err
 	}
-	cubes, err := sampling.SubsampleDataset(d, sampling.PipelineConfig{
+	cubes, err := sampling.SubsampleDataset(context.Background(), d, sampling.PipelineConfig{
 		Hypercubes: "random", Method: "random",
 		NumHypercubes: 6, NumSamples: 64,
 		CubeSx: 8, Seed: 1,
@@ -173,7 +200,7 @@ func registerDemoModel(s *serve.Server, replicas int) error {
 	}
 	spec := train.ArchSpec{Arch: "mlp_transformer", InDim: len(d.InputVars),
 		Hidden: 16, Heads: 2, OutDim: len(d.OutputVars), Edge: 8}
-	model, hist, err := train.Train(spec.Factory(), ex, train.Config{
+	model, hist, err := train.Train(context.Background(), spec.Factory(), ex, train.Config{
 		Epochs: 5, Batch: 4, Seed: 1,
 	})
 	if err != nil {

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -159,7 +160,7 @@ func main() {
 		}
 		// Use the clamped config the stream actually ran with, so both
 		// selections share the same cube geometry.
-		offline, err := sampling.SubsampleDataset(offlineDS, res.Pipeline)
+		offline, err := sampling.SubsampleDataset(context.Background(), offlineDS, res.Pipeline)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -81,7 +82,7 @@ func main() {
 	meter := energy.NewMeter()
 	pcfg.Meter = meter
 	t0 := time.Now()
-	cubes, world, err := sampling.SubsampleParallel(d, pcfg, *ranks, sickle.DefaultCostModel())
+	cubes, world, err := sampling.SubsampleParallel(context.Background(), d, pcfg, *ranks, sickle.DefaultCostModel())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -78,7 +79,7 @@ func main() {
 			pcfg.NumHypercubes = 2
 			pcfg.NumSamples = edge * edge * edge / 10
 		}
-		cubes, err = sampling.SubsampleDataset(d, pcfg)
+		cubes, err = sampling.SubsampleDataset(context.Background(), d, pcfg)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -136,7 +137,7 @@ func main() {
 		*batch = trials[0].Batch
 	}
 
-	model, hist, err := train.Train(factory, ex, train.Config{
+	model, hist, err := train.Train(context.Background(), factory, ex, train.Config{
 		LR:     lr,
 		Epochs: *epochs, Batch: *batch, Seed: *seed, Ranks: *ranks,
 		Normalize: true, Meter: meterTrain, Verbose: true,

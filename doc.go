@@ -15,6 +15,16 @@
 // cmd/sickle-stream and benchmarked by cmd/sickle-bench -stream). See
 // README.md.
 //
+// The public surface lives under pkg/: api (the versioned wire contract —
+// request/response types, the typed error envelope with machine-readable
+// codes, job types, version negotiation) and client (the Go SDK: typed
+// methods with per-call contexts, retry-with-backoff on overloaded, job
+// submit/wait/cancel helpers). The service is context-first end to end:
+// request and job contexts reach the batcher queues, replica acquisition,
+// the cache, and the sampling/training loops, so DELETE /v2/jobs/{id}
+// stops a subsample between cube batches and a training run between
+// epochs. /v1 remains as a frozen byte-compatible shim (README "API").
+//
 // All of these share the tensor package's kernel engine: a persistent
 // worker pool (tensor.Pool) with a deterministic ParallelFor, a
 // cache-blocked transpose-free matmul family, and a size-classed tensor

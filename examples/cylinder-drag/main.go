@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -28,7 +29,7 @@ func main() {
 	for _, method := range []string{"random", "maxent"} {
 		var losses []float64
 		for rep := 0; rep < 3; rep++ {
-			cubes, err := sampling.SubsampleDataset(d, sampling.PipelineConfig{
+			cubes, err := sampling.SubsampleDataset(context.Background(), d, sampling.PipelineConfig{
 				Hypercubes: "random", Method: method,
 				NumHypercubes: 1 << 20, NumSamples: 400,
 				CubeSx: 160, CubeSy: 64, CubeSz: 1,
@@ -44,7 +45,7 @@ func main() {
 			factory := func(rng *rand.Rand) train.Model {
 				return train.NewLSTMModel(rng, ex[0].Input.Dim(1), 16, 1)
 			}
-			_, hist, err := train.Train(factory, ex, train.Config{
+			_, hist, err := train.Train(context.Background(), factory, ex, train.Config{
 				Epochs: 120, Batch: 8, Seed: int64(rep), Normalize: true,
 			})
 			if err != nil {

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -32,7 +33,7 @@ func main() {
 		CubeSx: 16, CubeSy: 16, CubeSz: 16,
 		NumClusters: 5, Seed: 9, Meter: meterSample,
 	}
-	cubes, world, err := sampling.SubsampleParallel(d, cfg, 4, sickle.DefaultCostModel())
+	cubes, world, err := sampling.SubsampleParallel(context.Background(), d, cfg, 4, sickle.DefaultCostModel())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func main() {
 	factory := func(rng *rand.Rand) train.Model {
 		return train.NewMLPTransformer(rng, len(d.InputVars), 16, 2, len(d.OutputVars), 16)
 	}
-	_, hist, err := train.Train(factory, ex, train.Config{
+	_, hist, err := train.Train(context.Background(), factory, ex, train.Config{
 		Epochs: 10, Batch: 4, Seed: 10, Normalize: true, Meter: meterTrain,
 	})
 	if err != nil {

@@ -47,8 +47,11 @@ type ServeCase struct {
 	MaxBatch     int
 	WindowMS     int
 	Workers      int
+	QueueCap     int
 	CacheEntries int
 	Replicas     int
+	JobWorkers   int
+	JobTTLMin    int
 }
 
 // StreamCase is the optional `stream:` section of a case file, sizing the
@@ -121,8 +124,11 @@ func ParseCase(src string) (*Case, error) {
 			MaxBatch:     sv.GetInt("max_batch", 0),
 			WindowMS:     sv.GetInt("window_ms", 0),
 			Workers:      sv.GetInt("workers", 0),
+			QueueCap:     sv.GetInt("queue_cap", 0),
 			CacheEntries: sv.GetInt("cache_entries", 0),
 			Replicas:     sv.GetInt("replicas", 0),
+			JobWorkers:   sv.GetInt("job_workers", 0),
+			JobTTLMin:    sv.GetInt("job_ttl_min", 0),
 		},
 
 		// Unset stream keys stay zero: internal/stream.Config owns the

@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -24,6 +25,11 @@ type PipelineConfig struct {
 	NumClusters   int // k for the MaxEnt methods
 	Seed          int64
 	Meter         *energy.Meter
+	// Progress, when non-nil, is called after each cube finishes phase 2
+	// with the number of cubes done and the snapshot's total — the hook the
+	// serve job manager uses to report cancellable progress. It must not
+	// retain the arguments across calls.
+	Progress func(done, total int) `json:"-" yaml:"-"`
 }
 
 func (c *PipelineConfig) defaults() {
@@ -107,15 +113,20 @@ func MethodNames() []string {
 // returns the cube set to use for every snapshot. Holding the cube set
 // fixed across time is what makes spatiotemporal windows well-defined: the
 // same spatial region is observed at every timestep (fixed sensor regions).
-func SelectCubesForDataset(d *grid.Dataset, refSnap int, cfg PipelineConfig) ([]grid.Hypercube, error) {
-	return SelectCubesForField(d.Snapshots[refSnap], d.ClusterVar, cfg)
+// The context is checked before the (potentially expensive, for MaxEnt)
+// selection runs; a canceled ctx returns ctx.Err().
+func SelectCubesForDataset(ctx context.Context, d *grid.Dataset, refSnap int, cfg PipelineConfig) ([]grid.Hypercube, error) {
+	return SelectCubesForField(ctx, d.Snapshots[refSnap], d.ClusterVar, cfg)
 }
 
 // SelectCubesForField runs phase 1 on a single in-memory snapshot (the
 // streaming twin of SelectCubesForDataset): the rng is seeded from cfg.Seed
 // alone, so streamed and offline runs derive the identical cube set from the
 // same reference snapshot.
-func SelectCubesForField(f *grid.Field, clusterVar string, cfg PipelineConfig) ([]grid.Hypercube, error) {
+func SelectCubesForField(ctx context.Context, f *grid.Field, clusterVar string, cfg PipelineConfig) ([]grid.Hypercube, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cfg.defaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	hsel, err := NewHypercubeSelector(cfg.Hypercubes, cfg.NumClusters, cfg.Meter)
@@ -133,8 +144,8 @@ func SelectCubesForField(f *grid.Field, clusterVar string, cfg PipelineConfig) (
 // SubsampleSnapshotWithCubes runs phase 2 on one snapshot over a fixed cube
 // set. The rng is seeded per snapshot, so results do not depend on how
 // snapshots are distributed across ranks.
-func SubsampleSnapshotWithCubes(d *grid.Dataset, snap int, kept []grid.Hypercube, cfg PipelineConfig) ([]CubeSample, error) {
-	return SubsampleFieldWithCubes(d.Snapshots[snap], snap, kept,
+func SubsampleSnapshotWithCubes(ctx context.Context, d *grid.Dataset, snap int, kept []grid.Hypercube, cfg PipelineConfig) ([]CubeSample, error) {
+	return SubsampleFieldWithCubes(ctx, d.Snapshots[snap], snap, kept,
 		d.InputVars, d.OutputVars, d.ClusterVar, cfg)
 }
 
@@ -143,7 +154,12 @@ func SubsampleSnapshotWithCubes(d *grid.Dataset, snap int, kept []grid.Hypercube
 // streaming consumers that receive snapshots one at a time. snap seeds the
 // per-snapshot rng exactly as the offline pipeline does (Seed + snap·7919),
 // so a streamed selection reproduces the offline result bit-for-bit.
-func SubsampleFieldWithCubes(f *grid.Field, snap int, kept []grid.Hypercube,
+//
+// The context is checked between cubes: a cancellation lands before the
+// next cube starts and returns ctx.Err(), so a canceled job stops within
+// one cube batch of the signal. cfg.Progress (if set) fires after every
+// completed cube.
+func SubsampleFieldWithCubes(ctx context.Context, f *grid.Field, snap int, kept []grid.Hypercube,
 	inVars, outVars []string, clusterVar string, cfg PipelineConfig) ([]CubeSample, error) {
 
 	cfg.defaults()
@@ -153,12 +169,18 @@ func SubsampleFieldWithCubes(f *grid.Field, snap int, kept []grid.Hypercube,
 		return nil, err
 	}
 	out := make([]CubeSample, 0, len(kept))
-	for _, cube := range kept {
+	for i, cube := range kept {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cs, err := samplePointsInCube(f, snap, cube, psel, cfg, rng, inVars, outVars, clusterVar)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, cs)
+		if cfg.Progress != nil {
+			cfg.Progress(i+1, len(kept))
+		}
 	}
 	return out, nil
 }
@@ -168,12 +190,12 @@ func SubsampleFieldWithCubes(f *grid.Field, snap int, kept []grid.Hypercube,
 // selection inside each kept cube. When cfg.Method == "full" the second
 // phase is skipped and every point of each cube is kept (the paper's
 // structured-cube baseline).
-func SubsampleSnapshot(d *grid.Dataset, snap int, cfg PipelineConfig) ([]CubeSample, error) {
-	kept, err := SelectCubesForDataset(d, snap, cfg)
+func SubsampleSnapshot(ctx context.Context, d *grid.Dataset, snap int, cfg PipelineConfig) ([]CubeSample, error) {
+	kept, err := SelectCubesForDataset(ctx, d, snap, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return SubsampleSnapshotWithCubes(d, snap, kept, cfg)
+	return SubsampleSnapshotWithCubes(ctx, d, snap, kept, cfg)
 }
 
 func samplePointsInCube(f *grid.Field, snap int, cube grid.Hypercube,
@@ -214,15 +236,19 @@ func samplePointsInCube(f *grid.Field, snap int, cube grid.Hypercube,
 
 // SubsampleDataset runs the pipeline over every snapshot serially: one
 // phase-1 selection on snapshot 0, then phase-2 per snapshot over the fixed
-// cube set.
-func SubsampleDataset(d *grid.Dataset, cfg PipelineConfig) ([]CubeSample, error) {
-	kept, err := SelectCubesForDataset(d, 0, cfg)
+// cube set. The context is checked between phases and between snapshots
+// (and, inside each snapshot, between cubes).
+func SubsampleDataset(ctx context.Context, d *grid.Dataset, cfg PipelineConfig) ([]CubeSample, error) {
+	kept, err := SelectCubesForDataset(ctx, d, 0, cfg)
 	if err != nil {
 		return nil, err
 	}
 	var out []CubeSample
 	for t := range d.Snapshots {
-		cs, err := SubsampleSnapshotWithCubes(d, t, kept, cfg)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cs, err := SubsampleSnapshotWithCubes(ctx, d, t, kept, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -234,27 +260,29 @@ func SubsampleDataset(d *grid.Dataset, cfg PipelineConfig) ([]CubeSample, error)
 // SubsampleParallel distributes snapshots across minimpi ranks (the unit of
 // parallelism in the artifact's `srun -n 32 subsample.py`), gathers results
 // on rank 0, and returns them with the world handle for comm-cost queries.
-func SubsampleParallel(d *grid.Dataset, cfg PipelineConfig, ranks int, cost minimpi.CostModel) ([]CubeSample, *minimpi.World, error) {
+func SubsampleParallel(ctx context.Context, d *grid.Dataset, cfg PipelineConfig, ranks int, cost minimpi.CostModel) ([]CubeSample, *minimpi.World, error) {
 	results := make([][]CubeSample, ranks)
 	errs := make([]error, ranks)
 	w := minimpi.Run(ranks, cost, func(c *minimpi.Comm) {
 		// Phase 1 is deterministic under cfg.Seed, so every rank derives
 		// the identical cube set locally (as each MPI rank reads the
-		// shared snapshot metadata).
-		kept, err := SelectCubesForDataset(d, 0, cfg)
+		// shared snapshot metadata). A failing rank (including one that
+		// observes cancellation) still joins the Gather below — collectives
+		// deadlock if any rank skips them.
+		var local []CubeSample
+		kept, err := SelectCubesForDataset(ctx, d, 0, cfg)
 		if err != nil {
 			errs[c.Rank()] = err
-			return
-		}
-		lo, hi := c.PartitionRange(len(d.Snapshots))
-		var local []CubeSample
-		for t := lo; t < hi; t++ {
-			cs, err := SubsampleSnapshotWithCubes(d, t, kept, cfg)
-			if err != nil {
-				errs[c.Rank()] = err
-				break
+		} else {
+			lo, hi := c.PartitionRange(len(d.Snapshots))
+			for t := lo; t < hi; t++ {
+				cs, err := SubsampleSnapshotWithCubes(ctx, d, t, kept, cfg)
+				if err != nil {
+					errs[c.Rank()] = err
+					break
+				}
+				local = append(local, cs...)
 			}
-			local = append(local, cs...)
 		}
 		results[c.Rank()] = local
 		// Gather a summary (sample counts) to rank 0, mirroring the MPI

@@ -1,6 +1,8 @@
 package sampling
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -28,7 +30,7 @@ func TestSubsampleSnapshotShapes(t *testing.T) {
 		CubeSx: 16, CubeSy: 16, CubeSz: 16,
 		NumClusters: 5, Seed: 1,
 	}
-	out, err := SubsampleSnapshot(d, 0, cfg)
+	out, err := SubsampleSnapshot(context.Background(), d, 0, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +59,7 @@ func TestSubsampleFullKeepsWholeCubes(t *testing.T) {
 		Hypercubes: "random", Method: "full",
 		NumHypercubes: 2, CubeSx: 16, CubeSy: 16, CubeSz: 16, Seed: 2,
 	}
-	out, err := SubsampleSnapshot(d, 0, cfg)
+	out, err := SubsampleSnapshot(context.Background(), d, 0, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +77,7 @@ func TestSubsampleFeatureValuesMatchField(t *testing.T) {
 		NumHypercubes: 1, NumSamples: 50,
 		CubeSx: 16, CubeSy: 16, CubeSz: 16, Seed: 3,
 	}
-	out, err := SubsampleSnapshot(d, 0, cfg)
+	out, err := SubsampleSnapshot(context.Background(), d, 0, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +101,7 @@ func TestSubsampleFeatureValuesMatchField(t *testing.T) {
 func TestSubsampleCubeTooLarge(t *testing.T) {
 	d := smallSST(t, 1)
 	cfg := PipelineConfig{CubeSx: 64, CubeSy: 64, CubeSz: 64, Seed: 4}
-	if _, err := SubsampleSnapshot(d, 0, cfg); err == nil {
+	if _, err := SubsampleSnapshot(context.Background(), d, 0, cfg); err == nil {
 		t.Fatal("expected error for oversized cubes")
 	}
 }
@@ -163,7 +165,7 @@ func TestSubsampleDatasetAllSnapshots(t *testing.T) {
 		NumHypercubes: 2, NumSamples: 20,
 		CubeSx: 16, CubeSy: 16, CubeSz: 16, Seed: 6,
 	}
-	out, err := SubsampleDataset(d, cfg)
+	out, err := SubsampleDataset(context.Background(), d, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,12 +181,12 @@ func TestSubsampleParallelMatchesSerial(t *testing.T) {
 		NumHypercubes: 2, NumSamples: 30,
 		CubeSx: 16, CubeSy: 16, CubeSz: 16, NumClusters: 4, Seed: 7,
 	}
-	serial, err := SubsampleDataset(d, cfg)
+	serial, err := SubsampleDataset(context.Background(), d, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, ranks := range []int{1, 2, 4} {
-		par, _, err := SubsampleParallel(d, cfg, ranks, minimpi.CostModel{})
+		par, _, err := SubsampleParallel(context.Background(), d, cfg, ranks, minimpi.CostModel{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -212,7 +214,7 @@ func TestSubsampleParallelChargesComm(t *testing.T) {
 		NumHypercubes: 1, NumSamples: 10,
 		CubeSx: 16, CubeSy: 16, CubeSz: 16, Seed: 8,
 	}
-	_, w, err := SubsampleParallel(d, cfg, 4, minimpi.CostModel{Latency: 1e-5, Bandwidth: 1e9})
+	_, w, err := SubsampleParallel(context.Background(), d, cfg, 4, minimpi.CostModel{Latency: 1e-5, Bandwidth: 1e9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +278,7 @@ func TestPipelineEnergyAccounting(t *testing.T) {
 		NumHypercubes: 2, NumSamples: 50,
 		CubeSx: 16, CubeSy: 16, CubeSz: 16, NumClusters: 4, Seed: 11, Meter: m,
 	}
-	if _, err := SubsampleSnapshot(d, 0, cfg); err != nil {
+	if _, err := SubsampleSnapshot(context.Background(), d, 0, cfg); err != nil {
 		t.Fatal(err)
 	}
 	if m.Joules() <= 0 {
@@ -293,8 +295,39 @@ func BenchmarkSubsampleMaxEnt(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := SubsampleSnapshot(d, 0, cfg); err != nil {
+		if _, err := SubsampleSnapshot(context.Background(), d, 0, cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestSubsampleCancelBetweenCubes: canceling the context mid-snapshot
+// stops phase 2 between cube batches — the progress callback sees the
+// cubes completed before the cancel, and the run returns ctx.Err().
+func TestSubsampleCancelBetweenCubes(t *testing.T) {
+	d := smallSST(t, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls []int
+	cfg := PipelineConfig{
+		NumHypercubes: 4, NumSamples: 20,
+		CubeSx: 16, CubeSy: 16, CubeSz: 16, Seed: 3,
+		Progress: func(done, total int) {
+			calls = append(calls, done)
+			if done == 2 {
+				cancel() // takes effect before cube 3 starts
+			}
+		},
+	}
+	_, err := SubsampleSnapshot(ctx, d, 0, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(calls) != 2 || calls[len(calls)-1] != 2 {
+		t.Fatalf("progress calls = %v; pipeline did not stop after the canceling cube", calls)
+	}
+
+	// An already-canceled context refuses before phase 1.
+	if _, err := SelectCubesForDataset(ctx, d, 0, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("phase 1 under canceled ctx = %v", err)
 	}
 }

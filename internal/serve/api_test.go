@@ -1,0 +1,556 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/tensor"
+	"repro/pkg/api"
+	"repro/pkg/client"
+)
+
+// TestClientEndToEnd drives the full v2 surface through the pkg/client
+// SDK: version negotiation, model listing, inference (bit-checked against
+// the reference replica), synchronous subsample, and an async job
+// submit → poll → result round trip.
+func TestClientEndToEnd(t *testing.T) {
+	s, ref := newTestServer(t, Config{MaxBatch: 4, Window: 2 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	if v, err := c.Negotiate(ctx); err != nil || v != api.V2 {
+		t.Fatalf("Negotiate = %q, %v; want v2", v, err)
+	}
+	models, err := c.Models(ctx)
+	if err != nil || len(models) != 1 || models[0].Name != "m" {
+		t.Fatalf("Models = %+v, %v", models, err)
+	}
+	if models[0].Spec.Arch != testSpec.Arch || models[0].Spec.InDim != testSpec.InDim {
+		t.Fatalf("spec did not round-trip: %+v", models[0].Spec)
+	}
+
+	rng := rand.New(rand.NewSource(21))
+	item := randomItem(rng)
+	out, err := c.Infer(ctx, &api.InferRequest{Model: "m", Items: []api.InferItem{item}})
+	if err != nil {
+		t.Fatalf("Infer: %v", err)
+	}
+	if err := checkOutput(out.Outputs[0], expect(ref, item)); err != nil {
+		t.Fatalf("Infer output: %v", err)
+	}
+
+	// Typed error: unknown model surfaces as api.CodeModelNotFound.
+	_, err = c.Infer(ctx, &api.InferRequest{Model: "nope", Items: []api.InferItem{item}})
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.Code != api.CodeModelNotFound {
+		t.Fatalf("unknown model error = %v, want code model_not_found", err)
+	}
+
+	sub := api.SubsampleRequest{Dataset: "GESTS-2048", Cube: 8, NumHypercubes: 2, NumSamples: 16, Seed: 1}
+	sr, err := c.Subsample(ctx, &sub)
+	if err != nil || sr.Cubes != 2 {
+		t.Fatalf("Subsample = %+v, %v", sr, err)
+	}
+
+	job, err := c.SubmitSubsampleJob(ctx, &sub)
+	if err != nil {
+		t.Fatalf("SubmitSubsampleJob: %v", err)
+	}
+	// Result before the job finishes may be job_not_ready; after WaitJob it
+	// must be available.
+	done, err := c.WaitJob(ctx, job.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatalf("WaitJob: %v", err)
+	}
+	if done.State != api.JobSucceeded {
+		t.Fatalf("job finished %s (%v)", done.State, done.Error)
+	}
+	if done.Progress.Done != done.Progress.Total || done.Progress.Total != 2 {
+		t.Fatalf("job progress = %+v, want 2/2", done.Progress)
+	}
+	res, err := c.JobResult(ctx, job.ID)
+	if err != nil || res.Subsample == nil {
+		t.Fatalf("JobResult = %+v, %v", res, err)
+	}
+	if res.Subsample.Cubes != sr.Cubes || res.Subsample.Points != sr.Points {
+		t.Fatalf("job result %+v disagrees with sync run %+v", res.Subsample, sr)
+	}
+
+	// The job shows up in metrics.
+	raw, err := c.MetricsText(ctx)
+	if err != nil || !strings.Contains(raw, `sickle_jobs{state="succeeded"}`) {
+		t.Fatalf("metrics missing job gauge (err %v):\n%s", err, raw)
+	}
+}
+
+// TestTrainJobEndToEnd submits an async train job that registers its
+// trained surrogate, then serves inference from it.
+func TestTrainJobEndToEnd(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	job, err := c.SubmitTrainJob(ctx, &api.TrainJobSpec{
+		Dataset:   "GESTS-2048",
+		Subsample: &api.SubsampleRequest{Cube: 8, NumHypercubes: 2, NumSamples: 32, Seed: 1},
+		Spec:      api.ModelSpec{Arch: "mlp_transformer", InDim: 4, Hidden: 8, Heads: 2, OutDim: 1, Edge: 8},
+		Register:  "trained",
+		Epochs:    2, Batch: 8, Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("SubmitTrainJob: %v", err)
+	}
+	done, err := c.WaitJob(ctx, job.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("WaitJob: %v", err)
+	}
+	if done.State != api.JobSucceeded {
+		t.Fatalf("train job finished %s (%v)", done.State, done.Error)
+	}
+	res, err := c.JobResult(ctx, job.ID)
+	if err != nil || res.Train == nil {
+		t.Fatalf("JobResult = %+v, %v", res, err)
+	}
+	if res.Train.Registered != "trained" || res.Train.Epochs != 2 || res.Train.Params <= 0 {
+		t.Fatalf("train result = %+v", res.Train)
+	}
+
+	models, err := c.Models(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info *api.ModelInfo
+	for i := range models {
+		if models[i].Name == "trained" {
+			info = &models[i]
+		}
+	}
+	if info == nil {
+		t.Fatalf("trained model not registered; have %+v", models)
+	}
+	n := 1
+	for _, d := range info.InputShape {
+		n *= d
+	}
+	out, err := c.Infer(ctx, &api.InferRequest{Model: "trained",
+		Items: []api.InferItem{{Shape: info.InputShape, Data: make([]float64, n)}}})
+	if err != nil || len(out.Outputs) != 1 {
+		t.Fatalf("infer on trained model: %+v, %v", out, err)
+	}
+}
+
+// TestJobCancelMidSubsample is the acceptance check for cancellation:
+// DELETE /v2/jobs/{id} during an in-flight subsample job must stop the
+// sampling pipeline between cube batches, observable through the job's
+// progress counters (done < total) and the terminal canceled state.
+func TestJobCancelMidSubsample(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	// The hook parks the sampler after its first cube until the test has
+	// issued the cancel, making the interleaving deterministic.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.testProgressHook = func(done, total int) {
+		if done == 1 {
+			once.Do(func() { close(started) })
+			<-release
+		}
+	}
+
+	const totalCubes = 4
+	job, err := c.SubmitSubsampleJob(ctx, &api.SubsampleRequest{
+		Dataset: "GESTS-2048", Cube: 8, NumHypercubes: totalCubes, NumSamples: 16, Seed: 1})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	<-started
+	if _, err := c.CancelJob(ctx, job.ID); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	close(release)
+
+	done, err := c.WaitJob(ctx, job.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatalf("WaitJob: %v", err)
+	}
+	if done.State != api.JobCanceled {
+		t.Fatalf("state = %s, want canceled", done.State)
+	}
+	if done.Error == nil || done.Error.Code != api.CodeJobCanceled {
+		t.Fatalf("job error = %+v, want code job_canceled", done.Error)
+	}
+	// The sampler stopped between cubes: at least one done, but not all.
+	if done.Progress.Done < 1 || done.Progress.Done >= totalCubes {
+		t.Fatalf("progress = %+v; cancel did not land between cube batches", done.Progress)
+	}
+	// The result endpoint reports the cancellation with its typed code.
+	_, err = c.JobResult(ctx, job.ID)
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.Code != api.CodeJobCanceled {
+		t.Fatalf("result error = %v, want job_canceled", err)
+	}
+}
+
+// TestBackpressureOverloaded fills a capacity-1 queue and checks rejected
+// requests fail fast with the typed overloaded error (HTTP 429) instead of
+// blocking, and that the rejection counter reaches /metrics.
+func TestBackpressureOverloaded(t *testing.T) {
+	s, _ := newTestServer(t, Config{
+		MaxBatch: 1, Window: 20 * time.Millisecond, Workers: 1, QueueCap: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL, client.WithRetry(0, 0)) // surface 429s, don't retry
+	ctx := context.Background()
+
+	// Jam the pipeline by holding every replica: the worker, the jobs
+	// buffer, the dispatcher and the capacity-1 queue fill up behind
+	// Acquire, so further admissions must reject rather than block.
+	entry, _ := s.reg.Lookup("m")
+	held, err := entry.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	held2, err := entry.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(31))
+	item := randomItem(rng)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	okCount, overloaded := 0, 0
+	fire := func() {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.Infer(ctx, &api.InferRequest{Model: "m", Items: []api.InferItem{item}})
+			mu.Lock()
+			defer mu.Unlock()
+			if err == nil {
+				okCount++
+				return
+			}
+			var ae *api.Error
+			if errors.As(err, &ae) && ae.Code == api.CodeOverloaded {
+				if ae.RetryAfterSeconds <= 0 {
+					t.Errorf("overloaded error without retry hint: %+v", ae)
+				}
+				overloaded++
+				return
+			}
+			t.Errorf("unexpected error: %v", err)
+		}()
+	}
+	// Keep firing until a rejection is observed (the first few occupy the
+	// jammed pipeline stages and block).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		fire()
+		mu.Lock()
+		got := overloaded
+		mu.Unlock()
+		if got > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queue never rejected despite jammed pipeline")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	entry.Release(held)
+	entry.Release(held2)
+	wg.Wait()
+	if okCount == 0 || overloaded == 0 {
+		t.Fatalf("ok=%d overloaded=%d; want both paths exercised", okCount, overloaded)
+	}
+	if got := s.Metrics().RejectedTotal(); got < int64(overloaded) {
+		t.Fatalf("rejected counter %d < observed 429s %d", got, overloaded)
+	}
+	raw, err := c.MetricsText(ctx)
+	if err != nil || !strings.Contains(raw, "sickle_rejected_requests_total") {
+		t.Fatalf("metrics missing rejected counter (err %v)", err)
+	}
+}
+
+// TestJobAdmissionOverloadedRetryAfter checks the job queue's bounded
+// admission: with MaxJobs=1 and the only slot parked, a second submission
+// gets HTTP 429 with a Retry-After header and the typed overloaded code.
+func TestJobAdmissionOverloadedRetryAfter(t *testing.T) {
+	s, _ := newTestServer(t, Config{MaxJobs: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.testProgressHook = func(done, total int) {
+		if done == 1 {
+			once.Do(func() { close(started) })
+			<-release
+		}
+	}
+	defer close(release)
+
+	c := client.New(ts.URL, client.WithRetry(0, 0))
+	ctx := context.Background()
+	sub := api.SubsampleRequest{Dataset: "GESTS-2048", Cube: 8, NumHypercubes: 2, NumSamples: 16, Seed: 1}
+	if _, err := c.SubmitSubsampleJob(ctx, &sub); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	<-started
+
+	body, _ := json.Marshal(api.SubmitJobRequest{Type: api.JobSubsample, Subsample: &sub})
+	resp, err := http.Post(ts.URL+"/v2/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second submit HTTP %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	var env api.ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil || env.Error == nil || env.Error.Code != api.CodeOverloaded {
+		t.Fatalf("envelope = %+v, %v; want overloaded", env.Error, err)
+	}
+}
+
+// TestBatcherDrainTyped pins the shutdown-drain contract at the batcher
+// level: requests admitted (queued) before Stop either complete with real
+// results or fail fast with the typed shutting_down error — nothing hangs.
+func TestBatcherDrainTyped(t *testing.T) {
+	s, ref := newTestServer(t, Config{MaxBatch: 1, Window: time.Millisecond, Workers: 1})
+	entry, _ := s.reg.Lookup("m")
+	// Replace the model's pool contents: hold every replica so batches jam
+	// behind Acquire and later requests stay queued.
+	held, err := entry.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	held2, err := entry.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(41))
+	const n = 6
+	type result struct {
+		out *[]float64
+		err error
+	}
+	items := make([]api.InferItem, n)
+	wants := make([][]float64, n)
+	results := make([]result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		items[i] = randomItem(rng)
+		wants[i] = expect(ref, items[i])
+	}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			in := tensorFromItem(items[i])
+			out, _, _, err := s.batcher.Infer(context.Background(), "m", in)
+			if err != nil {
+				results[i] = result{err: err}
+				return
+			}
+			data := append([]float64(nil), out.Data...)
+			results[i] = result{out: &data}
+		}(i)
+	}
+	// Wait until the pipeline is jammed: worker busy + jobs buffer full +
+	// dispatcher blocked leaves the rest in the queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.batcher.QueueDepth() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never filled (depth %d)", s.batcher.QueueDepth())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stopDone := make(chan struct{})
+	go func() { s.batcher.Stop(); close(stopDone) }()
+	// Give Stop a moment to close the stop channel, then unjam.
+	time.Sleep(10 * time.Millisecond)
+	entry.Release(held)
+	entry.Release(held2)
+	select {
+	case <-stopDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("batcher.Stop hung during drain")
+	}
+	wg.Wait()
+
+	completed, failed := 0, 0
+	for i, r := range results {
+		switch {
+		case r.err != nil:
+			var ae *api.Error
+			if !errors.As(r.err, &ae) || ae.Code != api.CodeShuttingDown {
+				t.Fatalf("request %d failed with %v, want typed shutting_down", i, r.err)
+			}
+			failed++
+		default:
+			got := *r.out
+			for j := range wants[i] {
+				if got[j] != wants[i][j] {
+					t.Fatalf("request %d: drained output differs at %d", i, j)
+				}
+			}
+			completed++
+		}
+	}
+	if failed == 0 {
+		t.Fatalf("no request saw the typed shutting_down drain (completed=%d)", completed)
+	}
+	if completed == 0 {
+		t.Fatalf("no admitted request completed through the drain (failed=%d)", failed)
+	}
+}
+
+// TestV1CompatShim freezes the v1 surface: success payloads byte-identical
+// to v2 (same wire types), error envelopes in the legacy
+// {"error":"message"} shape with the original statuses.
+func TestV1CompatShim(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	_ = s
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(raw)
+	}
+	post := func(path string, body any) (int, string) {
+		b, _ := json.Marshal(body)
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(raw)
+	}
+
+	// Model listings agree byte for byte across versions.
+	c1, v1Models := get("/v1/models")
+	c2, v2Models := get("/v2/models")
+	if c1 != 200 || c2 != 200 || v1Models != v2Models {
+		t.Fatalf("model listings diverge:\nv1(%d) %s\nv2(%d) %s", c1, v1Models, c2, v2Models)
+	}
+
+	// Inference success bodies agree byte for byte (serial requests ride
+	// batch size 1 deterministically).
+	rng := rand.New(rand.NewSource(51))
+	req := api.InferRequest{Model: "m", Items: []api.InferItem{randomItem(rng)}}
+	c1, v1Out := post("/v1/infer", req)
+	c2, v2Out := post("/v2/infer", req)
+	if c1 != 200 || c2 != 200 || v1Out != v2Out {
+		t.Fatalf("infer bodies diverge:\nv1(%d) %s\nv2(%d) %s", c1, v1Out, c2, v2Out)
+	}
+
+	// v1 errors keep the legacy envelope and statuses.
+	code, body := post("/v1/infer", api.InferRequest{Model: "nope", Items: req.Items})
+	if code != http.StatusNotFound || body != "{\"error\":\"unknown model \\\"nope\\\"\"}\n" {
+		t.Fatalf("v1 unknown-model = %d %q", code, body)
+	}
+	code, body = get("/v1/infer")
+	if code != http.StatusMethodNotAllowed || body != "{\"error\":\"POST only\"}\n" {
+		t.Fatalf("v1 bad-method = %d %q", code, body)
+	}
+	code, body = post("/v1/subsample", api.SubsampleRequest{Dataset: "no-such-dataset"})
+	if code != http.StatusBadRequest || !strings.HasPrefix(body, "{\"error\":\"") {
+		t.Fatalf("v1 subsample error = %d %q, want legacy 400 envelope", code, body)
+	}
+
+	// The same failures on v2 carry the typed envelope.
+	code, body = post("/v2/infer", api.InferRequest{Model: "nope", Items: req.Items})
+	var env api.ErrorEnvelope
+	if code != http.StatusNotFound || json.Unmarshal([]byte(body), &env) != nil ||
+		env.Error == nil || env.Error.Code != api.CodeModelNotFound {
+		t.Fatalf("v2 unknown-model = %d %q", code, body)
+	}
+	code, body = post("/v2/subsample", api.SubsampleRequest{Dataset: "no-such-dataset"})
+	env = api.ErrorEnvelope{}
+	if code != http.StatusNotFound || json.Unmarshal([]byte(body), &env) != nil ||
+		env.Error == nil || env.Error.Code != api.CodeNotFound {
+		t.Fatalf("v2 unknown-dataset = %d %q", code, body)
+	}
+
+	// Wrong method and unknown path on v2 stay inside the typed envelope
+	// (the mux's plain-text 405/404 pages would break strict clients).
+	code, body = get("/v2/infer")
+	env = api.ErrorEnvelope{}
+	if code != http.StatusMethodNotAllowed || json.Unmarshal([]byte(body), &env) != nil ||
+		env.Error == nil || env.Error.Code != api.CodeMethodNotAllowed {
+		t.Fatalf("v2 bad-method = %d %q", code, body)
+	}
+	code, body = get("/v2/no-such-route")
+	env = api.ErrorEnvelope{}
+	if code != http.StatusNotFound || json.Unmarshal([]byte(body), &env) != nil ||
+		env.Error == nil || env.Error.Code != api.CodeNotFound {
+		t.Fatalf("v2 unknown-path = %d %q", code, body)
+	}
+	// A missing .skl shard is the caller's bad reference, not a 500.
+	code, body = post("/v2/subsample", api.SubsampleRequest{Shard: "/no/such/shard.skl"})
+	env = api.ErrorEnvelope{}
+	if code != http.StatusNotFound || json.Unmarshal([]byte(body), &env) != nil ||
+		env.Error == nil || env.Error.Code != api.CodeNotFound {
+		t.Fatalf("v2 missing-shard = %d %q", code, body)
+	}
+
+	// Version negotiation advertises both surfaces.
+	code, body = get("/api/version")
+	var vi api.VersionInfo
+	if code != 200 || json.Unmarshal([]byte(body), &vi) != nil || vi.Latest != api.V2 {
+		t.Fatalf("/api/version = %d %q", code, body)
+	}
+}
+
+// TestRegisterNameValidation: registry names that could smuggle path
+// separators (the train job writes a checkpoint before registering) are
+// rejected up front.
+func TestRegisterNameValidation(t *testing.T) {
+	reg := NewRegistry()
+	for _, bad := range []string{"", "../evil", "a/b", "a\\b", "a b", strings.Repeat("x", 129)} {
+		if _, err := reg.Register(bad, testSpec, "", nil, 1); err == nil {
+			t.Errorf("name %q accepted", bad)
+		}
+	}
+	if _, err := reg.Register("ok-name_1.2", testSpec, "", nil, 1); err != nil {
+		t.Errorf("benign name rejected: %v", err)
+	}
+}
+
+// tensorFromItem mirrors the handler's conversion for direct batcher use.
+func tensorFromItem(it api.InferItem) *tensor.Tensor {
+	return tensor.FromSlice(append([]float64(nil), it.Data...), it.Shape...)
+}

@@ -1,18 +1,20 @@
 package serve
 
 import (
-	"fmt"
+	"context"
 	"runtime"
 	"sync"
 	"time"
 
 	"repro/internal/tensor"
+	"repro/pkg/api"
 )
 
 // inferRequest is one example awaiting inference. The batcher owns it from
 // enqueue until a result (or error) is delivered on resp.
 type inferRequest struct {
-	input *tensor.Tensor // per-example tensor, no batch dimension
+	ctx   context.Context // the submitting caller's context
+	input *tensor.Tensor  // per-example tensor, no batch dimension
 	resp  chan inferResult
 }
 
@@ -36,16 +38,24 @@ type inferResult struct {
 // attention and convolutions never mix batch rows) makes batched outputs
 // bit-identical to single-request inference — the invariant the tests and
 // the load generator check.
+//
+// Admission control: a per-model queue at capacity rejects immediately with
+// the typed api.CodeOverloaded error (HTTP 429 + Retry-After) instead of
+// blocking the caller's goroutine, and every Infer call carries a context —
+// a caller that cancels while queued gets api.CodeCanceled back at once and
+// its request is dropped (unstarted) when its batch is assembled.
 type Batcher struct {
 	reg      *Registry
 	met      *Metrics
 	maxBatch int
 	window   time.Duration
+	queueCap int
 
 	jobs chan func()
 
-	mu     sync.Mutex
-	queues map[string]chan *inferRequest
+	mu      sync.Mutex
+	queues  map[string]chan *inferRequest
+	stopped bool // set under mu before the drain; gates admission
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -53,13 +63,20 @@ type Batcher struct {
 	wgWork   sync.WaitGroup // worker goroutines
 }
 
-// queueCap bounds each per-model queue; enqueues beyond it block, applying
-// backpressure to clients instead of growing memory without bound.
-const queueCap = 1024
+// defaultQueueCap bounds each per-model queue when the config does not;
+// enqueues beyond it are rejected with api.CodeOverloaded, applying
+// backpressure to clients instead of growing memory (or blocked handler
+// goroutines) without bound.
+const defaultQueueCap = 1024
+
+// errShuttingDown is the typed drain error every abandoned request gets.
+func errShuttingDown() *api.Error {
+	return api.Errorf(api.CodeShuttingDown, "serve: shutting down")
+}
 
 // NewBatcher starts the worker pool. maxBatch <= 0 defaults to 16, window
-// <= 0 to 2ms, workers <= 0 to GOMAXPROCS.
-func NewBatcher(reg *Registry, met *Metrics, maxBatch int, window time.Duration, workers int) *Batcher {
+// <= 0 to 2ms, workers <= 0 to GOMAXPROCS, queueCap <= 0 to 1024.
+func NewBatcher(reg *Registry, met *Metrics, maxBatch int, window time.Duration, workers, queueCap int) *Batcher {
 	if maxBatch <= 0 {
 		maxBatch = 16
 	}
@@ -69,8 +86,11 @@ func NewBatcher(reg *Registry, met *Metrics, maxBatch int, window time.Duration,
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if queueCap <= 0 {
+		queueCap = defaultQueueCap
+	}
 	b := &Batcher{
-		reg: reg, met: met, maxBatch: maxBatch, window: window,
+		reg: reg, met: met, maxBatch: maxBatch, window: window, queueCap: queueCap,
 		jobs:   make(chan func(), workers),
 		queues: map[string]chan *inferRequest{},
 		stop:   make(chan struct{}),
@@ -89,23 +109,56 @@ func NewBatcher(reg *Registry, met *Metrics, maxBatch int, window time.Duration,
 }
 
 // Infer enqueues one example for the named model and blocks until its
-// result is ready.
-func (b *Batcher) Infer(model string, input *tensor.Tensor) (*tensor.Tensor, int, int, error) {
-	if _, ok := b.reg.Lookup(model); !ok {
-		return nil, 0, 0, fmt.Errorf("serve: unknown model %q", model)
+// result is ready, the queue rejects it (api.CodeOverloaded), the batcher
+// is draining (api.CodeShuttingDown), or ctx is done (api.CodeCanceled /
+// api.CodeDeadlineExceeded). All failures are typed *api.Error values.
+func (b *Batcher) Infer(ctx context.Context, model string, input *tensor.Tensor) (*tensor.Tensor, int, int, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	req := &inferRequest{input: input, resp: make(chan inferResult, 1)}
-	b.queueFor(model) <- req
-	res := <-req.resp
-	return res.output, res.version, res.batchSize, res.err
+	if _, ok := b.reg.Lookup(model); !ok {
+		return nil, 0, 0, api.Errorf(api.CodeModelNotFound, "unknown model %q", model)
+	}
+	req := &inferRequest{ctx: ctx, input: input, resp: make(chan inferResult, 1)}
+	// Admission happens under b.mu so it cannot race Stop: Stop sets
+	// `stopped` under the same lock before draining, so a request admitted
+	// here is either answered by its dispatcher or by the drain loop —
+	// never silently lost (and queueFor can no longer wgDisp.Add a new
+	// dispatcher concurrently with Stop's wgDisp.Wait).
+	b.mu.Lock()
+	if b.stopped {
+		b.mu.Unlock()
+		return nil, 0, 0, errShuttingDown()
+	}
+	admitted := false
+	select {
+	case b.queueForLocked(model) <- req:
+		admitted = true
+	default:
+	}
+	b.mu.Unlock()
+	if !admitted {
+		b.met.ObserveRejected()
+		return nil, 0, 0, api.Errorf(api.CodeOverloaded,
+			"serve: model %q queue full (%d waiting)", model, b.queueCap).WithRetryAfter(1)
+	}
+	// The response channel is buffered, so abandoning the wait on ctx.Done
+	// never blocks the dispatcher; an admitted-then-canceled request is
+	// detected and skipped when its batch runs.
+	select {
+	case res := <-req.resp:
+		return res.output, res.version, res.batchSize, res.err
+	case <-ctx.Done():
+		return nil, 0, 0, api.AsError(ctx.Err())
+	}
 }
 
-func (b *Batcher) queueFor(model string) chan *inferRequest {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+// queueForLocked returns (creating if needed) the model's queue. Callers
+// hold b.mu.
+func (b *Batcher) queueForLocked(model string) chan *inferRequest {
 	q, ok := b.queues[model]
 	if !ok {
-		q = make(chan *inferRequest, queueCap)
+		q = make(chan *inferRequest, b.queueCap)
 		b.queues[model] = q
 		b.wgDisp.Add(1)
 		go b.dispatch(model, q)
@@ -129,6 +182,16 @@ func (b *Batcher) QueueDepth() int {
 func (b *Batcher) dispatch(model string, q chan *inferRequest) {
 	defer b.wgDisp.Done()
 	for {
+		// Priority check: once Stop has fired, halt even if the queue still
+		// has entries — a bare two-case select picks randomly when both are
+		// ready, which would let a draining dispatcher keep serving
+		// arbitrarily long. Queued leftovers get the typed shutting_down
+		// error from Stop's drain loop.
+		select {
+		case <-b.stop:
+			return
+		default:
+		}
 		var first *inferRequest
 		select {
 		case <-b.stop:
@@ -158,8 +221,22 @@ func (b *Batcher) dispatch(model string, q chan *inferRequest) {
 }
 
 // runBatch stacks the batch, runs one forward pass on a pooled replica,
-// and scatters the output rows back to the waiting requests.
+// and scatters the output rows back to the waiting requests. Requests
+// whose context died while queued are answered (typed canceled error) and
+// dropped before any compute is spent on them.
 func (b *Batcher) runBatch(model string, batch []*inferRequest) {
+	live := batch[:0]
+	for _, r := range batch {
+		if err := r.ctx.Err(); err != nil {
+			r.resp <- inferResult{err: api.AsError(err)}
+			continue
+		}
+		live = append(live, r)
+	}
+	batch = live
+	if len(batch) == 0 {
+		return
+	}
 	fail := func(err error) {
 		for _, r := range batch {
 			r.resp <- inferResult{err: err}
@@ -167,7 +244,7 @@ func (b *Batcher) runBatch(model string, batch []*inferRequest) {
 	}
 	entry, ok := b.reg.Lookup(model)
 	if !ok {
-		fail(fmt.Errorf("serve: model %q disappeared", model))
+		fail(api.Errorf(api.CodeModelNotFound, "serve: model %q disappeared", model))
 		return
 	}
 	shape := batch[0].input.Shape
@@ -187,7 +264,19 @@ func (b *Batcher) runBatch(model string, batch []*inferRequest) {
 	batch = uniform
 
 	in := stackInputs(batch)
-	rep := entry.Acquire()
+	// A single-request batch waits for its replica under the requester's
+	// own context (cancelable); a shared batch must not let one client
+	// cancel work its peers still wait on, so it acquires unconditionally.
+	acquireCtx := context.Background()
+	if len(batch) == 1 {
+		acquireCtx = batch[0].ctx
+	}
+	rep, err := entry.Acquire(acquireCtx)
+	if err != nil {
+		tensor.Put(in)
+		fail(api.AsError(err))
+		return
+	}
 	out, err := forward(rep, in)
 	entry.Release(rep)
 	// The stacked input is dead once the forward pass returns (replicas
@@ -199,7 +288,8 @@ func (b *Batcher) runBatch(model string, batch []*inferRequest) {
 		return
 	}
 	if out.Dim(0) != len(batch) {
-		fail(fmt.Errorf("serve: model %q returned batch %d for input batch %d", model, out.Dim(0), len(batch)))
+		fail(api.Errorf(api.CodeInternal,
+			"serve: model %q returned batch %d for input batch %d", model, out.Dim(0), len(batch)))
 		return
 	}
 	rowShape := append([]int(nil), out.Shape[1:]...)
@@ -219,7 +309,7 @@ func forward(m interface {
 }, in *tensor.Tensor) (out *tensor.Tensor, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("serve: forward pass failed: %v", r)
+			err = api.Errorf(api.CodeInternal, "serve: forward pass failed: %v", r)
 		}
 	}()
 	return m.Forward(in), nil
@@ -251,9 +341,16 @@ func sameShape(a, b []int) bool {
 
 // Stop terminates the dispatchers and workers. Call only after the HTTP
 // server has drained: requests still queued at Stop time are completed
-// inline by their dispatcher before it exits.
+// inline by their dispatcher before it exits; anything left in a queue
+// afterwards fails fast with the typed shutting_down error.
 func (b *Batcher) Stop() {
 	b.stopOnce.Do(func() {
+		// Close admission first (under the same lock Infer admits under):
+		// everything in a queue after this point was admitted before the
+		// flag flipped and is answered by a dispatcher or the drain below.
+		b.mu.Lock()
+		b.stopped = true
+		b.mu.Unlock()
 		close(b.stop)
 		// Wait for dispatchers first: they are the only senders on b.jobs,
 		// so closing it is only safe once they have exited.
@@ -269,7 +366,7 @@ func (b *Batcher) Stop() {
 			for {
 				select {
 				case r := <-q:
-					r.resp <- inferResult{err: fmt.Errorf("serve: shutting down")}
+					r.resp <- inferResult{err: errShuttingDown()}
 				default:
 					break drain
 				}

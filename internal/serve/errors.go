@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"repro/pkg/api"
+)
+
+func writeJSON(w http.ResponseWriter, status int, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	return json.NewEncoder(w).Encode(v)
+}
+
+// writeAPIError writes the v2 typed envelope
+// {"error":{"code":...,"message":...}} with the code's HTTP status, adding
+// Retry-After for backpressure responses so well-behaved clients pace
+// themselves.
+func writeAPIError(w http.ResponseWriter, err error) error {
+	ae := api.AsError(err)
+	if ae.RetryAfterSeconds > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(ae.RetryAfterSeconds))
+	}
+	writeJSON(w, ae.Code.HTTPStatus(), api.ErrorEnvelope{Error: ae})
+	return ae
+}
+
+// writeLegacyError writes the frozen v1 envelope {"error":"message"}. The
+// status comes from the typed code except where the original v1 handlers
+// used a coarser mapping, which forceStatus preserves (e.g. /v1/subsample
+// answered 400 for every pipeline failure).
+func writeLegacyError(w http.ResponseWriter, err error, forceStatus int) error {
+	ae := api.AsError(err)
+	status := ae.Code.HTTPStatus()
+	if forceStatus != 0 && status != http.StatusMethodNotAllowed &&
+		status != http.StatusTooManyRequests && status != http.StatusServiceUnavailable {
+		status = forceStatus
+	}
+	if ae.RetryAfterSeconds > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(ae.RetryAfterSeconds))
+	}
+	writeJSON(w, status, map[string]string{"error": ae.Message})
+	return ae
+}

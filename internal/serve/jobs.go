@@ -1,0 +1,313 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/pkg/api"
+)
+
+// JobRunner executes one job's work. It must honor ctx (the job manager
+// cancels it on DELETE /v2/jobs/{id} and on server shutdown) and may call
+// progress at any cadence; progress is cheap and safe from any goroutine.
+type JobRunner func(ctx context.Context, progress func(stage string, done, total int)) (*api.JobResult, error)
+
+// JobManager owns the server's asynchronous work: submissions enter a
+// bounded admission set, at most `workers` jobs run concurrently (each
+// under its own cancellable context), and terminal jobs linger for `ttl`
+// so clients can fetch status/results before the record expires.
+type JobManager struct {
+	mu   sync.Mutex
+	jobs map[string]*jobEntry
+	seq  int
+
+	sem     chan struct{}
+	ttl     time.Duration
+	maxJobs int
+
+	root   context.Context
+	cancel context.CancelFunc
+	closed bool
+	wg     sync.WaitGroup
+
+	now func() time.Time // injectable clock (tests)
+}
+
+type jobEntry struct {
+	status api.Job
+	cancel context.CancelFunc
+	result *api.JobResult
+	run    JobRunner
+	done   chan struct{} // closed when the job reaches a terminal state
+}
+
+// Job-manager defaults (overridable through Config).
+const (
+	defaultJobWorkers = 2
+	defaultJobTTL     = 15 * time.Minute
+	defaultMaxJobs    = 64
+)
+
+// NewJobManager builds a manager running at most workers jobs at once,
+// admitting at most maxJobs live (non-expired) jobs, and retaining
+// terminal jobs for ttl.
+func NewJobManager(workers, maxJobs int, ttl time.Duration) *JobManager {
+	if workers <= 0 {
+		workers = defaultJobWorkers
+	}
+	if maxJobs <= 0 {
+		maxJobs = defaultMaxJobs
+	}
+	if ttl <= 0 {
+		ttl = defaultJobTTL
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &JobManager{
+		jobs:    map[string]*jobEntry{},
+		sem:     make(chan struct{}, workers),
+		ttl:     ttl,
+		maxJobs: maxJobs,
+		root:    ctx,
+		cancel:  cancel,
+		now:     time.Now,
+	}
+}
+
+// Submit admits a job and returns its initial (pending) snapshot. A full
+// admission set rejects with api.CodeOverloaded; a closed manager with
+// api.CodeShuttingDown.
+func (jm *JobManager) Submit(typ api.JobType, run JobRunner) (api.Job, error) {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	if jm.closed {
+		return api.Job{}, errShuttingDown()
+	}
+	jm.purgeLocked()
+	// Only live (non-terminal) jobs count against admission: retained
+	// finished jobs are history, not load, and counting them would turn
+	// maxJobs into a hard rate limit of maxJobs-per-TTL on an idle server.
+	active := 0
+	for _, j := range jm.jobs {
+		if !j.status.State.Terminal() {
+			active++
+		}
+	}
+	if active >= jm.maxJobs {
+		return api.Job{}, api.Errorf(api.CodeOverloaded,
+			"serve: job queue full (%d active jobs)", active).WithRetryAfter(5)
+	}
+	jm.seq++
+	id := fmt.Sprintf("job-%d", jm.seq)
+	ctx, cancel := context.WithCancel(jm.root)
+	j := &jobEntry{
+		status: api.Job{
+			ID: id, Type: typ, State: api.JobPending, CreatedAt: jm.now(),
+		},
+		cancel: cancel,
+		run:    run,
+		done:   make(chan struct{}),
+	}
+	jm.jobs[id] = j
+	jm.wg.Add(1)
+	go jm.execute(j, ctx)
+	return j.status, nil
+}
+
+// execute is the per-job goroutine: wait for a worker slot, run, finish.
+func (jm *JobManager) execute(j *jobEntry, ctx context.Context) {
+	defer jm.wg.Done()
+	select {
+	case jm.sem <- struct{}{}:
+		defer func() { <-jm.sem }()
+	case <-ctx.Done():
+		// Canceled while still pending: never ran.
+		jm.finish(j, nil, ctx.Err())
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		jm.finish(j, nil, err)
+		return
+	}
+	jm.mu.Lock()
+	j.status.State = api.JobRunning
+	j.status.StartedAt = jm.now()
+	jm.mu.Unlock()
+	progress := func(stage string, done, total int) {
+		jm.mu.Lock()
+		j.status.Progress = api.JobProgress{Stage: stage, Done: done, Total: total}
+		jm.mu.Unlock()
+	}
+	res, err := runProtected(j.run, ctx, progress)
+	jm.finish(j, res, err)
+}
+
+// runProtected converts runner panics (shape mismatches deep in the nn
+// stack) into typed internal errors so a malformed job cannot crash the
+// service.
+func runProtected(run JobRunner, ctx context.Context, progress func(string, int, int)) (res *api.JobResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, api.Errorf(api.CodeInternal, "serve: job panicked: %v", r)
+		}
+	}()
+	return run(ctx, progress)
+}
+
+// finish records the terminal state. Cancellation maps to JobCanceled
+// (shutting_down when the whole manager is closing, job_canceled when the
+// client asked); other errors to JobFailed with their typed envelope.
+func (jm *JobManager) finish(j *jobEntry, res *api.JobResult, err error) {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	j.status.FinishedAt = jm.now()
+	switch {
+	case err == nil:
+		j.status.State = api.JobSucceeded
+		j.result = res
+	// The runner may hand cancellation back raw (ctx.Err()) or already
+	// wrapped into the typed envelope; both mean the same thing here.
+	case errors.Is(err, context.Canceled),
+		api.AsError(err).Code == api.CodeCanceled:
+		j.status.State = api.JobCanceled
+		if jm.closed {
+			j.status.Error = errShuttingDown()
+		} else {
+			j.status.Error = api.Errorf(api.CodeJobCanceled, "serve: job %s canceled", j.status.ID)
+		}
+	default:
+		j.status.State = api.JobFailed
+		j.status.Error = api.AsError(err)
+	}
+	close(j.done)
+}
+
+// purgeLocked drops terminal jobs older than the retention TTL and, if
+// history still outnumbers 4×maxJobs, the oldest terminal jobs beyond that
+// cap — memory stays bounded even under a submit storm faster than the
+// TTL. Callers hold jm.mu.
+func (jm *JobManager) purgeLocked() {
+	cutoff := jm.now().Add(-jm.ttl)
+	var terminal []*jobEntry
+	for id, j := range jm.jobs {
+		if !j.status.State.Terminal() {
+			continue
+		}
+		if j.status.FinishedAt.Before(cutoff) {
+			delete(jm.jobs, id)
+			continue
+		}
+		terminal = append(terminal, j)
+	}
+	if excess := len(terminal) - 4*jm.maxJobs; excess > 0 {
+		sort.Slice(terminal, func(a, b int) bool {
+			return terminal[a].status.FinishedAt.Before(terminal[b].status.FinishedAt)
+		})
+		for _, j := range terminal[:excess] {
+			delete(jm.jobs, j.status.ID)
+		}
+	}
+}
+
+// Get returns a job's status snapshot.
+func (jm *JobManager) Get(id string) (api.Job, error) {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	jm.purgeLocked()
+	j, ok := jm.jobs[id]
+	if !ok {
+		return api.Job{}, api.Errorf(api.CodeJobNotFound, "serve: no job %q", id)
+	}
+	return j.status, nil
+}
+
+// List returns every live job, oldest first.
+func (jm *JobManager) List() []api.Job {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	jm.purgeLocked()
+	out := make([]api.Job, 0, len(jm.jobs))
+	for _, j := range jm.jobs {
+		out = append(out, j.status)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].CreatedAt.Before(out[b].CreatedAt) })
+	return out
+}
+
+// Result returns a succeeded job's output; non-terminal jobs answer
+// job_not_ready, canceled ones job_canceled, failed ones their own error.
+func (jm *JobManager) Result(id string) (*api.JobResult, error) {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	jm.purgeLocked()
+	j, ok := jm.jobs[id]
+	if !ok {
+		return nil, api.Errorf(api.CodeJobNotFound, "serve: no job %q", id)
+	}
+	switch j.status.State {
+	case api.JobSucceeded:
+		return j.result, nil
+	case api.JobCanceled:
+		return nil, api.Errorf(api.CodeJobCanceled, "serve: job %q was canceled", id)
+	case api.JobFailed:
+		return nil, j.status.Error
+	default:
+		return nil, api.Errorf(api.CodeJobNotReady, "serve: job %q is %s", id, j.status.State)
+	}
+}
+
+// Cancel requests cancellation and returns the current snapshot. Terminal
+// jobs are untouched (cancel is idempotent); a pending or running job's
+// context is canceled and its state becomes canceled once the runner
+// observes the signal — poll GET /v2/jobs/{id} or use Done.
+func (jm *JobManager) Cancel(id string) (api.Job, error) {
+	jm.mu.Lock()
+	j, ok := jm.jobs[id]
+	if !ok {
+		jm.mu.Unlock()
+		return api.Job{}, api.Errorf(api.CodeJobNotFound, "serve: no job %q", id)
+	}
+	snapshot := j.status
+	jm.mu.Unlock()
+	if !snapshot.State.Terminal() {
+		j.cancel()
+	}
+	return snapshot, nil
+}
+
+// Done exposes the job's terminal-state signal (tests and waiters).
+func (jm *JobManager) Done(id string) (<-chan struct{}, bool) {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	j, ok := jm.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return j.done, true
+}
+
+// Stats counts live jobs by state (rendered into /metrics and /healthz).
+// It purges first so the gauges agree with what Get/List would answer.
+func (jm *JobManager) Stats() map[string]int {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	jm.purgeLocked()
+	out := map[string]int{}
+	for _, j := range jm.jobs {
+		out[string(j.status.State)]++
+	}
+	return out
+}
+
+// Close cancels every non-terminal job and waits for their runners to
+// return. Safe to call more than once.
+func (jm *JobManager) Close() {
+	jm.mu.Lock()
+	jm.closed = true
+	jm.mu.Unlock()
+	jm.cancel()
+	jm.wg.Wait()
+}

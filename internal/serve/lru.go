@@ -2,6 +2,7 @@ package serve
 
 import (
 	"container/list"
+	"context"
 	"sync"
 )
 
@@ -39,14 +40,23 @@ func NewLRU(capacity int) *LRU {
 // held during load, so distinct keys load concurrently; concurrent callers
 // of the same cold key share one load. A failed load is evicted immediately
 // so the next request retries.
-func (c *LRU) GetOrLoad(key string, load func() (any, error)) (any, bool, error) {
+//
+// A caller whose ctx ends while waiting on another caller's in-flight load
+// gets ctx.Err() back immediately; the load itself continues for the
+// remaining waiters (it is owned by the request that initiated it, so one
+// impatient client cannot poison the shared entry).
+func (c *LRU) GetOrLoad(ctx context.Context, key string, load func() (any, error)) (any, bool, error) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		e := el.Value.(*lruEntry)
 		c.hits++
 		c.mu.Unlock()
-		<-e.ready
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
 		return e.val, true, e.err
 	}
 	e := &lruEntry{key: key, ready: make(chan struct{})}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -13,22 +14,22 @@ func TestLRUEvictionOrder(t *testing.T) {
 		return func() (any, error) { return v, nil }
 	}
 	for _, k := range []string{"a", "b", "c"} {
-		if _, hit, err := c.GetOrLoad(k, load(k)); hit || err != nil {
+		if _, hit, err := c.GetOrLoad(context.Background(), k, load(k)); hit || err != nil {
 			t.Fatalf("cold load of %q: hit=%v err=%v", k, hit, err)
 		}
 	}
 	// Touch "a" so "b" becomes least recently used.
-	if _, hit, _ := c.GetOrLoad("a", load("a")); !hit {
+	if _, hit, _ := c.GetOrLoad(context.Background(), "a", load("a")); !hit {
 		t.Fatal("expected hit on a")
 	}
 	// Inserting "d" must evict "b".
-	c.GetOrLoad("d", load("d"))
+	c.GetOrLoad(context.Background(), "d", load("d"))
 	keys := c.Keys()
 	want := []string{"d", "a", "c"}
 	if fmt.Sprint(keys) != fmt.Sprint(want) {
 		t.Fatalf("MRU order = %v, want %v", keys, want)
 	}
-	if _, hit, _ := c.GetOrLoad("b", load("b")); hit {
+	if _, hit, _ := c.GetOrLoad(context.Background(), "b", load("b")); hit {
 		t.Fatal("b should have been evicted")
 	}
 	hits, misses, evictions := c.Stats()
@@ -46,7 +47,7 @@ func TestLRUConcurrentLoadDedup(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v, _, err := c.GetOrLoad("k", func() (any, error) {
+			v, _, err := c.GetOrLoad(context.Background(), "k", func() (any, error) {
 				atomic.AddInt64(&loads, 1)
 				return 99, nil
 			})
@@ -65,10 +66,10 @@ func TestLRUFailedLoadRetries(t *testing.T) {
 	c := NewLRU(2)
 	calls := 0
 	fail := func() (any, error) { calls++; return nil, fmt.Errorf("boom") }
-	if _, _, err := c.GetOrLoad("k", fail); err == nil {
+	if _, _, err := c.GetOrLoad(context.Background(), "k", fail); err == nil {
 		t.Fatal("expected error")
 	}
-	if _, hit, err := c.GetOrLoad("k", fail); err == nil || hit {
+	if _, hit, err := c.GetOrLoad(context.Background(), "k", fail); err == nil || hit {
 		t.Fatalf("failed entry must not be cached (hit=%v err=%v)", hit, err)
 	}
 	if calls != 2 {

@@ -28,9 +28,17 @@ type Metrics struct {
 
 	inflight int64
 
+	// rejected counts requests refused at admission because a bounded
+	// queue was full (the typed overloaded error / HTTP 429).
+	rejected int64
+
 	// queueDepth reports the live aggregate depth of the per-model queues;
 	// installed by the batcher.
 	queueDepth func() int
+
+	// jobStats reports live job counts by state; installed by the server's
+	// job manager.
+	jobStats func() map[string]int
 }
 
 // NewMetrics returns an empty collector.
@@ -84,10 +92,31 @@ func (m *Metrics) AddInflight(d int64) {
 	m.mu.Unlock()
 }
 
+// ObserveRejected counts one request rejected for backpressure.
+func (m *Metrics) ObserveRejected() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+// RejectedTotal returns the cumulative backpressure rejections.
+func (m *Metrics) RejectedTotal() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rejected
+}
+
 // SetQueueDepthFunc installs the live queue-depth probe.
 func (m *Metrics) SetQueueDepthFunc(f func() int) {
 	m.mu.Lock()
 	m.queueDepth = f
+	m.mu.Unlock()
+}
+
+// SetJobStatsFunc installs the live job-state counter probe.
+func (m *Metrics) SetJobStatsFunc(f func() map[string]int) {
+	m.mu.Lock()
+	m.jobStats = f
 	m.mu.Unlock()
 }
 
@@ -123,9 +152,18 @@ func (m *Metrics) Render(cache *LRU) string {
 
 	fmt.Fprintf(&b, "# TYPE sickle_inflight_requests gauge\n")
 	fmt.Fprintf(&b, "sickle_inflight_requests %d\n", m.inflight)
+	fmt.Fprintf(&b, "# TYPE sickle_rejected_requests_total counter\n")
+	fmt.Fprintf(&b, "sickle_rejected_requests_total %d\n", m.rejected)
 	if m.queueDepth != nil {
 		fmt.Fprintf(&b, "# TYPE sickle_queue_depth gauge\n")
 		fmt.Fprintf(&b, "sickle_queue_depth %d\n", m.queueDepth())
+	}
+	if m.jobStats != nil {
+		fmt.Fprintf(&b, "# TYPE sickle_jobs gauge\n")
+		stats := m.jobStats()
+		for _, state := range sortedKeys(stats) {
+			fmt.Fprintf(&b, "sickle_jobs{state=%q} %d\n", state, stats[state])
+		}
 	}
 
 	if cache != nil {

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -30,6 +31,27 @@ type ModelEntry struct {
 // request.
 const maxReplicas = 64
 
+// validateModelName restricts registry names to a safe charset: names flow
+// into URLs, metrics labels and log lines, and must never smuggle path
+// separators toward anything filesystem-shaped.
+func validateModelName(name string) error {
+	if name == "" {
+		return fmt.Errorf("serve: model name must not be empty")
+	}
+	if len(name) > 128 {
+		return fmt.Errorf("serve: model name longer than 128 bytes")
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return fmt.Errorf("serve: model name %q contains %q (allowed: letters, digits, '-', '_', '.')", name, r)
+		}
+	}
+	return nil
+}
+
 // Registry maps model names to their current entry. Register on an
 // existing name hot-swaps: the version increments and new requests use the
 // new replicas while in-flight batches finish on the old ones.
@@ -49,8 +71,8 @@ func NewRegistry() *Registry {
 // tests). inputShape documents the per-example tensor shape clients must
 // send; it is surfaced through /v1/models for load generators.
 func (r *Registry) Register(name string, spec train.ArchSpec, checkpoint string, inputShape []int, replicas int) (*ModelEntry, error) {
-	if name == "" {
-		return nil, fmt.Errorf("serve: model name must not be empty")
+	if err := validateModelName(name); err != nil {
+		return nil, err
 	}
 	if replicas < 1 {
 		replicas = 1
@@ -111,11 +133,19 @@ func (r *Registry) List() []*ModelEntry {
 	return out
 }
 
-// Acquire blocks until a replica of the entry is free. Callers must pass
-// the same replica to Release when done; an entry that has since been
-// hot-swapped still accepts the release (the old pool is garbage once all
-// in-flight batches return their replicas).
-func (e *ModelEntry) Acquire() train.Model { return <-e.pool }
+// Acquire blocks until a replica of the entry is free or ctx is done
+// (returning ctx.Err()) — no caller waits on a replica longer than its own
+// deadline. Callers must pass the same replica to Release when done; an
+// entry that has since been hot-swapped still accepts the release (the old
+// pool is garbage once all in-flight batches return their replicas).
+func (e *ModelEntry) Acquire(ctx context.Context) (train.Model, error) {
+	select {
+	case m := <-e.pool:
+		return m, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
 
 // Release returns a replica to the entry's pool.
 func (e *ModelEntry) Release(m train.Model) { e.pool <- m }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/tensor"
 	"repro/internal/train"
+	"repro/pkg/api"
 )
 
 // testSpec is a tiny LSTM: input [T=3, C=4] → output [2].
@@ -46,23 +47,23 @@ func newTestServer(t *testing.T, cfg Config) (*Server, train.Model) {
 	return s, ref
 }
 
-func randomItem(rng *rand.Rand) InferItem {
+func randomItem(rng *rand.Rand) api.InferItem {
 	data := make([]float64, 3*4)
 	for i := range data {
 		data[i] = rng.NormFloat64()
 	}
-	return InferItem{Shape: testShape, Data: data}
+	return api.InferItem{Shape: testShape, Data: data}
 }
 
 // expect runs the reference model unbatched (batch dimension 1).
-func expect(ref train.Model, item InferItem) []float64 {
+func expect(ref train.Model, item api.InferItem) []float64 {
 	in := tensor.FromSlice(append([]float64(nil), item.Data...), append([]int{1}, item.Shape...)...)
 	out := ref.Forward(in)
 	return append([]float64(nil), out.Data...)
 }
 
 // doInfer posts one inference request; safe to call from any goroutine.
-func doInfer(url string, req InferRequest) (*InferResponse, int, error) {
+func doInfer(url string, req api.InferRequest) (*api.InferResponse, int, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, 0, err
@@ -76,7 +77,7 @@ func doInfer(url string, req InferRequest) (*InferResponse, int, error) {
 		io.Copy(io.Discard, resp.Body)
 		return nil, resp.StatusCode, nil
 	}
-	var out InferResponse
+	var out api.InferResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return nil, resp.StatusCode, err
 	}
@@ -84,7 +85,7 @@ func doInfer(url string, req InferRequest) (*InferResponse, int, error) {
 }
 
 // checkOutput compares a response item to the expected row bit for bit.
-func checkOutput(got InferItem, want []float64) error {
+func checkOutput(got api.InferItem, want []float64) error {
 	if len(got.Data) != len(want) {
 		return fmt.Errorf("output len %d, want %d", len(got.Data), len(want))
 	}
@@ -108,7 +109,7 @@ func TestBatchedInferenceMatchesSingle(t *testing.T) {
 
 	rng := rand.New(rand.NewSource(3))
 	const n = 24
-	items := make([]InferItem, n)
+	items := make([]api.InferItem, n)
 	want := make([][]float64, n)
 	for i := range items {
 		items[i] = randomItem(rng)
@@ -121,7 +122,7 @@ func TestBatchedInferenceMatchesSingle(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp, code, err := doInfer(ts.URL, InferRequest{Model: "m", Items: []InferItem{items[i]}})
+			resp, code, err := doInfer(ts.URL, api.InferRequest{Model: "m", Items: []api.InferItem{items[i]}})
 			if err != nil || code != http.StatusOK {
 				errs[i] = fmt.Errorf("HTTP %d, err %v", code, err)
 				return
@@ -150,8 +151,8 @@ func TestMultiItemRequest(t *testing.T) {
 	defer ts.Close()
 
 	rng := rand.New(rand.NewSource(5))
-	items := []InferItem{randomItem(rng), randomItem(rng), randomItem(rng)}
-	resp, code, err := doInfer(ts.URL, InferRequest{Model: "m", Items: items})
+	items := []api.InferItem{randomItem(rng), randomItem(rng), randomItem(rng)}
+	resp, code, err := doInfer(ts.URL, api.InferRequest{Model: "m", Items: items})
 	if err != nil || code != http.StatusOK {
 		t.Fatalf("HTTP %d, err %v", code, err)
 	}
@@ -174,21 +175,21 @@ func TestInferErrors(t *testing.T) {
 	_ = s
 
 	rng := rand.New(rand.NewSource(6))
-	if _, code, err := doInfer(ts.URL, InferRequest{Model: "nope", Items: []InferItem{randomItem(rng)}}); err != nil || code == http.StatusOK {
+	if _, code, err := doInfer(ts.URL, api.InferRequest{Model: "nope", Items: []api.InferItem{randomItem(rng)}}); err != nil || code == http.StatusOK {
 		t.Fatalf("unknown model must fail (code %d, err %v)", code, err)
 	}
-	bad := InferItem{Shape: []int{2}, Data: []float64{1, 2, 3}}
-	if _, code, err := doInfer(ts.URL, InferRequest{Model: "m", Items: []InferItem{bad}}); err != nil || code != http.StatusBadRequest {
+	bad := api.InferItem{Shape: []int{2}, Data: []float64{1, 2, 3}}
+	if _, code, err := doInfer(ts.URL, api.InferRequest{Model: "m", Items: []api.InferItem{bad}}); err != nil || code != http.StatusBadRequest {
 		t.Fatalf("shape/data mismatch must be a 400 (code %d, err %v)", code, err)
 	}
 	// A well-formed item whose shape the model cannot consume: the forward
 	// panic must come back as an error response.
-	weird := InferItem{Shape: []int{7}, Data: make([]float64, 7)}
-	if _, code, err := doInfer(ts.URL, InferRequest{Model: "m", Items: []InferItem{weird}}); err != nil || code == http.StatusOK {
+	weird := api.InferItem{Shape: []int{7}, Data: make([]float64, 7)}
+	if _, code, err := doInfer(ts.URL, api.InferRequest{Model: "m", Items: []api.InferItem{weird}}); err != nil || code == http.StatusOK {
 		t.Fatalf("unconsumable shape must fail (code %d, err %v)", code, err)
 	}
 	// And the server must still answer afterwards.
-	if _, code, err := doInfer(ts.URL, InferRequest{Model: "m", Items: []InferItem{randomItem(rng)}}); err != nil || code != http.StatusOK {
+	if _, code, err := doInfer(ts.URL, api.InferRequest{Model: "m", Items: []api.InferItem{randomItem(rng)}}); err != nil || code != http.StatusOK {
 		t.Fatalf("server did not survive a failed forward pass (code %d, err %v)", code, err)
 	}
 }
@@ -209,7 +210,7 @@ func TestHotSwap(t *testing.T) {
 	if err := nn.SaveCheckpoint(ckpt2, ref2); err != nil {
 		t.Fatal(err)
 	}
-	body, _ := json.Marshal(RegisterModelRequest{Name: "m", Spec: testSpec, Checkpoint: ckpt2, InputShape: testShape})
+	body, _ := json.Marshal(api.RegisterModelRequest{Name: "m", Spec: archToSpec(testSpec), Checkpoint: ckpt2, InputShape: testShape})
 	resp, err := http.Post(ts.URL+"/v1/models", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
@@ -221,7 +222,7 @@ func TestHotSwap(t *testing.T) {
 
 	rng := rand.New(rand.NewSource(8))
 	item := randomItem(rng)
-	out, code, err := doInfer(ts.URL, InferRequest{Model: "m", Items: []InferItem{item}})
+	out, code, err := doInfer(ts.URL, api.InferRequest{Model: "m", Items: []api.InferItem{item}})
 	if err != nil || code != http.StatusOK {
 		t.Fatalf("HTTP %d, err %v", code, err)
 	}
@@ -249,7 +250,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 
 	rng := rand.New(rand.NewSource(11))
 	const n = 16
-	items := make([]InferItem, n)
+	items := make([]api.InferItem, n)
 	want := make([][]float64, n)
 	for i := range items {
 		items[i] = randomItem(rng)
@@ -261,7 +262,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp, code, err := doInfer(url, InferRequest{Model: "m", Items: []InferItem{items[i]}})
+			resp, code, err := doInfer(url, api.InferRequest{Model: "m", Items: []api.InferItem{items[i]}})
 			if err != nil || code != http.StatusOK {
 				errs[i] = fmt.Errorf("HTTP %d, err %v", code, err)
 				return
@@ -307,9 +308,9 @@ func TestSubsampleCacheHit(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	req := SubsampleRequest{Dataset: "GESTS-2048", Cube: 8, NumHypercubes: 2, NumSamples: 16, Seed: 1}
-	var first, second SubsampleResponse
-	for i, out := range []*SubsampleResponse{&first, &second} {
+	req := api.SubsampleRequest{Dataset: "GESTS-2048", Cube: 8, NumHypercubes: 2, NumSamples: 16, Seed: 1}
+	var first, second api.SubsampleResponse
+	for i, out := range []*api.SubsampleResponse{&first, &second} {
 		body, _ := json.Marshal(req)
 		resp, err := http.Post(ts.URL+"/v1/subsample", "application/json", bytes.NewReader(body))
 		if err != nil {

@@ -1,9 +1,17 @@
 // Package serve turns SICKLE-Go's offline pipeline into an online service:
-// an HTTP JSON API over the trained surrogates (micro-batched inference
-// through a bounded worker pool) and the subsampling pipeline (datasets and
-// .skl shards resolved through a bounded LRU cache), with health and
-// Prometheus-style metrics endpoints. cmd/sickle-serve is the binary;
-// cmd/sickle-bench -serve is the matching load generator.
+// a versioned HTTP JSON API (the pkg/api wire contract) over the trained
+// surrogates (micro-batched inference through a bounded worker pool), the
+// subsampling pipeline (datasets and .skl shards resolved through a
+// bounded LRU cache), and an asynchronous job manager for long-running
+// subsample/train work, with health and Prometheus-style metrics
+// endpoints. Cancellation is context-first end to end: every request and
+// job carries a context.Context that reaches the batcher queues, replica
+// acquisition, the cache, and the sampling/training loops.
+//
+// Two API versions are served: /v2 (typed error envelope, jobs) and /v1, a
+// thin frozen shim over the same types that keeps the original payloads
+// byte-compatible. cmd/sickle-serve is the binary; cmd/sickle-bench -serve
+// is the matching load generator, built on pkg/client.
 package serve
 
 import (
@@ -12,10 +20,12 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/tensor"
 	"repro/internal/train"
+	"repro/pkg/api"
 )
 
 // Config sizes the service. Zero values select the documented defaults.
@@ -24,8 +34,12 @@ type Config struct {
 	MaxBatch     int           // micro-batch cap (default 16)
 	Window       time.Duration // batch collection window (default 2ms)
 	Workers      int           // worker pool size (default GOMAXPROCS)
+	QueueCap     int           // per-model queue bound before 429s (default 1024)
 	CacheEntries int           // LRU capacity for datasets/shards (default 8)
 	Replicas     int           // model replicas per registered model (default 2)
+	JobWorkers   int           // concurrent jobs (default 2)
+	MaxJobs      int           // live-job admission bound (default 64)
+	JobTTL       time.Duration // terminal-job retention (default 15m)
 }
 
 func (c *Config) defaults() {
@@ -40,15 +54,23 @@ func (c *Config) defaults() {
 	}
 }
 
-// Server wires the registry, batcher, cache and metrics behind an HTTP mux.
+// Server wires the registry, batcher, cache, job manager and metrics
+// behind an HTTP mux.
 type Server struct {
-	cfg     Config
-	reg     *Registry
-	batcher *Batcher
-	cache   *LRU
-	met     *Metrics
-	httpSrv *http.Server
-	start   time.Time
+	cfg      Config
+	reg      *Registry
+	batcher  *Batcher
+	cache    *LRU
+	jobs     *JobManager
+	met      *Metrics
+	httpSrv  *http.Server
+	start    time.Time
+	draining atomic.Bool
+
+	// testProgressHook, when set (tests only), is invoked from inside the
+	// sampling pipeline's per-cube progress callback during subsample jobs
+	// — the coordination point for deterministic mid-job cancellation.
+	testProgressHook func(done, total int)
 }
 
 // NewServer builds a ready-to-listen server.
@@ -59,11 +81,13 @@ func NewServer(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		reg:     reg,
-		batcher: NewBatcher(reg, met, cfg.MaxBatch, cfg.Window, cfg.Workers),
+		batcher: NewBatcher(reg, met, cfg.MaxBatch, cfg.Window, cfg.Workers, cfg.QueueCap),
 		cache:   NewLRU(cfg.CacheEntries),
+		jobs:    NewJobManager(cfg.JobWorkers, cfg.MaxJobs, cfg.JobTTL),
 		met:     met,
 		start:   time.Now(),
 	}
+	met.SetJobStatsFunc(s.jobs.Stats)
 	s.httpSrv = &http.Server{Addr: cfg.Addr, Handler: s.Handler()}
 	return s
 }
@@ -77,14 +101,55 @@ func (s *Server) Metrics() *Metrics { return s.met }
 // Cache exposes the dataset/shard LRU.
 func (s *Server) Cache() *LRU { return s.cache }
 
-// Handler returns the route mux (also usable under httptest).
+// Jobs exposes the job manager (tests and embedders).
+func (s *Server) Jobs() *JobManager { return s.jobs }
+
+// Handler returns the route mux (also usable under httptest). The /v1
+// routes are the frozen compatibility shim; /v2 is the current surface.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/v1/infer", s.instrument("/v1/infer", s.handleInfer))
-	mux.HandleFunc("/v1/subsample", s.instrument("/v1/subsample", s.handleSubsample))
-	mux.HandleFunc("/v1/models", s.instrument("/v1/models", s.handleModels))
+	mux.HandleFunc("GET /api/version", s.instrument("/api/version", s.handleVersion))
+
+	// v1: legacy envelope, original status mapping.
+	mux.HandleFunc("/v1/infer", s.instrument("/v1/infer", s.handleInferV1))
+	mux.HandleFunc("/v1/subsample", s.instrument("/v1/subsample", s.handleSubsampleV1))
+	mux.HandleFunc("/v1/models", s.instrument("/v1/models", s.handleModelsV1))
+
+	// v2: typed envelope + jobs.
+	mux.HandleFunc("POST /v2/infer", s.instrument("/v2/infer", s.handleInferV2))
+	mux.HandleFunc("POST /v2/subsample", s.instrument("/v2/subsample", s.handleSubsampleV2))
+	mux.HandleFunc("GET /v2/models", s.instrument("/v2/models", s.handleListModelsV2))
+	mux.HandleFunc("POST /v2/models", s.instrument("/v2/models", s.handleRegisterModelV2))
+	mux.HandleFunc("POST /v2/jobs", s.instrument("/v2/jobs", s.handleSubmitJob))
+	mux.HandleFunc("GET /v2/jobs", s.instrument("/v2/jobs", s.handleListJobs))
+	mux.HandleFunc("GET /v2/jobs/{id}", s.instrument("/v2/jobs/{id}", s.handleGetJob))
+	mux.HandleFunc("DELETE /v2/jobs/{id}", s.instrument("/v2/jobs/{id}", s.handleCancelJob))
+	mux.HandleFunc("GET /v2/jobs/{id}/result", s.instrument("/v2/jobs/{id}/result", s.handleJobResult))
+
+	// Keep the "every v2 failure is a typed envelope" contract even for
+	// requests the method-qualified patterns above don't match: a generic
+	// (method-less) registration per route loses to the specific pattern
+	// for matching methods and catches the rest with a typed 405; the /v2/
+	// prefix fallback turns unknown paths into a typed 404 instead of the
+	// mux's plain-text page.
+	methodNotAllowed := func(allow string) func(http.ResponseWriter, *http.Request) error {
+		return func(w http.ResponseWriter, r *http.Request) error {
+			w.Header().Set("Allow", allow)
+			return writeAPIError(w, api.Errorf(api.CodeMethodNotAllowed, "%s only", allow))
+		}
+	}
+	mux.HandleFunc("/v2/infer", s.instrument("/v2/infer", methodNotAllowed("POST")))
+	mux.HandleFunc("/v2/subsample", s.instrument("/v2/subsample", methodNotAllowed("POST")))
+	mux.HandleFunc("/v2/models", s.instrument("/v2/models", methodNotAllowed("GET, POST")))
+	mux.HandleFunc("/v2/jobs", s.instrument("/v2/jobs", methodNotAllowed("GET, POST")))
+	mux.HandleFunc("/v2/jobs/{id}", s.instrument("/v2/jobs/{id}", methodNotAllowed("GET, DELETE")))
+	mux.HandleFunc("/v2/jobs/{id}/result", s.instrument("/v2/jobs/{id}/result", methodNotAllowed("GET")))
+	mux.HandleFunc("/v2/", s.instrument("/v2/", func(w http.ResponseWriter, r *http.Request) error {
+		return writeAPIError(w, api.Errorf(api.CodeNotFound, "no route %s %s", r.Method, r.URL.Path))
+	}))
+	mux.HandleFunc("/api/version", s.instrument("/api/version", methodNotAllowed("GET")))
 	return mux
 }
 
@@ -106,12 +171,17 @@ func (s *Server) Serve(l net.Listener) error {
 	return err
 }
 
-// Shutdown drains gracefully: the HTTP server stops accepting and waits for
-// in-flight handlers (each blocked on its batched result), then the batcher
-// is torn down. A request that was admitted before Shutdown always gets its
-// real response.
+// Shutdown drains gracefully: new batcher admissions fail fast with the
+// typed shutting_down error, the HTTP server stops accepting and waits for
+// in-flight handlers (each bounded by its own request context), running
+// jobs are canceled (their state becomes canceled/shutting_down), and
+// finally the batcher is torn down — a request admitted before Shutdown
+// always gets either its real response or a typed shutting_down error,
+// never a hang.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
 	err := s.httpSrv.Shutdown(ctx)
+	s.jobs.Close()
 	s.batcher.Stop()
 	return err
 }
@@ -127,66 +197,51 @@ func (s *Server) instrument(route string, h func(http.ResponseWriter, *http.Requ
 	}
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) error {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	return json.NewEncoder(w).Encode(v)
+// ---- shared core (both API versions decode into pkg/api types) ----
+
+func specToArch(s api.ModelSpec) train.ArchSpec {
+	return train.ArchSpec{Arch: s.Arch, InDim: s.InDim, Hidden: s.Hidden,
+		Heads: s.Heads, OutDim: s.OutDim, Edge: s.Edge}
 }
 
-func writeError(w http.ResponseWriter, status int, err error) error {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
-	return err
+func archToSpec(a train.ArchSpec) api.ModelSpec {
+	return api.ModelSpec{Arch: a.Arch, InDim: a.InDim, Hidden: a.Hidden,
+		Heads: a.Heads, OutDim: a.OutDim, Edge: a.Edge}
 }
 
-// InferItem is one example: a flat row-major payload plus its shape
-// (without the batch dimension).
-type InferItem struct {
-	Shape []int     `json:"shape"`
-	Data  []float64 `json:"data"`
+func entryToInfo(e *ModelEntry) api.ModelInfo {
+	return api.ModelInfo{Name: e.Name, Version: e.Version, Spec: archToSpec(e.Spec),
+		Checkpoint: e.Checkpoint, InputShape: e.InputShape, Replicas: e.Replicas}
 }
 
-// InferRequest is the JSON body of POST /v1/infer.
-type InferRequest struct {
-	Model string      `json:"model"`
-	Items []InferItem `json:"items"`
-}
-
-// InferResponse returns one output per input item, in order. BatchSizes
-// records the micro-batch each item rode in — the load generator uses it to
-// show batching engaged.
-type InferResponse struct {
-	Model      string      `json:"model"`
-	Version    int         `json:"version"`
-	Outputs    []InferItem `json:"outputs"`
-	BatchSizes []int       `json:"batchSizes"`
-}
-
-func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) error {
-	if r.Method != http.MethodPost {
-		return writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+func decodeBody(r *http.Request, v any) error {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		return api.Errorf(api.CodeInvalidArgument, "bad JSON: %v", err)
 	}
-	var req InferRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		return writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
-	}
+	return nil
+}
+
+// doInfer validates, fans the items into the batcher under the request
+// context, and gathers per-item outputs in order.
+func (s *Server) doInfer(ctx context.Context, req *api.InferRequest) (*api.InferResponse, error) {
 	if req.Model == "" || len(req.Items) == 0 {
-		return writeError(w, http.StatusBadRequest, fmt.Errorf("need model and at least one item"))
+		return nil, api.Errorf(api.CodeInvalidArgument, "need model and at least one item")
 	}
 	if _, ok := s.reg.Lookup(req.Model); !ok {
-		return writeError(w, http.StatusNotFound, fmt.Errorf("unknown model %q", req.Model))
+		return nil, api.Errorf(api.CodeModelNotFound, "unknown model %q", req.Model)
 	}
 	inputs := make([]*tensor.Tensor, len(req.Items))
 	for i, it := range req.Items {
 		n := 1
 		for _, d := range it.Shape {
 			if d <= 0 {
-				return writeError(w, http.StatusBadRequest, fmt.Errorf("item %d: bad shape %v", i, it.Shape))
+				return nil, api.Errorf(api.CodeInvalidArgument, "item %d: bad shape %v", i, it.Shape)
 			}
 			n *= d
 		}
 		if len(it.Shape) == 0 || n != len(it.Data) {
-			return writeError(w, http.StatusBadRequest,
-				fmt.Errorf("item %d: shape %v wants %d values, got %d", i, it.Shape, n, len(it.Data)))
+			return nil, api.Errorf(api.CodeInvalidArgument,
+				"item %d: shape %v wants %d values, got %d", i, it.Shape, n, len(it.Data))
 		}
 		inputs[i] = tensor.FromSlice(it.Data, it.Shape...)
 	}
@@ -202,7 +257,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) error {
 	done := make(chan int, len(inputs))
 	for i := range inputs {
 		go func(i int) {
-			o, v, bsz, err := s.batcher.Infer(req.Model, inputs[i])
+			o, v, bsz, err := s.batcher.Infer(ctx, req.Model, inputs[i])
 			outs[i] = itemOut{o, v, bsz, err}
 			done <- i
 		}(i)
@@ -210,76 +265,212 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) error {
 	for range inputs {
 		<-done
 	}
-	resp := InferResponse{Model: req.Model}
+	resp := &api.InferResponse{Model: req.Model}
 	for i, o := range outs {
 		if o.err != nil {
-			return writeError(w, http.StatusInternalServerError, fmt.Errorf("item %d: %w", i, o.err))
+			ae := api.AsError(o.err)
+			return nil, api.Errorf(ae.Code, "item %d: %s", i, ae.Message).WithRetryAfter(ae.RetryAfterSeconds)
 		}
 		resp.Version = o.version
-		resp.Outputs = append(resp.Outputs, InferItem{Shape: o.out.Shape, Data: o.out.Data})
+		resp.Outputs = append(resp.Outputs, api.InferItem{Shape: o.out.Shape, Data: o.out.Data})
 		resp.BatchSizes = append(resp.BatchSizes, o.batch)
 	}
-	return writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
-func (s *Server) handleSubsample(w http.ResponseWriter, r *http.Request) error {
-	if r.Method != http.MethodPost {
-		return writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+func (s *Server) doRegisterModel(req *api.RegisterModelRequest) (api.ModelInfo, error) {
+	replicas := req.Replicas
+	if replicas <= 0 {
+		replicas = s.cfg.Replicas
 	}
-	var req SubsampleRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		return writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
-	}
-	resp, err := s.handleSubsampleRequest(&req)
+	e, err := s.reg.Register(req.Name, specToArch(req.Spec), req.Checkpoint, req.InputShape, replicas)
 	if err != nil {
-		return writeError(w, http.StatusBadRequest, err)
+		return api.ModelInfo{}, api.Errorf(api.CodeInvalidArgument, "%s", err.Error())
+	}
+	return entryToInfo(e), nil
+}
+
+func (s *Server) listModels() []api.ModelInfo {
+	entries := s.reg.List()
+	out := make([]api.ModelInfo, len(entries))
+	for i, e := range entries {
+		out[i] = entryToInfo(e)
+	}
+	return out
+}
+
+// ---- v1 handlers (frozen compatibility shim) ----
+
+func (s *Server) handleInferV1(w http.ResponseWriter, r *http.Request) error {
+	if r.Method != http.MethodPost {
+		return writeLegacyError(w, api.Errorf(api.CodeMethodNotAllowed, "POST only"), 0)
+	}
+	var req api.InferRequest
+	if err := decodeBody(r, &req); err != nil {
+		return writeLegacyError(w, err, 0)
+	}
+	resp, err := s.doInfer(r.Context(), &req)
+	if err != nil {
+		return writeLegacyError(w, err, 0)
 	}
 	return writeJSON(w, http.StatusOK, resp)
 }
 
-// RegisterModelRequest is the JSON body of POST /v1/models: load (or
-// hot-swap) a checkpoint under a name.
-type RegisterModelRequest struct {
-	Name       string         `json:"name"`
-	Spec       train.ArchSpec `json:"spec"`
-	Checkpoint string         `json:"checkpoint"`
-	InputShape []int          `json:"inputShape,omitempty"`
-	Replicas   int            `json:"replicas,omitempty"`
+func (s *Server) handleSubsampleV1(w http.ResponseWriter, r *http.Request) error {
+	if r.Method != http.MethodPost {
+		return writeLegacyError(w, api.Errorf(api.CodeMethodNotAllowed, "POST only"), 0)
+	}
+	var req api.SubsampleRequest
+	if err := decodeBody(r, &req); err != nil {
+		return writeLegacyError(w, err, 0)
+	}
+	resp, err := s.doSubsample(r.Context(), &req, nil)
+	if err != nil {
+		// v1 reported every pipeline failure as a 400.
+		return writeLegacyError(w, err, http.StatusBadRequest)
+	}
+	return writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) error {
+func (s *Server) handleModelsV1(w http.ResponseWriter, r *http.Request) error {
 	switch r.Method {
 	case http.MethodGet:
-		return writeJSON(w, http.StatusOK, s.reg.List())
+		return writeJSON(w, http.StatusOK, s.listModels())
 	case http.MethodPost:
-		var req RegisterModelRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			return writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
+		var req api.RegisterModelRequest
+		if err := decodeBody(r, &req); err != nil {
+			return writeLegacyError(w, err, 0)
 		}
-		replicas := req.Replicas
-		if replicas <= 0 {
-			replicas = s.cfg.Replicas
-		}
-		e, err := s.reg.Register(req.Name, req.Spec, req.Checkpoint, req.InputShape, replicas)
+		info, err := s.doRegisterModel(&req)
 		if err != nil {
-			return writeError(w, http.StatusBadRequest, err)
+			return writeLegacyError(w, err, http.StatusBadRequest)
 		}
-		return writeJSON(w, http.StatusOK, e)
+		return writeJSON(w, http.StatusOK, info)
 	default:
-		return writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET or POST"))
+		return writeLegacyError(w, api.Errorf(api.CodeMethodNotAllowed, "GET or POST"), 0)
 	}
 }
+
+// ---- v2 handlers (typed envelope) ----
+
+func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) error {
+	return writeJSON(w, http.StatusOK, api.VersionInfo{
+		Versions: api.SupportedVersions(), Latest: api.Latest,
+	})
+}
+
+func (s *Server) handleInferV2(w http.ResponseWriter, r *http.Request) error {
+	var req api.InferRequest
+	if err := decodeBody(r, &req); err != nil {
+		return writeAPIError(w, err)
+	}
+	resp, err := s.doInfer(r.Context(), &req)
+	if err != nil {
+		return writeAPIError(w, err)
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSubsampleV2(w http.ResponseWriter, r *http.Request) error {
+	var req api.SubsampleRequest
+	if err := decodeBody(r, &req); err != nil {
+		return writeAPIError(w, err)
+	}
+	resp, err := s.doSubsample(r.Context(), &req, nil)
+	if err != nil {
+		return writeAPIError(w, err)
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleListModelsV2(w http.ResponseWriter, _ *http.Request) error {
+	return writeJSON(w, http.StatusOK, s.listModels())
+}
+
+func (s *Server) handleRegisterModelV2(w http.ResponseWriter, r *http.Request) error {
+	var req api.RegisterModelRequest
+	if err := decodeBody(r, &req); err != nil {
+		return writeAPIError(w, err)
+	}
+	info, err := s.doRegisterModel(&req)
+	if err != nil {
+		return writeAPIError(w, err)
+	}
+	return writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) error {
+	if s.draining.Load() {
+		return writeAPIError(w, errShuttingDown())
+	}
+	var req api.SubmitJobRequest
+	if err := decodeBody(r, &req); err != nil {
+		return writeAPIError(w, err)
+	}
+	var runner JobRunner
+	switch req.Type {
+	case api.JobSubsample:
+		if req.Subsample == nil {
+			return writeAPIError(w, api.Errorf(api.CodeInvalidArgument, "subsample job needs a subsample payload"))
+		}
+		runner = s.subsampleJobRunner(*req.Subsample)
+	case api.JobTrain:
+		if req.Train == nil {
+			return writeAPIError(w, api.Errorf(api.CodeInvalidArgument, "train job needs a train payload"))
+		}
+		runner = s.trainJobRunner(*req.Train)
+	default:
+		return writeAPIError(w, api.Errorf(api.CodeInvalidArgument,
+			"unknown job type %q (want %q or %q)", req.Type, api.JobSubsample, api.JobTrain))
+	}
+	job, err := s.jobs.Submit(req.Type, runner)
+	if err != nil {
+		return writeAPIError(w, err)
+	}
+	return writeJSON(w, http.StatusAccepted, job)
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, _ *http.Request) error {
+	return writeJSON(w, http.StatusOK, s.jobs.List())
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) error {
+	job, err := s.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		return writeAPIError(w, err)
+	}
+	return writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) error {
+	job, err := s.jobs.Cancel(r.PathValue("id"))
+	if err != nil {
+		return writeAPIError(w, err)
+	}
+	return writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) error {
+	res, err := s.jobs.Result(r.PathValue("id"))
+	if err != nil {
+		return writeAPIError(w, err)
+	}
+	return writeJSON(w, http.StatusOK, res)
+}
+
+// ---- shared plain endpoints ----
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) error {
 	models := []string{}
 	for _, e := range s.reg.List() {
 		models = append(models, fmt.Sprintf("%s@v%d", e.Name, e.Version))
 	}
-	return writeJSON(w, http.StatusOK, map[string]any{
-		"status":        "ok",
-		"uptimeSeconds": time.Since(s.start).Seconds(),
-		"models":        models,
-		"queueDepth":    s.batcher.QueueDepth(),
+	return writeJSON(w, http.StatusOK, api.Health{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Models:        models,
+		QueueDepth:    s.batcher.QueueDepth(),
+		Jobs:          s.jobs.Stats(),
 	})
 }
 

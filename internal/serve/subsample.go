@@ -1,41 +1,29 @@
 package serve
 
 import (
-	"fmt"
+	"context"
+	"os"
 	"strings"
 	"time"
 
 	"repro/internal/grid"
+	"repro/internal/nn"
 	"repro/internal/sampling"
 	"repro/internal/sickle"
+	"repro/internal/train"
+	"repro/pkg/api"
 )
 
-// SubsampleRequest is the JSON body of POST /v1/subsample: either a named
-// registry dataset (synthesized on first use, then cached) or a .skl shard
-// path written by sickle-subsample, plus the two-phase pipeline parameters.
-type SubsampleRequest struct {
-	Dataset string `json:"dataset,omitempty"` // a sickle.DatasetNames entry
-	Scale   string `json:"scale,omitempty"`   // "small" (default) | "large"
-	Shard   string `json:"shard,omitempty"`   // path to a .skl file instead of a dataset
-
-	Snapshot      int    `json:"snapshot"`
-	Hypercubes    string `json:"hypercubes,omitempty"`
-	Method        string `json:"method,omitempty"`
-	NumHypercubes int    `json:"numHypercubes,omitempty"`
-	NumSamples    int    `json:"numSamples,omitempty"`
-	Cube          int    `json:"cube,omitempty"` // cube edge (clamped to the grid)
-	NumClusters   int    `json:"numClusters,omitempty"`
-	Seed          int64  `json:"seed,omitempty"`
-}
-
-// SubsampleResponse summarizes the pipeline run (or shard read).
-type SubsampleResponse struct {
-	Dataset   string  `json:"dataset"`
-	Snapshot  int     `json:"snapshot"`
-	Cubes     int     `json:"cubes"`
-	Points    int     `json:"points"`
-	CacheHit  bool    `json:"cacheHit"`
-	ElapsedMS float64 `json:"elapsedMs"`
+// asCallerError maps untyped resolution failures (unknown dataset name,
+// missing .skl shard) to not_found: they are the caller's reference that
+// didn't resolve, not a server fault. Cancellation and already-typed
+// errors pass through untouched.
+func asCallerError(err error) *api.Error {
+	ae := api.AsError(err)
+	if ae.Code == api.CodeInternal {
+		return api.Errorf(api.CodeNotFound, "%s", ae.Message)
+	}
+	return ae
 }
 
 // datasetKey namespaces cache entries so a dataset name can never collide
@@ -43,8 +31,10 @@ type SubsampleResponse struct {
 func datasetKey(name, scale string) string { return "dataset:" + name + "/" + scale }
 func shardKey(path string) string          { return "shard:" + path }
 
-// resolveDataset returns the (possibly cached) dataset for a request.
-func (s *Server) resolveDataset(name, scaleStr string) (*grid.Dataset, bool, error) {
+// resolveDataset returns the (possibly cached) dataset for a request. The
+// context bounds how long a caller waits on another request's in-flight
+// synthesis of the same dataset.
+func (s *Server) resolveDataset(ctx context.Context, name, scaleStr string) (*grid.Dataset, bool, error) {
 	scale := sickle.Small
 	if strings.EqualFold(scaleStr, "large") {
 		scale = sickle.Large
@@ -52,7 +42,7 @@ func (s *Server) resolveDataset(name, scaleStr string) (*grid.Dataset, bool, err
 	} else {
 		scaleStr = "small"
 	}
-	v, hit, err := s.cache.GetOrLoad(datasetKey(name, scaleStr), func() (any, error) {
+	v, hit, err := s.cache.GetOrLoad(ctx, datasetKey(name, scaleStr), func() (any, error) {
 		return sickle.BuildDatasetUncached(name, scale)
 	})
 	if err != nil {
@@ -62,8 +52,8 @@ func (s *Server) resolveDataset(name, scaleStr string) (*grid.Dataset, bool, err
 }
 
 // resolveShard returns the (possibly cached) cube samples of a .skl file.
-func (s *Server) resolveShard(path string) ([]sampling.CubeSample, bool, error) {
-	v, hit, err := s.cache.GetOrLoad(shardKey(path), func() (any, error) {
+func (s *Server) resolveShard(ctx context.Context, path string) ([]sampling.CubeSample, bool, error) {
+	v, hit, err := s.cache.GetOrLoad(ctx, shardKey(path), func() (any, error) {
 		return sickle.LoadCubeSamples(path)
 	})
 	if err != nil {
@@ -72,37 +62,9 @@ func (s *Server) resolveShard(path string) ([]sampling.CubeSample, bool, error) 
 	return v.([]sampling.CubeSample), hit, nil
 }
 
-// handleSubsampleRequest runs the two-phase pipeline (or reads a shard) and
-// reports what was selected. Only dataset/shard loading is cached — the
-// pipeline itself is cheap relative to synthesis and depends on the full
-// request, so it runs per call.
-func (s *Server) handleSubsampleRequest(req *SubsampleRequest) (*SubsampleResponse, error) {
-	t0 := time.Now()
-	if req.Shard != "" {
-		cubes, hit, err := s.resolveShard(req.Shard)
-		if err != nil {
-			return nil, err
-		}
-		points := 0
-		for _, cs := range cubes {
-			points += len(cs.LocalIdx)
-		}
-		return &SubsampleResponse{
-			Dataset: req.Shard, Cubes: len(cubes), Points: points,
-			CacheHit: hit, ElapsedMS: msSince(t0),
-		}, nil
-	}
-	if req.Dataset == "" {
-		return nil, fmt.Errorf("serve: request needs dataset or shard")
-	}
-	d, hit, err := s.resolveDataset(req.Dataset, req.Scale)
-	if err != nil {
-		return nil, err
-	}
-	if req.Snapshot < 0 || req.Snapshot >= len(d.Snapshots) {
-		return nil, fmt.Errorf("serve: snapshot %d out of range (dataset has %d)", req.Snapshot, len(d.Snapshots))
-	}
-	f := d.Snapshots[req.Snapshot]
+// pipelineConfig translates the wire request into sampling parameters,
+// clamping the cube edge to the snapshot's grid.
+func pipelineConfig(req *api.SubsampleRequest, f *grid.Field) sampling.PipelineConfig {
 	pcfg := sampling.PipelineConfig{
 		Hypercubes:    req.Hypercubes,
 		Method:        req.Method,
@@ -118,18 +80,178 @@ func (s *Server) handleSubsampleRequest(req *SubsampleRequest) (*SubsampleRespon
 	pcfg.CubeSx = clamp(edge, f.Nx)
 	pcfg.CubeSy = clamp(edge, f.Ny)
 	pcfg.CubeSz = clamp(edge, f.Nz)
-	cubes, err := sampling.SubsampleSnapshot(d, req.Snapshot, pcfg)
+	return pcfg
+}
+
+// doSubsample runs the two-phase pipeline (or reads a shard) under ctx and
+// reports what was selected. Only dataset/shard loading is cached — the
+// pipeline itself is cheap relative to synthesis and depends on the full
+// request, so it runs per call. progress (may be nil) receives per-cube
+// completion updates; job submissions use it to expose cancellable
+// progress counters.
+func (s *Server) doSubsample(ctx context.Context, req *api.SubsampleRequest, progress func(done, total int)) (*api.SubsampleResponse, error) {
+	t0 := time.Now()
+	if req.Shard != "" {
+		cubes, hit, err := s.resolveShard(ctx, req.Shard)
+		if err != nil {
+			return nil, asCallerError(err)
+		}
+		points := 0
+		for _, cs := range cubes {
+			points += len(cs.LocalIdx)
+		}
+		return &api.SubsampleResponse{
+			Dataset: req.Shard, Cubes: len(cubes), Points: points,
+			CacheHit: hit, ElapsedMS: msSince(t0),
+		}, nil
+	}
+	if req.Dataset == "" {
+		return nil, api.Errorf(api.CodeInvalidArgument, "serve: request needs dataset or shard")
+	}
+	d, hit, err := s.resolveDataset(ctx, req.Dataset, req.Scale)
 	if err != nil {
-		return nil, err
+		return nil, asCallerError(err)
+	}
+	if req.Snapshot < 0 || req.Snapshot >= len(d.Snapshots) {
+		return nil, api.Errorf(api.CodeInvalidArgument,
+			"serve: snapshot %d out of range (dataset has %d)", req.Snapshot, len(d.Snapshots))
+	}
+	f := d.Snapshots[req.Snapshot]
+	pcfg := pipelineConfig(req, f)
+	pcfg.Progress = func(done, total int) {
+		if progress != nil {
+			progress(done, total)
+		}
+		if s.testProgressHook != nil {
+			s.testProgressHook(done, total)
+		}
+	}
+	cubes, err := sampling.SubsampleSnapshot(ctx, d, req.Snapshot, pcfg)
+	if err != nil {
+		ae := api.AsError(err)
+		if ae.Code == api.CodeInternal {
+			// Pipeline failures here are bad request parameters (unknown
+			// sampler/selector names, cubes larger than the grid).
+			ae = api.Errorf(api.CodeInvalidArgument, "%s", ae.Message)
+		}
+		return nil, ae
 	}
 	points := 0
 	for _, cs := range cubes {
 		points += len(cs.LocalIdx)
 	}
-	return &SubsampleResponse{
+	return &api.SubsampleResponse{
 		Dataset: d.Label, Snapshot: req.Snapshot, Cubes: len(cubes),
 		Points: points, CacheHit: hit, ElapsedMS: msSince(t0),
 	}, nil
+}
+
+// subsampleJobRunner adapts a subsample request to the job manager: the
+// sampling pipeline's per-cube progress callback feeds the job's progress
+// counters, and the job context reaches the cancel checks between cubes.
+func (s *Server) subsampleJobRunner(req api.SubsampleRequest) JobRunner {
+	return func(ctx context.Context, progress func(stage string, done, total int)) (*api.JobResult, error) {
+		progress("resolve", 0, 0)
+		resp, err := s.doSubsample(ctx, &req, func(done, total int) {
+			progress("sampling", done, total)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &api.JobResult{Subsample: resp}, nil
+	}
+}
+
+// trainJobRunner runs the paper's offline pipeline as one cancellable job:
+// resolve dataset → two-phase subsample → train a Table 2 surrogate →
+// optionally checkpoint and register it for serving. Cancellation lands
+// between cubes during sampling and between batches/epochs during
+// training.
+func (s *Server) trainJobRunner(spec api.TrainJobSpec) JobRunner {
+	return func(ctx context.Context, progress func(stage string, done, total int)) (*api.JobResult, error) {
+		if spec.Dataset == "" {
+			return nil, api.Errorf(api.CodeInvalidArgument, "train job needs a dataset")
+		}
+		arch := specToArch(spec.Spec)
+		if err := arch.Validate(); err != nil {
+			return nil, api.Errorf(api.CodeInvalidArgument, "%s", err.Error())
+		}
+		progress("resolve", 0, 0)
+		d, _, err := s.resolveDataset(ctx, spec.Dataset, spec.Scale)
+		if err != nil {
+			return nil, asCallerError(err)
+		}
+
+		sub := api.SubsampleRequest{}
+		if spec.Subsample != nil {
+			sub = *spec.Subsample
+		}
+		pcfg := pipelineConfig(&sub, d.Snapshots[0])
+		pcfg.Progress = func(done, total int) { progress("subsample", done, total) }
+		cubes, err := sampling.SubsampleDataset(ctx, d, pcfg)
+		if err != nil {
+			return nil, api.AsError(err)
+		}
+
+		window := spec.Window
+		if window <= 0 {
+			window = 1
+		}
+		examples, err := train.BuildSampleFull(d, cubes, window)
+		if err != nil {
+			return nil, api.Errorf(api.CodeInvalidArgument, "%s", err.Error())
+		}
+		epochs := spec.Epochs
+		if epochs <= 0 {
+			epochs = 5
+		}
+		batch := spec.Batch
+		if batch <= 0 {
+			batch = 8
+		}
+		progress("train", 0, epochs)
+		model, hist, err := train.Train(ctx, arch.Factory(), examples, train.Config{
+			Epochs: epochs, Batch: batch, LR: spec.LR, Seed: spec.Seed,
+			Progress: func(done, total int) { progress("train", done, total) },
+		})
+		if err != nil {
+			return nil, api.AsError(err)
+		}
+
+		result := &api.TrainJobResult{
+			Examples:  len(examples),
+			Params:    hist.Params,
+			Epochs:    hist.Epochs,
+			FinalLoss: hist.FinalLoss,
+		}
+		if spec.Register != "" {
+			progress("register", 0, 0)
+			// A unique temp file, never derived from the client-supplied
+			// name: interpolating Register into the path would hand POST
+			// /v2/jobs an arbitrary-file-write primitive via "../" names,
+			// and per-name paths would collide across concurrent jobs.
+			ckpt, err := os.CreateTemp("", "sickle-job-*.sknn")
+			if err != nil {
+				return nil, api.Errorf(api.CodeInternal, "%s", err.Error())
+			}
+			path := ckpt.Name()
+			ckpt.Close()
+			if err := nn.SaveCheckpoint(path, model); err != nil {
+				return nil, api.Errorf(api.CodeInternal, "%s", err.Error())
+			}
+			replicas := spec.Replicas
+			if replicas <= 0 {
+				replicas = s.cfg.Replicas
+			}
+			e, err := s.reg.Register(spec.Register, arch, path, examples[0].Input.Shape, replicas)
+			if err != nil {
+				return nil, api.Errorf(api.CodeInvalidArgument, "%s", err.Error())
+			}
+			result.Registered = e.Name
+			result.Version = e.Version
+		}
+		return &api.JobResult{Train: result}, nil
+	}
 }
 
 func clamp(v, hi int) int {

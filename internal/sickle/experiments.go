@@ -1,6 +1,7 @@
 package sickle
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -308,7 +309,7 @@ func Fig7(scale Scale, maxRanks int, cost minimpi.CostModel) ([]Fig7Row, error) 
 		units := len(cubes) * d.NTime()
 
 		t0 := time.Now()
-		if _, err := sampling.SubsampleDataset(d, cfg); err != nil {
+		if _, err := sampling.SubsampleDataset(context.Background(), d, cfg); err != nil {
 			return nil, err
 		}
 		t1 := time.Since(t0).Seconds()

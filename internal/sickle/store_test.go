@@ -1,6 +1,7 @@
 package sickle
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -18,7 +19,7 @@ func TestSaveLoadCubeSamplesRoundTrip(t *testing.T) {
 		NumHypercubes: 2, NumSamples: 50,
 		CubeSx: 16, CubeSy: 16, CubeSz: 16, NumClusters: 4, Seed: 1,
 	}
-	cubes, err := sampling.SubsampleDataset(d, cfg)
+	cubes, err := sampling.SubsampleDataset(context.Background(), d, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestShardAppenderRoundTrip(t *testing.T) {
 		NumHypercubes: 3, NumSamples: 40,
 		CubeSx: 16, CubeSy: 16, CubeSz: 16, Seed: 2,
 	}
-	cubes, err := sampling.SubsampleDataset(d, cfg)
+	cubes, err := sampling.SubsampleDataset(context.Background(), d, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package sickle
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -67,7 +68,7 @@ func Fig6(scale Scale, cfg Fig6Config) ([]Fig6Row, error) {
 					CubeSx:        d.Snapshots[0].Nx, CubeSy: d.Snapshots[0].Ny, CubeSz: 1,
 					NumClusters: 10, Seed: seed,
 				}
-				cubes, err := sampling.SubsampleDataset(d, pcfg)
+				cubes, err := sampling.SubsampleDataset(context.Background(), d, pcfg)
 				if err != nil {
 					return nil, err
 				}
@@ -78,7 +79,7 @@ func Fig6(scale Scale, cfg Fig6Config) ([]Fig6Row, error) {
 				factory := func(rng *rand.Rand) train.Model {
 					return train.NewLSTMModel(rng, ex[0].Input.Dim(1), 16, 1)
 				}
-				_, hist, err := train.Train(factory, ex, train.Config{
+				_, hist, err := train.Train(context.Background(), factory, ex, train.Config{
 					Epochs: cfg.Epochs, Batch: 8, Seed: seed, Normalize: true,
 				})
 				if err != nil {
@@ -161,7 +162,7 @@ func Fig8(scale Scale, cfg Fig8Config) ([]Fig8Case, error) {
 				CubeSx:        edge, CubeSy: edge, CubeSz: edge,
 				NumClusters: 5, Seed: 4, Meter: meterSample,
 			}
-			cubes, err := sampling.SubsampleDataset(d, pcfg)
+			cubes, err := sampling.SubsampleDataset(context.Background(), d, pcfg)
 			if err != nil {
 				return nil, err
 			}
@@ -183,7 +184,7 @@ func Fig8(scale Scale, cfg Fig8Config) ([]Fig8Case, error) {
 			if err != nil {
 				return nil, err
 			}
-			_, hist, err := train.Train(factory, ex, train.Config{
+			_, hist, err := train.Train(context.Background(), factory, ex, train.Config{
 				Epochs: cfg.Epochs, Batch: 4, Seed: 5, Normalize: true, Meter: meterTrain,
 			})
 			if err != nil {
@@ -254,7 +255,7 @@ func Fig9(scale Scale, cfg Fig9Config) ([]Fig9Row, error) {
 			CubeSx:        edge, CubeSy: edge, CubeSz: edge,
 			NumClusters: 5, Seed: 6, Meter: meterSample,
 		}
-		cubes, err := sampling.SubsampleDataset(d, pcfg)
+		cubes, err := sampling.SubsampleDataset(context.Background(), d, pcfg)
 		if err != nil {
 			return nil, err
 		}
@@ -266,7 +267,7 @@ func Fig9(scale Scale, cfg Fig9Config) ([]Fig9Row, error) {
 		factory := func(rng *rand.Rand) train.Model {
 			return train.NewMATEYModel(rng, inV, 16, 2, outV, edge)
 		}
-		_, hist, err := train.Train(factory, ex, train.Config{
+		_, hist, err := train.Train(context.Background(), factory, ex, train.Config{
 			Epochs: cfg.Epochs, Batch: 4, Seed: 7, Normalize: true, Meter: meterTrain,
 		})
 		if err != nil {

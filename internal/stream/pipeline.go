@@ -32,6 +32,7 @@
 package stream
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -227,7 +228,7 @@ func Run(src SnapshotSource, cfg Config) (*Result, error) {
 
 	// Phase 1 once, on the reference snapshot — the fixed sensor regions
 	// every streamed snapshot is sampled through.
-	kept, err := sampling.SelectCubesForField(f0, meta.ClusterVar, pcfg)
+	kept, err := sampling.SelectCubesForField(context.Background(), f0, meta.ClusterVar, pcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -344,7 +345,7 @@ func Run(src SnapshotSource, cfg Config) (*Result, error) {
 				if errs[rank] != nil {
 					return // keep draining so backpressure keeps moving
 				}
-				out, serr := sampling.SubsampleFieldWithCubes(msg.f, msg.snap, kept,
+				out, serr := sampling.SubsampleFieldWithCubes(context.Background(), msg.f, msg.snap, kept,
 					meta.InputVars, meta.OutputVars, meta.ClusterVar, pcfg)
 				if serr != nil {
 					errs[rank] = serr

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"io"
 	"math"
 	"path/filepath"
@@ -47,7 +48,7 @@ func TestStreamMatchesOffline(t *testing.T) {
 	d := testDataset()
 	pcfg := testPipelineConfig()
 
-	offline, err := sampling.SubsampleDataset(d, pcfg)
+	offline, err := sampling.SubsampleDataset(context.Background(), d, pcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestStreamMatchesOffline(t *testing.T) {
 func TestStreamShardedMatchesOffline(t *testing.T) {
 	d := testDataset()
 	pcfg := testPipelineConfig()
-	offline, err := sampling.SubsampleDataset(d, pcfg)
+	offline, err := sampling.SubsampleDataset(context.Background(), d, pcfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package train
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -29,7 +30,7 @@ func runTraining(t *testing.T) (Model, *History) {
 	factory := func(rng *rand.Rand) Model {
 		return NewMLPTransformer(rng, 3, 8, 2, 1, 4)
 	}
-	m, hist, err := Train(factory, synthExamples(24), Config{
+	m, hist, err := Train(context.Background(), factory, synthExamples(24), Config{
 		Epochs: 5, Batch: 4, Seed: 7, Normalize: true,
 	})
 	if err != nil {
@@ -85,7 +86,7 @@ func TestTrainingDDPBitIdenticalSerialVsParallel(t *testing.T) {
 		factory := func(rng *rand.Rand) Model {
 			return NewMLPTransformer(rng, 3, 8, 2, 1, 4)
 		}
-		_, hist, err := Train(factory, synthExamples(16), Config{
+		_, hist, err := Train(context.Background(), factory, synthExamples(16), Config{
 			Epochs: 2, Batch: 4, Seed: 7, Ranks: 2,
 		})
 		if err != nil {

@@ -1,6 +1,8 @@
 package train
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -99,7 +101,7 @@ func syntheticRegression(n int, seed int64) []Example {
 func TestTrainLSTMReducesLoss(t *testing.T) {
 	ex := syntheticRegression(80, 3)
 	factory := func(rng *rand.Rand) Model { return NewLSTMModel(rng, 2, 8, 1) }
-	_, hist, err := Train(factory, ex, Config{Epochs: 40, Batch: 16, Seed: 4})
+	_, hist, err := Train(context.Background(), factory, ex, Config{Epochs: 40, Batch: 16, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,11 +120,11 @@ func TestTrainLSTMReducesLoss(t *testing.T) {
 func TestDDPMatchesSerial(t *testing.T) {
 	ex := syntheticRegression(40, 5)
 	factory := func(rng *rand.Rand) Model { return NewLSTMModel(rng, 2, 6, 1) }
-	_, serial, err := Train(factory, ex, Config{Epochs: 5, Batch: 8, Seed: 6})
+	_, serial, err := Train(context.Background(), factory, ex, Config{Epochs: 5, Batch: 8, Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, ddp, err := Train(factory, ex, Config{Epochs: 5, Batch: 8, Seed: 6, Ranks: 2})
+	_, ddp, err := Train(context.Background(), factory, ex, Config{Epochs: 5, Batch: 8, Seed: 6, Ranks: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +139,7 @@ func TestTrainChargesEnergy(t *testing.T) {
 	ex := syntheticRegression(20, 7)
 	m := energy.NewMeter()
 	factory := func(rng *rand.Rand) Model { return NewLSTMModel(rng, 2, 4, 1) }
-	if _, _, err := Train(factory, ex, Config{Epochs: 2, Batch: 8, Seed: 8, Meter: m}); err != nil {
+	if _, _, err := Train(context.Background(), factory, ex, Config{Epochs: 2, Batch: 8, Seed: 8, Meter: m}); err != nil {
 		t.Fatal(err)
 	}
 	if m.Joules() <= 0 {
@@ -147,7 +149,7 @@ func TestTrainChargesEnergy(t *testing.T) {
 
 func TestTrainTooFewExamples(t *testing.T) {
 	factory := func(rng *rand.Rand) Model { return NewLSTMModel(rng, 2, 4, 1) }
-	if _, _, err := Train(factory, syntheticRegression(1, 9), Config{}); err == nil {
+	if _, _, err := Train(context.Background(), factory, syntheticRegression(1, 9), Config{}); err == nil {
 		t.Fatal("expected error for 1 example")
 	}
 }
@@ -174,7 +176,7 @@ func pipelineDataset(t testing.TB, method string) (*grid.Dataset, []sampling.Cub
 		NumHypercubes: 2, NumSamples: 40,
 		CubeSx: 8, CubeSy: 8, CubeSz: 8, NumClusters: 4, Seed: 12,
 	}
-	cubes, err := sampling.SubsampleDataset(d, cfg)
+	cubes, err := sampling.SubsampleDataset(context.Background(), d, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +245,7 @@ func TestEndToEndMLPTransformerTrains(t *testing.T) {
 	factory := func(rng *rand.Rand) Model {
 		return NewMLPTransformer(rng, len(d.InputVars), 8, 2, len(d.OutputVars), 8)
 	}
-	_, hist, err := Train(factory, ex, Config{Epochs: 8, Batch: 4, Seed: 13, Normalize: true})
+	_, hist, err := Train(context.Background(), factory, ex, Config{Epochs: 8, Batch: 4, Seed: 13, Normalize: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +264,7 @@ func TestEndToEndCNNTransformerTrains(t *testing.T) {
 	factory := func(rng *rand.Rand) Model {
 		return NewCNNTransformer(rng, len(d.InputVars), 8, 2, len(d.OutputVars), 8)
 	}
-	_, hist, err := Train(factory, ex, Config{Epochs: 6, Batch: 4, Seed: 14, Normalize: true})
+	_, hist, err := Train(context.Background(), factory, ex, Config{Epochs: 6, Batch: 4, Seed: 14, Normalize: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,6 +285,30 @@ func BenchmarkTrainEpochMLPTransformer(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Train(factory, ex, Config{Epochs: 1, Batch: 4, Seed: 15})
+		Train(context.Background(), factory, ex, Config{Epochs: 1, Batch: 4, Seed: 15})
+	}
+}
+
+// TestTrainCancelBetweenEpochs: cancellation from the per-epoch progress
+// hook stops the run before the next epoch and returns ctx.Err().
+func TestTrainCancelBetweenEpochs(t *testing.T) {
+	ex := syntheticRegression(40, 21)
+	factory := func(rng *rand.Rand) Model { return NewLSTMModel(rng, 2, 4, 1) }
+	ctx, cancel := context.WithCancel(context.Background())
+	var epochs []int
+	_, _, err := Train(ctx, factory, ex, Config{
+		Epochs: 10, Batch: 8, Seed: 22,
+		Progress: func(done, total int) {
+			epochs = append(epochs, done)
+			if done == 2 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(epochs) != 2 || epochs[len(epochs)-1] != 2 {
+		t.Fatalf("progress epochs = %v; training did not stop after the canceling epoch", epochs)
 	}
 }

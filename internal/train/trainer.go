@@ -1,6 +1,7 @@
 package train
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -28,6 +29,10 @@ type Config struct {
 	// exploding-gradient divergence.
 	ClipNorm float64
 	Verbose  bool
+	// Progress, when non-nil, is called after every completed epoch with
+	// (epochsDone, totalEpochs) — the hook serve's job manager uses to
+	// report training progress.
+	Progress func(done, total int)
 }
 
 func (c *Config) defaults() {
@@ -83,7 +88,11 @@ func chargeTraining(m *energy.Meter, params, batchElems int) {
 // identically seeded replica, computes gradients on its shard of every
 // batch, and gradients are averaged with Allreduce before each optimizer
 // step — torch DistributedDataParallel's algorithm.
-func Train(factory ModelFactory, examples []Example, cfg Config) (Model, *History, error) {
+//
+// The context is checked before every batch and every epoch; cancellation
+// abandons the run and returns ctx.Err() (the partially trained model is
+// not returned — a canceled run has no well-defined artifact).
+func Train(ctx context.Context, factory ModelFactory, examples []Example, cfg Config) (Model, *History, error) {
 	cfg.defaults()
 	if len(examples) < 2 {
 		return nil, nil, fmt.Errorf("train: need at least 2 examples, got %d", len(examples))
@@ -115,10 +124,16 @@ func Train(factory ModelFactory, examples []Example, cfg Config) (Model, *Histor
 	order := rand.New(rand.NewSource(cfg.Seed + 2))
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		perm := order.Perm(len(trainSet))
 		epochLoss := 0.0
 		nBatches := 0
 		for b0 := 0; b0 < len(perm); b0 += cfg.Batch {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
 			b1 := b0 + cfg.Batch
 			if b1 > len(perm) {
 				b1 = len(perm)
@@ -142,6 +157,9 @@ func Train(factory ModelFactory, examples []Example, cfg Config) (Model, *Histor
 		if cfg.Verbose {
 			fmt.Printf("epoch %3d  train %.6f  test %.6f  lr %.2g\n",
 				epoch, epochLoss, testLoss, opts[0].LR)
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(epoch+1, cfg.Epochs)
 		}
 	}
 	hist.Epochs = cfg.Epochs

@@ -8,6 +8,7 @@
 package tune
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -105,7 +106,7 @@ func Search(factoryFor FactoryFor, examples []train.Example, space Space, cfg Co
 		minimpi.Run(cfg.Ranks, minimpi.CostModel{}, func(c *minimpi.Comm) {
 			lo, hi := c.PartitionRange(len(ts))
 			for i := lo; i < hi; i++ {
-				_, hist, err := train.Train(factoryFor(ts[i].Hidden), examples, train.Config{
+				_, hist, err := train.Train(context.Background(), factoryFor(ts[i].Hidden), examples, train.Config{
 					Epochs: epochs, Batch: ts[i].Batch, LR: ts[i].LR,
 					Seed: cfg.Seed + int64(i), Normalize: true,
 				})

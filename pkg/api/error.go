@@ -1,0 +1,153 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// ErrorCode is a stable, machine-readable failure class. Clients branch on
+// codes, never on message text.
+type ErrorCode string
+
+const (
+	// CodeInvalidArgument: the request was malformed (bad JSON, bad shape,
+	// missing fields). Retrying unchanged cannot succeed.
+	CodeInvalidArgument ErrorCode = "invalid_argument"
+	// CodeNotFound: the referenced resource (dataset, shard, route) does
+	// not exist.
+	CodeNotFound ErrorCode = "not_found"
+	// CodeModelNotFound: the named model is not registered on the server.
+	CodeModelNotFound ErrorCode = "model_not_found"
+	// CodeJobNotFound: no job with that id (it may have expired after its
+	// retention TTL).
+	CodeJobNotFound ErrorCode = "job_not_found"
+	// CodeJobNotReady: the job exists but has not reached a terminal state,
+	// so its result is not available yet.
+	CodeJobNotReady ErrorCode = "job_not_ready"
+	// CodeJobCanceled: the job was canceled before it could produce a
+	// result.
+	CodeJobCanceled ErrorCode = "job_canceled"
+	// CodeOverloaded: a bounded queue (per-model inference queue, job
+	// admission) is full. Retry after RetryAfterSeconds.
+	CodeOverloaded ErrorCode = "overloaded"
+	// CodeShuttingDown: the server is draining; the request was refused or
+	// aborted.
+	CodeShuttingDown ErrorCode = "shutting_down"
+	// CodeCanceled: the caller's context was canceled mid-request.
+	CodeCanceled ErrorCode = "canceled"
+	// CodeDeadlineExceeded: the caller's deadline elapsed mid-request.
+	CodeDeadlineExceeded ErrorCode = "deadline_exceeded"
+	// CodeMethodNotAllowed: the route exists but not for that HTTP method.
+	CodeMethodNotAllowed ErrorCode = "method_not_allowed"
+	// CodeUnsupportedVersion: the server speaks no API version the client
+	// accepts.
+	CodeUnsupportedVersion ErrorCode = "unsupported_version"
+	// CodeInternal: an unexpected server-side failure.
+	CodeInternal ErrorCode = "internal"
+)
+
+// StatusClientClosedRequest is the (nginx-conventional) status for a
+// request aborted by the client's own context; no standard code exists.
+const StatusClientClosedRequest = 499
+
+// HTTPStatus maps the code to its HTTP status.
+func (c ErrorCode) HTTPStatus() int {
+	switch c {
+	case CodeInvalidArgument, CodeUnsupportedVersion:
+		return http.StatusBadRequest
+	case CodeNotFound, CodeModelNotFound, CodeJobNotFound:
+		return http.StatusNotFound
+	case CodeMethodNotAllowed:
+		return http.StatusMethodNotAllowed
+	case CodeJobNotReady, CodeJobCanceled:
+		return http.StatusConflict
+	case CodeOverloaded:
+		return http.StatusTooManyRequests
+	case CodeCanceled:
+		return StatusClientClosedRequest
+	case CodeShuttingDown:
+		return http.StatusServiceUnavailable
+	case CodeDeadlineExceeded:
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusInternalServerError
+}
+
+// CodeFromStatus recovers the best-fitting code from a bare HTTP status —
+// the fallback when a response carries no typed envelope (a v1 server, a
+// proxy-generated error page).
+func CodeFromStatus(status int) ErrorCode {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeInvalidArgument
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusMethodNotAllowed:
+		return CodeMethodNotAllowed
+	case http.StatusConflict:
+		return CodeJobNotReady
+	case http.StatusTooManyRequests:
+		return CodeOverloaded
+	case StatusClientClosedRequest:
+		return CodeCanceled
+	case http.StatusServiceUnavailable:
+		return CodeShuttingDown
+	case http.StatusGatewayTimeout:
+		return CodeDeadlineExceeded
+	}
+	return CodeInternal
+}
+
+// Error is the typed wire error. It implements the error interface, so it
+// flows unchanged from the server's internals through the envelope to the
+// SDK caller's errors.As.
+type Error struct {
+	Code    ErrorCode `json:"code"`
+	Message string    `json:"message"`
+	// RetryAfterSeconds, when non-zero, tells the client how long to back
+	// off before retrying (also sent as the Retry-After header).
+	RetryAfterSeconds int `json:"retryAfterSeconds,omitempty"`
+}
+
+func (e *Error) Error() string {
+	return string(e.Code) + ": " + e.Message
+}
+
+// Errorf builds a typed error with a formatted message.
+func Errorf(code ErrorCode, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// WithRetryAfter returns a copy carrying a retry hint in seconds.
+func (e *Error) WithRetryAfter(seconds int) *Error {
+	cp := *e
+	cp.RetryAfterSeconds = seconds
+	return &cp
+}
+
+// AsError coerces any error into a typed *Error: an existing *Error (even
+// wrapped) passes through, context cancellation/deadline map to their
+// codes, and everything else becomes CodeInternal.
+func AsError(err error) *Error {
+	if err == nil {
+		return nil
+	}
+	var ae *Error
+	if errors.As(err, &ae) {
+		return ae
+	}
+	switch {
+	case errors.Is(err, context.Canceled):
+		return &Error{Code: CodeCanceled, Message: err.Error()}
+	case errors.Is(err, context.DeadlineExceeded):
+		return &Error{Code: CodeDeadlineExceeded, Message: err.Error()}
+	}
+	return &Error{Code: CodeInternal, Message: err.Error()}
+}
+
+// ErrorEnvelope is the v2 error body: {"error":{"code":...,"message":...}}.
+type ErrorEnvelope struct {
+	Error *Error `json:"error"`
+}

@@ -1,0 +1,93 @@
+package api
+
+import "time"
+
+// JobType selects the long-running pipeline a job runs.
+type JobType string
+
+const (
+	JobSubsample JobType = "subsample" // the two-phase subsampling pipeline
+	JobTrain     JobType = "train"     // subsample → train → (optionally) register
+)
+
+// JobState is a job's lifecycle position. Transitions are
+// pending → running → {succeeded, failed, canceled}; terminal states never
+// change again and expire from the server after a retention TTL.
+type JobState string
+
+const (
+	JobPending   JobState = "pending"
+	JobRunning   JobState = "running"
+	JobSucceeded JobState = "succeeded"
+	JobFailed    JobState = "failed"
+	JobCanceled  JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobSucceeded || s == JobFailed || s == JobCanceled
+}
+
+// SubmitJobRequest is the body of POST /v2/jobs. Exactly one payload field
+// matching Type must be set.
+type SubmitJobRequest struct {
+	Type      JobType           `json:"type"`
+	Subsample *SubsampleRequest `json:"subsample,omitempty"`
+	Train     *TrainJobSpec     `json:"train,omitempty"`
+}
+
+// TrainJobSpec asks the server to subsample a dataset, train a surrogate
+// on the selection, and (when Register is set) publish the trained weights
+// to the model registry under that name.
+type TrainJobSpec struct {
+	Dataset   string            `json:"dataset"`
+	Scale     string            `json:"scale,omitempty"`
+	Subsample *SubsampleRequest `json:"subsample,omitempty"` // pipeline params; Snapshot/Dataset fields ignored
+	Window    int               `json:"window,omitempty"`    // temporal window for example building (default 1)
+	Spec      ModelSpec         `json:"spec"`
+	Register  string            `json:"register,omitempty"` // registry name for the trained model
+	Replicas  int               `json:"replicas,omitempty"` // replicas when registering
+	Epochs    int               `json:"epochs,omitempty"`   // default 5
+	Batch     int               `json:"batch,omitempty"`    // default 8
+	LR        float64           `json:"lr,omitempty"`
+	Seed      int64             `json:"seed,omitempty"`
+}
+
+// JobProgress is a monotonic position within the current stage, updated
+// between cube batches (subsample) or epochs (train). Total may be zero
+// while the work size is still unknown.
+type JobProgress struct {
+	Stage string `json:"stage,omitempty"`
+	Done  int    `json:"done"`
+	Total int    `json:"total,omitempty"`
+}
+
+// Job is the status snapshot returned by POST /v2/jobs, GET /v2/jobs/{id}
+// and DELETE /v2/jobs/{id}.
+type Job struct {
+	ID         string      `json:"id"`
+	Type       JobType     `json:"type"`
+	State      JobState    `json:"state"`
+	Progress   JobProgress `json:"progress"`
+	Error      *Error      `json:"error,omitempty"` // set for failed/canceled jobs
+	CreatedAt  time.Time   `json:"createdAt"`
+	StartedAt  time.Time   `json:"startedAt,omitzero"`
+	FinishedAt time.Time   `json:"finishedAt,omitzero"`
+}
+
+// JobResult is the body of GET /v2/jobs/{id}/result; the field matching
+// the job's type is set.
+type JobResult struct {
+	Subsample *SubsampleResponse `json:"subsample,omitempty"`
+	Train     *TrainJobResult    `json:"train,omitempty"`
+}
+
+// TrainJobResult summarizes a finished training job.
+type TrainJobResult struct {
+	Examples   int     `json:"examples"`
+	Params     int     `json:"params"`
+	Epochs     int     `json:"epochs"`
+	FinalLoss  float64 `json:"finalLoss"`
+	Registered string  `json:"registered,omitempty"` // model name, when Register was set
+	Version    int     `json:"version,omitempty"`    // registered model version
+}

@@ -1,0 +1,96 @@
+package api
+
+// InferItem is one example: a flat row-major payload plus its shape
+// (without the batch dimension).
+type InferItem struct {
+	Shape []int     `json:"shape"`
+	Data  []float64 `json:"data"`
+}
+
+// InferRequest is the JSON body of POST /v1/infer and /v2/infer.
+type InferRequest struct {
+	Model string      `json:"model"`
+	Items []InferItem `json:"items"`
+}
+
+// InferResponse returns one output per input item, in order. BatchSizes
+// records the micro-batch each item rode in — load generators use it to
+// show batching engaged.
+type InferResponse struct {
+	Model      string      `json:"model"`
+	Version    int         `json:"version"`
+	Outputs    []InferItem `json:"outputs"`
+	BatchSizes []int       `json:"batchSizes"`
+}
+
+// SubsampleRequest is the body of POST /v1/subsample and /v2/subsample,
+// and the payload of a subsample job: either a named registry dataset
+// (synthesized on first use, then cached) or a .skl shard path, plus the
+// two-phase pipeline parameters.
+type SubsampleRequest struct {
+	Dataset string `json:"dataset,omitempty"` // a registry dataset name
+	Scale   string `json:"scale,omitempty"`   // "small" (default) | "large"
+	Shard   string `json:"shard,omitempty"`   // path to a .skl file instead of a dataset
+
+	Snapshot      int    `json:"snapshot"`
+	Hypercubes    string `json:"hypercubes,omitempty"`
+	Method        string `json:"method,omitempty"`
+	NumHypercubes int    `json:"numHypercubes,omitempty"`
+	NumSamples    int    `json:"numSamples,omitempty"`
+	Cube          int    `json:"cube,omitempty"` // cube edge (clamped to the grid)
+	NumClusters   int    `json:"numClusters,omitempty"`
+	Seed          int64  `json:"seed,omitempty"`
+}
+
+// SubsampleResponse summarizes a pipeline run (or shard read).
+type SubsampleResponse struct {
+	Dataset   string  `json:"dataset"`
+	Snapshot  int     `json:"snapshot"`
+	Cubes     int     `json:"cubes"`
+	Points    int     `json:"points"`
+	CacheHit  bool    `json:"cacheHit"`
+	ElapsedMS float64 `json:"elapsedMs"`
+}
+
+// ModelSpec names a servable architecture together with the dimensions
+// needed to rebuild an identical replica — the contract a checkpoint
+// imposes on its reader. It mirrors the trainer's ArchSpec field for
+// field so v1 payloads stay byte-compatible.
+type ModelSpec struct {
+	Arch   string `json:"arch"`             // lstm | mlp_transformer | cnn_transformer | matey
+	InDim  int    `json:"inDim"`            // lstm: input width; others: input variables
+	Hidden int    `json:"hidden,omitempty"` // lstm hidden size / transformer model dim (default 16)
+	Heads  int    `json:"heads,omitempty"`  // attention heads (default 2)
+	OutDim int    `json:"outDim"`           // lstm: output width; others: output variables
+	Edge   int    `json:"edge,omitempty"`   // decoder cube edge (transformer/MATEY only)
+}
+
+// ModelInfo describes one registered model version, as listed by
+// GET /v1/models and /v2/models.
+type ModelInfo struct {
+	Name       string    `json:"name"`
+	Version    int       `json:"version"`
+	Spec       ModelSpec `json:"spec"`
+	Checkpoint string    `json:"checkpoint,omitempty"`
+	InputShape []int     `json:"inputShape,omitempty"` // per-example shape, no batch dim
+	Replicas   int       `json:"replicas"`
+}
+
+// RegisterModelRequest is the body of POST /v1/models and /v2/models: load
+// (or hot-swap) a checkpoint under a name.
+type RegisterModelRequest struct {
+	Name       string    `json:"name"`
+	Spec       ModelSpec `json:"spec"`
+	Checkpoint string    `json:"checkpoint"`
+	InputShape []int     `json:"inputShape,omitempty"`
+	Replicas   int       `json:"replicas,omitempty"`
+}
+
+// Health is the GET /healthz body.
+type Health struct {
+	Status        string         `json:"status"`
+	UptimeSeconds float64        `json:"uptimeSeconds"`
+	Models        []string       `json:"models"`
+	QueueDepth    int            `json:"queueDepth"`
+	Jobs          map[string]int `json:"jobs,omitempty"` // job counts by state
+}

@@ -1,0 +1,252 @@
+// Package client is the Go SDK for a running sickle-serve instance: typed
+// methods over the pkg/api wire contract, per-call context/deadline
+// propagation, automatic retry with exponential backoff on typed
+// overloaded responses (honoring Retry-After), and submit/wait/cancel
+// helpers for the asynchronous job surface.
+//
+// Minimal use:
+//
+//	c := client.New("http://localhost:8080")
+//	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+//	defer cancel()
+//	out, err := c.Infer(ctx, &api.InferRequest{Model: "demo", Items: items})
+//
+// Failures are *api.Error values: errors.As exposes the machine-readable
+// code (api.CodeOverloaded, api.CodeModelNotFound, ...).
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"slices"
+	"strings"
+	"time"
+
+	"repro/pkg/api"
+)
+
+// Client talks to one sickle-serve base URL. The zero value is not usable;
+// construct with New. Clients are safe for concurrent use.
+type Client struct {
+	base       string
+	hc         *http.Client
+	maxRetries int
+	backoff    time.Duration
+	version    string
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles). Per-call contexts still bound each request.
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetry sets how many times a typed overloaded response is retried
+// (default 3) and the base backoff doubled per attempt (default 100ms).
+// The server's Retry-After, when longer, wins. maxRetries 0 disables
+// retry.
+func WithRetry(maxRetries int, backoff time.Duration) Option {
+	return func(c *Client) {
+		c.maxRetries = maxRetries
+		c.backoff = backoff
+	}
+}
+
+// New builds a client for the server at base (e.g. "http://localhost:8080").
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base:       strings.TrimRight(base, "/"),
+		hc:         &http.Client{},
+		maxRetries: 3,
+		backoff:    100 * time.Millisecond,
+		version:    api.Latest,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Negotiate asks the server which API versions it speaks (GET
+// /api/version) and pins the newest one this SDK understands; subsequent
+// calls use it. Servers without the endpoint (pre-v2) yield a typed
+// unsupported_version error.
+func (c *Client) Negotiate(ctx context.Context) (string, error) {
+	var info api.VersionInfo
+	if err := c.do(ctx, http.MethodGet, "/api/version", nil, &info); err != nil {
+		ae := api.AsError(err)
+		if ae.Code == api.CodeNotFound {
+			return "", api.Errorf(api.CodeUnsupportedVersion,
+				"server at %s predates API version negotiation", c.base)
+		}
+		return "", err
+	}
+	for _, v := range []string{api.V2} { // newest first among SDK-known versions
+		if slices.Contains(info.Versions, v) {
+			c.version = v
+			return v, nil
+		}
+	}
+	return "", api.Errorf(api.CodeUnsupportedVersion,
+		"no common API version: server speaks %v", info.Versions)
+}
+
+// Version returns the API version in use ("v2" unless Negotiate found
+// otherwise).
+func (c *Client) Version() string { return c.version }
+
+// Infer runs micro-batched inference.
+func (c *Client) Infer(ctx context.Context, req *api.InferRequest) (*api.InferResponse, error) {
+	var out api.InferResponse
+	if err := c.doVersioned(ctx, http.MethodPost, "/infer", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Subsample runs the two-phase pipeline synchronously (small requests; use
+// SubmitSubsampleJob for work worth cancelling).
+func (c *Client) Subsample(ctx context.Context, req *api.SubsampleRequest) (*api.SubsampleResponse, error) {
+	var out api.SubsampleResponse
+	if err := c.doVersioned(ctx, http.MethodPost, "/subsample", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Models lists the registered models.
+func (c *Client) Models(ctx context.Context) ([]api.ModelInfo, error) {
+	var out []api.ModelInfo
+	if err := c.doVersioned(ctx, http.MethodGet, "/models", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RegisterModel loads (or hot-swaps) a checkpoint under a name.
+func (c *Client) RegisterModel(ctx context.Context, req *api.RegisterModelRequest) (*api.ModelInfo, error) {
+	var out api.ModelInfo
+	if err := c.doVersioned(ctx, http.MethodPost, "/models", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health fetches /healthz.
+func (c *Client) Health(ctx context.Context) (*api.Health, error) {
+	var out api.Health
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// MetricsText fetches the raw Prometheus exposition from /metrics.
+func (c *Client) MetricsText(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", api.Errorf(api.CodeFromStatus(resp.StatusCode), "GET /metrics: HTTP %d", resp.StatusCode)
+	}
+	return string(raw), nil
+}
+
+// doVersioned prefixes the path with the negotiated API version.
+func (c *Client) doVersioned(ctx context.Context, method, path string, in, out any) error {
+	return c.do(ctx, method, "/"+c.version+path, in, out)
+}
+
+// do performs one JSON round trip with the overloaded-retry loop. in and
+// out may be nil.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	for attempt := 0; ; attempt++ {
+		err := c.once(ctx, method, path, body, out)
+		ae := api.AsError(err)
+		if err == nil || ae.Code != api.CodeOverloaded || attempt >= c.maxRetries {
+			return err
+		}
+		delay := c.backoff << attempt
+		if ra := time.Duration(ae.RetryAfterSeconds) * time.Second; ra > delay {
+			delay = ra
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return api.AsError(ctx.Err())
+		}
+	}
+}
+
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return api.AsError(err) // ctx cancellation surfaces as CodeCanceled
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decodeError recovers a typed *api.Error from a failure response: the v2
+// envelope when present, the legacy v1 {"error":"msg"} shape, or a bare
+// status otherwise.
+func decodeError(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var env api.ErrorEnvelope
+	if json.Unmarshal(raw, &env) == nil && env.Error != nil && env.Error.Code != "" {
+		return env.Error
+	}
+	var legacy struct {
+		Error string `json:"error"`
+	}
+	msg := strings.TrimSpace(string(raw))
+	if json.Unmarshal(raw, &legacy) == nil && legacy.Error != "" {
+		msg = legacy.Error
+	}
+	return &api.Error{
+		Code:    api.CodeFromStatus(resp.StatusCode),
+		Message: fmt.Sprintf("HTTP %d: %s", resp.StatusCode, msg),
+	}
+}

@@ -1,0 +1,118 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/pkg/api"
+)
+
+// TestRetryOnOverloaded: typed 429 responses are retried with backoff
+// until the server recovers; the successful payload comes back.
+func TestRetryOnOverloaded(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(api.ErrorEnvelope{
+				Error: api.Errorf(api.CodeOverloaded, "busy")})
+			return
+		}
+		json.NewEncoder(w).Encode(api.InferResponse{Model: "m", Version: 3})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetry(3, time.Millisecond))
+	out, err := c.Infer(context.Background(), &api.InferRequest{Model: "m"})
+	if err != nil {
+		t.Fatalf("Infer after retries: %v", err)
+	}
+	if out.Version != 3 || calls.Load() != 3 {
+		t.Fatalf("version %d after %d calls, want 3 after 3", out.Version, calls.Load())
+	}
+}
+
+// TestRetryExhaustion: the typed overloaded error surfaces (with its code)
+// once retries run out.
+func TestRetryExhaustion(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(api.ErrorEnvelope{
+			Error: api.Errorf(api.CodeOverloaded, "busy").WithRetryAfter(0)})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetry(1, time.Millisecond))
+	_, err := c.Infer(context.Background(), &api.InferRequest{Model: "m"})
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.Code != api.CodeOverloaded {
+		t.Fatalf("err = %v, want overloaded", err)
+	}
+}
+
+// TestRetryHonorsContext: cancellation during backoff returns promptly
+// with the typed canceled code instead of sleeping out the delay.
+func TestRetryHonorsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(api.ErrorEnvelope{
+			Error: api.Errorf(api.CodeOverloaded, "busy").WithRetryAfter(30)})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetry(3, time.Millisecond))
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	t0 := time.Now()
+	_, err := c.Infer(ctx, &api.InferRequest{Model: "m"})
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.Code != api.CodeCanceled {
+		t.Fatalf("err = %v, want canceled", err)
+	}
+	if time.Since(t0) > 5*time.Second {
+		t.Fatal("retry loop ignored the canceled context")
+	}
+}
+
+// TestLegacyErrorDecode: a v1-style {"error":"msg"} failure still becomes
+// a typed error, with the code recovered from the HTTP status.
+func TestLegacyErrorDecode(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(map[string]string{"error": "unknown model \"x\""})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetry(0, 0))
+	_, err := c.Infer(context.Background(), &api.InferRequest{Model: "x"})
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.Code != api.CodeNotFound {
+		t.Fatalf("err = %v, want not_found from bare 404", err)
+	}
+}
+
+// TestNegotiateUnsupported: a server without /api/version yields the
+// typed unsupported_version error.
+func TestNegotiateUnsupported(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	_, err := c.Negotiate(context.Background())
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.Code != api.CodeUnsupportedVersion {
+		t.Fatalf("err = %v, want unsupported_version", err)
+	}
+}

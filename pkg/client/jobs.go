@@ -1,0 +1,93 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"repro/pkg/api"
+)
+
+// SubmitJob submits any job payload (POST /v2/jobs) and returns the
+// pending snapshot.
+func (c *Client) SubmitJob(ctx context.Context, req *api.SubmitJobRequest) (*api.Job, error) {
+	var out api.Job
+	if err := c.doVersioned(ctx, http.MethodPost, "/jobs", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SubmitSubsampleJob submits an asynchronous subsample run.
+func (c *Client) SubmitSubsampleJob(ctx context.Context, req *api.SubsampleRequest) (*api.Job, error) {
+	return c.SubmitJob(ctx, &api.SubmitJobRequest{Type: api.JobSubsample, Subsample: req})
+}
+
+// SubmitTrainJob submits an asynchronous subsample→train run.
+func (c *Client) SubmitTrainJob(ctx context.Context, spec *api.TrainJobSpec) (*api.Job, error) {
+	return c.SubmitJob(ctx, &api.SubmitJobRequest{Type: api.JobTrain, Train: spec})
+}
+
+// Job polls one job's status (GET /v2/jobs/{id}).
+func (c *Client) Job(ctx context.Context, id string) (*api.Job, error) {
+	var out api.Job
+	if err := c.doVersioned(ctx, http.MethodGet, "/jobs/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Jobs lists all live jobs (GET /v2/jobs).
+func (c *Client) Jobs(ctx context.Context) ([]api.Job, error) {
+	var out []api.Job
+	if err := c.doVersioned(ctx, http.MethodGet, "/jobs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// JobResult fetches a succeeded job's output (GET /v2/jobs/{id}/result).
+// Non-terminal jobs answer api.CodeJobNotReady; canceled ones
+// api.CodeJobCanceled.
+func (c *Client) JobResult(ctx context.Context, id string) (*api.JobResult, error) {
+	var out api.JobResult
+	if err := c.doVersioned(ctx, http.MethodGet, "/jobs/"+id+"/result", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// CancelJob requests cancellation (DELETE /v2/jobs/{id}) and returns the
+// pre-cancel snapshot; poll Job (or WaitJob) to observe the terminal
+// canceled state.
+func (c *Client) CancelJob(ctx context.Context, id string) (*api.Job, error) {
+	var out api.Job
+	if err := c.doVersioned(ctx, http.MethodDelete, "/jobs/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// WaitJob polls until the job reaches a terminal state or ctx ends,
+// returning the terminal snapshot. poll <= 0 defaults to 250ms.
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*api.Job, error) {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		job, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if job.State.Terminal() {
+			return job, nil
+		}
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return job, api.AsError(ctx.Err())
+		}
+	}
+}
