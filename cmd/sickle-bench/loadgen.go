@@ -23,8 +23,10 @@ import (
 // reference while micro-batching engages (mean batch size > 1). It also
 // issues a repeated subsample request to show the dataset LRU serving
 // hits, and finishes with an asynchronous job round trip
-// (submit → poll → result).
-func runLoadGen(base, model string, clients, requests int) error {
+// (submit → poll → result). With shardPhase set (the base URL points at a
+// sickle-shard router) a final phase scrapes the router's shard metrics
+// and verifies requests were actually routed across live replicas.
+func runLoadGen(base, model string, clients, requests int, shardPhase bool) error {
 	if clients < 1 || requests < 1 {
 		return fmt.Errorf("need -clients >= 1 and -requests >= 1 (got %d, %d)", clients, requests)
 	}
@@ -177,7 +179,93 @@ func runLoadGen(base, model string, clients, requests int) error {
 		return fmt.Errorf("job %s result carries no subsample payload", job.ID)
 	}
 	fmt.Printf("  result: %d cubes, %d points ✓\n", res.Subsample.Cubes, res.Subsample.Points)
+
+	if shardPhase {
+		return runShardPhase(ctx, c)
+	}
 	return nil
+}
+
+// runShardPhase scrapes the router's /metrics for the shard counters and
+// verifies the preceding phases were actually routed through live
+// replicas — the smoke check that -serve was pointed at sickle-shard and
+// the ring is doing its job.
+func runShardPhase(ctx context.Context, c *client.Client) error {
+	fmt.Println("phase 5: shard routing (router metrics)...")
+	raw, err := c.MetricsText(ctx)
+	if err != nil {
+		return err
+	}
+	up := map[string]float64{}
+	routed := map[string]float64{}
+	var failovers float64
+	for _, line := range strings.Split(raw, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		name, replica := parseShardMetric(fields[0])
+		switch name {
+		case "sickle_shard_replica_up":
+			up[replica] = v
+		case "sickle_shard_routed_requests_total":
+			routed[replica] = v
+		case "sickle_shard_failovers_total":
+			failovers = v
+		}
+	}
+	if len(up) == 0 {
+		return fmt.Errorf("no sickle_shard_replica_up metrics — is -serve pointed at sickle-shard?")
+	}
+	liveCount, routedTotal := 0, 0.0
+	for _, replica := range sortedReplicaKeys(up) {
+		fmt.Printf("  replica %-4s up=%g routed=%g\n", replica, up[replica], routed[replica])
+		if up[replica] > 0 {
+			liveCount++
+		}
+		routedTotal += routed[replica]
+	}
+	fmt.Printf("  failovers: %g\n", failovers)
+	if liveCount == 0 {
+		return fmt.Errorf("router reports zero live replicas")
+	}
+	if routedTotal == 0 {
+		return fmt.Errorf("router routed no requests despite the load phases")
+	}
+	fmt.Printf("  %d live replicas, %.0f requests routed through the ring ✓\n", liveCount, routedTotal)
+	return nil
+}
+
+// parseShardMetric splits `name{replica="r0"}` into (name, "r0"); metrics
+// without a replica label return an empty replica.
+func parseShardMetric(s string) (name, replica string) {
+	i := strings.IndexByte(s, '{')
+	if i < 0 {
+		return s, ""
+	}
+	name = s[:i]
+	rest := s[i:]
+	const pre = `{replica="`
+	if j := strings.Index(rest, pre); j >= 0 {
+		rest = rest[j+len(pre):]
+		if k := strings.IndexByte(rest, '"'); k >= 0 {
+			replica = rest[:k]
+		}
+	}
+	return name, replica
+}
+
+func sortedReplicaKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func pickModel(ctx context.Context, c *client.Client, want string) (*api.ModelInfo, error) {

@@ -36,10 +36,11 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (table1, fig3..fig9, all)")
 	scaleStr := flag.String("scale", "small", "dataset scale: small or large")
 	outdir := flag.String("outdir", "plots", "directory for figure artifacts")
-	serveURL := flag.String("serve", "", "load-generator mode: base URL of a running sickle-serve")
+	serveURL := flag.String("serve", "", "load-generator mode: base URL of a running sickle-serve (or sickle-shard)")
 	model := flag.String("model", "", "model to load-test (default: first registered)")
 	clients := flag.Int("clients", 32, "concurrent clients in load-generator mode")
 	requests := flag.Int("requests", 256, "total requests in load-generator mode")
+	shardPhase := flag.Bool("shard", false, "with -serve pointed at sickle-shard: verify routing via the router's shard metrics")
 	streamBench := flag.Bool("stream", false, "streaming-pipeline bench mode: run the in-situ pipeline and emit a JSON report")
 	streamOut := flag.String("streamout", "BENCH_stream.json", "output path for the -stream JSON report")
 	kernels := flag.Bool("kernels", false, "kernel bench mode: measure the tensor/solver compute engine and emit a JSON report")
@@ -49,7 +50,7 @@ func main() {
 	flag.Parse()
 
 	if *serveURL != "" {
-		if err := runLoadGen(*serveURL, *model, *clients, *requests); err != nil {
+		if err := runLoadGen(*serveURL, *model, *clients, *requests, *shardPhase); err != nil {
 			log.Fatal(err)
 		}
 		return

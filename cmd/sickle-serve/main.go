@@ -33,17 +33,13 @@ import (
 	"log"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/config"
-	"repro/internal/nn"
-	"repro/internal/sampling"
 	"repro/internal/serve"
-	"repro/internal/sickle"
 	"repro/internal/train"
 )
 
@@ -177,43 +173,18 @@ func parseShape(s string) ([]int, error) {
 	return out, nil
 }
 
-// registerDemoModel runs the paper's offline T1→T2 pipeline at toy scale —
-// subsample GESTS-2048, train an MLP-Transformer, checkpoint it — and
-// registers the result, so a bare `sickle-serve -demo` is immediately
+// registerDemoModel trains the shared toy surrogate (serve.TrainDemo) and
+// registers it as "demo", so a bare `sickle-serve -demo` is immediately
 // load-testable with `sickle-bench -serve`.
 func registerDemoModel(s *serve.Server, replicas int) error {
-	d, err := sickle.BuildDataset("GESTS-2048", sickle.Small)
+	dm, err := serve.TrainDemo(context.Background())
 	if err != nil {
 		return err
 	}
-	cubes, err := sampling.SubsampleDataset(context.Background(), d, sampling.PipelineConfig{
-		Hypercubes: "random", Method: "random",
-		NumHypercubes: 6, NumSamples: 64,
-		CubeSx: 8, Seed: 1,
-	})
-	if err != nil {
-		return err
-	}
-	ex, err := train.BuildSampleFull(d, cubes, 1)
-	if err != nil {
-		return err
-	}
-	spec := train.ArchSpec{Arch: "mlp_transformer", InDim: len(d.InputVars),
-		Hidden: 16, Heads: 2, OutDim: len(d.OutputVars), Edge: 8}
-	model, hist, err := train.Train(context.Background(), spec.Factory(), ex, train.Config{
-		Epochs: 5, Batch: 4, Seed: 1,
-	})
-	if err != nil {
-		return err
-	}
-	path := filepath.Join(os.TempDir(), fmt.Sprintf("sickle-demo-%d.sknn", os.Getpid()))
-	if err := nn.SaveCheckpoint(path, model); err != nil {
-		return err
-	}
-	if _, err := s.Registry().Register("demo", spec, path, ex[0].Input.Shape, replicas); err != nil {
+	if err := dm.Register(s, "demo", replicas); err != nil {
 		return err
 	}
 	log.Printf("demo model trained (%d params, test loss %.4g) and registered from %s",
-		hist.Params, hist.FinalLoss, path)
+		dm.Params, dm.FinalLoss, dm.Checkpoint)
 	return nil
 }

@@ -1,0 +1,146 @@
+// sickle-shard scales SICKLE-Go serving horizontally: a consistent-hash
+// router that fronts N sickle-serve backends and speaks the same pkg/api
+// surface, so pkg/client (and sickle-bench -serve) work against it
+// unchanged. Infer/subsample requests route by model/dataset hash with
+// bounded failover when a backend is unreachable, overloaded, or
+// draining; model listings and the version handshake scatter-gather;
+// jobs stick to the backend that accepted them. A health prober ejects
+// dead backends and re-admits them when /healthz answers again.
+//
+// Usage:
+//
+//	sickle-shard -addr :8090 -backends http://h1:8080,http://h2:8080
+//	sickle-shard -case case.yaml          # shard: section
+//	sickle-shard -addr :8090 -demo        # 3 in-process replicas, shared demo model
+//
+// Routes: the full /v2 surface plus GET /api/version, GET /healthz
+// (aggregated, with per-replica detail), and GET /metrics
+// (sickle_shard_replica_up, routed/failed/failover counters).
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/serve"
+	"repro/internal/shard"
+)
+
+func main() {
+	addr := flag.String("addr", "", "listen address (default :8090 or the case file's shard.addr)")
+	backends := flag.String("backends", "", "comma-separated backend base URLs")
+	caseFile := flag.String("case", "", "YAML case file with an optional shard: section")
+	probeMS := flag.Int("probe-ms", 0, "health-probe period in ms (default 1000)")
+	failAfter := flag.Int("fail-after", 0, "consecutive failures before ejecting a replica (default 2)")
+	maxFailover := flag.Int("max-failover", 0, "extra ring nodes tried after the primary (default 2)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per replica on the hash ring (default 160)")
+	demo := flag.Bool("demo", false, "spawn in-process replicas sharing a freshly trained demo model")
+	demoReplicas := flag.Int("demo-replicas", 3, "in-process replicas to spawn with -demo")
+	flag.Parse()
+
+	cfg := shard.Config{}
+	if *caseFile != "" {
+		c, err := config.LoadCase(*caseFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg = shard.Config{
+			Addr:        c.Shard.Addr,
+			URLs:        c.Shard.Replicas,
+			VNodes:      c.Shard.VNodes,
+			ProbeEvery:  time.Duration(c.Shard.ProbeMS) * time.Millisecond,
+			FailAfter:   c.Shard.FailAfter,
+			MaxFailover: c.Shard.MaxFailover,
+		}
+	}
+	if *addr != "" {
+		cfg.Addr = *addr
+	}
+	if *backends != "" {
+		cfg.URLs = strings.Split(*backends, ",")
+	}
+	if *probeMS > 0 {
+		cfg.ProbeEvery = time.Duration(*probeMS) * time.Millisecond
+	}
+	if *failAfter > 0 {
+		cfg.FailAfter = *failAfter
+	}
+	if *maxFailover > 0 {
+		cfg.MaxFailover = *maxFailover
+	}
+	if *vnodes > 0 {
+		cfg.VNodes = *vnodes
+	}
+
+	var inprocs []*serve.InProc
+	if *demo {
+		if len(cfg.URLs) > 0 {
+			log.Fatal("use either -demo or -backends/-case replicas, not both")
+		}
+		if *demoReplicas < 1 {
+			log.Fatal("-demo-replicas must be >= 1")
+		}
+		log.Printf("training demo model for %d in-process replicas...", *demoReplicas)
+		dm, err := serve.TrainDemo(context.Background())
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("demo model trained (%d params, test loss %.4g)", dm.Params, dm.FinalLoss)
+		for i := 0; i < *demoReplicas; i++ {
+			p, err := serve.StartInProc(serve.Config{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := dm.Register(p.Server, "demo", 2); err != nil {
+				log.Fatal(err)
+			}
+			inprocs = append(inprocs, p)
+			cfg.URLs = append(cfg.URLs, p.URL)
+			log.Printf("replica r%d serving \"demo\" at %s", i, p.URL)
+		}
+	}
+	if len(cfg.URLs) == 0 {
+		log.Fatal("no backends: pass -backends, a -case shard: section, or -demo")
+	}
+
+	rt, err := shard.NewRouter(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt.Start()
+	if owner, ok := rt.ReplicaSet().Owner("demo"); ok && *demo {
+		log.Printf("consistent-hash owner of model \"demo\": %s (%s)", owner.ID, owner.URL)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("draining...")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := rt.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		for i, p := range inprocs {
+			if err := p.Close(ctx); err != nil {
+				log.Printf("replica r%d shutdown: %v", i, err)
+			}
+		}
+		close(done)
+	}()
+
+	log.Printf("sickle-shard routing %d replicas", len(cfg.URLs))
+	if err := rt.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+	<-done
+}

@@ -9,7 +9,11 @@
 // (the experiment harness regenerating every paper table/figure), serve
 // (the online subsystem: micro-batched surrogate inference and LRU-cached
 // subsampling behind an HTTP API, served by cmd/sickle-serve and
-// load-tested by cmd/sickle-bench -serve), and stream (the in-situ
+// load-tested by cmd/sickle-bench -serve), shard (the scaling tier: a
+// consistent-hash router over N serve backends with health-probe
+// ejection/re-admission, bounded failover, scatter-gather listings and
+// sticky job routing, served by cmd/sickle-shard and smoke-tested by
+// cmd/sickle-bench -serve URL -shard), and stream (the in-situ
 // subsystem: solver-coupled streaming subsampling under a bounded snapshot
 // window with collective sketch merges and sharded .skl output, driven by
 // cmd/sickle-stream and benchmarked by cmd/sickle-bench -stream). See

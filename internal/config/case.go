@@ -38,6 +38,8 @@ type Case struct {
 	Serve ServeCase
 	// stream
 	Stream StreamCase
+	// shard
+	Shard ShardCase
 }
 
 // ServeCase is the optional `serve:` section of a case file, sizing the
@@ -52,6 +54,18 @@ type ServeCase struct {
 	Replicas     int
 	JobWorkers   int
 	JobTTLMin    int
+}
+
+// ShardCase is the optional `shard:` section of a case file, sizing the
+// sickle-shard router (see internal/shard.Config for the semantics).
+// Unset keys stay zero so shard.Config owns the defaults.
+type ShardCase struct {
+	Addr        string
+	Replicas    []string // backend base URLs
+	ProbeMS     int
+	FailAfter   int
+	MaxFailover int
+	VNodes      int
 }
 
 // StreamCase is the optional `stream:` section of a case file, sizing the
@@ -86,6 +100,7 @@ func ParseCase(src string) (*Case, error) {
 	tr := m.GetMap("train")
 	sv := m.GetMap("serve")
 	st := m.GetMap("stream")
+	sh := m.GetMap("shard")
 
 	c := &Case{
 		Dims:       shared.GetInt("dims", 3),
@@ -129,6 +144,17 @@ func ParseCase(src string) (*Case, error) {
 			Replicas:     sv.GetInt("replicas", 0),
 			JobWorkers:   sv.GetInt("job_workers", 0),
 			JobTTLMin:    sv.GetInt("job_ttl_min", 0),
+		},
+
+		// Unset shard keys stay zero: internal/shard.Config owns the
+		// defaults (same discipline as serve).
+		Shard: ShardCase{
+			Addr:        sh.GetString("addr", ""),
+			Replicas:    sh.GetStringList("replicas"),
+			ProbeMS:     sh.GetInt("probe_ms", 0),
+			FailAfter:   sh.GetInt("fail_after", 0),
+			MaxFailover: sh.GetInt("max_failover", 0),
+			VNodes:      sh.GetInt("vnodes", 0),
 		},
 
 		// Unset stream keys stay zero: internal/stream.Config owns the

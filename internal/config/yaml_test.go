@@ -240,6 +240,44 @@ stream:
 	}
 }
 
+func TestParseCaseShardSection(t *testing.T) {
+	src := `shared:
+  input_vars: [u, v]
+shard:
+  addr: ":9091"
+  replicas: [http://h1:8080, http://h2:8080]
+  probe_ms: 500
+  fail_after: 3
+  max_failover: 1
+  vnodes: 64
+`
+	c, err := ParseCase(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := c.Shard
+	if sh.Addr != ":9091" || sh.ProbeMS != 500 || sh.FailAfter != 3 ||
+		sh.MaxFailover != 1 || sh.VNodes != 64 {
+		t.Fatalf("shard section = %+v", sh)
+	}
+	if len(sh.Replicas) != 2 || sh.Replicas[0] != "http://h1:8080" || sh.Replicas[1] != "http://h2:8080" {
+		t.Fatalf("shard replicas = %v", sh.Replicas)
+	}
+}
+
+func TestParseCaseShardUnsetStaysZero(t *testing.T) {
+	// Unset shard keys must parse to zero values so internal/shard.Config
+	// remains the single owner of the routing defaults.
+	c, err := ParseCase("shared:\n  input_vars: [u]\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Shard.Addr != "" || c.Shard.Replicas != nil || c.Shard.ProbeMS != 0 ||
+		c.Shard.FailAfter != 0 || c.Shard.MaxFailover != 0 || c.Shard.VNodes != 0 {
+		t.Fatalf("shard section should be zero when unset, got %+v", c.Shard)
+	}
+}
+
 func TestParseCaseStreamUnsetStaysZero(t *testing.T) {
 	// Unset stream keys must parse to zero values so internal/stream.Config
 	// remains the single owner of the streaming defaults.

@@ -1,0 +1,162 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Metrics is the router's instrumentation: per-replica liveness and
+// routing counters, failover/ejection/re-admission counters, and
+// per-route request accounting. Rendered in Prometheus text exposition
+// format on GET /metrics.
+type Metrics struct {
+	mu sync.Mutex
+
+	up     map[string]int   // replica -> 0/1
+	routed map[string]int64 // replica -> successfully routed requests
+	failed map[string]int64 // replica -> failed downstream calls
+
+	failovers    int64 // requests retried on a non-primary ring node
+	ejections    int64
+	readmissions int64
+
+	routeCount   map[string]int64
+	routeErrors  map[string]int64
+	routeSeconds map[string]float64
+}
+
+// NewMetrics returns an empty collector.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		up:           map[string]int{},
+		routed:       map[string]int64{},
+		failed:       map[string]int64{},
+		routeCount:   map[string]int64{},
+		routeErrors:  map[string]int64{},
+		routeSeconds: map[string]float64{},
+	}
+}
+
+// SetUp records a replica's liveness gauge.
+func (m *Metrics) SetUp(replica string, up bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if up {
+		m.up[replica] = 1
+	} else {
+		m.up[replica] = 0
+	}
+}
+
+// ObserveRouted counts one request successfully served by replica.
+func (m *Metrics) ObserveRouted(replica string) {
+	m.mu.Lock()
+	m.routed[replica]++
+	m.mu.Unlock()
+}
+
+// ObserveFailed counts one downstream call that failed on replica (and was
+// failed over or surfaced to the client).
+func (m *Metrics) ObserveFailed(replica string) {
+	m.mu.Lock()
+	m.failed[replica]++
+	m.mu.Unlock()
+}
+
+// ObserveFailover counts one attempt on a non-primary ring node.
+func (m *Metrics) ObserveFailover() {
+	m.mu.Lock()
+	m.failovers++
+	m.mu.Unlock()
+}
+
+// ObserveEjection counts one replica leaving the ring.
+func (m *Metrics) ObserveEjection() {
+	m.mu.Lock()
+	m.ejections++
+	m.mu.Unlock()
+}
+
+// ObserveReadmission counts one replica rejoining the ring.
+func (m *Metrics) ObserveReadmission() {
+	m.mu.Lock()
+	m.readmissions++
+	m.mu.Unlock()
+}
+
+// ObserveRequest records one router request on a route.
+func (m *Metrics) ObserveRequest(route string, d time.Duration, failed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.routeCount[route]++
+	m.routeSeconds[route] += d.Seconds()
+	if failed {
+		m.routeErrors[route]++
+	}
+}
+
+// RoutedTotal returns the routed counter for one replica (tests).
+func (m *Metrics) RoutedTotal(replica string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.routed[replica]
+}
+
+// FailoversTotal returns the cumulative failover count (tests).
+func (m *Metrics) FailoversTotal() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.failovers
+}
+
+// Render writes the Prometheus text format.
+func (m *Metrics) Render() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "# TYPE sickle_shard_replica_up gauge\n")
+	for _, r := range sortedKeys(m.up) {
+		fmt.Fprintf(&b, "sickle_shard_replica_up{replica=%q} %d\n", r, m.up[r])
+	}
+	fmt.Fprintf(&b, "# TYPE sickle_shard_routed_requests_total counter\n")
+	for _, r := range sortedKeys(m.routed) {
+		fmt.Fprintf(&b, "sickle_shard_routed_requests_total{replica=%q} %d\n", r, m.routed[r])
+	}
+	fmt.Fprintf(&b, "# TYPE sickle_shard_failed_requests_total counter\n")
+	for _, r := range sortedKeys(m.failed) {
+		fmt.Fprintf(&b, "sickle_shard_failed_requests_total{replica=%q} %d\n", r, m.failed[r])
+	}
+	fmt.Fprintf(&b, "# TYPE sickle_shard_failovers_total counter\n")
+	fmt.Fprintf(&b, "sickle_shard_failovers_total %d\n", m.failovers)
+	fmt.Fprintf(&b, "# TYPE sickle_shard_ejections_total counter\n")
+	fmt.Fprintf(&b, "sickle_shard_ejections_total %d\n", m.ejections)
+	fmt.Fprintf(&b, "# TYPE sickle_shard_readmissions_total counter\n")
+	fmt.Fprintf(&b, "sickle_shard_readmissions_total %d\n", m.readmissions)
+
+	fmt.Fprintf(&b, "# TYPE sickle_shard_requests_total counter\n")
+	for _, route := range sortedKeys(m.routeCount) {
+		fmt.Fprintf(&b, "sickle_shard_requests_total{route=%q} %d\n", route, m.routeCount[route])
+	}
+	fmt.Fprintf(&b, "# TYPE sickle_shard_request_errors_total counter\n")
+	for _, route := range sortedKeys(m.routeErrors) {
+		fmt.Fprintf(&b, "sickle_shard_request_errors_total{route=%q} %d\n", route, m.routeErrors[route])
+	}
+	fmt.Fprintf(&b, "# TYPE sickle_shard_request_seconds_sum counter\n")
+	for _, route := range sortedKeys(m.routeSeconds) {
+		fmt.Fprintf(&b, "sickle_shard_request_seconds_sum{route=%q} %g\n", route, m.routeSeconds[route])
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,305 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/pkg/api"
+	"repro/pkg/client"
+)
+
+// Replica is one serve backend fronted by the router: a stable ID (its
+// ring identity), the base URL, and a pkg/client transport with SDK-side
+// retry disabled — the router's failover loop is the retry policy.
+type Replica struct {
+	ID  string
+	URL string
+	C   *client.Client
+
+	mu          sync.Mutex
+	up          bool
+	consecFails int
+	lastHealth  api.Health
+	lastErr     error
+}
+
+// Up reports the replica's current ring membership.
+func (r *Replica) Up() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.up
+}
+
+// ReplicaStatus is one replica's state snapshot (healthz, tests).
+type ReplicaStatus struct {
+	ID          string
+	URL         string
+	Up          bool
+	ConsecFails int
+	LastErr     error
+	Health      api.Health // last successful /healthz body
+}
+
+// SetConfig sizes a ReplicaSet. Zero values select the documented
+// defaults.
+type SetConfig struct {
+	URLs       []string      // backend base URLs (required, fixed for the set's lifetime)
+	VNodes     int           // virtual nodes per replica (default DefaultVNodes)
+	ProbeEvery time.Duration // health-probe period (default 1s)
+	FailAfter  int           // consecutive failures before ejection (default 2)
+	HTTPClient *http.Client  // optional transport override (tests)
+}
+
+// ReplicaSet owns the router's replica list, the consistent-hash ring over
+// the live subset, and the health prober that ejects unreachable backends
+// and re-admits them when /healthz answers again.
+type ReplicaSet struct {
+	replicas []*Replica
+	byID     map[string]*Replica
+
+	mu       sync.RWMutex // guards ring (and orders liveness transitions)
+	ring     *Ring
+	fullRing *Ring // all replicas, immutable — the last-resort order when everything is ejected
+
+	probeEvery   time.Duration
+	probeTimeout time.Duration
+	failAfter    int
+	met          *Metrics
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewReplicaSet builds the set with every replica initially admitted; the
+// first probe round corrects optimism about backends that are already
+// down. Replica IDs are r0, r1, ... in URL order.
+func NewReplicaSet(cfg SetConfig, met *Metrics) (*ReplicaSet, error) {
+	if len(cfg.URLs) == 0 {
+		return nil, fmt.Errorf("shard: replica set needs at least one backend URL")
+	}
+	if cfg.ProbeEvery <= 0 {
+		cfg.ProbeEvery = time.Second
+	}
+	if cfg.FailAfter <= 0 {
+		cfg.FailAfter = 2
+	}
+	probeTimeout := cfg.ProbeEvery
+	if probeTimeout > 2*time.Second {
+		probeTimeout = 2 * time.Second
+	}
+	rs := &ReplicaSet{
+		byID:         map[string]*Replica{},
+		ring:         NewRing(cfg.VNodes),
+		fullRing:     NewRing(cfg.VNodes),
+		probeEvery:   cfg.ProbeEvery,
+		probeTimeout: probeTimeout,
+		failAfter:    cfg.FailAfter,
+		met:          met,
+		stop:         make(chan struct{}),
+	}
+	for i, url := range cfg.URLs {
+		url = strings.TrimRight(strings.TrimSpace(url), "/")
+		if url == "" {
+			return nil, fmt.Errorf("shard: empty replica URL at position %d", i)
+		}
+		// Each replica gets its own transport (unless the caller injects
+		// one): sharing http.DefaultTransport's global keep-alive pool
+		// would let a stale pooled connection to a died-and-respawned
+		// backend — or another process that reused its port — poison calls,
+		// and per-backend pools keep one slow replica from starving the
+		// others' idle-connection budget.
+		hc := cfg.HTTPClient
+		if hc == nil {
+			hc = &http.Client{Transport: &http.Transport{
+				Proxy:               http.ProxyFromEnvironment,
+				MaxIdleConnsPerHost: 32,
+				IdleConnTimeout:     90 * time.Second,
+			}}
+		}
+		opts := []client.Option{client.WithRetry(0, 0), client.WithHTTPClient(hc)}
+		r := &Replica{
+			ID:  fmt.Sprintf("r%d", i),
+			URL: url,
+			C:   client.New(url, opts...),
+			up:  true,
+		}
+		rs.replicas = append(rs.replicas, r)
+		rs.byID[r.ID] = r
+		rs.ring.Add(r.ID)
+		rs.fullRing.Add(r.ID)
+		met.SetUp(r.ID, true)
+	}
+	return rs, nil
+}
+
+// Start launches the background health prober (probe immediately, then
+// every ProbeEvery).
+func (rs *ReplicaSet) Start() {
+	rs.wg.Add(1)
+	go func() {
+		defer rs.wg.Done()
+		rs.ProbeAll()
+		t := time.NewTicker(rs.probeEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				rs.ProbeAll()
+			case <-rs.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the prober. Safe to call more than once.
+func (rs *ReplicaSet) Stop() {
+	rs.stopOnce.Do(func() { close(rs.stop) })
+	rs.wg.Wait()
+}
+
+// ProbeAll probes every replica's /healthz concurrently and applies the
+// ejection/re-admission rules. Called by the prober loop; exported so
+// tests can force a deterministic round.
+func (rs *ReplicaSet) ProbeAll() {
+	var wg sync.WaitGroup
+	for _, r := range rs.replicas {
+		wg.Add(1)
+		go func(r *Replica) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), rs.probeTimeout)
+			defer cancel()
+			h, err := r.C.Health(ctx)
+			if err != nil {
+				rs.NoteFailure(r, err)
+				return
+			}
+			rs.noteUp(r, h)
+		}(r)
+	}
+	wg.Wait()
+}
+
+// NoteOK records a successful routed call: the replica is demonstrably
+// alive, so its failure streak resets and, if it had been ejected, it
+// rejoins the ring without waiting for the next probe.
+func (rs *ReplicaSet) NoteOK(r *Replica) { rs.noteUp(r, nil) }
+
+// noteUp and NoteFailure hold rs.mu around both the up-flag decision and
+// the ring mutation (with r.mu nested for the replica fields): deciding
+// under one lock and mutating the ring under another would let a racing
+// success/failure pair strand a healthy replica off the ring (or a dead
+// one on it) permanently. Lock order is always rs.mu → r.mu.
+func (rs *ReplicaSet) noteUp(r *Replica, h *api.Health) {
+	rs.mu.Lock()
+	r.mu.Lock()
+	wasUp := r.up
+	r.up = true
+	r.consecFails = 0
+	r.lastErr = nil
+	if h != nil {
+		r.lastHealth = *h
+	}
+	r.mu.Unlock()
+	if !wasUp {
+		rs.ring.Add(r.ID)
+	}
+	rs.mu.Unlock()
+	if !wasUp {
+		rs.met.ObserveReadmission()
+		rs.met.SetUp(r.ID, true)
+	}
+}
+
+// NoteFailure records a failed probe or routed call; failAfter consecutive
+// failures eject the replica from the ring until a probe (or routed call)
+// succeeds again.
+func (rs *ReplicaSet) NoteFailure(r *Replica, err error) {
+	rs.mu.Lock()
+	r.mu.Lock()
+	r.consecFails++
+	r.lastErr = err
+	eject := r.up && r.consecFails >= rs.failAfter
+	if eject {
+		r.up = false
+	}
+	r.mu.Unlock()
+	if eject {
+		rs.ring.Remove(r.ID)
+	}
+	rs.mu.Unlock()
+	if eject {
+		rs.met.ObserveEjection()
+		rs.met.SetUp(r.ID, false)
+	}
+}
+
+// Replicas returns the fixed replica list in URL order.
+func (rs *ReplicaSet) Replicas() []*Replica { return rs.replicas }
+
+// Live returns the replicas currently on the ring, in URL order.
+func (rs *ReplicaSet) Live() []*Replica {
+	out := make([]*Replica, 0, len(rs.replicas))
+	for _, r := range rs.replicas {
+		if r.Up() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Get resolves a replica by ID.
+func (rs *ReplicaSet) Get(id string) (*Replica, bool) {
+	r, ok := rs.byID[id]
+	return r, ok
+}
+
+// Owner returns the live replica owning key.
+func (rs *ReplicaSet) Owner(key string) (*Replica, bool) {
+	seq := rs.Sequence(key, 1)
+	if len(seq) == 0 {
+		return nil, false
+	}
+	return seq[0], true
+}
+
+// Sequence returns up to n distinct replicas in consistent-hash order for
+// key: the owner first, then the failover candidates. When every replica
+// has been ejected it falls back to the full set in hash order — a
+// last-resort attempt beats refusing outright, and one success re-admits.
+func (rs *ReplicaSet) Sequence(key string, n int) []*Replica {
+	rs.mu.RLock()
+	ids := rs.ring.Sequence(key, n)
+	if len(ids) == 0 {
+		// fullRing is immutable after construction, so reading it under the
+		// read lock is fine.
+		ids = rs.fullRing.Sequence(key, n)
+	}
+	rs.mu.RUnlock()
+	out := make([]*Replica, 0, len(ids))
+	for _, id := range ids {
+		if r, ok := rs.byID[id]; ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Snapshot returns every replica's current state, in URL order.
+func (rs *ReplicaSet) Snapshot() []ReplicaStatus {
+	out := make([]ReplicaStatus, 0, len(rs.replicas))
+	for _, r := range rs.replicas {
+		r.mu.Lock()
+		out = append(out, ReplicaStatus{
+			ID: r.ID, URL: r.URL, Up: r.up,
+			ConsecFails: r.consecFails, LastErr: r.lastErr, Health: r.lastHealth,
+		})
+		r.mu.Unlock()
+	}
+	return out
+}

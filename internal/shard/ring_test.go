@@ -1,0 +1,159 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func synthKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("model-%04d", i)
+	}
+	return keys
+}
+
+func ownersOf(t *testing.T, r *Ring, keys []string) map[string]string {
+	t.Helper()
+	out := make(map[string]string, len(keys))
+	for _, k := range keys {
+		node, ok := r.Owner(k)
+		if !ok {
+			t.Fatalf("key %q has no owner on a %d-node ring", k, r.Len())
+		}
+		out[k] = node
+	}
+	return out
+}
+
+// TestRingBalance is the load-spread property: 1k synthetic model names
+// over 5 nodes must land within a bounded factor of the even share on
+// every node.
+func TestRingBalance(t *testing.T) {
+	r := NewRing(0) // DefaultVNodes
+	const nodes = 5
+	for i := 0; i < nodes; i++ {
+		r.Add(fmt.Sprintf("r%d", i))
+	}
+	keys := synthKeys(1000)
+	counts := map[string]int{}
+	for _, k := range keys {
+		node, _ := r.Owner(k)
+		counts[node]++
+	}
+	if len(counts) != nodes {
+		t.Fatalf("only %d/%d nodes own keys: %v", len(counts), nodes, counts)
+	}
+	mean := float64(len(keys)) / nodes
+	for node, n := range counts {
+		ratio := float64(n) / mean
+		if ratio < 0.5 || ratio > 1.7 {
+			t.Errorf("node %s owns %d keys (%.2f× the even share %.0f); balance bound violated: %v",
+				node, n, ratio, mean, counts)
+		}
+	}
+}
+
+// TestRingMinimalMovementOnJoin: adding a node must only move keys onto
+// the new node (never shuffle keys between surviving nodes), and the moved
+// fraction must stay near the ideal 1/(n+1).
+func TestRingMinimalMovementOnJoin(t *testing.T) {
+	r := NewRing(0)
+	const nodes = 5
+	for i := 0; i < nodes; i++ {
+		r.Add(fmt.Sprintf("r%d", i))
+	}
+	keys := synthKeys(1000)
+	before := ownersOf(t, r, keys)
+
+	r.Add("r5")
+	after := ownersOf(t, r, keys)
+	moved := 0
+	for _, k := range keys {
+		if before[k] == after[k] {
+			continue
+		}
+		if after[k] != "r5" {
+			t.Fatalf("key %q moved %s → %s, not to the joining node", k, before[k], after[k])
+		}
+		moved++
+	}
+	ideal := float64(len(keys)) / (nodes + 1)
+	if moved == 0 {
+		t.Fatal("joining node received no keys")
+	}
+	if float64(moved) > 2*ideal {
+		t.Errorf("%d keys moved on join (ideal %.0f); movement is not minimal", moved, ideal)
+	}
+}
+
+// TestRingMinimalMovementOnLeave: removing a node must only move that
+// node's keys; every other assignment is untouched — the property that
+// keeps surviving replicas' LRUs hot through a failure.
+func TestRingMinimalMovementOnLeave(t *testing.T) {
+	r := NewRing(0)
+	const nodes = 5
+	for i := 0; i < nodes; i++ {
+		r.Add(fmt.Sprintf("r%d", i))
+	}
+	keys := synthKeys(1000)
+	before := ownersOf(t, r, keys)
+
+	const gone = "r2"
+	r.Remove(gone)
+	after := ownersOf(t, r, keys)
+	for _, k := range keys {
+		if before[k] == gone {
+			if after[k] == gone {
+				t.Fatalf("key %q still owned by removed node", k)
+			}
+			continue
+		}
+		if after[k] != before[k] {
+			t.Fatalf("key %q moved %s → %s though its owner never left", k, before[k], after[k])
+		}
+	}
+
+	// Re-admission restores the exact pre-failure assignment: the ring is
+	// deterministic in its membership, so the keyspace re-converges.
+	r.Add(gone)
+	restored := ownersOf(t, r, keys)
+	for _, k := range keys {
+		if restored[k] != before[k] {
+			t.Fatalf("key %q owned by %s after re-admission, was %s", k, restored[k], before[k])
+		}
+	}
+}
+
+// TestRingSequence: the failover order starts at the owner, contains no
+// duplicates, and is capped by the node count.
+func TestRingSequence(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < 3; i++ {
+		r.Add(fmt.Sprintf("r%d", i))
+	}
+	for _, k := range synthKeys(50) {
+		owner, _ := r.Owner(k)
+		seq := r.Sequence(k, 5)
+		if len(seq) != 3 {
+			t.Fatalf("Sequence(%q, 5) returned %d nodes on a 3-node ring", k, len(seq))
+		}
+		if seq[0] != owner {
+			t.Fatalf("Sequence(%q)[0] = %s, owner is %s", k, seq[0], owner)
+		}
+		seen := map[string]bool{}
+		for _, n := range seq {
+			if seen[n] {
+				t.Fatalf("Sequence(%q) repeats node %s: %v", k, n, seq)
+			}
+			seen[n] = true
+		}
+	}
+	if got := r.Sequence("x", 0); got != nil {
+		t.Fatalf("Sequence(n=0) = %v, want nil", got)
+	}
+	empty := NewRing(0)
+	if got := empty.Sequence("x", 2); got != nil {
+		t.Fatalf("empty ring Sequence = %v, want nil", got)
+	}
+}

@@ -1,0 +1,614 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/pkg/api"
+)
+
+// Config sizes the router. Zero values select the documented defaults.
+type Config struct {
+	Addr        string        // listen address (default :8090)
+	URLs        []string      // backend base URLs (required)
+	VNodes      int           // virtual nodes per replica (default DefaultVNodes)
+	ProbeEvery  time.Duration // health-probe period (default 1s)
+	FailAfter   int           // consecutive failures before ejection (default 2)
+	MaxFailover int           // extra ring nodes tried after the primary (default 2)
+	HTTPClient  *http.Client  // optional downstream transport override (tests)
+}
+
+// Router fronts a ReplicaSet with the pkg/api HTTP surface. Keyed
+// requests (infer by model, subsample by dataset, registration by name,
+// job submission by dataset) go to the key's ring owner with bounded
+// failover; listings and the version handshake scatter-gather; job
+// lookups stick to the accepting replica through an ID suffix.
+type Router struct {
+	cfg     Config
+	rs      *ReplicaSet
+	met     *Metrics
+	httpSrv *http.Server
+	start   time.Time
+
+	// jobOwner remembers raw downstream job ID -> replica ID as a fallback
+	// for clients that stripped the "@rN" suffix; the suffix itself is the
+	// authoritative (stateless) mapping, since raw IDs are only unique per
+	// replica.
+	mu       sync.Mutex
+	jobOwner map[string]string
+}
+
+// NewRouter builds a ready-to-listen router. Call Start to launch the
+// health prober and Shutdown to stop everything.
+func NewRouter(cfg Config) (*Router, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = ":8090"
+	}
+	if cfg.MaxFailover <= 0 {
+		cfg.MaxFailover = 2
+	}
+	met := NewMetrics()
+	rs, err := NewReplicaSet(SetConfig{
+		URLs: cfg.URLs, VNodes: cfg.VNodes,
+		ProbeEvery: cfg.ProbeEvery, FailAfter: cfg.FailAfter,
+		HTTPClient: cfg.HTTPClient,
+	}, met)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Router{
+		cfg:      cfg,
+		rs:       rs,
+		met:      met,
+		start:    time.Now(),
+		jobOwner: map[string]string{},
+	}
+	rt.httpSrv = &http.Server{Addr: cfg.Addr, Handler: rt.Handler()}
+	return rt, nil
+}
+
+// ReplicaSet exposes the replica set (tests, healthz embedders).
+func (rt *Router) ReplicaSet() *ReplicaSet { return rt.rs }
+
+// Metrics exposes the collector (tests).
+func (rt *Router) Metrics() *Metrics { return rt.met }
+
+// Start launches the background health prober.
+func (rt *Router) Start() { rt.rs.Start() }
+
+// ListenAndServe blocks serving on cfg.Addr until Shutdown.
+func (rt *Router) ListenAndServe() error {
+	l, err := net.Listen("tcp", rt.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return rt.Serve(l)
+}
+
+// Serve blocks serving on l until Shutdown.
+func (rt *Router) Serve(l net.Listener) error {
+	err := rt.httpSrv.Serve(l)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Shutdown stops accepting, waits for in-flight handlers (each bounded by
+// its own request context), and halts the prober. Backends are left
+// running — they are not the router's to stop.
+func (rt *Router) Shutdown(ctx context.Context) error {
+	err := rt.httpSrv.Shutdown(ctx)
+	rt.rs.Stop()
+	return err
+}
+
+// Handler returns the route mux (also usable under httptest). The surface
+// mirrors internal/serve's v2 routes byte for byte, including the typed
+// 405/404 fallbacks, so pkg/client works unchanged against the router.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", rt.instrument("/healthz", rt.handleHealthz))
+	mux.HandleFunc("/metrics", rt.handleMetrics)
+	mux.HandleFunc("GET /api/version", rt.instrument("/api/version", rt.handleVersion))
+
+	mux.HandleFunc("POST /v2/infer", rt.instrument("/v2/infer", rt.handleInfer))
+	mux.HandleFunc("POST /v2/subsample", rt.instrument("/v2/subsample", rt.handleSubsample))
+	mux.HandleFunc("GET /v2/models", rt.instrument("/v2/models", rt.handleListModels))
+	mux.HandleFunc("POST /v2/models", rt.instrument("/v2/models", rt.handleRegisterModel))
+	mux.HandleFunc("POST /v2/jobs", rt.instrument("/v2/jobs", rt.handleSubmitJob))
+	mux.HandleFunc("GET /v2/jobs", rt.instrument("/v2/jobs", rt.handleListJobs))
+	mux.HandleFunc("GET /v2/jobs/{id}", rt.instrument("/v2/jobs/{id}", rt.handleGetJob))
+	mux.HandleFunc("DELETE /v2/jobs/{id}", rt.instrument("/v2/jobs/{id}", rt.handleCancelJob))
+	mux.HandleFunc("GET /v2/jobs/{id}/result", rt.instrument("/v2/jobs/{id}/result", rt.handleJobResult))
+
+	methodNotAllowed := func(allow string) func(http.ResponseWriter, *http.Request) error {
+		return func(w http.ResponseWriter, r *http.Request) error {
+			w.Header().Set("Allow", allow)
+			return writeAPIError(w, api.Errorf(api.CodeMethodNotAllowed, "%s only", allow))
+		}
+	}
+	mux.HandleFunc("/v2/infer", rt.instrument("/v2/infer", methodNotAllowed("POST")))
+	mux.HandleFunc("/v2/subsample", rt.instrument("/v2/subsample", methodNotAllowed("POST")))
+	mux.HandleFunc("/v2/models", rt.instrument("/v2/models", methodNotAllowed("GET, POST")))
+	mux.HandleFunc("/v2/jobs", rt.instrument("/v2/jobs", methodNotAllowed("GET, POST")))
+	mux.HandleFunc("/v2/jobs/{id}", rt.instrument("/v2/jobs/{id}", methodNotAllowed("GET, DELETE")))
+	mux.HandleFunc("/v2/jobs/{id}/result", rt.instrument("/v2/jobs/{id}/result", methodNotAllowed("GET")))
+	mux.HandleFunc("/v2/", rt.instrument("/v2/", func(w http.ResponseWriter, r *http.Request) error {
+		return writeAPIError(w, api.Errorf(api.CodeNotFound, "no route %s %s", r.Method, r.URL.Path))
+	}))
+	mux.HandleFunc("/api/version", rt.instrument("/api/version", methodNotAllowed("GET")))
+	return mux
+}
+
+func (rt *Router) instrument(route string, h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		err := h(w, r)
+		rt.met.ObserveRequest(route, time.Since(t0), err != nil)
+	}
+}
+
+// ---- routing core ----
+
+// route tries fn against each consistent-hash candidate for key in ring
+// order: the owner first, then up to MaxFailover successors. A replica
+// that is overloaded or draining triggers failover to the next candidate;
+// one that is unreachable (typed unavailable — also dinging its health)
+// fails over only when retryUnavailable is set, because an unreachable
+// answer cannot distinguish "never delivered" from "accepted, response
+// lost" — safe to retry for idempotent work, not for submissions. Any
+// other answer — success or an application-level error — is final and
+// passes through unchanged. Returns the replica that answered.
+func (rt *Router) route(key string, retryUnavailable bool, fn func(*Replica) error) (*Replica, error) {
+	cands := rt.rs.Sequence(key, 1+rt.cfg.MaxFailover)
+	if len(cands) == 0 {
+		return nil, api.Errorf(api.CodeUnavailable, "shard: no replicas configured")
+	}
+	var lastErr error
+	for i, r := range cands {
+		if i > 0 {
+			rt.met.ObserveFailover()
+		}
+		err := fn(r)
+		if err == nil {
+			rt.met.ObserveRouted(r.ID)
+			rt.rs.NoteOK(r)
+			return r, nil
+		}
+		lastErr = err
+		switch api.AsError(err).Code {
+		case api.CodeUnavailable:
+			rt.met.ObserveFailed(r.ID)
+			rt.rs.NoteFailure(r, err)
+			if !retryUnavailable {
+				return r, err
+			}
+		case api.CodeOverloaded, api.CodeShuttingDown:
+			// Busy or draining, not dead: try the next ring node without
+			// dinging the replica's health. Nothing was admitted, so this is
+			// safe even for submissions.
+			rt.met.ObserveFailed(r.ID)
+		default:
+			// A real application answer (bad request, model_not_found, the
+			// client hanging up): final.
+			return r, err
+		}
+	}
+	return nil, lastErr
+}
+
+// scatter runs fn against every live replica concurrently (falling back to
+// all replicas when everything is ejected) and reports how many calls
+// succeeded. fn must be safe for concurrent use across replicas.
+func (rt *Router) scatter(fn func(*Replica) error) int {
+	replicas := rt.rs.Live()
+	if len(replicas) == 0 {
+		replicas = rt.rs.Replicas()
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	ok := 0
+	for _, r := range replicas {
+		wg.Add(1)
+		go func(r *Replica) {
+			defer wg.Done()
+			err := fn(r)
+			if err != nil {
+				if api.AsError(err).Code == api.CodeUnavailable {
+					rt.rs.NoteFailure(r, err)
+				}
+				return
+			}
+			rt.rs.NoteOK(r)
+			mu.Lock()
+			ok++
+			mu.Unlock()
+		}(r)
+	}
+	wg.Wait()
+	return ok
+}
+
+// ---- keyed handlers (consistent hash + failover) ----
+
+func (rt *Router) handleInfer(w http.ResponseWriter, r *http.Request) error {
+	var req api.InferRequest
+	if err := decodeBody(r, &req); err != nil {
+		return writeAPIError(w, err)
+	}
+	var resp *api.InferResponse
+	_, err := rt.route(req.Model, true, func(rep *Replica) error {
+		out, err := rep.C.Infer(r.Context(), &req)
+		if err != nil {
+			return err
+		}
+		resp = out
+		return nil
+	})
+	if err != nil {
+		return writeAPIError(w, err)
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+func (rt *Router) handleSubsample(w http.ResponseWriter, r *http.Request) error {
+	var req api.SubsampleRequest
+	if err := decodeBody(r, &req); err != nil {
+		return writeAPIError(w, err)
+	}
+	var resp *api.SubsampleResponse
+	_, err := rt.route(subsampleKey(&req), true, func(rep *Replica) error {
+		out, err := rep.C.Subsample(r.Context(), &req)
+		if err != nil {
+			return err
+		}
+		resp = out
+		return nil
+	})
+	if err != nil {
+		return writeAPIError(w, err)
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+func (rt *Router) handleRegisterModel(w http.ResponseWriter, r *http.Request) error {
+	var req api.RegisterModelRequest
+	if err := decodeBody(r, &req); err != nil {
+		return writeAPIError(w, err)
+	}
+	// Registration is retried on unavailable: a duplicate registration is a
+	// harmless hot-swap to identical weights, and the infer failover order
+	// visits the same successor the retry lands on.
+	var info *api.ModelInfo
+	_, err := rt.route(req.Name, true, func(rep *Replica) error {
+		out, err := rep.C.RegisterModel(r.Context(), &req)
+		if err != nil {
+			return err
+		}
+		info = out
+		return nil
+	})
+	if err != nil {
+		return writeAPIError(w, err)
+	}
+	return writeJSON(w, http.StatusOK, info)
+}
+
+// subsampleKey picks the routing key that keeps a dataset's LRU entry hot
+// on one replica: the shard path when set, else the dataset name.
+func subsampleKey(req *api.SubsampleRequest) string {
+	if req.Shard != "" {
+		return req.Shard
+	}
+	return req.Dataset
+}
+
+// ---- scatter-gather handlers ----
+
+func (rt *Router) handleListModels(w http.ResponseWriter, r *http.Request) error {
+	var mu sync.Mutex
+	merged := map[string]api.ModelInfo{}
+	ok := rt.scatter(func(rep *Replica) error {
+		models, err := rep.C.Models(r.Context())
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		for _, m := range models {
+			if have, dup := merged[m.Name]; !dup || m.Version > have.Version {
+				merged[m.Name] = m
+			}
+		}
+		return nil
+	})
+	if ok == 0 {
+		return writeAPIError(w, api.Errorf(api.CodeUnavailable, "shard: no replica answered GET /v2/models"))
+	}
+	out := make([]api.ModelInfo, 0, len(merged))
+	for _, name := range sortedKeys(merged) {
+		out = append(out, merged[name])
+	}
+	return writeJSON(w, http.StatusOK, out)
+}
+
+func (rt *Router) handleVersion(w http.ResponseWriter, r *http.Request) error {
+	var mu sync.Mutex
+	var infos []*api.VersionInfo
+	ok := rt.scatter(func(rep *Replica) error {
+		info, err := rep.C.ServerVersions(r.Context())
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		infos = append(infos, info)
+		mu.Unlock()
+		return nil
+	})
+	if ok == 0 {
+		return writeAPIError(w, api.Errorf(api.CodeUnavailable, "shard: no replica answered GET /api/version"))
+	}
+	// Intersect: a version is served only if every answering replica
+	// speaks it (order kept from the first reply, oldest first).
+	common := append([]string(nil), infos[0].Versions...)
+	for _, info := range infos[1:] {
+		kept := common[:0]
+		for _, v := range common {
+			for _, have := range info.Versions {
+				if v == have {
+					kept = append(kept, v)
+					break
+				}
+			}
+		}
+		common = kept
+	}
+	out := api.VersionInfo{Versions: common}
+	if len(common) > 0 {
+		out.Latest = common[len(common)-1]
+	}
+	return writeJSON(w, http.StatusOK, out)
+}
+
+// ---- job handlers (sticky job-ID -> replica) ----
+
+// Job IDs leaving the router carry the accepting replica as a suffix
+// ("job-3@r1"): raw downstream IDs are only unique per replica, and the
+// suffix makes the sticky mapping stateless — it survives a router
+// restart with no shared store.
+const jobIDSep = "@"
+
+func splitJobID(id string) (raw, replicaID string) {
+	if i := strings.LastIndex(id, jobIDSep); i >= 0 {
+		return id[:i], id[i+1:]
+	}
+	return id, ""
+}
+
+// maxJobOwnerEntries bounds the sticky-map fallback; the suffix is the
+// authoritative mapping, so dropping the cache only affects clients that
+// strip it.
+const maxJobOwnerEntries = 8192
+
+func (rt *Router) rememberJob(raw, replicaID string) {
+	rt.mu.Lock()
+	if len(rt.jobOwner) >= maxJobOwnerEntries {
+		rt.jobOwner = map[string]string{}
+	}
+	rt.jobOwner[raw] = replicaID
+	rt.mu.Unlock()
+}
+
+// jobReplica resolves a client-facing job ID to (raw downstream ID,
+// owning replica): the "@rN" suffix when present, else the sticky map.
+func (rt *Router) jobReplica(id string) (string, *Replica, error) {
+	raw, rid := splitJobID(id)
+	if rid == "" {
+		rt.mu.Lock()
+		rid = rt.jobOwner[raw]
+		rt.mu.Unlock()
+	}
+	if rid == "" {
+		return "", nil, api.Errorf(api.CodeJobNotFound, "shard: no job %q", id)
+	}
+	rep, ok := rt.rs.Get(rid)
+	if !ok {
+		return "", nil, api.Errorf(api.CodeJobNotFound, "shard: job %q names unknown replica %q", id, rid)
+	}
+	return raw, rep, nil
+}
+
+// submitKey routes a job to the replica whose caches its payload will
+// touch: the subsample/train dataset when present, else the job type.
+func submitKey(req *api.SubmitJobRequest) string {
+	switch {
+	case req.Subsample != nil:
+		return subsampleKey(req.Subsample)
+	case req.Train != nil:
+		return req.Train.Dataset
+	}
+	return string(req.Type)
+}
+
+func (rt *Router) handleSubmitJob(w http.ResponseWriter, r *http.Request) error {
+	var req api.SubmitJobRequest
+	if err := decodeBody(r, &req); err != nil {
+		return writeAPIError(w, err)
+	}
+	// Submissions never fail over on unavailable: the backend may have
+	// admitted the job before the connection died, and a retry elsewhere
+	// would run it twice. Overloaded/draining refusals (nothing admitted)
+	// still move to the next ring node; once the prober ejects a dead
+	// primary, new submissions hash straight to its successor.
+	var job *api.Job
+	rep, err := rt.route(submitKey(&req), false, func(rep *Replica) error {
+		out, err := rep.C.SubmitJob(r.Context(), &req)
+		if err != nil {
+			return err
+		}
+		job = out
+		return nil
+	})
+	if err != nil {
+		return writeAPIError(w, err)
+	}
+	rt.rememberJob(job.ID, rep.ID)
+	job.ID = job.ID + jobIDSep + rep.ID
+	return writeJSON(w, http.StatusAccepted, job)
+}
+
+func (rt *Router) handleListJobs(w http.ResponseWriter, r *http.Request) error {
+	var mu sync.Mutex
+	var all []api.Job
+	ok := rt.scatter(func(rep *Replica) error {
+		jobs, err := rep.C.Jobs(r.Context())
+		if err != nil {
+			return err
+		}
+		for i := range jobs {
+			rt.rememberJob(jobs[i].ID, rep.ID)
+			jobs[i].ID = jobs[i].ID + jobIDSep + rep.ID
+		}
+		mu.Lock()
+		all = append(all, jobs...)
+		mu.Unlock()
+		return nil
+	})
+	if ok == 0 {
+		return writeAPIError(w, api.Errorf(api.CodeUnavailable, "shard: no replica answered GET /v2/jobs"))
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if !all[a].CreatedAt.Equal(all[b].CreatedAt) {
+			return all[a].CreatedAt.Before(all[b].CreatedAt)
+		}
+		return all[a].ID < all[b].ID
+	})
+	return writeJSON(w, http.StatusOK, all)
+}
+
+// forwardJob forwards one sticky job call to the owning replica (no
+// failover — the job state lives only there) and rewrites the returned
+// snapshot's ID back to the client-facing form.
+func (rt *Router) forwardJob(w http.ResponseWriter, id string,
+	call func(*Replica, string) (*api.Job, error)) error {
+	raw, rep, err := rt.jobReplica(id)
+	if err != nil {
+		return writeAPIError(w, err)
+	}
+	job, err := call(rep, raw)
+	if err != nil {
+		if api.AsError(err).Code == api.CodeUnavailable {
+			rt.rs.NoteFailure(rep, err)
+		}
+		return writeAPIError(w, err)
+	}
+	rt.rs.NoteOK(rep)
+	rt.met.ObserveRouted(rep.ID)
+	job.ID = job.ID + jobIDSep + rep.ID
+	return writeJSON(w, http.StatusOK, job)
+}
+
+func (rt *Router) handleGetJob(w http.ResponseWriter, r *http.Request) error {
+	return rt.forwardJob(w, r.PathValue("id"), func(rep *Replica, raw string) (*api.Job, error) {
+		return rep.C.Job(r.Context(), raw)
+	})
+}
+
+func (rt *Router) handleCancelJob(w http.ResponseWriter, r *http.Request) error {
+	return rt.forwardJob(w, r.PathValue("id"), func(rep *Replica, raw string) (*api.Job, error) {
+		return rep.C.CancelJob(r.Context(), raw)
+	})
+}
+
+func (rt *Router) handleJobResult(w http.ResponseWriter, r *http.Request) error {
+	raw, rep, err := rt.jobReplica(r.PathValue("id"))
+	if err != nil {
+		return writeAPIError(w, err)
+	}
+	res, err := rep.C.JobResult(r.Context(), raw)
+	if err != nil {
+		if api.AsError(err).Code == api.CodeUnavailable {
+			rt.rs.NoteFailure(rep, err)
+		}
+		return writeAPIError(w, err)
+	}
+	rt.rs.NoteOK(rep)
+	rt.met.ObserveRouted(rep.ID)
+	return writeJSON(w, http.StatusOK, res)
+}
+
+// ---- plain endpoints ----
+
+// handleHealthz aggregates the prober's latest view: the router itself
+// always answers 200 (it is alive); Status says whether any backend is.
+func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) error {
+	snap := rt.rs.Snapshot()
+	h := api.Health{
+		Status:        "down",
+		UptimeSeconds: time.Since(rt.start).Seconds(),
+		Models:        []string{},
+	}
+	modelSet := map[string]struct{}{}
+	for _, s := range snap {
+		rh := api.ReplicaHealth{ID: s.ID, URL: s.URL, Up: s.Up, ConsecutiveFailures: s.ConsecFails}
+		if s.LastErr != nil {
+			rh.Error = s.LastErr.Error()
+		}
+		h.Replicas = append(h.Replicas, rh)
+		if !s.Up {
+			continue
+		}
+		h.Status = "ok"
+		h.QueueDepth += s.Health.QueueDepth
+		for _, m := range s.Health.Models {
+			modelSet[m] = struct{}{}
+		}
+		for state, n := range s.Health.Jobs {
+			if h.Jobs == nil {
+				h.Jobs = map[string]int{}
+			}
+			h.Jobs[state] += n
+		}
+	}
+	for _, m := range sortedKeys(modelSet) {
+		h.Models = append(h.Models, m)
+	}
+	return writeJSON(w, http.StatusOK, h)
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.Write([]byte(rt.met.Render()))
+}
+
+// ---- shared helpers (mirrors internal/serve's envelope discipline) ----
+
+func decodeBody(r *http.Request, v any) error {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		return api.Errorf(api.CodeInvalidArgument, "bad JSON: %v", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	return json.NewEncoder(w).Encode(v)
+}
+
+func writeAPIError(w http.ResponseWriter, err error) error {
+	ae := api.AsError(err)
+	if ae.RetryAfterSeconds > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(ae.RetryAfterSeconds))
+	}
+	writeJSON(w, ae.Code.HTTPStatus(), api.ErrorEnvelope{Error: ae})
+	return ae
+}

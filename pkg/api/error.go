@@ -32,6 +32,11 @@ const (
 	// CodeOverloaded: a bounded queue (per-model inference queue, job
 	// admission) is full. Retry after RetryAfterSeconds.
 	CodeOverloaded ErrorCode = "overloaded"
+	// CodeUnavailable: the server (or, through a shard router, every
+	// candidate replica) could not be reached at the transport level —
+	// connection refused, reset, or DNS failure. Retrying against a
+	// recovered or different backend can succeed.
+	CodeUnavailable ErrorCode = "unavailable"
 	// CodeShuttingDown: the server is draining; the request was refused or
 	// aborted.
 	CodeShuttingDown ErrorCode = "shutting_down"
@@ -65,6 +70,8 @@ func (c ErrorCode) HTTPStatus() int {
 		return http.StatusConflict
 	case CodeOverloaded:
 		return http.StatusTooManyRequests
+	case CodeUnavailable:
+		return http.StatusBadGateway
 	case CodeCanceled:
 		return StatusClientClosedRequest
 	case CodeShuttingDown:
@@ -90,6 +97,8 @@ func CodeFromStatus(status int) ErrorCode {
 		return CodeJobNotReady
 	case http.StatusTooManyRequests:
 		return CodeOverloaded
+	case http.StatusBadGateway:
+		return CodeUnavailable
 	case StatusClientClosedRequest:
 		return CodeCanceled
 	case http.StatusServiceUnavailable:

@@ -1,0 +1,123 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// codeStatus is the authoritative code ↔ status table: every declared
+// ErrorCode with the HTTP status it must map to. A code added to the
+// contract without updating this table (or the HTTPStatus/CodeFromStatus
+// switches) fails TestErrorCodeStatusRoundTrip.
+var codeStatus = map[ErrorCode]int{
+	CodeInvalidArgument:    http.StatusBadRequest,
+	CodeNotFound:           http.StatusNotFound,
+	CodeModelNotFound:      http.StatusNotFound,
+	CodeJobNotFound:        http.StatusNotFound,
+	CodeJobNotReady:        http.StatusConflict,
+	CodeJobCanceled:        http.StatusConflict,
+	CodeOverloaded:         http.StatusTooManyRequests,
+	CodeUnavailable:        http.StatusBadGateway,
+	CodeShuttingDown:       http.StatusServiceUnavailable,
+	CodeCanceled:           StatusClientClosedRequest,
+	CodeDeadlineExceeded:   http.StatusGatewayTimeout,
+	CodeMethodNotAllowed:   http.StatusMethodNotAllowed,
+	CodeUnsupportedVersion: http.StatusBadRequest,
+	CodeInternal:           http.StatusInternalServerError,
+}
+
+// TestErrorCodeStatusRoundTrip pins the mapping in both directions for
+// every code: code → status matches the table, and recovering a code from
+// that bare status (the v1/proxy fallback path) yields a code carrying
+// the same status — so a round trip through a typed-envelope-stripping
+// hop never changes the HTTP semantics.
+func TestErrorCodeStatusRoundTrip(t *testing.T) {
+	for code, status := range codeStatus {
+		if got := code.HTTPStatus(); got != status {
+			t.Errorf("%s.HTTPStatus() = %d, want %d", code, got, status)
+		}
+		back := CodeFromStatus(status)
+		if back.HTTPStatus() != status {
+			t.Errorf("CodeFromStatus(%d) = %s with status %d; round trip changes the status",
+				status, back, back.HTTPStatus())
+		}
+		// Only the internal catch-all may land on 500: any other code
+		// mapping there means a switch arm is missing.
+		if status == http.StatusInternalServerError && code != CodeInternal {
+			t.Errorf("%s maps to 500; add it to HTTPStatus", code)
+		}
+	}
+	// Reverse direction: every status the recovery switch knows maps to a
+	// code that reproduces it exactly.
+	statuses := map[int]bool{}
+	for _, s := range codeStatus {
+		statuses[s] = true
+	}
+	for s := range statuses {
+		if got := CodeFromStatus(s).HTTPStatus(); got != s {
+			t.Errorf("status %d → %s → %d; reverse mapping not status-preserving",
+				s, CodeFromStatus(s), got)
+		}
+	}
+	// Statuses outside the table degrade to the internal catch-all.
+	for _, s := range []int{http.StatusTeapot, http.StatusForbidden, http.StatusBadGateway + 100} {
+		if got := CodeFromStatus(s); got != CodeInternal {
+			t.Errorf("CodeFromStatus(%d) = %s, want internal", s, got)
+		}
+	}
+}
+
+// TestErrorEnvelopeJSONRoundTrip checks every code survives the wire
+// envelope byte-exactly, including the retry hint.
+func TestErrorEnvelopeJSONRoundTrip(t *testing.T) {
+	for code := range codeStatus {
+		in := ErrorEnvelope{Error: Errorf(code, "boom %d", 7).WithRetryAfter(3)}
+		raw, err := json.Marshal(in)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", code, err)
+		}
+		var out ErrorEnvelope
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatalf("%s: unmarshal: %v", code, err)
+		}
+		if out.Error == nil || *out.Error != *in.Error {
+			t.Errorf("%s: round trip %+v → %+v", code, in.Error, out.Error)
+		}
+	}
+	// The retry hint is omitted from the wire when zero.
+	raw, _ := json.Marshal(ErrorEnvelope{Error: Errorf(CodeOverloaded, "x")})
+	if s := string(raw); s != `{"error":{"code":"overloaded","message":"x"}}` {
+		t.Errorf("zero retry hint not omitted: %s", s)
+	}
+}
+
+// TestAsErrorCoercion covers the error-classification fallbacks: typed
+// errors pass through (even wrapped), context sentinels map to their
+// codes, arbitrary errors become internal, transport failures keep the
+// unavailable code through a wrap.
+func TestAsErrorCoercion(t *testing.T) {
+	if AsError(nil) != nil {
+		t.Error("AsError(nil) != nil")
+	}
+	typed := Errorf(CodeOverloaded, "busy").WithRetryAfter(2)
+	if got := AsError(fmt.Errorf("wrapped: %w", typed)); got != typed {
+		t.Errorf("wrapped typed error did not pass through: %+v", got)
+	}
+	if got := AsError(context.Canceled); got.Code != CodeCanceled {
+		t.Errorf("context.Canceled → %s", got.Code)
+	}
+	if got := AsError(context.DeadlineExceeded); got.Code != CodeDeadlineExceeded {
+		t.Errorf("context.DeadlineExceeded → %s", got.Code)
+	}
+	if got := AsError(errors.New("weird")); got.Code != CodeInternal {
+		t.Errorf("plain error → %s", got.Code)
+	}
+	unavailable := Errorf(CodeUnavailable, "conn refused")
+	if got := AsError(fmt.Errorf("routing: %w", unavailable)); got.Code != CodeUnavailable {
+		t.Errorf("wrapped unavailable → %s", got.Code)
+	}
+}

@@ -86,11 +86,25 @@ type RegisterModelRequest struct {
 	Replicas   int       `json:"replicas,omitempty"`
 }
 
-// Health is the GET /healthz body.
+// Health is the GET /healthz body. A single-node server fills the first
+// five fields; a shard router additionally reports the state of every
+// backend it fronts in Replicas (aggregating Models/QueueDepth/Jobs across
+// the live ones).
 type Health struct {
-	Status        string         `json:"status"`
-	UptimeSeconds float64        `json:"uptimeSeconds"`
-	Models        []string       `json:"models"`
-	QueueDepth    int            `json:"queueDepth"`
-	Jobs          map[string]int `json:"jobs,omitempty"` // job counts by state
+	Status        string          `json:"status"`
+	UptimeSeconds float64         `json:"uptimeSeconds"`
+	Models        []string        `json:"models"`
+	QueueDepth    int             `json:"queueDepth"`
+	Jobs          map[string]int  `json:"jobs,omitempty"`     // job counts by state
+	Replicas      []ReplicaHealth `json:"replicas,omitempty"` // shard router only
+}
+
+// ReplicaHealth is one backend's state as seen by a shard router's health
+// prober.
+type ReplicaHealth struct {
+	ID                  string `json:"id"`
+	URL                 string `json:"url"`
+	Up                  bool   `json:"up"`
+	ConsecutiveFailures int    `json:"consecutiveFailures,omitempty"`
+	Error               string `json:"error,omitempty"` // last probe/call failure while down
 }

@@ -72,13 +72,24 @@ func New(base string, opts ...Option) *Client {
 	return c
 }
 
+// ServerVersions fetches the raw version-negotiation handshake (GET
+// /api/version) without changing the client's pinned version — routing
+// layers use it to intersect version sets across backends.
+func (c *Client) ServerVersions(ctx context.Context) (*api.VersionInfo, error) {
+	var info api.VersionInfo
+	if err := c.do(ctx, http.MethodGet, "/api/version", nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
 // Negotiate asks the server which API versions it speaks (GET
 // /api/version) and pins the newest one this SDK understands; subsequent
 // calls use it. Servers without the endpoint (pre-v2) yield a typed
 // unsupported_version error.
 func (c *Client) Negotiate(ctx context.Context) (string, error) {
-	var info api.VersionInfo
-	if err := c.do(ctx, http.MethodGet, "/api/version", nil, &info); err != nil {
+	info, err := c.ServerVersions(ctx)
+	if err != nil {
 		ae := api.AsError(err)
 		if ae.Code == api.CodeNotFound {
 			return "", api.Errorf(api.CodeUnsupportedVersion,
@@ -216,7 +227,15 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return api.AsError(err) // ctx cancellation surfaces as CodeCanceled
+		// Ctx cancellation/deadline surface as their own codes; any other
+		// transport failure (connection refused, reset, DNS) is typed
+		// unavailable so routing layers can tell "backend unreachable" apart
+		// from an application error and fail over.
+		ae := api.AsError(err)
+		if ae.Code == api.CodeInternal {
+			ae = api.Errorf(api.CodeUnavailable, "%s %s: %v", method, c.base+path, err)
+		}
+		return ae
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
@@ -226,7 +245,14 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 		io.Copy(io.Discard, resp.Body)
 		return nil
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	// A success status whose body cannot be read or parsed means the
+	// connection died (or the payload was truncated) after the headers: type
+	// it unavailable too, so routing layers fail over instead of treating it
+	// as a final application answer.
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return api.Errorf(api.CodeUnavailable, "%s %s: reading response: %v", method, c.base+path, err)
+	}
+	return nil
 }
 
 // decodeError recovers a typed *api.Error from a failure response: the v2
