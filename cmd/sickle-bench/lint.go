@@ -1,0 +1,52 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// runMetricsLint fetches a live /metrics endpoint and checks the exposition
+// against the Prometheus text-format rules (obs.LintExposition): HELP/TYPE
+// present, counters suffixed _total, histograms with cumulative le buckets
+// plus _sum/_count. It also requires at least one le-bucketed series, so a
+// server that silently dropped its latency histograms fails the gate.
+func runMetricsLint(url string) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return fmt.Errorf("lintmetrics: fetch %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("lintmetrics: %s answered HTTP %d", url, resp.StatusCode)
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return fmt.Errorf("lintmetrics: read body: %w", err)
+	}
+	text := string(raw)
+
+	errs := obs.LintExposition(text)
+	if !strings.Contains(text, `le="`) {
+		errs = append(errs, fmt.Errorf("no le-bucketed histogram series in exposition"))
+	}
+	families := 0
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			families++
+		}
+	}
+	if len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Printf("LINT %s: %v\n", url, e)
+		}
+		return fmt.Errorf("lintmetrics: %d violation(s) in %d families", len(errs), families)
+	}
+	fmt.Printf("lintmetrics: %s clean (%d families, %d bytes)\n", url, families, len(raw))
+	return nil
+}

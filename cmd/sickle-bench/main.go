@@ -47,8 +47,15 @@ func main() {
 	kernelsOut := flag.String("kernelsout", "BENCH_kernels.json", "output path for the -kernels JSON report")
 	baseline := flag.String("baseline", "", "committed BENCH_kernels.json to gate speedup regressions against (with -kernels)")
 	tol := flag.Float64("tol", 0.20, "relative speedup-regression tolerance for -baseline")
+	lintURL := flag.String("lintmetrics", "", "exposition-lint mode: fetch this /metrics URL, lint it, exit non-zero on violations")
 	flag.Parse()
 
+	if *lintURL != "" {
+		if err := runMetricsLint(*lintURL); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *serveURL != "" {
 		if err := runLoadGen(*serveURL, *model, *clients, *requests, *shardPhase); err != nil {
 			log.Fatal(err)

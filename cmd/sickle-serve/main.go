@@ -23,14 +23,15 @@
 //
 // /v1/{infer,subsample,models} remain as a frozen byte-compatible shim
 // with the legacy {"error":"..."} envelope; GET /healthz and GET /metrics
-// are unversioned. Use pkg/client as the Go SDK.
+// are unversioned. GET /debug/traces[/{id}] serves the span ring, and
+// -debug-addr starts a net/http/pprof sidecar listener. Use pkg/client as
+// the Go SDK.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"strconv"
@@ -39,6 +40,8 @@ import (
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/obs"
+	olog "repro/internal/obs/log"
 	"repro/internal/serve"
 	"repro/internal/train"
 )
@@ -66,13 +69,26 @@ func main() {
 	inputShape := flag.String("input-shape", "", "per-example input shape, comma-separated (e.g. 1,64,4)")
 
 	demo := flag.Bool("demo", false, "train a small surrogate at startup and register it as \"demo\"")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON lines")
+	debugAddr := flag.String("debug-addr", "", "pprof + debug sidecar listen address (\"\" = off)")
 	flag.Parse()
 
-	cfg := serve.Config{}
+	lvl, ok := olog.ParseLevel(*logLevel)
+	lg := olog.New(os.Stderr, lvl, *logJSON)
+	if !ok {
+		lg.Warn("unknown -log-level, using info", "given", *logLevel)
+	}
+	fatal := func(msg string, err error) {
+		lg.Error(msg, "err", err)
+		os.Exit(1)
+	}
+
+	cfg := serve.Config{Logger: lg}
 	if *caseFile != "" {
 		c, err := config.LoadCase(*caseFile)
 		if err != nil {
-			log.Fatal(err)
+			fatal("load case file", err)
 		}
 		cfg = serve.Config{
 			Addr:         c.Serve.Addr,
@@ -84,6 +100,10 @@ func main() {
 			Replicas:     c.Serve.Replicas,
 			JobWorkers:   c.Serve.JobWorkers,
 			JobTTL:       time.Duration(c.Serve.JobTTLMin) * time.Minute,
+			Logger:       lg,
+		}
+		if *debugAddr == "" {
+			*debugAddr = c.Serve.DebugAddr
 		}
 	}
 	if *addr != "" {
@@ -116,21 +136,28 @@ func main() {
 
 	s := serve.NewServer(cfg)
 
+	if *debugAddr != "" {
+		obs.ServeDebug(*debugAddr, s.Metrics().Registry(), s.Tracer(), func(err error) {
+			lg.Error("debug listener", "err", err)
+		})
+		lg.Info("debug endpoints up", "addr", *debugAddr)
+	}
+
 	if *name != "" {
 		spec := train.ArchSpec{Arch: *arch, InDim: *inDim, Hidden: *hidden,
 			Heads: *heads, OutDim: *outDim, Edge: *edge}
 		shape, err := parseShape(*inputShape)
 		if err != nil {
-			log.Fatal(err)
+			fatal("parse -input-shape", err)
 		}
 		if _, err := s.Registry().Register(*name, spec, *ckpt, shape, cfg.Replicas); err != nil {
-			log.Fatal(err)
+			fatal("register model", err)
 		}
-		log.Printf("registered model %q (%s) from %s", *name, spec.Arch, *ckpt)
+		lg.Info("registered model", "name", *name, "arch", spec.Arch, "ckpt", *ckpt)
 	}
 	if *demo {
-		if err := registerDemoModel(s, cfg.Replicas); err != nil {
-			log.Fatal(err)
+		if err := registerDemoModel(s, cfg.Replicas, lg); err != nil {
+			fatal("register demo model", err)
 		}
 	}
 
@@ -141,18 +168,18 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Print("draining...")
+		lg.Info("draining")
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := s.Shutdown(ctx); err != nil {
-			log.Printf("shutdown: %v", err)
+			lg.Error("shutdown", "err", err)
 		}
 		close(done)
 	}()
 
-	log.Printf("sickle-serve listening")
+	lg.Info("sickle-serve listening", "addr", cfg.Addr)
 	if err := s.ListenAndServe(); err != nil {
-		log.Fatal(err)
+		fatal("listen", err)
 	}
 	<-done
 }
@@ -176,7 +203,7 @@ func parseShape(s string) ([]int, error) {
 // registerDemoModel trains the shared toy surrogate (serve.TrainDemo) and
 // registers it as "demo", so a bare `sickle-serve -demo` is immediately
 // load-testable with `sickle-bench -serve`.
-func registerDemoModel(s *serve.Server, replicas int) error {
+func registerDemoModel(s *serve.Server, replicas int, lg *olog.Logger) error {
 	dm, err := serve.TrainDemo(context.Background())
 	if err != nil {
 		return err
@@ -184,7 +211,7 @@ func registerDemoModel(s *serve.Server, replicas int) error {
 	if err := dm.Register(s, "demo", replicas); err != nil {
 		return err
 	}
-	log.Printf("demo model trained (%d params, test loss %.4g) and registered from %s",
-		dm.Params, dm.FinalLoss, dm.Checkpoint)
+	lg.Info("demo model registered", "params", dm.Params,
+		"test_loss", dm.FinalLoss, "ckpt", dm.Checkpoint)
 	return nil
 }

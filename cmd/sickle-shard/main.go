@@ -14,14 +14,16 @@
 //	sickle-shard -addr :8090 -demo        # 3 in-process replicas, shared demo model
 //
 // Routes: the full /v2 surface plus GET /api/version, GET /healthz
-// (aggregated, with per-replica detail), and GET /metrics
-// (sickle_shard_replica_up, routed/failed/failover counters).
+// (aggregated, with per-replica detail), GET /metrics
+// (sickle_shard_replica_up, routed/failed/failover counters, per-route
+// latency histograms), and GET /debug/traces[/{id}] — the {id} view
+// merges the router's spans with every replica's, so one request reads
+// as one trace. -debug-addr starts a net/http/pprof sidecar.
 package main
 
 import (
 	"context"
 	"flag"
-	"log"
 	"os"
 	"os/signal"
 	"strings"
@@ -29,6 +31,8 @@ import (
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/obs"
+	olog "repro/internal/obs/log"
 	"repro/internal/serve"
 	"repro/internal/shard"
 )
@@ -43,13 +47,26 @@ func main() {
 	vnodes := flag.Int("vnodes", 0, "virtual nodes per replica on the hash ring (default 160)")
 	demo := flag.Bool("demo", false, "spawn in-process replicas sharing a freshly trained demo model")
 	demoReplicas := flag.Int("demo-replicas", 3, "in-process replicas to spawn with -demo")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON lines")
+	debugAddr := flag.String("debug-addr", "", "pprof + debug sidecar listen address (\"\" = off)")
 	flag.Parse()
 
-	cfg := shard.Config{}
+	lvl, ok := olog.ParseLevel(*logLevel)
+	lg := olog.New(os.Stderr, lvl, *logJSON)
+	if !ok {
+		lg.Warn("unknown -log-level, using info", "given", *logLevel)
+	}
+	fatal := func(msg string, kv ...any) {
+		lg.Error(msg, kv...)
+		os.Exit(1)
+	}
+
+	cfg := shard.Config{Logger: lg}
 	if *caseFile != "" {
 		c, err := config.LoadCase(*caseFile)
 		if err != nil {
-			log.Fatal(err)
+			fatal("load case file", "err", err)
 		}
 		cfg = shard.Config{
 			Addr:        c.Shard.Addr,
@@ -58,6 +75,10 @@ func main() {
 			ProbeEvery:  time.Duration(c.Shard.ProbeMS) * time.Millisecond,
 			FailAfter:   c.Shard.FailAfter,
 			MaxFailover: c.Shard.MaxFailover,
+			Logger:      lg,
+		}
+		if *debugAddr == "" {
+			*debugAddr = c.Shard.DebugAddr
 		}
 	}
 	if *addr != "" {
@@ -82,41 +103,47 @@ func main() {
 	var inprocs []*serve.InProc
 	if *demo {
 		if len(cfg.URLs) > 0 {
-			log.Fatal("use either -demo or -backends/-case replicas, not both")
+			fatal("use either -demo or -backends/-case replicas, not both")
 		}
 		if *demoReplicas < 1 {
-			log.Fatal("-demo-replicas must be >= 1")
+			fatal("-demo-replicas must be >= 1")
 		}
-		log.Printf("training demo model for %d in-process replicas...", *demoReplicas)
+		lg.Info("training demo model", "replicas", *demoReplicas)
 		dm, err := serve.TrainDemo(context.Background())
 		if err != nil {
-			log.Fatal(err)
+			fatal("train demo model", "err", err)
 		}
-		log.Printf("demo model trained (%d params, test loss %.4g)", dm.Params, dm.FinalLoss)
+		lg.Info("demo model trained", "params", dm.Params, "test_loss", dm.FinalLoss)
 		for i := 0; i < *demoReplicas; i++ {
 			p, err := serve.StartInProc(serve.Config{})
 			if err != nil {
-				log.Fatal(err)
+				fatal("start in-process replica", "err", err)
 			}
 			if err := dm.Register(p.Server, "demo", 2); err != nil {
-				log.Fatal(err)
+				fatal("register demo on replica", "err", err)
 			}
 			inprocs = append(inprocs, p)
 			cfg.URLs = append(cfg.URLs, p.URL)
-			log.Printf("replica r%d serving \"demo\" at %s", i, p.URL)
+			lg.Info("replica serving demo", "replica", i, "url", p.URL)
 		}
 	}
 	if len(cfg.URLs) == 0 {
-		log.Fatal("no backends: pass -backends, a -case shard: section, or -demo")
+		fatal("no backends: pass -backends, a -case shard: section, or -demo")
 	}
 
 	rt, err := shard.NewRouter(cfg)
 	if err != nil {
-		log.Fatal(err)
+		fatal("build router", "err", err)
 	}
 	rt.Start()
+	if *debugAddr != "" {
+		obs.ServeDebug(*debugAddr, rt.Metrics().Registry(), rt.Tracer(), func(err error) {
+			lg.Error("debug listener", "err", err)
+		})
+		lg.Info("debug endpoints up", "addr", *debugAddr)
+	}
 	if owner, ok := rt.ReplicaSet().Owner("demo"); ok && *demo {
-		log.Printf("consistent-hash owner of model \"demo\": %s (%s)", owner.ID, owner.URL)
+		lg.Info("consistent-hash owner of demo", "replica", owner.ID, "url", owner.URL)
 	}
 
 	done := make(chan struct{})
@@ -124,23 +151,23 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Print("draining...")
+		lg.Info("draining")
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := rt.Shutdown(ctx); err != nil {
-			log.Printf("shutdown: %v", err)
+			lg.Error("shutdown", "err", err)
 		}
 		for i, p := range inprocs {
 			if err := p.Close(ctx); err != nil {
-				log.Printf("replica r%d shutdown: %v", i, err)
+				lg.Error("replica shutdown", "replica", i, "err", err)
 			}
 		}
 		close(done)
 	}()
 
-	log.Printf("sickle-shard routing %d replicas", len(cfg.URLs))
+	lg.Info("sickle-shard routing", "replicas", len(cfg.URLs))
 	if err := rt.ListenAndServe(); err != nil {
-		log.Fatal(err)
+		fatal("listen", "err", err)
 	}
 	<-done
 }

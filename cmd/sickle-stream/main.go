@@ -18,13 +18,15 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"os"
 
 	"repro/internal/cfd2d"
 	"repro/internal/cfd3d"
 	"repro/internal/config"
 	"repro/internal/energy"
 	"repro/internal/grid"
+	"repro/internal/obs"
+	olog "repro/internal/obs/log"
 	"repro/internal/sampling"
 	"repro/internal/sickle"
 	"repro/internal/stats"
@@ -48,7 +50,20 @@ func main() {
 	hsel := flag.String("hypercubes", "", "phase-1 selector: random|maxent")
 	method := flag.String("method", "", "phase-2 sampler: full|random|uniform|lhs|stratified|uips|maxent")
 	compare := flag.Bool("compare-offline", false, "also run the offline pipeline and compare selection quality (replay source only)")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON lines")
+	debugAddr := flag.String("debug-addr", "", "pprof + metrics + traces listen address for the run (\"\" = off)")
 	flag.Parse()
+
+	lvl, lok := olog.ParseLevel(*logLevel)
+	lg := olog.New(os.Stderr, lvl, *logJSON)
+	if !lok {
+		lg.Warn("unknown -log-level, using info", "given", *logLevel)
+	}
+	fatal := func(msg string, kv ...any) {
+		lg.Error(msg, kv...)
+		os.Exit(1)
+	}
 	// Explicitly-set flags override the case file even at their zero value
 	// (-budget 0 must force parity mode, -o "" in-memory mode, etc.).
 	set := map[string]bool{}
@@ -59,7 +74,7 @@ func main() {
 	if *caseFile != "" {
 		c, err := config.LoadCase(*caseFile)
 		if err != nil {
-			log.Fatal(err)
+			fatal("load case file", "err", err)
 		}
 		pcfg.Hypercubes = c.Hypercubes
 		pcfg.Method = c.Method
@@ -109,7 +124,7 @@ func main() {
 		}
 		d, err := sickle.BuildDataset(*dataset, scale)
 		if err != nil {
-			log.Fatal(err)
+			fatal("build dataset", "err", err)
 		}
 		offlineDS = d
 		src = stream.NewReplaySource(d)
@@ -125,7 +140,7 @@ func main() {
 			Nx: *gridN, Ny: *gridN / 2, Nz: *gridN, Seed: 13, AnisoFactor: 6, Froude: 0.15,
 		}, *snapshots)
 	default:
-		log.Fatalf("unknown source %q (want replay|cfd2d|cfd3d|synth)", *source)
+		fatal("unknown source (want replay|cfd2d|cfd3d|synth)", "source", *source)
 	}
 	defer src.Close()
 
@@ -134,9 +149,23 @@ func main() {
 	scfg.Pipeline = pcfg
 	scfg.Cost = sickle.DefaultCostModel()
 
+	// Observability: the run always records stage metrics and spans; the
+	// -debug-addr sidecar additionally serves them (plus pprof) live.
+	reg := obs.NewRegistry()
+	obs.RegisterRuntime(reg)
+	tracer := obs.NewTracer("stream", 0)
+	scfg.Metrics = reg
+	scfg.Tracer = tracer
+	if *debugAddr != "" {
+		obs.ServeDebug(*debugAddr, reg, tracer, func(err error) {
+			lg.Error("debug listener", "err", err)
+		})
+		lg.Info("debug endpoints up", "addr", *debugAddr)
+	}
+
 	res, err := stream.Run(src, scfg)
 	if err != nil {
-		log.Fatal(err)
+		fatal("stream run", "err", err)
 	}
 
 	meta := src.Meta()
@@ -149,6 +178,8 @@ func main() {
 		res.PeakBuffered, float64(res.PeakBufferedBytes)/(1<<20))
 	fmt.Printf("selection quality: sketch uniformity %.3f over %d occupied cells\n",
 		res.Sketch.UniformityIndex(), res.Sketch.OccupiedCells())
+	fmt.Printf("observability: trace %s, %d backpressure stalls (%.3fs stalled)\n",
+		res.TraceID, res.Stalls, res.StallSeconds)
 	fmt.Println(meter.String())
 	for _, p := range res.ShardPaths {
 		fmt.Printf("wrote %s\n", p)
@@ -156,13 +187,13 @@ func main() {
 
 	if *compare {
 		if offlineDS == nil {
-			log.Fatal("-compare-offline requires -source replay")
+			fatal("-compare-offline requires -source replay")
 		}
 		// Use the clamped config the stream actually ran with, so both
 		// selections share the same cube geometry.
 		offline, err := sampling.SubsampleDataset(context.Background(), offlineDS, res.Pipeline)
 		if err != nil {
-			log.Fatal(err)
+			fatal("offline comparison run", "err", err)
 		}
 		// Score the offline selection on the stream's own sketch geometry so
 		// the two uniformity numbers are directly comparable.

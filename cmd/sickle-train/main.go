@@ -16,11 +16,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"os"
 	"strings"
 
 	"repro/internal/energy"
 	"repro/internal/nn"
+	"repro/internal/obs"
+	olog "repro/internal/obs/log"
 	"repro/internal/sampling"
 	"repro/internal/sickle"
 	"repro/internal/train"
@@ -40,7 +42,32 @@ func main() {
 	scaleStr := flag.String("scale", "small", "dataset scale")
 	doTune := flag.Bool("tune", false, "run hyperparameter search first (the paper's --tune / DeepHyper analogue)")
 	ckptOut := flag.String("ckpt-out", "", "save the trained model checkpoint here (servable by sickle-serve)")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON lines")
+	debugAddr := flag.String("debug-addr", "", "pprof + metrics + traces listen address for the run (\"\" = off)")
 	flag.Parse()
+
+	lvl, lok := olog.ParseLevel(*logLevel)
+	lg := olog.New(os.Stderr, lvl, *logJSON)
+	if !lok {
+		lg.Warn("unknown -log-level, using info", "given", *logLevel)
+	}
+	fatal := func(msg string, err error) {
+		lg.Error(msg, "err", err)
+		os.Exit(1)
+	}
+
+	// The run always records epoch/batch metrics and spans; -debug-addr
+	// additionally serves them (plus pprof) live during long fits.
+	reg := obs.NewRegistry()
+	obs.RegisterRuntime(reg)
+	tracer := obs.NewTracer("train", 0)
+	if *debugAddr != "" {
+		obs.ServeDebug(*debugAddr, reg, tracer, func(err error) {
+			lg.Error("debug listener", "err", err)
+		})
+		lg.Info("debug endpoints up", "addr", *debugAddr)
+	}
 
 	scale := sickle.Small
 	if *scaleStr == "large" {
@@ -48,7 +75,7 @@ func main() {
 	}
 	d, err := sickle.BuildDataset(*dataset, scale)
 	if err != nil {
-		log.Fatal(err)
+		fatal("build dataset", err)
 	}
 
 	var cubes []sampling.CubeSample
@@ -82,7 +109,7 @@ func main() {
 		cubes, err = sampling.SubsampleDataset(context.Background(), d, pcfg)
 	}
 	if err != nil {
-		log.Fatal(err)
+		fatal("subsample", err)
 	}
 
 	meterTrain := energy.NewMeter()
@@ -97,7 +124,7 @@ func main() {
 	case "lstm":
 		ex, err = train.BuildSampleSingle(d, cubes, *window)
 		if err != nil {
-			log.Fatal(err)
+			fatal("build examples", err)
 		}
 		spec.InDim, spec.OutDim, spec.Edge = ex[0].Input.Dim(1), 1, 0
 	case "mlp_transformer":
@@ -106,10 +133,10 @@ func main() {
 		ex, err = train.BuildFullFull(d, cubes, *window)
 	}
 	if err != nil {
-		log.Fatal(err)
+		fatal("build examples", err)
 	}
 	if err := spec.Validate(); err != nil {
-		log.Fatal(err)
+		fatal("validate arch spec", err)
 	}
 	factory := spec.Factory()
 
@@ -130,7 +157,7 @@ func main() {
 			Trials: 6, RungEpochs: 3, FinalEpochs: *epochs / 2, Seed: *seed, Ranks: *ranks,
 		})
 		if err != nil {
-			log.Fatal(err)
+			fatal("hyperparameter search", err)
 		}
 		fmt.Println("tuning winner:", tune.Best(trials))
 		lr = trials[0].LR
@@ -142,14 +169,15 @@ func main() {
 		Epochs: *epochs, Batch: *batch, Seed: *seed, Ranks: *ranks,
 		Normalize: true, Meter: meterTrain, Verbose: true,
 		CostModel: sickle.DefaultCostModel(),
+		Metrics:   reg, Tracer: tracer,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal("train", err)
 	}
 
 	if *ckptOut != "" {
 		if err := nn.SaveCheckpoint(*ckptOut, model); err != nil {
-			log.Fatal(err)
+			fatal("save checkpoint", err)
 		}
 		specJSON, _ := json.Marshal(spec)
 		fmt.Printf("wrote checkpoint %s (arch spec: %s, input shape %v)\n",
@@ -158,6 +186,8 @@ func main() {
 	fmt.Printf("model: %s (%d parameters), %d examples, %d ranks\n",
 		model.Name(), hist.Params, len(ex), *ranks)
 	fmt.Printf("Evaluation on test set: %.6f\n", hist.FinalLoss)
+	fmt.Printf("observability: trace %s (%d epoch spans recorded)\n",
+		hist.TraceID, hist.Epochs)
 	fmt.Printf("sampling  %s\n", meterSample.String())
 	fmt.Printf("training  %s\n", meterTrain.String())
 	meterSample.Add(meterTrain)

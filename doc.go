@@ -19,6 +19,16 @@
 // cmd/sickle-stream and benchmarked by cmd/sickle-bench -stream). See
 // README.md.
 //
+// Observability is one shared substrate, internal/obs: a unified metrics
+// registry rendering lint-clean Prometheus text exposition with
+// le-bucketed latency histograms, a bounded trace ring behind
+// /debug/traces endpoints on every tier (trace identity and the
+// X-Sickle-Trace header live in pkg/api, so one client request through
+// the router reads as one trace with routing, queue, and execute spans),
+// runtime/build/pool gauges, an exposition linter (also a CI gate via
+// cmd/sickle-bench -lintmetrics), and the structured leveled logger
+// internal/obs/log shared by the binaries (README "Observability").
+//
 // The public surface lives under pkg/: api (the versioned wire contract —
 // request/response types, the typed error envelope with machine-readable
 // codes, job types, version negotiation) and client (the Go SDK: typed

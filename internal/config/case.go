@@ -54,6 +54,7 @@ type ServeCase struct {
 	Replicas     int
 	JobWorkers   int
 	JobTTLMin    int
+	DebugAddr    string // pprof + debug endpoints listener ("" = off)
 }
 
 // ShardCase is the optional `shard:` section of a case file, sizing the
@@ -66,6 +67,7 @@ type ShardCase struct {
 	FailAfter   int
 	MaxFailover int
 	VNodes      int
+	DebugAddr   string // pprof + debug endpoints listener ("" = off)
 }
 
 // StreamCase is the optional `stream:` section of a case file, sizing the
@@ -144,6 +146,7 @@ func ParseCase(src string) (*Case, error) {
 			Replicas:     sv.GetInt("replicas", 0),
 			JobWorkers:   sv.GetInt("job_workers", 0),
 			JobTTLMin:    sv.GetInt("job_ttl_min", 0),
+			DebugAddr:    sv.GetString("debug_addr", ""),
 		},
 
 		// Unset shard keys stay zero: internal/shard.Config owns the
@@ -155,6 +158,7 @@ func ParseCase(src string) (*Case, error) {
 			FailAfter:   sh.GetInt("fail_after", 0),
 			MaxFailover: sh.GetInt("max_failover", 0),
 			VNodes:      sh.GetInt("vnodes", 0),
+			DebugAddr:   sh.GetString("debug_addr", ""),
 		},
 
 		// Unset stream keys stay zero: internal/stream.Config owns the

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// TracePayload is the /debug/traces/{id} response body: one trace's spans,
+// ordered by start time. The shard router returns the same shape with
+// downstream tiers' spans merged in.
+type TracePayload struct {
+	TraceID string `json:"trace_id"`
+	Spans   []Span `json:"spans"`
+}
+
+// TraceListPayload is the /debug/traces listing body.
+type TraceListPayload struct {
+	Tier   string      `json:"tier"`
+	Traces []TraceInfo `json:"traces"`
+}
+
+// HandleTraceList serves the trace listing (GET /debug/traces).
+func (t *Tracer) HandleTraceList(w http.ResponseWriter, _ *http.Request) {
+	tier := ""
+	if t != nil {
+		tier = t.tier
+	}
+	writeDebugJSON(w, TraceListPayload{Tier: tier, Traces: t.Traces(100)})
+}
+
+// HandleTraceByID serves one trace's spans (GET /debug/traces/{id}).
+func (t *Tracer) HandleTraceByID(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	spans := t.Spans(id)
+	if len(spans) == 0 {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(map[string]string{"error": "no trace " + id})
+		return
+	}
+	writeDebugJSON(w, TracePayload{TraceID: id, Spans: spans})
+}
+
+func writeDebugJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// Mount registers the /debug/traces endpoints on a mux (both serve and
+// shard expose them on their main listener).
+func (t *Tracer) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/traces", t.HandleTraceList)
+	mux.HandleFunc("GET /debug/traces/{id}", t.HandleTraceByID)
+}
+
+// NewDebugMux builds the opt-in -debug-addr surface: net/http/pprof under
+// /debug/pprof/, the registry's /metrics, and the tracer's /debug/traces
+// endpoints. reg and t may be nil (their endpoints are then omitted).
+func NewDebugMux(reg *Registry, t *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if reg != nil {
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			w.Write([]byte(reg.Render()))
+		})
+	}
+	if t != nil {
+		t.Mount(mux)
+	}
+	return mux
+}
+
+// ServeDebug listens on addr with NewDebugMux in a background goroutine and
+// returns the server so callers can Close it. Listen failures surface
+// through onErr (may be nil); http.ErrServerClosed is filtered out.
+func ServeDebug(addr string, reg *Registry, t *Tracer, onErr func(error)) *http.Server {
+	srv := &http.Server{Addr: addr, Handler: NewDebugMux(reg, t)}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed && onErr != nil {
+			onErr(err)
+		}
+	}()
+	return srv
+}

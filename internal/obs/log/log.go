@@ -1,0 +1,190 @@
+// Package olog is the structured, leveled logger shared by the sickle
+// binaries and the serve/shard request paths. Records are key-value
+// pairs rendered either as logfmt-style text or as JSON objects, chosen
+// at construction — the binaries wire this to -log-level / -log-json.
+package olog
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log records by severity.
+type Level int
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+// ParseLevel maps a -log-level flag value to a Level; unknown values
+// default to info with ok=false.
+func ParseLevel(s string) (Level, bool) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, true
+	case "info", "":
+		return LevelInfo, true
+	case "warn", "warning":
+		return LevelWarn, true
+	case "error":
+		return LevelError, true
+	default:
+		return LevelInfo, false
+	}
+}
+
+// Logger writes leveled key-value records. A nil *Logger discards
+// everything, so components can hold one unconditionally. Methods are
+// safe for concurrent use.
+type Logger struct {
+	mu    *sync.Mutex
+	w     io.Writer
+	min   Level
+	json  bool
+	bound []any // With()-bound key-value pairs, prepended to every record
+	now   func() time.Time
+}
+
+// New builds a logger writing records at or above min to w; jsonOut
+// selects JSON objects instead of logfmt text.
+func New(w io.Writer, min Level, jsonOut bool) *Logger {
+	return &Logger{mu: &sync.Mutex{}, w: w, min: min, json: jsonOut, now: time.Now}
+}
+
+// Default returns a text logger to stderr at info level.
+func Default() *Logger { return New(os.Stderr, LevelInfo, false) }
+
+// With returns a child logger whose records carry the given key-value
+// pairs ahead of per-call pairs (e.g. With("tier", "shard")).
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	child := *l
+	child.bound = append(append([]any{}, l.bound...), kv...)
+	return &child
+}
+
+// Enabled reports whether records at lvl would be written.
+func (l *Logger) Enabled(lvl Level) bool { return l != nil && lvl >= l.min }
+
+// Debug logs at debug level.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at error level.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(lvl Level, msg string, kv []any) {
+	if !l.Enabled(lvl) {
+		return
+	}
+	pairs := append(append([]any{}, l.bound...), kv...)
+	ts := l.now().Format(time.RFC3339Nano)
+
+	var line []byte
+	if l.json {
+		obj := map[string]any{"ts": ts, "level": lvl.String(), "msg": msg}
+		for i := 0; i+1 < len(pairs); i += 2 {
+			obj[fmt.Sprint(pairs[i])] = pairs[i+1]
+		}
+		if len(pairs)%2 == 1 {
+			obj["_odd_key"] = fmt.Sprint(pairs[len(pairs)-1])
+		}
+		line = appendJSON(obj)
+	} else {
+		var b strings.Builder
+		b.WriteString(ts)
+		b.WriteByte(' ')
+		b.WriteString(lvl.String())
+		b.WriteByte(' ')
+		b.WriteString(msg)
+		for i := 0; i+1 < len(pairs); i += 2 {
+			b.WriteByte(' ')
+			b.WriteString(fmt.Sprint(pairs[i]))
+			b.WriteByte('=')
+			b.WriteString(quoteIfNeeded(fmt.Sprint(pairs[i+1])))
+		}
+		if len(pairs)%2 == 1 {
+			b.WriteString(" _odd_key=")
+			b.WriteString(quoteIfNeeded(fmt.Sprint(pairs[len(pairs)-1])))
+		}
+		b.WriteByte('\n')
+		line = []byte(b.String())
+	}
+
+	l.mu.Lock()
+	l.w.Write(line)
+	l.mu.Unlock()
+}
+
+// appendJSON marshals with deterministic key order (ts/level/msg first,
+// then sorted) so log lines are stable for tests and grepping.
+func appendJSON(obj map[string]any) []byte {
+	keys := make([]string, 0, len(obj))
+	for k := range obj {
+		if k == "ts" || k == "level" || k == "msg" {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(`{"ts":`)
+	writeJSONVal(&b, obj["ts"])
+	b.WriteString(`,"level":`)
+	writeJSONVal(&b, obj["level"])
+	b.WriteString(`,"msg":`)
+	writeJSONVal(&b, obj["msg"])
+	for _, k := range keys {
+		b.WriteByte(',')
+		writeJSONVal(&b, k)
+		b.WriteByte(':')
+		writeJSONVal(&b, obj[k])
+	}
+	b.WriteString("}\n")
+	return []byte(b.String())
+}
+
+func writeJSONVal(b *strings.Builder, v any) {
+	enc, err := json.Marshal(v)
+	if err != nil {
+		enc, _ = json.Marshal(fmt.Sprint(v))
+	}
+	b.Write(enc)
+}
+
+func quoteIfNeeded(s string) string {
+	if strings.ContainsAny(s, " \t\n\"=") {
+		enc, _ := json.Marshal(s)
+		return string(enc)
+	}
+	return s
+}

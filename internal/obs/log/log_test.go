@@ -1,0 +1,114 @@
+package olog
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type syncBuf struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "WARN": LevelWarn,
+		"warning": LevelWarn, "Error": LevelError, "": LevelInfo,
+	} {
+		got, ok := ParseLevel(s)
+		if !ok || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", s, got, ok)
+		}
+	}
+	if _, ok := ParseLevel("loud"); ok {
+		t.Error("ParseLevel accepted garbage")
+	}
+}
+
+func TestTextOutputAndFiltering(t *testing.T) {
+	var buf syncBuf
+	l := New(&buf, LevelInfo, false)
+	l.Debug("hidden")
+	l.Info("served", "route", "/v1/infer", "code", 200)
+	l.Warn("odd value", "msg with space", "a b")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Error("debug leaked through info level")
+	}
+	if !strings.Contains(out, "info served route=/v1/infer code=200") {
+		t.Errorf("text format wrong: %q", out)
+	}
+	if !strings.Contains(out, `"a b"`) {
+		t.Errorf("value with space not quoted: %q", out)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var buf syncBuf
+	l := New(&buf, LevelDebug, true).With("tier", "serve")
+	l.Info("request", "route", "/healthz", "trace", "abc")
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(buf.String()), &rec); err != nil {
+		t.Fatalf("not JSON: %v (%q)", err, buf.String())
+	}
+	for k, want := range map[string]string{
+		"level": "info", "msg": "request", "tier": "serve",
+		"route": "/healthz", "trace": "abc",
+	} {
+		if rec[k] != want {
+			t.Errorf("%s = %v, want %s", k, rec[k], want)
+		}
+	}
+	if rec["ts"] == nil {
+		t.Error("missing ts")
+	}
+}
+
+func TestNilLoggerNoops(t *testing.T) {
+	var l *Logger
+	l.Debug("x")
+	l.Info("x")
+	l.Warn("x")
+	l.Error("x")
+	if l.With("a", "b") != nil {
+		t.Error("nil With should stay nil")
+	}
+	if l.Enabled(LevelError) {
+		t.Error("nil logger should report disabled")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	var buf syncBuf
+	l := New(&buf, LevelDebug, false)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			child := l.With("worker", w)
+			for i := 0; i < 100; i++ {
+				child.Info("tick", "i", i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 800 {
+		t.Errorf("got %d lines, want 800", lines)
+	}
+}

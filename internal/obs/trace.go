@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/pkg/api"
+)
+
+// Span is one recorded operation inside a trace: a name, its tier of
+// origin, wall-clock start and duration, a parent link, and free-form
+// attributes. The JSON shape is the /debug/traces wire format, shared
+// across tiers so the shard router can merge downstream spans verbatim.
+type Span struct {
+	TraceID  string            `json:"trace_id"`
+	SpanID   string            `json:"span_id"`
+	ParentID string            `json:"parent_id,omitempty"`
+	Name     string            `json:"name"`
+	Tier     string            `json:"tier"`
+	Start    time.Time         `json:"start"`
+	Seconds  float64           `json:"seconds"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+// TraceInfo summarizes one trace present in the ring (the /debug/traces
+// listing entry).
+type TraceInfo struct {
+	TraceID string    `json:"trace_id"`
+	Spans   int       `json:"spans"`
+	Start   time.Time `json:"start"`
+	Seconds float64   `json:"seconds"` // span of wall-clock covered by the trace's spans
+	Root    string    `json:"root"`    // name of the earliest parentless span (or earliest span)
+}
+
+// Tracer records spans into a bounded in-memory ring; when full, the
+// oldest spans are overwritten. A nil *Tracer is a valid no-op recorder,
+// so instrumentation never has to branch. All methods are safe for
+// concurrent use.
+type Tracer struct {
+	tier string
+
+	mu   sync.Mutex
+	buf  []Span
+	next int
+	full bool
+}
+
+// DefaultTraceCapacity bounds the span ring when the caller does not.
+const DefaultTraceCapacity = 4096
+
+// NewTracer builds a tracer whose spans carry the given tier label
+// ("serve", "shard", "stream", ...). capacity <= 0 selects
+// DefaultTraceCapacity.
+func NewTracer(tier string, capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{tier: tier, buf: make([]Span, 0, capacity)}
+}
+
+// Record stores one finished span (stamping the tracer's tier).
+func (t *Tracer) Record(s Span) {
+	if t == nil || s.TraceID == "" {
+		return
+	}
+	s.Tier = t.tier
+	t.mu.Lock()
+	if !t.full && len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, s)
+		if len(t.buf) == cap(t.buf) {
+			t.full = true
+		}
+	} else {
+		t.buf[t.next] = s
+		t.full = true
+	}
+	t.next = (t.next + 1) % cap(t.buf)
+	t.mu.Unlock()
+}
+
+// ActiveSpan is an in-flight span started by StartSpan; End records it.
+// Nil handles (from a nil Tracer) no-op.
+type ActiveSpan struct {
+	t    *Tracer
+	span Span
+	mu   sync.Mutex
+	done bool
+}
+
+// StartSpan opens a span under the trace carried by ctx, minting a fresh
+// trace ID when ctx has none (so a tier entered without an upstream header
+// still produces a complete local trace). The returned context carries the
+// new span as the parent for anything downstream — including the
+// X-Sickle-Trace header pkg/client attaches.
+func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *ActiveSpan) {
+	if t == nil {
+		return ctx, nil
+	}
+	tc, ok := api.TraceFrom(ctx)
+	if !ok {
+		tc = api.TraceContext{TraceID: api.NewTraceID()}
+	}
+	sp := Span{
+		TraceID:  tc.TraceID,
+		SpanID:   api.NewSpanID(),
+		ParentID: tc.SpanID,
+		Name:     name,
+		Start:    time.Now(),
+	}
+	ctx = api.WithTrace(ctx, api.TraceContext{TraceID: sp.TraceID, SpanID: sp.SpanID})
+	return ctx, &ActiveSpan{t: t, span: sp}
+}
+
+// SetAttr attaches one attribute to the span.
+func (a *ActiveSpan) SetAttr(k, v string) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	if a.span.Attrs == nil {
+		a.span.Attrs = map[string]string{}
+	}
+	a.span.Attrs[k] = v
+	a.mu.Unlock()
+}
+
+// TraceID returns the span's trace ID ("" on nil).
+func (a *ActiveSpan) TraceID() string {
+	if a == nil {
+		return ""
+	}
+	return a.span.TraceID
+}
+
+// SpanID returns the span's own ID ("" on nil).
+func (a *ActiveSpan) SpanID() string {
+	if a == nil {
+		return ""
+	}
+	return a.span.SpanID
+}
+
+// End stamps the duration and records the span. Idempotent.
+func (a *ActiveSpan) End() {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	if a.done {
+		a.mu.Unlock()
+		return
+	}
+	a.done = true
+	a.span.Seconds = time.Since(a.span.Start).Seconds()
+	sp := a.span
+	a.mu.Unlock()
+	a.t.Record(sp)
+}
+
+// snapshot copies the ring's live spans, oldest first.
+func (t *Tracer) snapshot() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return append([]Span(nil), t.buf...)
+	}
+	out := make([]Span, 0, cap(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Spans returns every recorded span of one trace, ordered by start time.
+func (t *Tracer) Spans(traceID string) []Span {
+	if t == nil {
+		return nil
+	}
+	var out []Span
+	for _, s := range t.snapshot() {
+		if s.TraceID == traceID {
+			out = append(out, s)
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Start.Before(out[b].Start) })
+	return out
+}
+
+// Traces lists the newest `limit` distinct traces in the ring (all when
+// limit <= 0), most recent first.
+func (t *Tracer) Traces(limit int) []TraceInfo {
+	if t == nil {
+		return nil
+	}
+	byID := map[string]*TraceInfo{}
+	var order []string
+	for _, s := range t.snapshot() {
+		info, ok := byID[s.TraceID]
+		if !ok {
+			info = &TraceInfo{TraceID: s.TraceID, Start: s.Start, Root: s.Name}
+			byID[s.TraceID] = info
+			order = append(order, s.TraceID)
+		}
+		info.Spans++
+		if s.Start.Before(info.Start) {
+			info.Start = s.Start
+		}
+		if s.ParentID == "" {
+			info.Root = s.Name
+		}
+		if end := s.Start.Add(time.Duration(s.Seconds * float64(time.Second))); end.Sub(info.Start).Seconds() > info.Seconds {
+			info.Seconds = end.Sub(info.Start).Seconds()
+		}
+	}
+	out := make([]TraceInfo, 0, len(order))
+	for i := len(order) - 1; i >= 0; i-- { // newest first
+		out = append(out, *byID[order[i]])
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}

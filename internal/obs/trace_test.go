@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/pkg/api"
+)
+
+func TestStartSpanMintsAndParents(t *testing.T) {
+	tr := NewTracer("test", 16)
+	ctx, root := tr.StartSpan(context.Background(), "root")
+	if root.TraceID() == "" || root.SpanID() == "" {
+		t.Fatal("root span missing IDs")
+	}
+	_, child := tr.StartSpan(ctx, "child")
+	child.SetAttr("k", "v")
+	child.End()
+	root.End()
+	root.End() // idempotent
+
+	spans := tr.Spans(root.TraceID())
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	byName := map[string]Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["child"].ParentID != root.SpanID() {
+		t.Errorf("child parent = %q, want %q", byName["child"].ParentID, root.SpanID())
+	}
+	if byName["root"].ParentID != "" {
+		t.Errorf("root has parent %q", byName["root"].ParentID)
+	}
+	if byName["child"].Attrs["k"] != "v" {
+		t.Errorf("child attrs = %v", byName["child"].Attrs)
+	}
+	if byName["root"].Tier != "test" {
+		t.Errorf("tier = %q", byName["root"].Tier)
+	}
+}
+
+func TestStartSpanInheritsUpstreamTrace(t *testing.T) {
+	tr := NewTracer("test", 16)
+	up := api.TraceContext{TraceID: "abc123", SpanID: "def456"}
+	ctx := api.WithTrace(context.Background(), up)
+	childCtx, sp := tr.StartSpan(ctx, "op")
+	if sp.TraceID() != "abc123" {
+		t.Errorf("trace = %q, want upstream abc123", sp.TraceID())
+	}
+	sp.End()
+	if got := tr.Spans("abc123"); len(got) != 1 || got[0].ParentID != "def456" {
+		t.Errorf("span not parented to upstream: %+v", got)
+	}
+	tc, ok := api.TraceFrom(childCtx)
+	if !ok || tc.SpanID != sp.SpanID() {
+		t.Errorf("child ctx carries %+v, want span %s", tc, sp.SpanID())
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	tr := NewTracer("test", 4)
+	for i := 0; i < 6; i++ {
+		tr.Record(Span{TraceID: fmt.Sprintf("t%d", i), Name: "s", Start: time.Now()})
+	}
+	if got := tr.Spans("t0"); len(got) != 0 {
+		t.Errorf("oldest span survived a full ring")
+	}
+	if got := tr.Spans("t5"); len(got) != 1 {
+		t.Errorf("newest span missing")
+	}
+	if infos := tr.Traces(0); len(infos) != 4 {
+		t.Errorf("ring holds %d traces, want 4", len(infos))
+	}
+}
+
+func TestNilTracerNoops(t *testing.T) {
+	var tr *Tracer
+	ctx, sp := tr.StartSpan(context.Background(), "x")
+	sp.SetAttr("a", "b")
+	sp.End()
+	if ctx == nil {
+		t.Fatal("nil tracer must return the ctx")
+	}
+	tr.Record(Span{TraceID: "x"})
+	if tr.Spans("x") != nil || tr.Traces(5) != nil {
+		t.Fatal("nil tracer must return nothing")
+	}
+}
+
+func TestTraceHTTPHandlers(t *testing.T) {
+	tr := NewTracer("test", 16)
+	_, sp := tr.StartSpan(context.Background(), "op")
+	sp.End()
+	mux := NewDebugMux(NewRegistry(), tr)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	var list TraceListPayload
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatalf("list decode: %v", err)
+	}
+	if len(list.Traces) != 1 || list.Traces[0].TraceID != sp.TraceID() {
+		t.Fatalf("list = %+v", list)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces/"+sp.TraceID(), nil))
+	var payload TracePayload
+	if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+		t.Fatalf("trace decode: %v", err)
+	}
+	if len(payload.Spans) != 1 || payload.Spans[0].Name != "op" {
+		t.Fatalf("payload = %+v", payload)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces/nosuch", nil))
+	if rec.Code != 404 {
+		t.Errorf("missing trace -> %d, want 404", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Errorf("debug mux /metrics -> %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 200 {
+		t.Errorf("pprof index -> %d", rec.Code)
+	}
+}
+
+// TestTracerConcurrency exercises the ring under parallel writers and
+// readers; with -race this is the tracer's thread-safety proof.
+func TestTracerConcurrency(t *testing.T) {
+	tr := NewTracer("test", 64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ctx, sp := tr.StartSpan(context.Background(), "op")
+				_, child := tr.StartSpan(ctx, "child")
+				child.End()
+				sp.End()
+				if i%20 == 0 {
+					tr.Traces(10)
+					tr.Spans(sp.TraceID())
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(tr.Traces(0)); got == 0 {
+		t.Fatal("no traces recorded")
+	}
+}

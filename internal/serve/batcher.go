@@ -3,9 +3,11 @@ package serve
 import (
 	"context"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/tensor"
 	"repro/pkg/api"
 )
@@ -16,6 +18,12 @@ type inferRequest struct {
 	ctx   context.Context // the submitting caller's context
 	input *tensor.Tensor  // per-example tensor, no batch dimension
 	resp  chan inferResult
+
+	// Trace identity captured at admission: the queue and execute spans
+	// recorded when the request's batch runs are parented to the server
+	// span that enqueued it. Zero when the request carries no trace.
+	tc       api.TraceContext
+	enqueued time.Time
 }
 
 type inferResult struct {
@@ -52,6 +60,9 @@ type Batcher struct {
 	queueCap int
 
 	jobs chan func()
+
+	// tracer records per-request queue/execute spans; nil disables tracing.
+	tracer *obs.Tracer
 
 	mu      sync.Mutex
 	queues  map[string]chan *inferRequest
@@ -108,6 +119,10 @@ func NewBatcher(reg *Registry, met *Metrics, maxBatch int, window time.Duration,
 	return b
 }
 
+// SetTracer installs the span recorder for queue/execute phases. Call
+// before serving traffic (not synchronized with in-flight batches).
+func (b *Batcher) SetTracer(t *obs.Tracer) { b.tracer = t }
+
 // Infer enqueues one example for the named model and blocks until its
 // result is ready, the queue rejects it (api.CodeOverloaded), the batcher
 // is draining (api.CodeShuttingDown), or ctx is done (api.CodeCanceled /
@@ -119,7 +134,8 @@ func (b *Batcher) Infer(ctx context.Context, model string, input *tensor.Tensor)
 	if _, ok := b.reg.Lookup(model); !ok {
 		return nil, 0, 0, api.Errorf(api.CodeModelNotFound, "unknown model %q", model)
 	}
-	req := &inferRequest{ctx: ctx, input: input, resp: make(chan inferResult, 1)}
+	req := &inferRequest{ctx: ctx, input: input, resp: make(chan inferResult, 1), enqueued: time.Now()}
+	req.tc, _ = api.TraceFrom(ctx)
 	// Admission happens under b.mu so it cannot race Stop: Stop sets
 	// `stopped` under the same lock before draining, so a request admitted
 	// here is either answered by its dispatcher or by the drain loop —
@@ -237,6 +253,19 @@ func (b *Batcher) runBatch(model string, batch []*inferRequest) {
 	if len(batch) == 0 {
 		return
 	}
+	// Close out each traced request's queue phase: time from admission to
+	// the batch actually running.
+	dispatched := time.Now()
+	for _, r := range batch {
+		if r.tc.TraceID == "" {
+			continue
+		}
+		b.tracer.Record(obs.Span{
+			TraceID: r.tc.TraceID, SpanID: api.NewSpanID(), ParentID: r.tc.SpanID,
+			Name: "queue:" + model, Start: r.enqueued,
+			Seconds: dispatched.Sub(r.enqueued).Seconds(),
+		})
+	}
 	fail := func(err error) {
 		for _, r := range batch {
 			r.resp <- inferResult{err: err}
@@ -264,6 +293,25 @@ func (b *Batcher) runBatch(model string, batch []*inferRequest) {
 	batch = uniform
 
 	in := stackInputs(batch)
+	// recordExec stamps each traced request's execute span: replica
+	// acquisition + the shared forward pass, with the realized batch size.
+	execStart := time.Now()
+	recordExec := func(errMsg string) {
+		secs := time.Since(execStart).Seconds()
+		for _, r := range batch {
+			if r.tc.TraceID == "" {
+				continue
+			}
+			attrs := map[string]string{"batch_size": strconv.Itoa(len(batch))}
+			if errMsg != "" {
+				attrs["error"] = errMsg
+			}
+			b.tracer.Record(obs.Span{
+				TraceID: r.tc.TraceID, SpanID: api.NewSpanID(), ParentID: r.tc.SpanID,
+				Name: "execute:" + model, Start: execStart, Seconds: secs, Attrs: attrs,
+			})
+		}
+	}
 	// A single-request batch waits for its replica under the requester's
 	// own context (cancelable); a shared batch must not let one client
 	// cancel work its peers still wait on, so it acquires unconditionally.
@@ -274,6 +322,7 @@ func (b *Batcher) runBatch(model string, batch []*inferRequest) {
 	rep, err := entry.Acquire(acquireCtx)
 	if err != nil {
 		tensor.Put(in)
+		recordExec(api.AsError(err).Message)
 		fail(api.AsError(err))
 		return
 	}
@@ -284,14 +333,17 @@ func (b *Batcher) runBatch(model string, batch []*inferRequest) {
 	// steady-state batching allocates no input buffers.
 	tensor.Put(in)
 	if err != nil {
+		recordExec(err.Error())
 		fail(err)
 		return
 	}
 	if out.Dim(0) != len(batch) {
+		recordExec("batch dimension mismatch")
 		fail(api.Errorf(api.CodeInternal,
 			"serve: model %q returned batch %d for input batch %d", model, out.Dim(0), len(batch)))
 		return
 	}
+	recordExec("")
 	rowShape := append([]int(nil), out.Shape[1:]...)
 	stride := out.Len() / out.Dim(0)
 	for i, r := range batch {

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/pkg/api"
 )
 
@@ -34,6 +35,9 @@ type JobManager struct {
 	closed bool
 	wg     sync.WaitGroup
 
+	// tracer records one job:<type> span per finished job; nil disables.
+	tracer *obs.Tracer
+
 	now func() time.Time // injectable clock (tests)
 }
 
@@ -43,6 +47,7 @@ type jobEntry struct {
 	result *api.JobResult
 	run    JobRunner
 	done   chan struct{} // closed when the job reaches a terminal state
+	tc     api.TraceContext
 }
 
 // Job-manager defaults (overridable through Config).
@@ -77,10 +82,24 @@ func NewJobManager(workers, maxJobs int, ttl time.Duration) *JobManager {
 	}
 }
 
+// SetTracer installs the span recorder for job lifecycles. Call before
+// serving traffic (not synchronized with in-flight jobs).
+func (jm *JobManager) SetTracer(t *obs.Tracer) { jm.tracer = t }
+
 // Submit admits a job and returns its initial (pending) snapshot. A full
 // admission set rejects with api.CodeOverloaded; a closed manager with
 // api.CodeShuttingDown.
 func (jm *JobManager) Submit(typ api.JobType, run JobRunner) (api.Job, error) {
+	return jm.SubmitTraced(context.Background(), typ, run)
+}
+
+// SubmitTraced is Submit carrying the submitting request's trace: the
+// job's lifecycle span joins that trace (and the job context carries it,
+// so work the runner does downstream is parented correctly). The job's
+// cancellation lifetime is still the manager's root — a submitting HTTP
+// request ending must not cancel its job.
+func (jm *JobManager) SubmitTraced(ctx context.Context, typ api.JobType, run JobRunner) (api.Job, error) {
+	tc, _ := api.TraceFrom(ctx)
 	jm.mu.Lock()
 	defer jm.mu.Unlock()
 	if jm.closed {
@@ -102,7 +121,10 @@ func (jm *JobManager) Submit(typ api.JobType, run JobRunner) (api.Job, error) {
 	}
 	jm.seq++
 	id := fmt.Sprintf("job-%d", jm.seq)
-	ctx, cancel := context.WithCancel(jm.root)
+	jobCtx, cancel := context.WithCancel(jm.root)
+	if tc.TraceID != "" {
+		jobCtx = api.WithTrace(jobCtx, tc)
+	}
 	j := &jobEntry{
 		status: api.Job{
 			ID: id, Type: typ, State: api.JobPending, CreatedAt: jm.now(),
@@ -110,10 +132,11 @@ func (jm *JobManager) Submit(typ api.JobType, run JobRunner) (api.Job, error) {
 		cancel: cancel,
 		run:    run,
 		done:   make(chan struct{}),
+		tc:     tc,
 	}
 	jm.jobs[id] = j
 	jm.wg.Add(1)
-	go jm.execute(j, ctx)
+	go jm.execute(j, jobCtx)
 	return j.status, nil
 }
 
@@ -183,6 +206,17 @@ func (jm *JobManager) finish(j *jobEntry, res *api.JobResult, err error) {
 		j.status.Error = api.AsError(err)
 	}
 	close(j.done)
+	if j.tc.TraceID != "" {
+		jm.tracer.Record(obs.Span{
+			TraceID: j.tc.TraceID, SpanID: api.NewSpanID(), ParentID: j.tc.SpanID,
+			Name: "job:" + string(j.status.Type), Start: j.status.CreatedAt,
+			Seconds: j.status.FinishedAt.Sub(j.status.CreatedAt).Seconds(),
+			Attrs: map[string]string{
+				"id":    j.status.ID,
+				"state": string(j.status.State),
+			},
+		})
+	}
 }
 
 // purgeLocked drops terminal jobs older than the retention TTL and, if

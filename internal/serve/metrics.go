@@ -1,183 +1,145 @@
 package serve
 
 import (
-	"fmt"
 	"sort"
-	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// batchBuckets are the upper bounds of the batch-size histogram.
-var batchBuckets = []int{1, 2, 4, 8, 16, 32, 64}
+// batchSizeBuckets are the upper bounds of the micro-batch size histogram.
+var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
 
-// Metrics is the service's instrumentation: per-route request counters and
-// latency accumulators, the micro-batch size histogram, queue depth, and
-// cache counters. It renders in Prometheus text exposition format so any
-// scraper (or the load generator in cmd/sickle-bench) can consume it.
+// Metrics is the service's instrumentation, backed by the shared
+// obs.Registry: per-route request counters and latency histograms, the
+// micro-batch size histogram, queue depth, job states, and cache counters.
+// The registry renders Prometheus text exposition (with # HELP/# TYPE and
+// le-bucketed histograms) so any scraper — or the load generator in
+// cmd/sickle-bench — can consume it. All pre-registry series names are
+// preserved; sickle_request_seconds_sum{route} is now the _sum series of
+// the sickle_request_seconds histogram.
 type Metrics struct {
-	mu sync.Mutex
+	reg *obs.Registry
 
-	routeCount   map[string]int64
-	routeErrors  map[string]int64
-	routeSeconds map[string]float64
+	requests *obs.CounterVec
+	errors   *obs.CounterVec
+	seconds  *obs.HistogramVec
+	batch    *obs.Histogram
+	inflight *obs.Gauge
+	rejected *obs.Counter
 
-	batchCounts  []int64 // parallel to batchBuckets, plus +Inf at the end
-	batchSum     int64
-	batchBatches int64
-
-	inflight int64
-
-	// rejected counts requests refused at admission because a bounded
-	// queue was full (the typed overloaded error / HTTP 429).
-	rejected int64
-
-	// queueDepth reports the live aggregate depth of the per-model queues;
-	// installed by the batcher.
-	queueDepth func() int
-
-	// jobStats reports live job counts by state; installed by the server's
-	// job manager.
-	jobStats func() map[string]int
+	mu         sync.Mutex
+	cacheBound bool
 }
 
-// NewMetrics returns an empty collector.
+// NewMetrics returns a collector over a fresh registry, with the process
+// runtime gauges (goroutines, heap, GC, tensor pool, build info) attached.
 func NewMetrics() *Metrics {
-	return &Metrics{
-		routeCount:   map[string]int64{},
-		routeErrors:  map[string]int64{},
-		routeSeconds: map[string]float64{},
-		batchCounts:  make([]int64, len(batchBuckets)+1),
+	reg := obs.NewRegistry()
+	m := &Metrics{
+		reg: reg,
+		requests: reg.Counter("sickle_requests_total",
+			"Requests served, by route.", "route"),
+		errors: reg.Counter("sickle_request_errors_total",
+			"Requests that returned an error, by route.", "route"),
+		seconds: reg.Histogram("sickle_request_seconds",
+			"Request latency in seconds, by route.", nil, "route"),
+		batch: reg.Histogram("sickle_batch_size",
+			"Size of dispatched micro-batches.", batchSizeBuckets).With(),
+		inflight: reg.Gauge("sickle_inflight_requests",
+			"Requests currently being handled.").With(),
+		rejected: reg.Counter("sickle_rejected_requests_total",
+			"Requests refused at admission because a bounded queue was full.").With(),
 	}
+	obs.RegisterRuntime(reg)
+	return m
 }
+
+// Registry exposes the underlying registry so the server can mount extra
+// probes (and the debug mux can share /metrics).
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
 
 // ObserveRequest records one request on a route.
 func (m *Metrics) ObserveRequest(route string, d time.Duration, failed bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.routeCount[route]++
-	m.routeSeconds[route] += d.Seconds()
+	m.requests.With(route).Inc()
+	m.seconds.With(route).Observe(d.Seconds())
 	if failed {
-		m.routeErrors[route]++
+		m.errors.With(route).Inc()
 	}
 }
 
 // ObserveBatch records one dispatched micro-batch of the given size.
 func (m *Metrics) ObserveBatch(size int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	i := 0
-	for i < len(batchBuckets) && size > batchBuckets[i] {
-		i++
-	}
-	m.batchCounts[i]++
-	m.batchSum += int64(size)
-	m.batchBatches++
+	m.batch.Observe(float64(size))
 }
 
 // MeanBatchSize returns the average size of dispatched batches (0 if none).
 func (m *Metrics) MeanBatchSize() float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.batchBatches == 0 {
-		return 0
+	if n := m.batch.Count(); n > 0 {
+		return m.batch.Sum() / float64(n)
 	}
-	return float64(m.batchSum) / float64(m.batchBatches)
+	return 0
 }
 
 // AddInflight adjusts the in-flight request gauge.
 func (m *Metrics) AddInflight(d int64) {
-	m.mu.Lock()
-	m.inflight += d
-	m.mu.Unlock()
+	m.inflight.Add(float64(d))
 }
 
 // ObserveRejected counts one request rejected for backpressure.
 func (m *Metrics) ObserveRejected() {
-	m.mu.Lock()
-	m.rejected++
-	m.mu.Unlock()
+	m.rejected.Inc()
 }
 
 // RejectedTotal returns the cumulative backpressure rejections.
 func (m *Metrics) RejectedTotal() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.rejected
+	return int64(m.rejected.Value())
 }
 
 // SetQueueDepthFunc installs the live queue-depth probe.
 func (m *Metrics) SetQueueDepthFunc(f func() int) {
-	m.mu.Lock()
-	m.queueDepth = f
-	m.mu.Unlock()
+	m.reg.GaugeFunc("sickle_queue_depth",
+		"Aggregate depth of the per-model batch queues.",
+		func() float64 { return float64(f()) })
 }
 
 // SetJobStatsFunc installs the live job-state counter probe.
 func (m *Metrics) SetJobStatsFunc(f func() map[string]int) {
-	m.mu.Lock()
-	m.jobStats = f
-	m.mu.Unlock()
+	m.reg.GaugeMapFunc("sickle_jobs",
+		"Jobs by lifecycle state.", "state",
+		func() map[string]float64 {
+			out := map[string]float64{}
+			for state, n := range f() {
+				out[state] = float64(n)
+			}
+			return out
+		})
 }
 
-// Render writes the Prometheus text format. cache may be nil.
+// Render writes the Prometheus text exposition. cache may be nil; the
+// first non-nil cache binds the sickle_cache_* probes.
 func (m *Metrics) Render(cache *LRU) string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var b strings.Builder
-
-	fmt.Fprintf(&b, "# TYPE sickle_requests_total counter\n")
-	for _, route := range sortedKeys(m.routeCount) {
-		fmt.Fprintf(&b, "sickle_requests_total{route=%q} %d\n", route, m.routeCount[route])
-	}
-	fmt.Fprintf(&b, "# TYPE sickle_request_errors_total counter\n")
-	for _, route := range sortedKeys(m.routeErrors) {
-		fmt.Fprintf(&b, "sickle_request_errors_total{route=%q} %d\n", route, m.routeErrors[route])
-	}
-	fmt.Fprintf(&b, "# TYPE sickle_request_seconds_sum counter\n")
-	for _, route := range sortedKeys(m.routeSeconds) {
-		fmt.Fprintf(&b, "sickle_request_seconds_sum{route=%q} %g\n", route, m.routeSeconds[route])
-	}
-
-	fmt.Fprintf(&b, "# TYPE sickle_batch_size histogram\n")
-	cum := int64(0)
-	for i, ub := range batchBuckets {
-		cum += m.batchCounts[i]
-		fmt.Fprintf(&b, "sickle_batch_size_bucket{le=\"%d\"} %d\n", ub, cum)
-	}
-	cum += m.batchCounts[len(batchBuckets)]
-	fmt.Fprintf(&b, "sickle_batch_size_bucket{le=\"+Inf\"} %d\n", cum)
-	fmt.Fprintf(&b, "sickle_batch_size_sum %d\n", m.batchSum)
-	fmt.Fprintf(&b, "sickle_batch_size_count %d\n", m.batchBatches)
-
-	fmt.Fprintf(&b, "# TYPE sickle_inflight_requests gauge\n")
-	fmt.Fprintf(&b, "sickle_inflight_requests %d\n", m.inflight)
-	fmt.Fprintf(&b, "# TYPE sickle_rejected_requests_total counter\n")
-	fmt.Fprintf(&b, "sickle_rejected_requests_total %d\n", m.rejected)
-	if m.queueDepth != nil {
-		fmt.Fprintf(&b, "# TYPE sickle_queue_depth gauge\n")
-		fmt.Fprintf(&b, "sickle_queue_depth %d\n", m.queueDepth())
-	}
-	if m.jobStats != nil {
-		fmt.Fprintf(&b, "# TYPE sickle_jobs gauge\n")
-		stats := m.jobStats()
-		for _, state := range sortedKeys(stats) {
-			fmt.Fprintf(&b, "sickle_jobs{state=%q} %d\n", state, stats[state])
-		}
-	}
-
 	if cache != nil {
-		hits, misses, evictions := cache.Stats()
-		fmt.Fprintf(&b, "# TYPE sickle_cache_hits_total counter\n")
-		fmt.Fprintf(&b, "sickle_cache_hits_total %d\n", hits)
-		fmt.Fprintf(&b, "# TYPE sickle_cache_misses_total counter\n")
-		fmt.Fprintf(&b, "sickle_cache_misses_total %d\n", misses)
-		fmt.Fprintf(&b, "# TYPE sickle_cache_evictions_total counter\n")
-		fmt.Fprintf(&b, "sickle_cache_evictions_total %d\n", evictions)
-		fmt.Fprintf(&b, "# TYPE sickle_cache_entries gauge\n")
-		fmt.Fprintf(&b, "sickle_cache_entries %d\n", cache.Len())
+		m.mu.Lock()
+		if !m.cacheBound {
+			m.cacheBound = true
+			m.reg.CounterFunc("sickle_cache_hits_total",
+				"Inference cache hits.",
+				func() float64 { h, _, _ := cache.Stats(); return float64(h) })
+			m.reg.CounterFunc("sickle_cache_misses_total",
+				"Inference cache misses.",
+				func() float64 { _, mi, _ := cache.Stats(); return float64(mi) })
+			m.reg.CounterFunc("sickle_cache_evictions_total",
+				"Inference cache evictions.",
+				func() float64 { _, _, e := cache.Stats(); return float64(e) })
+			m.reg.GaugeFunc("sickle_cache_entries",
+				"Entries currently resident in the inference cache.",
+				func() float64 { return float64(cache.Len()) })
+		}
+		m.mu.Unlock()
 	}
-	return b.String()
+	return m.reg.Render()
 }
 
 func sortedKeys[V any](m map[string]V) []string {

@@ -274,9 +274,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	// Wait until all n requests have entered their handler (in-flight or
 	// already finished); Shutdown then must drain, not drop, them.
 	admitted := func() int64 {
-		s.met.mu.Lock()
-		defer s.met.mu.Unlock()
-		return s.met.inflight + s.met.routeCount["/v1/infer"]
+		return int64(s.met.inflight.Value() + s.met.requests.With("/v1/infer").Value())
 	}
 	deadline := time.Now().Add(10 * time.Second)
 	for admitted() < n {

@@ -23,6 +23,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
+	olog "repro/internal/obs/log"
 	"repro/internal/tensor"
 	"repro/internal/train"
 	"repro/pkg/api"
@@ -40,6 +42,12 @@ type Config struct {
 	JobWorkers   int           // concurrent jobs (default 2)
 	MaxJobs      int           // live-job admission bound (default 64)
 	JobTTL       time.Duration // terminal-job retention (default 15m)
+
+	// Logger receives request and lifecycle logs; nil discards them.
+	Logger *olog.Logger
+	// TraceCapacity bounds the in-memory span ring behind /debug/traces
+	// (default obs.DefaultTraceCapacity).
+	TraceCapacity int
 }
 
 func (c *Config) defaults() {
@@ -63,6 +71,8 @@ type Server struct {
 	cache    *LRU
 	jobs     *JobManager
 	met      *Metrics
+	tracer   *obs.Tracer
+	logger   *olog.Logger
 	httpSrv  *http.Server
 	start    time.Time
 	draining atomic.Bool
@@ -85,9 +95,13 @@ func NewServer(cfg Config) *Server {
 		cache:   NewLRU(cfg.CacheEntries),
 		jobs:    NewJobManager(cfg.JobWorkers, cfg.MaxJobs, cfg.JobTTL),
 		met:     met,
+		tracer:  obs.NewTracer("serve", cfg.TraceCapacity),
+		logger:  cfg.Logger,
 		start:   time.Now(),
 	}
 	met.SetJobStatsFunc(s.jobs.Stats)
+	s.batcher.SetTracer(s.tracer)
+	s.jobs.SetTracer(s.tracer)
 	s.httpSrv = &http.Server{Addr: cfg.Addr, Handler: s.Handler()}
 	return s
 }
@@ -104,12 +118,16 @@ func (s *Server) Cache() *LRU { return s.cache }
 // Jobs exposes the job manager (tests and embedders).
 func (s *Server) Jobs() *JobManager { return s.jobs }
 
+// Tracer exposes the span ring behind /debug/traces (tests and embedders).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
 // Handler returns the route mux (also usable under httptest). The /v1
 // routes are the frozen compatibility shim; /v2 is the current surface.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	s.tracer.Mount(mux)
 	mux.HandleFunc("GET /api/version", s.instrument("/api/version", s.handleVersion))
 
 	// v1: legacy envelope, original status mapping.
@@ -186,14 +204,36 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// instrument wraps a handler with latency/error accounting.
+// instrument wraps a handler with latency/error accounting, a server span
+// (joining the caller's trace when an X-Sickle-Trace header is present,
+// minting one otherwise), and a trace-ID-stamped request log.
 func (s *Server) instrument(route string, h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		ctx := r.Context()
+		if tc, ok := api.ParseTraceHeader(r.Header.Get(api.TraceHeader)); ok {
+			ctx = api.WithTrace(ctx, tc)
+		}
+		ctx, span := s.tracer.StartSpan(ctx, "server:"+route)
+		span.SetAttr("method", r.Method)
 		t0 := time.Now()
 		s.met.AddInflight(1)
-		err := h(w, r)
+		err := h(w, r.WithContext(ctx))
 		s.met.AddInflight(-1)
-		s.met.ObserveRequest(route, time.Since(t0), err != nil)
+		d := time.Since(t0)
+		s.met.ObserveRequest(route, d, err != nil)
+		if err != nil {
+			span.SetAttr("error", string(api.AsError(err).Code))
+		}
+		span.End()
+		if s.logger.Enabled(olog.LevelDebug) || err != nil {
+			kv := []any{"route", route, "method", r.Method,
+				"trace", span.TraceID(), "seconds", d.Seconds()}
+			if err != nil {
+				s.logger.Warn("request failed", append(kv, "error", err.Error())...)
+			} else {
+				s.logger.Debug("request", kv...)
+			}
+		}
 	}
 }
 
@@ -423,7 +463,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) error {
 		return writeAPIError(w, api.Errorf(api.CodeInvalidArgument,
 			"unknown job type %q (want %q or %q)", req.Type, api.JobSubsample, api.JobTrain))
 	}
-	job, err := s.jobs.Submit(req.Type, runner)
+	job, err := s.jobs.SubmitTraced(r.Context(), req.Type, runner)
 	if err != nil {
 		return writeAPIError(w, err)
 	}

@@ -1,155 +1,123 @@
 package shard
 
 import (
-	"fmt"
 	"sort"
-	"strings"
-	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// Metrics is the router's instrumentation: per-replica liveness and
-// routing counters, failover/ejection/re-admission counters, and
-// per-route request accounting. Rendered in Prometheus text exposition
-// format on GET /metrics.
+// Metrics is the router's instrumentation, backed by the shared
+// obs.Registry: per-replica liveness and routing counters,
+// failover/ejection/re-admission counters, and per-route request
+// accounting with latency histograms. Rendered as Prometheus text
+// exposition (with # HELP/# TYPE) on GET /metrics. All pre-registry
+// series names are preserved; sickle_shard_request_seconds_sum{route} is
+// now the _sum series of the sickle_shard_request_seconds histogram.
 type Metrics struct {
-	mu sync.Mutex
+	reg *obs.Registry
 
-	up     map[string]int   // replica -> 0/1
-	routed map[string]int64 // replica -> successfully routed requests
-	failed map[string]int64 // replica -> failed downstream calls
-
-	failovers    int64 // requests retried on a non-primary ring node
-	ejections    int64
-	readmissions int64
-
-	routeCount   map[string]int64
-	routeErrors  map[string]int64
-	routeSeconds map[string]float64
+	up           *obs.GaugeVec
+	routed       *obs.CounterVec
+	failed       *obs.CounterVec
+	failovers    *obs.Counter
+	ejections    *obs.Counter
+	readmissions *obs.Counter
+	requests     *obs.CounterVec
+	errors       *obs.CounterVec
+	seconds      *obs.HistogramVec
 }
 
-// NewMetrics returns an empty collector.
+// NewMetrics returns a collector over a fresh registry, with the process
+// runtime gauges (goroutines, heap, GC, build info) attached.
 func NewMetrics() *Metrics {
-	return &Metrics{
-		up:           map[string]int{},
-		routed:       map[string]int64{},
-		failed:       map[string]int64{},
-		routeCount:   map[string]int64{},
-		routeErrors:  map[string]int64{},
-		routeSeconds: map[string]float64{},
+	reg := obs.NewRegistry()
+	m := &Metrics{
+		reg: reg,
+		up: reg.Gauge("sickle_shard_replica_up",
+			"Replica liveness (1 up, 0 ejected).", "replica"),
+		routed: reg.Counter("sickle_shard_routed_requests_total",
+			"Requests successfully served, by replica.", "replica"),
+		failed: reg.Counter("sickle_shard_failed_requests_total",
+			"Downstream calls that failed, by replica.", "replica"),
+		failovers: reg.Counter("sickle_shard_failovers_total",
+			"Requests retried on a non-primary ring node.").With(),
+		ejections: reg.Counter("sickle_shard_ejections_total",
+			"Replicas ejected from the ring.").With(),
+		readmissions: reg.Counter("sickle_shard_readmissions_total",
+			"Replicas re-admitted to the ring.").With(),
+		requests: reg.Counter("sickle_shard_requests_total",
+			"Router requests, by route.", "route"),
+		errors: reg.Counter("sickle_shard_request_errors_total",
+			"Router requests that returned an error, by route.", "route"),
+		seconds: reg.Histogram("sickle_shard_request_seconds",
+			"Router request latency in seconds, by route.", nil, "route"),
 	}
+	obs.RegisterRuntime(reg)
+	return m
 }
+
+// Registry exposes the underlying registry so the router can mount extra
+// probes (and the debug mux can share /metrics).
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
 
 // SetUp records a replica's liveness gauge.
 func (m *Metrics) SetUp(replica string, up bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	v := 0.0
 	if up {
-		m.up[replica] = 1
-	} else {
-		m.up[replica] = 0
+		v = 1
 	}
+	m.up.With(replica).Set(v)
 }
 
 // ObserveRouted counts one request successfully served by replica.
 func (m *Metrics) ObserveRouted(replica string) {
-	m.mu.Lock()
-	m.routed[replica]++
-	m.mu.Unlock()
+	m.routed.With(replica).Inc()
 }
 
 // ObserveFailed counts one downstream call that failed on replica (and was
 // failed over or surfaced to the client).
 func (m *Metrics) ObserveFailed(replica string) {
-	m.mu.Lock()
-	m.failed[replica]++
-	m.mu.Unlock()
+	m.failed.With(replica).Inc()
 }
 
 // ObserveFailover counts one attempt on a non-primary ring node.
 func (m *Metrics) ObserveFailover() {
-	m.mu.Lock()
-	m.failovers++
-	m.mu.Unlock()
+	m.failovers.Inc()
 }
 
 // ObserveEjection counts one replica leaving the ring.
 func (m *Metrics) ObserveEjection() {
-	m.mu.Lock()
-	m.ejections++
-	m.mu.Unlock()
+	m.ejections.Inc()
 }
 
 // ObserveReadmission counts one replica rejoining the ring.
 func (m *Metrics) ObserveReadmission() {
-	m.mu.Lock()
-	m.readmissions++
-	m.mu.Unlock()
+	m.readmissions.Inc()
 }
 
 // ObserveRequest records one router request on a route.
 func (m *Metrics) ObserveRequest(route string, d time.Duration, failed bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.routeCount[route]++
-	m.routeSeconds[route] += d.Seconds()
+	m.requests.With(route).Inc()
+	m.seconds.With(route).Observe(d.Seconds())
 	if failed {
-		m.routeErrors[route]++
+		m.errors.With(route).Inc()
 	}
 }
 
 // RoutedTotal returns the routed counter for one replica (tests).
 func (m *Metrics) RoutedTotal(replica string) int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.routed[replica]
+	return int64(m.routed.With(replica).Value())
 }
 
 // FailoversTotal returns the cumulative failover count (tests).
 func (m *Metrics) FailoversTotal() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.failovers
+	return int64(m.failovers.Value())
 }
 
-// Render writes the Prometheus text format.
+// Render writes the Prometheus text exposition.
 func (m *Metrics) Render() string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var b strings.Builder
-
-	fmt.Fprintf(&b, "# TYPE sickle_shard_replica_up gauge\n")
-	for _, r := range sortedKeys(m.up) {
-		fmt.Fprintf(&b, "sickle_shard_replica_up{replica=%q} %d\n", r, m.up[r])
-	}
-	fmt.Fprintf(&b, "# TYPE sickle_shard_routed_requests_total counter\n")
-	for _, r := range sortedKeys(m.routed) {
-		fmt.Fprintf(&b, "sickle_shard_routed_requests_total{replica=%q} %d\n", r, m.routed[r])
-	}
-	fmt.Fprintf(&b, "# TYPE sickle_shard_failed_requests_total counter\n")
-	for _, r := range sortedKeys(m.failed) {
-		fmt.Fprintf(&b, "sickle_shard_failed_requests_total{replica=%q} %d\n", r, m.failed[r])
-	}
-	fmt.Fprintf(&b, "# TYPE sickle_shard_failovers_total counter\n")
-	fmt.Fprintf(&b, "sickle_shard_failovers_total %d\n", m.failovers)
-	fmt.Fprintf(&b, "# TYPE sickle_shard_ejections_total counter\n")
-	fmt.Fprintf(&b, "sickle_shard_ejections_total %d\n", m.ejections)
-	fmt.Fprintf(&b, "# TYPE sickle_shard_readmissions_total counter\n")
-	fmt.Fprintf(&b, "sickle_shard_readmissions_total %d\n", m.readmissions)
-
-	fmt.Fprintf(&b, "# TYPE sickle_shard_requests_total counter\n")
-	for _, route := range sortedKeys(m.routeCount) {
-		fmt.Fprintf(&b, "sickle_shard_requests_total{route=%q} %d\n", route, m.routeCount[route])
-	}
-	fmt.Fprintf(&b, "# TYPE sickle_shard_request_errors_total counter\n")
-	for _, route := range sortedKeys(m.routeErrors) {
-		fmt.Fprintf(&b, "sickle_shard_request_errors_total{route=%q} %d\n", route, m.routeErrors[route])
-	}
-	fmt.Fprintf(&b, "# TYPE sickle_shard_request_seconds_sum counter\n")
-	for _, route := range sortedKeys(m.routeSeconds) {
-		fmt.Fprintf(&b, "sickle_shard_request_seconds_sum{route=%q} %g\n", route, m.routeSeconds[route])
-	}
-	return b.String()
+	return m.reg.Render()
 }
 
 func sortedKeys[V any](m map[string]V) []string {

@@ -11,6 +11,8 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
+	olog "repro/internal/obs/log"
 	"repro/pkg/api"
 )
 
@@ -23,6 +25,12 @@ type Config struct {
 	FailAfter   int           // consecutive failures before ejection (default 2)
 	MaxFailover int           // extra ring nodes tried after the primary (default 2)
 	HTTPClient  *http.Client  // optional downstream transport override (tests)
+
+	// Logger receives request and lifecycle logs; nil discards them.
+	Logger *olog.Logger
+	// TraceCapacity bounds the in-memory span ring behind /debug/traces
+	// (default obs.DefaultTraceCapacity).
+	TraceCapacity int
 }
 
 // Router fronts a ReplicaSet with the pkg/api HTTP surface. Keyed
@@ -34,6 +42,8 @@ type Router struct {
 	cfg     Config
 	rs      *ReplicaSet
 	met     *Metrics
+	tracer  *obs.Tracer
+	logger  *olog.Logger
 	httpSrv *http.Server
 	start   time.Time
 
@@ -67,6 +77,8 @@ func NewRouter(cfg Config) (*Router, error) {
 		cfg:      cfg,
 		rs:       rs,
 		met:      met,
+		tracer:   obs.NewTracer("shard", cfg.TraceCapacity),
+		logger:   cfg.Logger,
 		start:    time.Now(),
 		jobOwner: map[string]string{},
 	}
@@ -79,6 +91,9 @@ func (rt *Router) ReplicaSet() *ReplicaSet { return rt.rs }
 
 // Metrics exposes the collector (tests).
 func (rt *Router) Metrics() *Metrics { return rt.met }
+
+// Tracer exposes the span ring behind /debug/traces (tests and embedders).
+func (rt *Router) Tracer() *obs.Tracer { return rt.tracer }
 
 // Start launches the background health prober.
 func (rt *Router) Start() { rt.rs.Start() }
@@ -117,6 +132,8 @@ func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", rt.instrument("/healthz", rt.handleHealthz))
 	mux.HandleFunc("/metrics", rt.handleMetrics)
+	mux.HandleFunc("GET /debug/traces", rt.tracer.HandleTraceList)
+	mux.HandleFunc("GET /debug/traces/{id}", rt.handleDebugTrace)
 	mux.HandleFunc("GET /api/version", rt.instrument("/api/version", rt.handleVersion))
 
 	mux.HandleFunc("POST /v2/infer", rt.instrument("/v2/infer", rt.handleInfer))
@@ -148,11 +165,34 @@ func (rt *Router) Handler() http.Handler {
 	return mux
 }
 
+// instrument wraps a handler with latency/error accounting, a router span
+// (joining the caller's trace when an X-Sickle-Trace header is present,
+// minting one otherwise), and a trace-ID-stamped request log.
 func (rt *Router) instrument(route string, h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		ctx := r.Context()
+		if tc, ok := api.ParseTraceHeader(r.Header.Get(api.TraceHeader)); ok {
+			ctx = api.WithTrace(ctx, tc)
+		}
+		ctx, span := rt.tracer.StartSpan(ctx, "router:"+route)
+		span.SetAttr("method", r.Method)
 		t0 := time.Now()
-		err := h(w, r)
-		rt.met.ObserveRequest(route, time.Since(t0), err != nil)
+		err := h(w, r.WithContext(ctx))
+		d := time.Since(t0)
+		rt.met.ObserveRequest(route, d, err != nil)
+		if err != nil {
+			span.SetAttr("error", string(api.AsError(err).Code))
+		}
+		span.End()
+		if rt.logger.Enabled(olog.LevelDebug) || err != nil {
+			kv := []any{"route", route, "method", r.Method,
+				"trace", span.TraceID(), "seconds", d.Seconds()}
+			if err != nil {
+				rt.logger.Warn("request failed", append(kv, "error", err.Error())...)
+			} else {
+				rt.logger.Debug("request", kv...)
+			}
+		}
 	}
 }
 
@@ -167,18 +207,35 @@ func (rt *Router) instrument(route string, h func(http.ResponseWriter, *http.Req
 // lost" — safe to retry for idempotent work, not for submissions. Any
 // other answer — success or an application-level error — is final and
 // passes through unchanged. Returns the replica that answered.
-func (rt *Router) route(key string, retryUnavailable bool, fn func(*Replica) error) (*Replica, error) {
+//
+// Tracing: one route:<key> span covers the whole candidate walk, with one
+// client:<replicaID> child span per attempt; fn receives the attempt's
+// context so the downstream call (and the X-Sickle-Trace header pkg/client
+// attaches) is parented to its own attempt.
+func (rt *Router) route(ctx context.Context, key string, retryUnavailable bool, fn func(context.Context, *Replica) error) (*Replica, error) {
 	cands := rt.rs.Sequence(key, 1+rt.cfg.MaxFailover)
 	if len(cands) == 0 {
 		return nil, api.Errorf(api.CodeUnavailable, "shard: no replicas configured")
 	}
+	ctx, routeSpan := rt.tracer.StartSpan(ctx, "route:"+key)
+	defer routeSpan.End()
 	var lastErr error
 	for i, r := range cands {
 		if i > 0 {
 			rt.met.ObserveFailover()
 		}
-		err := fn(r)
+		attemptCtx, attempt := rt.tracer.StartSpan(ctx, "client:"+r.ID)
+		attempt.SetAttr("url", r.URL)
+		if i > 0 {
+			attempt.SetAttr("failover", strconv.Itoa(i))
+		}
+		err := fn(attemptCtx, r)
+		if err != nil {
+			attempt.SetAttr("error", string(api.AsError(err).Code))
+		}
+		attempt.End()
 		if err == nil {
+			routeSpan.SetAttr("replica", r.ID)
 			rt.met.ObserveRouted(r.ID)
 			rt.rs.NoteOK(r)
 			return r, nil
@@ -245,8 +302,8 @@ func (rt *Router) handleInfer(w http.ResponseWriter, r *http.Request) error {
 		return writeAPIError(w, err)
 	}
 	var resp *api.InferResponse
-	_, err := rt.route(req.Model, true, func(rep *Replica) error {
-		out, err := rep.C.Infer(r.Context(), &req)
+	_, err := rt.route(r.Context(), req.Model, true, func(ctx context.Context, rep *Replica) error {
+		out, err := rep.C.Infer(ctx, &req)
 		if err != nil {
 			return err
 		}
@@ -265,8 +322,8 @@ func (rt *Router) handleSubsample(w http.ResponseWriter, r *http.Request) error 
 		return writeAPIError(w, err)
 	}
 	var resp *api.SubsampleResponse
-	_, err := rt.route(subsampleKey(&req), true, func(rep *Replica) error {
-		out, err := rep.C.Subsample(r.Context(), &req)
+	_, err := rt.route(r.Context(), subsampleKey(&req), true, func(ctx context.Context, rep *Replica) error {
+		out, err := rep.C.Subsample(ctx, &req)
 		if err != nil {
 			return err
 		}
@@ -288,8 +345,8 @@ func (rt *Router) handleRegisterModel(w http.ResponseWriter, r *http.Request) er
 	// harmless hot-swap to identical weights, and the infer failover order
 	// visits the same successor the retry lands on.
 	var info *api.ModelInfo
-	_, err := rt.route(req.Name, true, func(rep *Replica) error {
-		out, err := rep.C.RegisterModel(r.Context(), &req)
+	_, err := rt.route(r.Context(), req.Name, true, func(ctx context.Context, rep *Replica) error {
+		out, err := rep.C.RegisterModel(ctx, &req)
 		if err != nil {
 			return err
 		}
@@ -449,8 +506,8 @@ func (rt *Router) handleSubmitJob(w http.ResponseWriter, r *http.Request) error 
 	// still move to the next ring node; once the prober ejects a dead
 	// primary, new submissions hash straight to its successor.
 	var job *api.Job
-	rep, err := rt.route(submitKey(&req), false, func(rep *Replica) error {
-		out, err := rep.C.SubmitJob(r.Context(), &req)
+	rep, err := rt.route(r.Context(), submitKey(&req), false, func(ctx context.Context, rep *Replica) error {
+		out, err := rep.C.SubmitJob(ctx, &req)
 		if err != nil {
 			return err
 		}
@@ -587,6 +644,45 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) error {
 func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	w.Write([]byte(rt.met.Render()))
+}
+
+// handleDebugTrace merges the router's own spans for one trace with the
+// spans every live replica recorded for it, yielding the end-to-end view
+// (router, client attempts, replica server/queue/execute) in one payload.
+// Replicas that do not know the trace (or are down) are skipped; the merge
+// is best-effort and bounded by a short timeout.
+func (rt *Router) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	spans := rt.tracer.Spans(id)
+
+	ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+	defer cancel()
+	var mu sync.Mutex
+	rt.scatter(func(rep *Replica) error {
+		raw, err := rep.C.DebugTraceJSON(ctx, id)
+		if err != nil {
+			// A replica without the trace is not a failed replica: only
+			// transport-level unavailability should count against health.
+			if api.AsError(err).Code == api.CodeUnavailable {
+				return err
+			}
+			return nil
+		}
+		var payload obs.TracePayload
+		if json.Unmarshal(raw, &payload) != nil {
+			return nil
+		}
+		mu.Lock()
+		spans = append(spans, payload.Spans...)
+		mu.Unlock()
+		return nil
+	})
+	sort.SliceStable(spans, func(a, b int) bool { return spans[a].Start.Before(spans[b].Start) })
+	if len(spans) == 0 {
+		writeAPIError(w, api.Errorf(api.CodeNotFound, "shard: no trace %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, obs.TracePayload{TraceID: id, Spans: spans})
 }
 
 // ---- shared helpers (mirrors internal/serve's envelope discipline) ----

@@ -44,9 +44,13 @@ import (
 
 	"repro/internal/grid"
 	"repro/internal/minimpi"
+	"repro/internal/obs"
 	"repro/internal/sampling"
 	"repro/internal/sickle"
 	"repro/internal/stats"
+	"repro/pkg/api"
+
+	"strconv"
 )
 
 // Config sizes the streaming pipeline.
@@ -76,6 +80,14 @@ type Config struct {
 	ShardPrefix string
 	// Cost is the simulated interconnect model charged for the merges.
 	Cost minimpi.CostModel
+	// Metrics, when non-nil, receives stage-level pipeline metrics
+	// (snapshots ingested, points selected, backpressure stalls, buffered
+	// bytes, reservoir occupancy) under sickle_stream_* family names.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, records one trace per Run: a pipeline:run root
+	// span with phase1:select, per-snapshot phase2:snapshot, and
+	// merge:sketch child spans. The trace ID comes back in Result.TraceID.
+	Tracer *obs.Tracer
 }
 
 func (c *Config) defaults() {
@@ -113,6 +125,12 @@ type Result struct {
 	PeakBufferedBytes int64
 	// MergeRounds counts the collective sketch merges performed.
 	MergeRounds int
+	// Stalls counts producer backpressure stalls (reserve found the window
+	// full and had to wait); StallSeconds is their summed wait time.
+	Stalls       int
+	StallSeconds float64
+	// TraceID identifies the run's trace when Config.Tracer was set.
+	TraceID string
 	// Sketch is the merged global occupancy sketch of the selected
 	// features (its UniformityIndex is the selection-quality stat).
 	Sketch *stats.NDHistogram
@@ -136,31 +154,92 @@ type message struct {
 	merge bool
 }
 
+// instruments bundles the optional sickle_stream_* metric handles. All
+// series handles are nil-safe no-ops when Config.Metrics is unset, so the
+// instrumented paths never branch.
+type instruments struct {
+	snapshots *obs.Counter
+	points    *obs.Counter
+	merges    *obs.Counter
+	stalls    *obs.Counter
+	stallSecs *obs.Counter
+	buffered  *obs.Gauge
+	bufBytes  *obs.Gauge
+	snapSec   *obs.Histogram
+	reservoir *obs.GaugeVec // per-rank reservoir occupancy
+}
+
+func newInstruments(reg *obs.Registry) *instruments {
+	ins := &instruments{}
+	if reg == nil {
+		return ins
+	}
+	ins.snapshots = reg.Counter("sickle_stream_snapshots_total",
+		"Snapshots ingested by the streaming pipeline.").With()
+	ins.points = reg.Counter("sickle_stream_points_total",
+		"Points selected by phase 2, before any reservoir reduction.").With()
+	ins.merges = reg.Counter("sickle_stream_merge_rounds_total",
+		"Collective sketch merge rounds performed.").With()
+	ins.stalls = reg.Counter("sickle_stream_backpressure_stalls_total",
+		"Producer stalls waiting for a free window slot.").With()
+	ins.stallSecs = reg.Counter("sickle_stream_backpressure_stall_seconds_total",
+		"Total seconds the producer spent stalled on the window.").With()
+	ins.buffered = reg.Gauge("sickle_stream_buffered_snapshots",
+		"Snapshots currently buffered in the window.").With()
+	ins.bufBytes = reg.Gauge("sickle_stream_buffered_bytes",
+		"Bytes of snapshot data currently buffered in the window.").With()
+	ins.snapSec = reg.Histogram("sickle_stream_snapshot_seconds",
+		"Per-snapshot phase-2 processing time in seconds.", nil).With()
+	ins.reservoir = reg.Gauge("sickle_stream_reservoir_items",
+		"Items currently held in a rank's per-cube reservoirs.", "rank")
+	return ins
+}
+
 // windowTracker enforces the in-flight snapshot window and records the
 // high-water marks reported in Result. A slot is reserved BEFORE the source
 // materializes the next snapshot, so the snapshot in the producer's hand is
 // counted: the reported peak is the true residency, not residency minus one.
 type windowTracker struct {
 	sem       chan struct{}
+	ins       *instruments
 	mu        sync.Mutex
 	cur, peak int
 	curBytes  int64
 	peakBytes int64
+	stalls    int
+	stallSecs float64
 }
 
-func newWindowTracker(window int) *windowTracker {
-	return &windowTracker{sem: make(chan struct{}, window)}
+func newWindowTracker(window int, ins *instruments) *windowTracker {
+	return &windowTracker{sem: make(chan struct{}, window), ins: ins}
 }
 
-// reserve claims a window slot for a snapshot about to be produced.
+// reserve claims a window slot for a snapshot about to be produced. A full
+// window means the samplers are behind the solver: the wait is counted as a
+// backpressure stall so the imbalance is visible, not just implied by
+// throughput.
 func (t *windowTracker) reserve() {
-	t.sem <- struct{}{}
+	select {
+	case t.sem <- struct{}{}:
+	default:
+		start := time.Now()
+		t.sem <- struct{}{}
+		wait := time.Since(start).Seconds()
+		t.mu.Lock()
+		t.stalls++
+		t.stallSecs += wait
+		t.mu.Unlock()
+		t.ins.stalls.Inc()
+		t.ins.stallSecs.Add(wait)
+	}
 	t.mu.Lock()
 	t.cur++
 	if t.cur > t.peak {
 		t.peak = t.cur
 	}
+	cur := t.cur
 	t.mu.Unlock()
+	t.ins.buffered.Set(float64(cur))
 }
 
 // addBytes records the size of the snapshot that filled the reserved slot.
@@ -170,23 +249,30 @@ func (t *windowTracker) addBytes(bytes int64) {
 	if t.curBytes > t.peakBytes {
 		t.peakBytes = t.curBytes
 	}
+	cur := t.curBytes
 	t.mu.Unlock()
+	t.ins.bufBytes.Set(float64(cur))
 }
 
 // cancel returns a reserved slot that never received a snapshot (EOF/error).
 func (t *windowTracker) cancel() {
 	t.mu.Lock()
 	t.cur--
+	cur := t.cur
 	t.mu.Unlock()
 	<-t.sem
+	t.ins.buffered.Set(float64(cur))
 }
 
 func (t *windowTracker) release(bytes int64) {
 	t.mu.Lock()
 	t.cur--
 	t.curBytes -= bytes
+	cur, curBytes := t.cur, t.curBytes
 	t.mu.Unlock()
 	<-t.sem
+	t.ins.buffered.Set(float64(cur))
+	t.ins.bufBytes.Set(float64(curBytes))
 }
 
 // ShardPath returns the shard file for one rank under a prefix.
@@ -201,8 +287,22 @@ func Run(src SnapshotSource, cfg Config) (*Result, error) {
 	if len(meta.InputVars) == 0 {
 		return nil, errors.New("stream: source declares no input variables")
 	}
+	ins := newInstruments(cfg.Metrics)
+	tracer := cfg.Tracer
+	// One trace per run. The IDs are minted unconditionally (cheap) and the
+	// Record calls no-op on a nil tracer.
+	tc := api.TraceContext{TraceID: api.NewTraceID()}
+	rootSpanID := api.NewSpanID()
+	runStart := time.Now()
+	defer func() {
+		tracer.Record(obs.Span{
+			TraceID: tc.TraceID, SpanID: rootSpanID, Name: "pipeline:run",
+			Start: runStart, Seconds: time.Since(runStart).Seconds(),
+		})
+	}()
+
 	cs := &countingSource{src: src}
-	tracker := newWindowTracker(cfg.Window)
+	tracker := newWindowTracker(cfg.Window, ins)
 	tracker.reserve()
 	f0, err := cs.next()
 	if err != nil {
@@ -228,10 +328,17 @@ func Run(src SnapshotSource, cfg Config) (*Result, error) {
 
 	// Phase 1 once, on the reference snapshot — the fixed sensor regions
 	// every streamed snapshot is sampled through.
+	p1Start := time.Now()
 	kept, err := sampling.SelectCubesForField(context.Background(), f0, meta.ClusterVar, pcfg)
 	if err != nil {
 		return nil, err
 	}
+	tracer.Record(obs.Span{
+		TraceID: tc.TraceID, SpanID: api.NewSpanID(), ParentID: rootSpanID,
+		Name: "phase1:select", Start: p1Start,
+		Seconds: time.Since(p1Start).Seconds(),
+		Attrs:   map[string]string{"cubes": strconv.Itoa(len(kept))},
+	})
 
 	lo, hi := featureBounds(f0, meta.InputVars)
 	bins, err := effectiveBins(cfg.SketchBins, len(meta.InputVars))
@@ -256,12 +363,14 @@ func Run(src SnapshotSource, cfg Config) (*Result, error) {
 				ch <- message{merge: true} // final end-of-stream merge
 			}
 			mergeRounds++
+			ins.merges.Inc()
 			for _, ch := range chans {
 				close(ch)
 			}
 		}()
 		emit := func(f *grid.Field, snap int) {
 			chans[snap%cfg.Ranks] <- message{f: f, snap: snap, bytes: f.SizeBytes()}
+			ins.snapshots.Inc()
 		}
 		emit(f0, 0) // its slot was reserved before phase 1 ran
 		snapTotal = 1
@@ -289,6 +398,7 @@ func Run(src SnapshotSource, cfg Config) (*Result, error) {
 					ch <- message{merge: true}
 				}
 				mergeRounds++
+				ins.merges.Inc()
 			}
 		}
 	}()
@@ -335,8 +445,18 @@ func Run(src SnapshotSource, cfg Config) (*Result, error) {
 			if msg.merge {
 				// Merges are collective: every rank must join even after a
 				// local failure, or the others would deadlock in Allreduce.
+				mergeStart := time.Now()
 				if merr := mergeSketches(c, &delta, global); merr != nil && errs[rank] == nil {
 					errs[rank] = merr
+				}
+				// One span per round, not per rank: rank 0 speaks for the
+				// collective, whose members finish together anyway.
+				if rank == 0 {
+					tracer.Record(obs.Span{
+						TraceID: tc.TraceID, SpanID: api.NewSpanID(), ParentID: rootSpanID,
+						Name: "merge:sketch", Start: mergeStart,
+						Seconds: time.Since(mergeStart).Seconds(),
+					})
 				}
 				continue
 			}
@@ -345,11 +465,27 @@ func Run(src SnapshotSource, cfg Config) (*Result, error) {
 				if errs[rank] != nil {
 					return // keep draining so backpressure keeps moving
 				}
+				snapStart := time.Now()
+				defer func() {
+					elapsed := time.Since(snapStart).Seconds()
+					ins.snapSec.Observe(elapsed)
+					tracer.Record(obs.Span{
+						TraceID: tc.TraceID, SpanID: api.NewSpanID(), ParentID: rootSpanID,
+						Name: "phase2:snapshot", Start: snapStart, Seconds: elapsed,
+						Attrs: map[string]string{
+							"snap": strconv.Itoa(msg.snap),
+							"rank": strconv.Itoa(rank),
+						},
+					})
+				}()
 				out, serr := sampling.SubsampleFieldWithCubes(context.Background(), msg.f, msg.snap, kept,
 					meta.InputVars, meta.OutputVars, meta.ClusterVar, pcfg)
 				if serr != nil {
 					errs[rank] = serr
 					return
+				}
+				for i := range out {
+					ins.points.Add(float64(len(out[i].LocalIdx)))
 				}
 				for i := range out {
 					for _, row := range out[i].Features {
@@ -360,6 +496,13 @@ func Run(src SnapshotSource, cfg Config) (*Result, error) {
 				case cfg.ReservoirBudget > 0:
 					offerToReservoirs(reservoirs, out, msg.snap, cfg.ReservoirBudget,
 						pcfg.Seed, global, delta)
+					if ins.reservoir != nil {
+						held := 0
+						for _, r := range reservoirs {
+							held += len(r.items)
+						}
+						ins.reservoir.With(strconv.Itoa(rank)).Set(float64(held))
+					}
 				case app != nil:
 					if aerr := app.Append(out...); aerr != nil {
 						errs[rank] = aerr
@@ -432,10 +575,15 @@ func Run(src SnapshotSource, cfg Config) (*Result, error) {
 		PeakBuffered:      tracker.peak,
 		PeakBufferedBytes: tracker.peakBytes,
 		MergeRounds:       mergeRounds,
+		Stalls:            tracker.stalls,
+		StallSeconds:      tracker.stallSecs,
 		Sketch:            mergedSketch,
 		ShardPaths:        shardPaths,
 		Elapsed:           elapsed,
 		World:             world,
+	}
+	if tracer != nil {
+		res.TraceID = tc.TraceID
 	}
 	if elapsed > 0 {
 		res.SnapshotsPerSec = float64(snapTotal) / elapsed.Seconds()

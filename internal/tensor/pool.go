@@ -21,6 +21,14 @@ import (
 type Pool struct {
 	workers int
 	tasks   chan func()
+
+	// Utilization counters read by the observability layer: how many
+	// workers are executing a task right now, and how many tasks the
+	// workers have completed since the pool started. Chunks executed
+	// inline on the calling goroutine are not counted — these measure
+	// pool occupancy, not kernel throughput.
+	busy      atomic.Int64
+	tasksDone atomic.Uint64
 }
 
 // NewPool starts a pool with the given number of workers (minimum 1). The
@@ -34,7 +42,10 @@ func NewPool(workers int) *Pool {
 	for i := 0; i < workers; i++ {
 		go func() {
 			for task := range p.tasks {
+				p.busy.Add(1)
 				task()
+				p.busy.Add(-1)
+				p.tasksDone.Add(1)
 			}
 		}()
 	}
@@ -47,6 +58,21 @@ func (p *Pool) Workers() int {
 		return 1
 	}
 	return p.workers
+}
+
+// Stats reports the pool's size and utilization: total workers, workers
+// currently executing a task, and tasks completed since the pool started.
+func (p *Pool) Stats() (workers, busy int, tasksDone uint64) {
+	if p == nil {
+		return 0, 0, 0
+	}
+	return p.workers, int(p.busy.Load()), p.tasksDone.Load()
+}
+
+// PoolStats reports Stats for the process-wide default pool (zeros when
+// parallelism is off or the process is single-core).
+func PoolStats() (workers, busy int, tasksDone uint64) {
+	return DefaultPool().Stats()
 }
 
 var (

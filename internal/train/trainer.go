@@ -4,11 +4,15 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strconv"
+	"time"
 
 	"repro/internal/energy"
 	"repro/internal/minimpi"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/tensor"
+	"repro/pkg/api"
 )
 
 // Config mirrors the artifact's train.py options.
@@ -33,6 +37,14 @@ type Config struct {
 	// (epochsDone, totalEpochs) — the hook serve's job manager uses to
 	// report training progress.
 	Progress func(done, total int)
+	// Metrics, when non-nil, receives sickle_train_* series: epoch/batch
+	// timing histograms, the current epoch gauge, and live loss gauges.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, records one trace per Train call — a train:run
+	// root span with a train:epoch child per epoch. When the caller's ctx
+	// already carries a trace (a training job submitted over the API), the
+	// spans join it instead of minting a fresh one.
+	Tracer *obs.Tracer
 }
 
 func (c *Config) defaults() {
@@ -66,6 +78,42 @@ type History struct {
 	FinalLoss float64 // the artifact's "Evaluation on test set"
 	Epochs    int
 	Params    int
+	// TraceID identifies the run's trace when Config.Tracer was set.
+	TraceID string
+}
+
+// trainInstruments bundles the optional sickle_train_* metric handles;
+// nil handles (no registry) no-op.
+type trainInstruments struct {
+	epochSec *obs.Histogram
+	batchSec *obs.Histogram
+	batches  *obs.Counter
+	epoch    *obs.Gauge
+	loss     *obs.Gauge
+	testLoss *obs.Gauge
+}
+
+// epochBuckets span sub-second toy fits through multi-minute DNS epochs.
+var epochBuckets = []float64{0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 120, 300}
+
+func newTrainInstruments(reg *obs.Registry) *trainInstruments {
+	ins := &trainInstruments{}
+	if reg == nil {
+		return ins
+	}
+	ins.epochSec = reg.Histogram("sickle_train_epoch_seconds",
+		"Wall-clock time per training epoch.", epochBuckets).With()
+	ins.batchSec = reg.Histogram("sickle_train_batch_seconds",
+		"Wall-clock time per optimizer step (one batch).", nil).With()
+	ins.batches = reg.Counter("sickle_train_batches_total",
+		"Optimizer steps taken.").With()
+	ins.epoch = reg.Gauge("sickle_train_epoch",
+		"Epochs completed in the current run.").With()
+	ins.loss = reg.Gauge("sickle_train_loss",
+		"Mean training loss of the last completed epoch.").With()
+	ins.testLoss = reg.Gauge("sickle_train_test_loss",
+		"Test-set loss after the last completed epoch.").With()
+	return ins
 }
 
 // ModelFactory builds a fresh model replica from a seed; DDP requires
@@ -123,10 +171,33 @@ func Train(ctx context.Context, factory ModelFactory, examples []Example, cfg Co
 	hist := &History{Params: params}
 	order := rand.New(rand.NewSource(cfg.Seed + 2))
 
+	ins := newTrainInstruments(cfg.Metrics)
+	tracer := cfg.Tracer
+	// Join the caller's trace (training jobs submitted over the API carry
+	// one) or mint a fresh one for standalone runs.
+	tc, traced := api.TraceFrom(ctx)
+	if !traced {
+		tc = api.TraceContext{TraceID: api.NewTraceID()}
+	}
+	rootSpanID := api.NewSpanID()
+	runStart := time.Now()
+	defer func() {
+		tracer.Record(obs.Span{
+			TraceID: tc.TraceID, SpanID: rootSpanID, ParentID: tc.SpanID,
+			Name: "train:run", Start: runStart,
+			Seconds: time.Since(runStart).Seconds(),
+			Attrs:   map[string]string{"params": strconv.Itoa(params)},
+		})
+	}()
+	if tracer != nil {
+		hist.TraceID = tc.TraceID
+	}
+
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
 		}
+		epochStart := time.Now()
 		perm := order.Perm(len(trainSet))
 		epochLoss := 0.0
 		nBatches := 0
@@ -142,7 +213,10 @@ func Train(ctx context.Context, factory ModelFactory, examples []Example, cfg Co
 			for _, p := range perm[b0:b1] {
 				batch = append(batch, trainSet[p])
 			}
+			batchStart := time.Now()
 			loss := trainBatch(models, opts, batch, cfg)
+			ins.batchSec.Observe(time.Since(batchStart).Seconds())
+			ins.batches.Inc()
 			epochLoss += loss
 			nBatches++
 			chargeTraining(cfg.Meter, params, len(batch)*batch[0].Input.Len())
@@ -154,6 +228,19 @@ func Train(ctx context.Context, factory ModelFactory, examples []Example, cfg Co
 		for r := range scheds {
 			scheds[r].Observe(testLoss)
 		}
+		elapsed := time.Since(epochStart).Seconds()
+		ins.epochSec.Observe(elapsed)
+		ins.epoch.Set(float64(epoch + 1))
+		ins.loss.Set(epochLoss)
+		ins.testLoss.Set(testLoss)
+		tracer.Record(obs.Span{
+			TraceID: tc.TraceID, SpanID: api.NewSpanID(), ParentID: rootSpanID,
+			Name: "train:epoch", Start: epochStart, Seconds: elapsed,
+			Attrs: map[string]string{
+				"epoch":   strconv.Itoa(epoch),
+				"batches": strconv.Itoa(nBatches),
+			},
+		})
 		if cfg.Verbose {
 			fmt.Printf("epoch %3d  train %.6f  test %.6f  lr %.2g\n",
 				epoch, epochLoss, testLoss, opts[0].LR)

@@ -1,0 +1,57 @@
+package api
+
+import (
+	"context"
+	"testing"
+)
+
+func TestTraceHeaderRoundTrip(t *testing.T) {
+	for _, tc := range []TraceContext{
+		{TraceID: "abc123"},
+		{TraceID: "abc123", SpanID: "def456"},
+	} {
+		got, ok := ParseTraceHeader(tc.HeaderValue())
+		if !ok || got != tc {
+			t.Errorf("round trip %+v -> %+v, ok=%v", tc, got, ok)
+		}
+	}
+}
+
+func TestParseTraceHeaderRejectsMalformed(t *testing.T) {
+	for _, v := range []string{
+		"", "   ", "has space:abc", "abc:bad!span", "ok:" + string(make([]byte, 80)),
+		"<script>", "abc:def:extra!",
+	} {
+		if tc, ok := ParseTraceHeader(v); ok {
+			t.Errorf("ParseTraceHeader(%q) accepted -> %+v", v, tc)
+		}
+	}
+}
+
+func TestNewIDs(t *testing.T) {
+	id, span := NewTraceID(), NewSpanID()
+	if len(id) != 16 || len(span) != 8 {
+		t.Fatalf("id lengths: trace %d span %d", len(id), len(span))
+	}
+	if !validID(id) || !validID(span) {
+		t.Fatal("minted IDs fail own validation")
+	}
+	if NewTraceID() == id {
+		t.Error("trace IDs collide")
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	if _, ok := TraceFrom(context.Background()); ok {
+		t.Fatal("empty ctx claims a trace")
+	}
+	want := TraceContext{TraceID: "abc", SpanID: "def"}
+	ctx := WithTrace(context.Background(), want)
+	got, ok := TraceFrom(ctx)
+	if !ok || got != want {
+		t.Fatalf("TraceFrom = %+v, %v", got, ok)
+	}
+	if _, ok := TraceFrom(WithTrace(context.Background(), TraceContext{})); ok {
+		t.Error("empty trace ID should report not-ok")
+	}
+}

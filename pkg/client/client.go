@@ -178,14 +178,44 @@ func (c *Client) MetricsText(ctx context.Context) (string, error) {
 	return string(raw), nil
 }
 
+// DebugTraceJSON fetches one trace's raw JSON payload from
+// /debug/traces/<id>. A missing trace yields a typed not-found error. The
+// shard router uses this to merge replica-side spans into its own view of
+// a trace; operators can use it as a programmatic /debug/traces client.
+func (c *Client) DebugTraceJSON(ctx context.Context, traceID string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/debug/traces/"+traceID, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, api.Errorf(api.CodeUnavailable, "GET /debug/traces/%s: %v", traceID, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return nil, api.Errorf(api.CodeUnavailable, "GET /debug/traces/%s: reading response: %v", traceID, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, api.Errorf(api.CodeFromStatus(resp.StatusCode),
+			"GET /debug/traces/%s: HTTP %d", traceID, resp.StatusCode)
+	}
+	return raw, nil
+}
+
 // doVersioned prefixes the path with the negotiated API version.
 func (c *Client) doVersioned(ctx context.Context, method, path string, in, out any) error {
 	return c.do(ctx, method, "/"+c.version+path, in, out)
 }
 
 // do performs one JSON round trip with the overloaded-retry loop. in and
-// out may be nil.
+// out may be nil. When ctx carries no trace identity, do mints a fresh
+// trace ID so every SDK call is traceable end to end; either way the
+// identity travels downstream as the X-Sickle-Trace header.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	if _, ok := api.TraceFrom(ctx); !ok {
+		ctx = api.WithTrace(ctx, api.TraceContext{TraceID: api.NewTraceID()})
+	}
 	var body []byte
 	if in != nil {
 		var err error
@@ -224,6 +254,9 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if tc, ok := api.TraceFrom(ctx); ok {
+		req.Header.Set(api.TraceHeader, tc.HeaderValue())
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
