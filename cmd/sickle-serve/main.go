@@ -42,6 +42,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/obs"
 	olog "repro/internal/obs/log"
+	"repro/internal/obs/slo"
 	"repro/internal/serve"
 	"repro/internal/train"
 )
@@ -72,6 +73,7 @@ func main() {
 	logLevel := flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON lines")
 	debugAddr := flag.String("debug-addr", "", "pprof + debug sidecar listen address (\"\" = off)")
+	slos := flag.String("slo", "", "comma-separated SLO specs (e.g. latency:/v2/infer:250ms:99.9,availability:/v2/infer:99.9)")
 	flag.Parse()
 
 	lvl, ok := olog.ParseLevel(*logLevel)
@@ -101,10 +103,26 @@ func main() {
 			JobWorkers:   c.Serve.JobWorkers,
 			JobTTL:       time.Duration(c.Serve.JobTTLMin) * time.Minute,
 			Logger:       lg,
+
+			HistoryInterval: time.Duration(c.Obs.HistoryIntervalMS) * time.Millisecond,
+			HistoryCapacity: c.Obs.HistoryCapacity,
+			EventCapacity:   c.Obs.EventCapacity,
 		}
+		objectives, err := slo.ParseObjectives(c.Obs.SLOs)
+		if err != nil {
+			fatal("parse obs.slos", err)
+		}
+		cfg.SLOs = objectives
 		if *debugAddr == "" {
 			*debugAddr = c.Serve.DebugAddr
 		}
+	}
+	if *slos != "" {
+		objectives, err := slo.ParseObjectives(strings.Split(*slos, ","))
+		if err != nil {
+			fatal("parse -slo", err)
+		}
+		cfg.SLOs = objectives
 	}
 	if *addr != "" {
 		cfg.Addr = *addr
@@ -139,7 +157,7 @@ func main() {
 	if *debugAddr != "" {
 		obs.ServeDebug(*debugAddr, s.Metrics().Registry(), s.Tracer(), func(err error) {
 			lg.Error("debug listener", "err", err)
-		})
+		}, s.History(), s.Journal(), s.SLO())
 		lg.Info("debug endpoints up", "addr", *debugAddr)
 	}
 

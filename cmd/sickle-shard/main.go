@@ -33,6 +33,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/obs"
 	olog "repro/internal/obs/log"
+	"repro/internal/obs/slo"
 	"repro/internal/serve"
 	"repro/internal/shard"
 )
@@ -50,6 +51,7 @@ func main() {
 	logLevel := flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON lines")
 	debugAddr := flag.String("debug-addr", "", "pprof + debug sidecar listen address (\"\" = off)")
+	slos := flag.String("slo", "", "comma-separated SLO specs (e.g. latency:/v2/infer:250ms:99.9)")
 	flag.Parse()
 
 	lvl, ok := olog.ParseLevel(*logLevel)
@@ -76,10 +78,26 @@ func main() {
 			FailAfter:   c.Shard.FailAfter,
 			MaxFailover: c.Shard.MaxFailover,
 			Logger:      lg,
+
+			HistoryInterval: time.Duration(c.Obs.HistoryIntervalMS) * time.Millisecond,
+			HistoryCapacity: c.Obs.HistoryCapacity,
+			EventCapacity:   c.Obs.EventCapacity,
 		}
+		objectives, err := slo.ParseObjectives(c.Obs.SLOs)
+		if err != nil {
+			fatal("parse obs.slos", "err", err)
+		}
+		cfg.SLOs = objectives
 		if *debugAddr == "" {
 			*debugAddr = c.Shard.DebugAddr
 		}
+	}
+	if *slos != "" {
+		objectives, err := slo.ParseObjectives(strings.Split(*slos, ","))
+		if err != nil {
+			fatal("parse -slo", "err", err)
+		}
+		cfg.SLOs = objectives
 	}
 	if *addr != "" {
 		cfg.Addr = *addr
@@ -139,7 +157,7 @@ func main() {
 	if *debugAddr != "" {
 		obs.ServeDebug(*debugAddr, rt.Metrics().Registry(), rt.Tracer(), func(err error) {
 			lg.Error("debug listener", "err", err)
-		})
+		}, rt.History(), rt.Journal(), rt.SLO())
 		lg.Info("debug endpoints up", "addr", *debugAddr)
 	}
 	if owner, ok := rt.ReplicaSet().Owner("demo"); ok && *demo {

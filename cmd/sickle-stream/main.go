@@ -26,7 +26,9 @@ import (
 	"repro/internal/energy"
 	"repro/internal/grid"
 	"repro/internal/obs"
+	"repro/internal/obs/events"
 	olog "repro/internal/obs/log"
+	"repro/internal/obs/tsdb"
 	"repro/internal/sampling"
 	"repro/internal/sickle"
 	"repro/internal/stats"
@@ -154,12 +156,19 @@ func main() {
 	reg := obs.NewRegistry()
 	obs.RegisterRuntime(reg)
 	tracer := obs.NewTracer("stream", 0)
+	tracer.RegisterDropped(reg)
+	journal := events.NewJournal("stream", 0)
+	journal.Register(reg)
+	history := tsdb.NewStore("stream", reg, 0, 0)
 	scfg.Metrics = reg
 	scfg.Tracer = tracer
+	scfg.Journal = journal
 	if *debugAddr != "" {
+		history.Start()
+		defer history.Stop()
 		obs.ServeDebug(*debugAddr, reg, tracer, func(err error) {
 			lg.Error("debug listener", "err", err)
-		})
+		}, history, journal)
 		lg.Info("debug endpoints up", "addr", *debugAddr)
 	}
 

@@ -23,6 +23,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/obs"
 	olog "repro/internal/obs/log"
+	"repro/internal/obs/tsdb"
 	"repro/internal/sampling"
 	"repro/internal/sickle"
 	"repro/internal/train"
@@ -62,10 +63,14 @@ func main() {
 	reg := obs.NewRegistry()
 	obs.RegisterRuntime(reg)
 	tracer := obs.NewTracer("train", 0)
+	tracer.RegisterDropped(reg)
 	if *debugAddr != "" {
+		history := tsdb.NewStore("train", reg, 0, 0)
+		history.Start()
+		defer history.Stop()
 		obs.ServeDebug(*debugAddr, reg, tracer, func(err error) {
 			lg.Error("debug listener", "err", err)
-		})
+		}, history)
 		lg.Info("debug endpoints up", "addr", *debugAddr)
 	}
 

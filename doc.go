@@ -27,7 +27,22 @@
 // the router reads as one trace with routing, queue, and execute spans),
 // runtime/build/pool gauges, an exposition linter (also a CI gate via
 // cmd/sickle-bench -lintmetrics), and the structured leveled logger
-// internal/obs/log shared by the binaries (README "Observability").
+// internal/obs/log shared by the binaries, with per-call-site rate
+// limiting on repeated warn/error floods (README "Observability").
+//
+// On top of that substrate sits the flight recorder (README "Operating
+// sickle"): internal/obs/tsdb samples each tier's registry into a
+// fixed-memory ring history behind GET /debug/history; internal/obs/slo
+// evaluates declarative objectives (per-route p-latency, availability,
+// queue depth) with multi-window burn rates, exports sickle_slo_* gauges,
+// serves GET /debug/slo, and flips /healthz to "degraded" — which the
+// shard router deprioritizes in failover order without ejecting; and
+// internal/obs/events journals operational transitions (failover,
+// ejection/re-admission, hot-swap, job panics, backpressure stalls, SLO
+// breaches) into a bounded ring behind GET /debug/events, cross-linked to
+// traces. The router scatter-gathers every replica's history and journal
+// into one fleet view, and cmd/sickle-top renders it as a live terminal
+// dashboard (internal/obs/top; -once emits one JSON snapshot for CI).
 //
 // The public surface lives under pkg/: api (the versioned wire contract —
 // request/response types, the typed error envelope with machine-readable

@@ -40,6 +40,29 @@ type Case struct {
 	Stream StreamCase
 	// shard
 	Shard ShardCase
+	// obs
+	Obs ObsCase
+}
+
+// ObsCase is the optional `obs:` section of a case file, sizing the
+// flight-recorder stack (metrics history, event journal, SLO engine)
+// shared by serve and shard. Unset keys stay zero so the obs subpackages
+// own the defaults. SLOs are compact colon-joined specs (the YAML subset
+// parser keeps block-list items scalar), e.g.
+//
+//	obs:
+//	  history_interval_ms: 1000
+//	  slos:
+//	    - latency:/v2/infer:250ms:99.9
+//	    - availability:/v2/infer:99.9
+//	    - queue_depth:64:99
+//
+// See internal/obs/slo.ParseObjective for the spec grammar.
+type ObsCase struct {
+	HistoryIntervalMS int      // tsdb sampling period (0 = 1000)
+	HistoryCapacity   int      // points kept per series (0 = 600)
+	EventCapacity     int      // event-journal ring size (0 = 1024)
+	SLOs              []string // objective specs
 }
 
 // ServeCase is the optional `serve:` section of a case file, sizing the
@@ -103,6 +126,7 @@ func ParseCase(src string) (*Case, error) {
 	sv := m.GetMap("serve")
 	st := m.GetMap("stream")
 	sh := m.GetMap("shard")
+	ob := m.GetMap("obs")
 
 	c := &Case{
 		Dims:       shared.GetInt("dims", 3),
@@ -170,6 +194,14 @@ func ParseCase(src string) (*Case, error) {
 			SketchBins:  st.GetInt("sketch_bins", 0),
 			Reservoir:   st.GetInt("reservoir", 0),
 			ShardPrefix: st.GetString("shard_prefix", ""),
+		},
+
+		// Unset obs keys stay zero: the obs subpackages own the defaults.
+		Obs: ObsCase{
+			HistoryIntervalMS: ob.GetInt("history_interval_ms", 0),
+			HistoryCapacity:   ob.GetInt("history_capacity", 0),
+			EventCapacity:     ob.GetInt("event_capacity", 0),
+			SLOs:              ob.GetStringList("slos"),
 		},
 	}
 	if len(c.InputVars) == 0 {

@@ -54,10 +54,19 @@ func (t *Tracer) Mount(mux *http.ServeMux) {
 	mux.HandleFunc("GET /debug/traces/{id}", t.HandleTraceByID)
 }
 
+// Mounter is anything that can register its debug endpoints on a mux —
+// the tsdb history store, the event journal, and the SLO engine all
+// implement it, so binaries can hang extra surfaces off the -debug-addr
+// sidecar without obs importing its own subpackages.
+type Mounter interface {
+	Mount(mux *http.ServeMux)
+}
+
 // NewDebugMux builds the opt-in -debug-addr surface: net/http/pprof under
-// /debug/pprof/, the registry's /metrics, and the tracer's /debug/traces
-// endpoints. reg and t may be nil (their endpoints are then omitted).
-func NewDebugMux(reg *Registry, t *Tracer) *http.ServeMux {
+// /debug/pprof/, the registry's /metrics, the tracer's /debug/traces
+// endpoints, and any extra Mounters (history, events, SLO). reg and t may
+// be nil (their endpoints are then omitted), as may extra entries.
+func NewDebugMux(reg *Registry, t *Tracer, extra ...Mounter) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -73,14 +82,19 @@ func NewDebugMux(reg *Registry, t *Tracer) *http.ServeMux {
 	if t != nil {
 		t.Mount(mux)
 	}
+	for _, m := range extra {
+		if m != nil {
+			m.Mount(mux)
+		}
+	}
 	return mux
 }
 
 // ServeDebug listens on addr with NewDebugMux in a background goroutine and
 // returns the server so callers can Close it. Listen failures surface
 // through onErr (may be nil); http.ErrServerClosed is filtered out.
-func ServeDebug(addr string, reg *Registry, t *Tracer, onErr func(error)) *http.Server {
-	srv := &http.Server{Addr: addr, Handler: NewDebugMux(reg, t)}
+func ServeDebug(addr string, reg *Registry, t *Tracer, onErr func(error), extra ...Mounter) *http.Server {
+	srv := &http.Server{Addr: addr, Handler: NewDebugMux(reg, t, extra...)}
 	go func() {
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed && onErr != nil {
 			onErr(err)

@@ -64,13 +64,102 @@ type Logger struct {
 	min   Level
 	json  bool
 	bound []any // With()-bound key-value pairs, prepended to every record
+	lim   *limiter
 	now   func() time.Time
 }
 
+// Warn/error flood control defaults: every distinct message gets a burst
+// of identical lines, then one token back per refill interval; suppressed
+// repeats are counted and reported on the next emitted line.
+const (
+	defaultLimitBurst  = 5
+	defaultLimitRefill = time.Second
+)
+
+// limiter is a per-call-site (keyed by level+message) token bucket shared
+// by a logger and all its With children, so a flapping replica repeating
+// one warn line cannot flood the journal.
+type limiter struct {
+	mu     sync.Mutex
+	burst  float64
+	refill time.Duration
+	sites  map[string]*site
+}
+
+type site struct {
+	tokens     float64
+	last       time.Time
+	suppressed int
+}
+
+// allow charges one token for key at time t. It returns whether the line
+// may be written and, when it may, how many identical lines were
+// suppressed since the last one written.
+func (l *limiter) allow(key string, t time.Time) (ok bool, suppressed int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s, have := l.sites[key]
+	if !have {
+		// Bound the site map: a pathological stream of distinct messages
+		// must not grow it forever. Resetting forgets suppression counts,
+		// which only costs accuracy of the suppressed=N tail.
+		if len(l.sites) >= 4096 {
+			l.sites = map[string]*site{}
+		}
+		s = &site{tokens: l.burst, last: t}
+		l.sites[key] = s
+	}
+	if dt := t.Sub(s.last); dt > 0 {
+		s.tokens += float64(dt) / float64(l.refill)
+		if s.tokens > l.burst {
+			s.tokens = l.burst
+		}
+		s.last = t
+	}
+	if s.tokens < 1 {
+		s.suppressed++
+		return false, 0
+	}
+	s.tokens--
+	suppressed = s.suppressed
+	s.suppressed = 0
+	return true, suppressed
+}
+
 // New builds a logger writing records at or above min to w; jsonOut
-// selects JSON objects instead of logfmt text.
+// selects JSON objects instead of logfmt text. Repeated identical warn and
+// error messages are rate-limited per call site (token bucket, burst 5,
+// one token back per second) with a suppressed=N tail on the next line
+// written; SetRateLimit tunes or disables this.
 func New(w io.Writer, min Level, jsonOut bool) *Logger {
-	return &Logger{mu: &sync.Mutex{}, w: w, min: min, json: jsonOut, now: time.Now}
+	return &Logger{
+		mu: &sync.Mutex{}, w: w, min: min, json: jsonOut, now: time.Now,
+		lim: &limiter{burst: defaultLimitBurst, refill: defaultLimitRefill,
+			sites: map[string]*site{}},
+	}
+}
+
+// SetRateLimit reconfigures warn/error flood control: at most burst
+// identical lines back to back, then one more per refill. burst <= 0
+// disables limiting. The limiter is shared with existing With children.
+func (l *Logger) SetRateLimit(burst int, refill time.Duration) {
+	if l == nil {
+		return
+	}
+	if burst <= 0 {
+		l.lim = nil
+		return
+	}
+	if refill <= 0 {
+		refill = defaultLimitRefill
+	}
+	if l.lim == nil {
+		l.lim = &limiter{sites: map[string]*site{}}
+	}
+	l.lim.mu.Lock()
+	l.lim.burst = float64(burst)
+	l.lim.refill = refill
+	l.lim.mu.Unlock()
 }
 
 // Default returns a text logger to stderr at info level.
@@ -106,8 +195,18 @@ func (l *Logger) log(lvl Level, msg string, kv []any) {
 	if !l.Enabled(lvl) {
 		return
 	}
+	t := l.now()
+	if lvl >= LevelWarn && l.lim != nil {
+		ok, suppressed := l.lim.allow(lvl.String()+"\x00"+msg, t)
+		if !ok {
+			return
+		}
+		if suppressed > 0 {
+			kv = append(append([]any{}, kv...), "suppressed", suppressed)
+		}
+	}
 	pairs := append(append([]any{}, l.bound...), kv...)
-	ts := l.now().Format(time.RFC3339Nano)
+	ts := t.Format(time.RFC3339Nano)
 
 	var line []byte
 	if l.json {

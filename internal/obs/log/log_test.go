@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 type syncBuf struct {
@@ -110,5 +111,122 @@ func TestConcurrentUse(t *testing.T) {
 	lines := strings.Count(buf.String(), "\n")
 	if lines != 800 {
 		t.Errorf("got %d lines, want 800", lines)
+	}
+}
+
+// scripted clock for the rate-limit tests: each test advances it by hand
+// so token refills are deterministic.
+func withClock(l *Logger) func(d time.Duration) {
+	var mu sync.Mutex
+	now := time.Unix(1_700_000_000, 0)
+	l.now = func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	return func(d time.Duration) {
+		mu.Lock()
+		now = now.Add(d)
+		mu.Unlock()
+	}
+}
+
+func TestWarnFloodIsRateLimited(t *testing.T) {
+	var buf syncBuf
+	l := New(&buf, LevelInfo, false)
+	advance := withClock(l)
+
+	// Burst 5: the first five identical warns pass, the rest drop.
+	for i := 0; i < 20; i++ {
+		l.Warn("replica down", "replica", "r1")
+	}
+	if got := strings.Count(buf.String(), "replica down"); got != 5 {
+		t.Fatalf("burst let %d lines through, want 5", got)
+	}
+	// One second refills one token; the emitted line carries the
+	// suppressed count of the 15 dropped repeats.
+	advance(time.Second)
+	l.Warn("replica down", "replica", "r1")
+	out := buf.String()
+	if got := strings.Count(out, "replica down"); got != 6 {
+		t.Fatalf("after refill got %d lines, want 6", got)
+	}
+	if !strings.Contains(out, "suppressed=15") {
+		t.Errorf("refill line missing suppressed=15 tail: %q", out)
+	}
+}
+
+func TestRateLimitIsPerMessageAndLevel(t *testing.T) {
+	var buf syncBuf
+	l := New(&buf, LevelInfo, false)
+	withClock(l)
+
+	for i := 0; i < 10; i++ {
+		l.Warn("a")
+	}
+	// A different message — and the same message at a different level —
+	// have their own buckets.
+	l.Warn("b")
+	l.Error("a")
+	out := buf.String()
+	if got := strings.Count(out, "warn a"); got != 5 {
+		t.Errorf("warn a lines = %d, want 5", got)
+	}
+	if !strings.Contains(out, "warn b") || !strings.Contains(out, "error a") {
+		t.Errorf("distinct sites were limited together: %q", out)
+	}
+}
+
+func TestInfoIsNeverRateLimited(t *testing.T) {
+	var buf syncBuf
+	l := New(&buf, LevelDebug, false)
+	withClock(l)
+	for i := 0; i < 50; i++ {
+		l.Info("tick")
+	}
+	if got := strings.Count(buf.String(), "tick"); got != 50 {
+		t.Errorf("info lines = %d, want all 50 (no limiting below warn)", got)
+	}
+}
+
+func TestSetRateLimit(t *testing.T) {
+	var buf syncBuf
+	l := New(&buf, LevelInfo, false)
+	withClock(l)
+	l.SetRateLimit(2, time.Minute)
+	for i := 0; i < 10; i++ {
+		l.Warn("x")
+	}
+	if got := strings.Count(buf.String(), "warn x"); got != 2 {
+		t.Errorf("burst-2 lines = %d, want 2", got)
+	}
+
+	// burst <= 0 disables limiting entirely.
+	var buf2 syncBuf
+	l2 := New(&buf2, LevelInfo, false)
+	withClock(l2)
+	l2.SetRateLimit(0, 0)
+	for i := 0; i < 10; i++ {
+		l2.Warn("x")
+	}
+	if got := strings.Count(buf2.String(), "warn x"); got != 10 {
+		t.Errorf("unlimited lines = %d, want 10", got)
+	}
+}
+
+func TestRateLimitSharedWithChildren(t *testing.T) {
+	var buf syncBuf
+	l := New(&buf, LevelInfo, false)
+	withClock(l)
+	child := l.With("tier", "shard")
+	for i := 0; i < 4; i++ {
+		l.Warn("boom")
+	}
+	for i := 0; i < 4; i++ {
+		child.Warn("boom")
+	}
+	// Parent and child share one bucket per message: 8 attempts, burst 5.
+	if got := strings.Count(buf.String(), "boom"); got != 5 {
+		t.Errorf("shared-bucket lines = %d, want 5", got)
 	}
 }

@@ -181,10 +181,11 @@ func (g *Gauge) value() float64 { return g.Value() }
 
 // Histogram is an le-bucketed distribution. Nil-safe like Counter.
 type Histogram struct {
-	buckets []float64
-	counts  []atomic.Uint64 // one per bucket, +Inf last
-	sumBits atomic.Uint64
-	n       atomic.Uint64
+	buckets   []float64
+	counts    []atomic.Uint64 // one per bucket, +Inf last
+	exemplars []atomic.Pointer[string]
+	sumBits   atomic.Uint64
+	n         atomic.Uint64
 }
 
 // Observe records one sample.
@@ -194,6 +195,23 @@ func (h *Histogram) Observe(v float64) {
 	}
 	i := sort.SearchFloat64s(h.buckets, v)
 	h.counts[i].Add(1)
+	addFloat(&h.sumBits, v)
+	h.n.Add(1)
+}
+
+// ObserveEx records one sample and attaches an exemplar (a trace ID) to
+// the bucket it lands in, replacing any previous one. Exemplars never
+// appear in the Prometheus text exposition — they surface only through
+// Snapshot and the /debug/history JSON — so scrapers are unaffected.
+func (h *Histogram) ObserveEx(v float64, exemplar string) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.buckets, v)
+	h.counts[i].Add(1)
+	if exemplar != "" {
+		h.exemplars[i].Store(&exemplar)
+	}
 	addFloat(&h.sumBits, v)
 	h.n.Add(1)
 }
@@ -254,6 +272,7 @@ func (v *HistogramVec) With(values ...string) *Histogram {
 	return v.fam.child(values, func() child {
 		h := &Histogram{buckets: v.fam.buckets}
 		h.counts = make([]atomic.Uint64, len(h.buckets)+1)
+		h.exemplars = make([]atomic.Pointer[string], len(h.buckets)+1)
 		return h
 	}).(*Histogram)
 }
@@ -402,4 +421,94 @@ func sortedMapKeys(m map[string]float64) []string {
 	}
 	sort.Strings(keys)
 	return keys
+}
+
+// ---- snapshots (the tsdb sampler's view) ----
+
+// Sample is one series' instantaneous value as captured by Snapshot:
+// counters and gauges carry Value; histograms carry cumulative per-bucket
+// counts (+Inf last), the running Sum/Count, and any bucket exemplars
+// (trace IDs, "" where none was attached).
+type Sample struct {
+	Name        string
+	Kind        string // "counter" | "gauge" | "histogram"
+	LabelNames  []string
+	LabelValues []string
+
+	Value float64 // counter/gauge
+
+	Buckets      []float64 // histogram upper bounds, +Inf excluded
+	BucketCounts []uint64  // per-bucket (non-cumulative), +Inf last
+	Count        uint64
+	Sum          float64
+	Exemplars    []string // per bucket, aligned with BucketCounts
+}
+
+// Snapshot captures every series' current value, families sorted by name
+// and series by label tuple — the deterministic input the history sampler
+// (internal/obs/tsdb) consumes. Live -Func probes are evaluated.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(a, b int) bool { return fams[a].name < fams[b].name })
+
+	var out []Sample
+	for _, f := range fams {
+		if f.fn != nil {
+			out = append(out, Sample{Name: f.name, Kind: f.kind.String(), Value: f.fn()})
+			continue
+		}
+		if f.mapFn != nil {
+			m := f.mapFn()
+			for _, k := range sortedMapKeys(m) {
+				out = append(out, Sample{
+					Name: f.name, Kind: f.kind.String(),
+					LabelNames: f.labels, LabelValues: []string{k}, Value: m[k],
+				})
+			}
+			continue
+		}
+		f.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		children := make([]child, len(keys))
+		for i, k := range keys {
+			children[i] = f.children[k]
+		}
+		f.mu.Unlock()
+		idx := make([]int, len(keys))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+		for _, i := range idx {
+			values := strings.Split(keys[i], "\x00")
+			if keys[i] == "" && len(f.labels) == 0 {
+				values = nil
+			}
+			s := Sample{Name: f.name, Kind: f.kind.String(),
+				LabelNames: f.labels, LabelValues: values}
+			switch c := children[i].(type) {
+			case *Histogram:
+				s.Buckets = c.buckets
+				s.BucketCounts = make([]uint64, len(c.counts))
+				s.Exemplars = make([]string, len(c.counts))
+				for bi := range c.counts {
+					s.BucketCounts[bi] = c.counts[bi].Load()
+					if ex := c.exemplars[bi].Load(); ex != nil {
+						s.Exemplars[bi] = *ex
+					}
+				}
+				s.Count = c.Count()
+				s.Sum = c.Sum()
+			default:
+				s.Value = c.value()
+			}
+			out = append(out, s)
+		}
+	}
+	return out
 }

@@ -1,0 +1,17 @@
+package slo
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// HandleSLO serves the current evaluation (GET /debug/slo).
+func (e *Engine) HandleSLO(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(e.Evaluate())
+}
+
+// Mount registers the /debug/slo endpoint on a mux.
+func (e *Engine) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/slo", e.HandleSLO)
+}

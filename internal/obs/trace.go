@@ -41,10 +41,11 @@ type TraceInfo struct {
 type Tracer struct {
 	tier string
 
-	mu   sync.Mutex
-	buf  []Span
-	next int
-	full bool
+	mu      sync.Mutex
+	buf     []Span
+	next    int
+	full    bool
+	dropped uint64
 }
 
 // DefaultTraceCapacity bounds the span ring when the caller does not.
@@ -75,9 +76,29 @@ func (t *Tracer) Record(s Span) {
 	} else {
 		t.buf[t.next] = s
 		t.full = true
+		t.dropped++
 	}
 	t.next = (t.next + 1) % cap(t.buf)
 	t.mu.Unlock()
+}
+
+// Dropped reports how many spans ring eviction has overwritten (0 on nil).
+// Registries expose it as sickle_obs_spans_dropped_total so a span ring
+// wrapping under load is visible instead of silent.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// RegisterDropped mounts the span-eviction counter on reg. Nil-safe.
+func (t *Tracer) RegisterDropped(reg *Registry) {
+	reg.CounterFunc("sickle_obs_spans_dropped_total",
+		"Spans overwritten by trace-ring eviction before they could be read.",
+		func() float64 { return float64(t.Dropped()) })
 }
 
 // ActiveSpan is an in-flight span started by StartSpan; End records it.

@@ -1,0 +1,180 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Point is one sampled value in the wire payload: t is unix seconds, v is
+// the gauge value or counter delta for that interval.
+type Point struct {
+	T float64 `json:"t"`
+	V float64 `json:"v"`
+}
+
+// HistPoint is one sampled histogram interval: per-bucket observation
+// deltas (+Inf last), plus the interval's total count and sum.
+type HistPoint struct {
+	T      float64  `json:"t"`
+	Counts []uint64 `json:"counts"`
+	Count  uint64   `json:"count"`
+	Sum    float64  `json:"sum"`
+}
+
+// Series is one metric stream in the wire payload. Exemplars maps a
+// bucket's le bound (or "+Inf") to the trace ID of a recent observation
+// that landed there — the JSON-side exemplar surface that /metrics (text
+// format 0.0.4) cannot carry. Replica is set only by the shard router's
+// scatter-gather merge, naming the origin replica.
+type Series struct {
+	Name       string            `json:"name"`
+	Kind       string            `json:"kind"`
+	Labels     map[string]string `json:"labels,omitempty"`
+	Replica    string            `json:"replica,omitempty"`
+	Buckets    []float64         `json:"buckets,omitempty"`
+	Exemplars  map[string]string `json:"exemplars,omitempty"`
+	Points     []Point           `json:"points,omitempty"`
+	HistPoints []HistPoint       `json:"histPoints,omitempty"`
+}
+
+// Payload is the /debug/history response body.
+type Payload struct {
+	Tier            string   `json:"tier"`
+	IntervalSeconds float64  `json:"intervalSeconds"`
+	Series          []Series `json:"series"`
+}
+
+// Query returns the stored history for series whose family name matches
+// any of the glob patterns (nil/empty patterns match everything), clipped
+// to points at or after since (zero means all). Series are ordered by
+// first appearance, which the registry keeps sorted per snapshot.
+func (s *Store) Query(patterns []string, since time.Time) []Series {
+	if s == nil {
+		return nil
+	}
+	match := func(name string) bool {
+		if len(patterns) == 0 {
+			return true
+		}
+		for _, p := range patterns {
+			if matchName(p, name) {
+				return true
+			}
+		}
+		return false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Series
+	for _, key := range s.order {
+		sr := s.series[key]
+		if sr == nil || !match(sr.name) {
+			continue
+		}
+		ws := Series{Name: sr.name, Kind: sr.kind}
+		if len(sr.labels) > 0 {
+			ws.Labels = make(map[string]string, len(sr.labels))
+			for k, v := range sr.labels {
+				ws.Labels[k] = v
+			}
+		}
+		pts := sr.snapshotPoints()
+		if sr.kind == "histogram" {
+			ws.Buckets = sr.buckets
+			ws.Exemplars = exemplarMap(sr.buckets, sr.exemplars)
+			for _, p := range pts {
+				if !since.IsZero() && p.t.Before(since) {
+					continue
+				}
+				ws.HistPoints = append(ws.HistPoints, HistPoint{
+					T: unixSec(p.t), Counts: p.bucketDeltas,
+					Count: p.countDelta, Sum: p.sumDelta,
+				})
+			}
+		} else {
+			for _, p := range pts {
+				if !since.IsZero() && p.t.Before(since) {
+					continue
+				}
+				ws.Points = append(ws.Points, Point{T: unixSec(p.t), V: p.v})
+			}
+		}
+		out = append(out, ws)
+	}
+	return out
+}
+
+func unixSec(t time.Time) float64 {
+	return float64(t.UnixMilli()) / 1000
+}
+
+// exemplarMap pairs bucket bounds with their latest trace-ID exemplars,
+// skipping buckets that never saw an exemplar.
+func exemplarMap(buckets []float64, exemplars []string) map[string]string {
+	var out map[string]string
+	for i, ex := range exemplars {
+		if ex == "" {
+			continue
+		}
+		if out == nil {
+			out = map[string]string{}
+		}
+		if i < len(buckets) {
+			out[strconv.FormatFloat(buckets[i], 'g', -1, 64)] = ex
+		} else {
+			out["+Inf"] = ex
+		}
+	}
+	return out
+}
+
+// HandleHistory serves the stored history (GET /debug/history). Query
+// params: series (comma-separated name globs, default all), since
+// (RFC3339 or a Go duration like "5m" meaning that long ago).
+func (s *Store) HandleHistory(w http.ResponseWriter, r *http.Request) {
+	var patterns []string
+	if q := r.URL.Query().Get("series"); q != "" {
+		for _, p := range strings.Split(q, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				patterns = append(patterns, p)
+			}
+		}
+	}
+	var since time.Time
+	if q := r.URL.Query().Get("since"); q != "" {
+		t, err := parseSince(q, time.Now())
+		if err != nil {
+			http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		since = t
+	}
+	tier := ""
+	if s != nil {
+		tier = s.tier
+	}
+	payload := Payload{Tier: tier, IntervalSeconds: s.Interval().Seconds(),
+		Series: s.Query(patterns, since)}
+	if payload.Series == nil {
+		payload.Series = []Series{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(payload)
+}
+
+// parseSince mirrors events.ParseSince without the import: "" is no
+// cutoff, a Go duration means that long before now, else RFC3339.
+func parseSince(s string, now time.Time) (time.Time, error) {
+	if d, err := time.ParseDuration(s); err == nil {
+		return now.Add(-d), nil
+	}
+	return time.Parse(time.RFC3339, s)
+}
+
+// Mount registers the /debug/history endpoint on a mux.
+func (s *Store) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/history", s.HandleHistory)
+}

@@ -1,0 +1,369 @@
+// Package tsdb gives the observability stack a memory: a fixed-size ring
+// time-series store that samples an obs.Registry on an interval, so the
+// point-in-time /metrics scrape becomes a queryable history. Counters are
+// stored as per-interval deltas (counter resets — a restarted process —
+// are detected and absorbed), gauges as raw values, histograms as
+// per-interval bucket snapshots with their trace-ID exemplars. The store
+// is the substrate the SLO burn-rate engine (internal/obs/slo) evaluates
+// over, and GET /debug/history serves it as JSON; the shard router
+// scatter-gathers every replica's history into one fleet-wide view.
+package tsdb
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Defaults when the caller passes zero values.
+const (
+	DefaultInterval = time.Second
+	DefaultCapacity = 600 // points per series (10 min at 1s)
+	maxSeries       = 2048
+)
+
+// Store samples a registry into bounded per-series rings. All methods are
+// safe for concurrent use; a nil *Store no-ops its handlers and queries.
+type Store struct {
+	reg      *obs.Registry
+	tier     string
+	interval time.Duration
+	capacity int
+
+	mu     sync.RWMutex
+	series map[string]*series
+	order  []string
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	now func() time.Time // injectable clock (tests)
+}
+
+// series is one metric stream's ring. Points are appended at next; when
+// the ring is full the oldest point is overwritten.
+type series struct {
+	name    string
+	labels  map[string]string
+	kind    string
+	buckets []float64 // histogram upper bounds, +Inf excluded
+
+	// last raw cumulative values, for delta computation across samples.
+	primed      bool
+	prevValue   float64
+	prevBuckets []uint64
+	prevCount   uint64
+	prevSum     float64
+
+	pts  []point
+	next int
+	full bool
+
+	exemplars []string // latest bucket exemplars (histogram), +Inf last
+}
+
+// point is one sampled interval: a gauge's raw value, a counter's delta,
+// or a histogram's per-bucket delta snapshot.
+type point struct {
+	t time.Time
+	v float64 // gauge value / counter delta
+
+	bucketDeltas []uint64 // histogram only, +Inf last
+	countDelta   uint64
+	sumDelta     float64
+}
+
+// NewStore builds a store sampling reg every interval, keeping capacity
+// points per series. Zero values select the defaults. The tier label is
+// echoed in the /debug/history payload.
+func NewStore(tier string, reg *obs.Registry, interval time.Duration, capacity int) *Store {
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Store{
+		reg: reg, tier: tier, interval: interval, capacity: capacity,
+		series: map[string]*series{},
+		stop:   make(chan struct{}),
+		now:    time.Now,
+	}
+}
+
+// SetNowFunc injects the store's clock. Tests script sample timestamps
+// and window cutoffs with it; production code never calls this.
+func (s *Store) SetNowFunc(f func() time.Time) {
+	if s == nil || f == nil {
+		return
+	}
+	s.mu.Lock()
+	s.now = f
+	s.mu.Unlock()
+}
+
+// Interval returns the sampling period.
+func (s *Store) Interval() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.interval
+}
+
+// Start launches the background sampler (one pass immediately, then every
+// interval). Safe on nil.
+func (s *Store) Start() {
+	if s == nil {
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.SampleNow()
+		t := time.NewTicker(s.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.SampleNow()
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the sampler. Safe to call more than once, and on nil.
+func (s *Store) Stop() {
+	if s == nil {
+		return
+	}
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+}
+
+// SampleNow runs one sampling pass over the registry. Exported so tests
+// (and -once tooling) can drive deterministic histories.
+func (s *Store) SampleNow() {
+	if s == nil {
+		return
+	}
+	snap := s.reg.Snapshot()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.now()
+	for i := range snap {
+		s.ingestLocked(&snap[i], t)
+	}
+}
+
+func seriesKey(sm *obs.Sample) string {
+	if len(sm.LabelValues) == 0 {
+		return sm.Name
+	}
+	return sm.Name + "\x00" + strings.Join(sm.LabelValues, "\x00")
+}
+
+func (s *Store) ingestLocked(sm *obs.Sample, t time.Time) {
+	key := seriesKey(sm)
+	sr, ok := s.series[key]
+	if !ok {
+		if len(s.series) >= maxSeries {
+			return // bounded: new series beyond the cap are not tracked
+		}
+		labels := map[string]string{}
+		for i, n := range sm.LabelNames {
+			if i < len(sm.LabelValues) {
+				labels[n] = sm.LabelValues[i]
+			}
+		}
+		sr = &series{
+			name: sm.Name, labels: labels, kind: sm.Kind, buckets: sm.Buckets,
+			pts: make([]point, 0, s.capacity),
+		}
+		s.series[key] = sr
+		s.order = append(s.order, key)
+	}
+
+	var p point
+	p.t = t
+	switch sm.Kind {
+	case "gauge":
+		p.v = sm.Value
+	case "counter":
+		p.v = counterDelta(sr.prevValue, sm.Value, sr.primed)
+		sr.prevValue = sm.Value
+	case "histogram":
+		p.bucketDeltas = make([]uint64, len(sm.BucketCounts))
+		reset := sr.primed && sm.Count < sr.prevCount
+		for i, c := range sm.BucketCounts {
+			prev := uint64(0)
+			if sr.primed && !reset && i < len(sr.prevBuckets) {
+				prev = sr.prevBuckets[i]
+			}
+			if c >= prev {
+				p.bucketDeltas[i] = c - prev
+			} else {
+				p.bucketDeltas[i] = c
+			}
+		}
+		if sr.primed && !reset {
+			p.countDelta = sm.Count - sr.prevCount
+			p.sumDelta = sm.Sum - sr.prevSum
+		} else {
+			p.countDelta = sm.Count
+			p.sumDelta = sm.Sum
+		}
+		sr.prevBuckets = append(sr.prevBuckets[:0], sm.BucketCounts...)
+		sr.prevCount = sm.Count
+		sr.prevSum = sm.Sum
+		sr.exemplars = sm.Exemplars
+	}
+	sr.primed = true
+
+	if !sr.full && len(sr.pts) < cap(sr.pts) {
+		sr.pts = append(sr.pts, p)
+		if len(sr.pts) == cap(sr.pts) {
+			sr.full = true
+		}
+	} else {
+		sr.pts[sr.next] = p
+		sr.full = true
+	}
+	sr.next = (sr.next + 1) % cap(sr.pts)
+}
+
+// counterDelta absorbs resets: a cumulative value that went backwards
+// means the process restarted, so the new value IS the increase since.
+func counterDelta(prev, cur float64, primed bool) float64 {
+	if !primed || cur < prev {
+		return cur
+	}
+	return cur - prev
+}
+
+// snapshotPoints copies a series' live points, oldest first.
+func (sr *series) snapshotPoints() []point {
+	if !sr.full {
+		return append([]point(nil), sr.pts...)
+	}
+	out := make([]point, 0, cap(sr.pts))
+	out = append(out, sr.pts[sr.next:]...)
+	out = append(out, sr.pts[:sr.next]...)
+	return out
+}
+
+// matchName reports whether a family name matches a glob pattern: "*"
+// matches everything, a trailing "*" matches the prefix, otherwise exact.
+func matchName(pattern, name string) bool {
+	if pattern == "*" || pattern == "" {
+		return true
+	}
+	if strings.HasSuffix(pattern, "*") {
+		return strings.HasPrefix(name, strings.TrimSuffix(pattern, "*"))
+	}
+	return pattern == name
+}
+
+// matchLabels reports whether a series' labels satisfy a match map; a "*"
+// (or missing) value matches any.
+func matchLabels(match, labels map[string]string) bool {
+	for k, want := range match {
+		if want == "*" || want == "" {
+			continue
+		}
+		if labels[k] != want {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- aggregation (the SLO engine's substrate) ----
+
+// SumCounter sums counter deltas over the trailing window across every
+// series of the family matching the label constraints.
+func (s *Store) SumCounter(name string, match map[string]string, window time.Duration) float64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cutoff := s.now().Add(-window)
+	total := 0.0
+	for _, sr := range s.series {
+		if sr.name != name || sr.kind != "counter" || !matchLabels(match, sr.labels) {
+			continue
+		}
+		for _, p := range sr.snapshotPoints() {
+			if !p.t.Before(cutoff) {
+				total += p.v
+			}
+		}
+	}
+	return total
+}
+
+// HistWindow sums histogram bucket deltas over the trailing window across
+// matching series. Returns the bucket bounds (+Inf excluded; nil when no
+// series matched), summed per-bucket counts (+Inf last), and the summed
+// count and sum.
+func (s *Store) HistWindow(name string, match map[string]string, window time.Duration) (buckets []float64, counts []uint64, count uint64, sum float64) {
+	if s == nil {
+		return nil, nil, 0, 0
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cutoff := s.now().Add(-window)
+	for _, sr := range s.series {
+		if sr.name != name || sr.kind != "histogram" || !matchLabels(match, sr.labels) {
+			continue
+		}
+		if buckets == nil {
+			buckets = sr.buckets
+			counts = make([]uint64, len(sr.buckets)+1)
+		}
+		for _, p := range sr.snapshotPoints() {
+			if p.t.Before(cutoff) {
+				continue
+			}
+			for i, d := range p.bucketDeltas {
+				if i < len(counts) {
+					counts[i] += d
+				}
+			}
+			count += p.countDelta
+			sum += p.sumDelta
+		}
+	}
+	return buckets, counts, count, sum
+}
+
+// GaugeAbove counts sampled points above the threshold (and the total
+// sampled points) over the trailing window across matching gauge series.
+func (s *Store) GaugeAbove(name string, match map[string]string, window time.Duration, threshold float64) (above, total int) {
+	if s == nil {
+		return 0, 0
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cutoff := s.now().Add(-window)
+	for _, sr := range s.series {
+		if sr.name != name || sr.kind != "gauge" || !matchLabels(match, sr.labels) {
+			continue
+		}
+		for _, p := range sr.snapshotPoints() {
+			if p.t.Before(cutoff) {
+				continue
+			}
+			total++
+			if p.v > threshold {
+				above++
+			}
+		}
+	}
+	return above, total
+}

@@ -1,0 +1,309 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// clock is a scripted time source: tests advance it explicitly so sample
+// timestamps and window cutoffs are deterministic.
+type clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newClock() *clock { return &clock{t: time.Unix(1_700_000_000, 0)} }
+
+func (c *clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestStore(reg *obs.Registry, capacity int) (*Store, *clock) {
+	s := NewStore("test", reg, time.Second, capacity)
+	ck := newClock()
+	s.SetNowFunc(ck.Now)
+	return s, ck
+}
+
+// findSeries pulls one named series out of a Query result.
+func findSeries(t *testing.T, out []Series, name string) Series {
+	t.Helper()
+	for _, sr := range out {
+		if sr.Name == name {
+			return sr
+		}
+	}
+	t.Fatalf("series %q not in query result (%d series)", name, len(out))
+	return Series{}
+}
+
+func TestCounterDeltasAndResetAbsorption(t *testing.T) {
+	reg := obs.NewRegistry()
+	cur := 0.0
+	var mu sync.Mutex
+	reg.CounterFunc("test_jobs_total", "h", func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return cur
+	})
+	set := func(v float64) { mu.Lock(); cur = v; mu.Unlock() }
+
+	s, ck := newTestStore(reg, 16)
+	// Scripted cumulative values: 10, 25, 25, then a restart back to 3.
+	for _, v := range []float64{10, 25, 25, 3} {
+		set(v)
+		s.SampleNow()
+		ck.Advance(time.Second)
+	}
+
+	sr := findSeries(t, s.Query(nil, time.Time{}), "test_jobs_total")
+	if sr.Kind != "counter" {
+		t.Fatalf("kind = %q, want counter", sr.Kind)
+	}
+	// First sample primes with the full value; the reset (25 -> 3) must
+	// record the new value as the increase, not a negative delta.
+	want := []float64{10, 15, 0, 3}
+	if len(sr.Points) != len(want) {
+		t.Fatalf("got %d points, want %d", len(sr.Points), len(want))
+	}
+	for i, p := range sr.Points {
+		if p.V != want[i] {
+			t.Errorf("point %d delta = %g, want %g", i, p.V, want[i])
+		}
+	}
+}
+
+func TestRingWraparoundKeepsNewestOldestFirst(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("test_depth", "h").With()
+
+	s, ck := newTestStore(reg, 4)
+	for i := 1; i <= 10; i++ {
+		g.Set(float64(i))
+		s.SampleNow()
+		ck.Advance(time.Second)
+	}
+
+	sr := findSeries(t, s.Query(nil, time.Time{}), "test_depth")
+	if len(sr.Points) != 4 {
+		t.Fatalf("ring kept %d points, want capacity 4", len(sr.Points))
+	}
+	for i, p := range sr.Points {
+		if want := float64(7 + i); p.V != want {
+			t.Errorf("point %d = %g, want %g (oldest first after wrap)", i, p.V, want)
+		}
+		if i > 0 && sr.Points[i].T <= sr.Points[i-1].T {
+			t.Errorf("points not time-ordered: %g after %g", sr.Points[i].T, sr.Points[i-1].T)
+		}
+	}
+}
+
+func TestHistogramBucketDeltasAndExemplars(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("test_seconds", "h", []float64{0.1, 0.5}, "route")
+	obsv := h.With("/infer")
+
+	s, ck := newTestStore(reg, 16)
+	obsv.ObserveEx(0.05, "trace-a")
+	obsv.ObserveEx(0.3, "trace-b")
+	s.SampleNow()
+	ck.Advance(time.Second)
+	obsv.ObserveEx(0.05, "trace-c")
+	obsv.ObserveEx(2.0, "trace-d")
+	s.SampleNow()
+
+	sr := findSeries(t, s.Query([]string{"test_seconds"}, time.Time{}), "test_seconds")
+	if sr.Kind != "histogram" || len(sr.Buckets) != 2 {
+		t.Fatalf("series = %+v, want histogram with 2 finite buckets", sr)
+	}
+	if sr.Labels["route"] != "/infer" {
+		t.Fatalf("labels = %v, want route=/infer", sr.Labels)
+	}
+	if len(sr.HistPoints) != 2 {
+		t.Fatalf("got %d hist points, want 2", len(sr.HistPoints))
+	}
+	// Interval 1: one obs <= 0.1, one in (0.1, 0.5]. Interval 2: one
+	// <= 0.1, one beyond the last bound (+Inf bucket).
+	p0, p1 := sr.HistPoints[0], sr.HistPoints[1]
+	if fmt.Sprint(p0.Counts) != "[1 1 0]" || p0.Count != 2 {
+		t.Errorf("interval 1 deltas = %v count %d, want [1 1 0] count 2", p0.Counts, p0.Count)
+	}
+	if fmt.Sprint(p1.Counts) != "[1 0 1]" || p1.Count != 2 {
+		t.Errorf("interval 2 deltas = %v count %d, want [1 0 1] count 2", p1.Counts, p1.Count)
+	}
+	// Exemplars surface the latest trace ID per bucket in the JSON view.
+	if sr.Exemplars["0.1"] != "trace-c" || sr.Exemplars["+Inf"] != "trace-d" {
+		t.Errorf("exemplars = %v, want 0.1->trace-c and +Inf->trace-d", sr.Exemplars)
+	}
+}
+
+func TestQueryGlobAndSince(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := reg.Counter("app_requests_total", "h").With()
+	reg.Gauge("app_depth", "h").With().Set(1)
+	reg.Gauge("other_depth", "h").With().Set(2)
+
+	s, ck := newTestStore(reg, 16)
+	a.Inc()
+	s.SampleNow()
+	ck.Advance(10 * time.Second)
+	cut := ck.Now()
+	a.Inc()
+	s.SampleNow()
+
+	if got := s.Query([]string{"app_*"}, time.Time{}); len(got) != 2 {
+		t.Fatalf("glob app_* matched %d series, want 2", len(got))
+	}
+	if got := s.Query([]string{"other_depth"}, time.Time{}); len(got) != 1 {
+		t.Fatalf("exact name matched %d series, want 1", len(got))
+	}
+	sr := findSeries(t, s.Query([]string{"app_requests_total"}, cut), "app_requests_total")
+	if len(sr.Points) != 1 {
+		t.Fatalf("since cutoff kept %d points, want 1", len(sr.Points))
+	}
+}
+
+func TestAggregatorsOverWindows(t *testing.T) {
+	reg := obs.NewRegistry()
+	req := reg.Counter("req_total", "h", "route")
+	depth := reg.Gauge("depth", "h").With()
+
+	s, ck := newTestStore(reg, 64)
+	// t=0: 10 on /a, 1 on /b, depth 5.
+	for i := 0; i < 10; i++ {
+		req.With("/a").Inc()
+	}
+	req.With("/b").Inc()
+	depth.Set(5)
+	s.SampleNow()
+	// t=30s: 4 more on /a, depth 90.
+	ck.Advance(30 * time.Second)
+	for i := 0; i < 4; i++ {
+		req.With("/a").Inc()
+	}
+	depth.Set(90)
+	s.SampleNow()
+	ck.Advance(time.Second)
+
+	// Narrow window sees only the second sample; wide window both.
+	if got := s.SumCounter("req_total", map[string]string{"route": "/a"}, 5*time.Second); got != 4 {
+		t.Errorf("SumCounter narrow = %g, want 4", got)
+	}
+	if got := s.SumCounter("req_total", map[string]string{"route": "/a"}, time.Hour); got != 14 {
+		t.Errorf("SumCounter wide = %g, want 14", got)
+	}
+	// No label constraint sums across routes.
+	if got := s.SumCounter("req_total", nil, time.Hour); got != 15 {
+		t.Errorf("SumCounter all routes = %g, want 15", got)
+	}
+	if above, total := s.GaugeAbove("depth", nil, time.Hour, 64); above != 1 || total != 2 {
+		t.Errorf("GaugeAbove = %d/%d, want 1/2", above, total)
+	}
+}
+
+func TestHandleHistoryJSON(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("x_total", "h").With().Inc()
+	s, _ := newTestStore(reg, 8)
+	s.SampleNow()
+
+	rec := httptest.NewRecorder()
+	s.HandleHistory(rec, httptest.NewRequest("GET", "/debug/history?series=x_total&since=5m", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	var p Payload
+	if err := json.Unmarshal(rec.Body.Bytes(), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Tier != "test" || p.IntervalSeconds != 1 || len(p.Series) != 1 {
+		t.Fatalf("payload = %+v, want tier test, 1s interval, 1 series", p)
+	}
+
+	rec = httptest.NewRecorder()
+	s.HandleHistory(rec, httptest.NewRequest("GET", "/debug/history?since=bogus", nil))
+	if rec.Code != 400 {
+		t.Fatalf("bad since: status = %d, want 400", rec.Code)
+	}
+}
+
+// TestConcurrentSampleAndQuery races writers, the sampler, and readers;
+// run under -race this is the store's memory-safety proof.
+func TestConcurrentSampleAndQuery(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("stress_total", "h", "worker")
+	h := reg.Histogram("stress_seconds", "h", nil, "worker")
+
+	s := NewStore("stress", reg, time.Millisecond, 32)
+	s.Start()
+	defer s.Stop()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := fmt.Sprintf("w%d", w)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.With(id).Inc()
+				h.With(id).ObserveEx(float64(i%10)/100, "t-"+id)
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Query([]string{"stress_*"}, time.Time{})
+				s.SumCounter("stress_total", nil, time.Second)
+				s.HistWindow("stress_seconds", nil, time.Second)
+			}
+		}()
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if got := s.Query(nil, time.Time{}); len(got) == 0 {
+		t.Fatal("stress run recorded no series")
+	}
+}
+
+func TestNilStoreIsSafe(t *testing.T) {
+	var s *Store
+	s.Start()
+	s.Stop()
+	s.SampleNow()
+	if s.Query(nil, time.Time{}) != nil {
+		t.Error("nil store Query should return nil")
+	}
+	if v := s.SumCounter("x", nil, time.Hour); v != 0 {
+		t.Error("nil store SumCounter should return 0")
+	}
+}

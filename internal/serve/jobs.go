@@ -38,6 +38,10 @@ type JobManager struct {
 	// tracer records one job:<type> span per finished job; nil disables.
 	tracer *obs.Tracer
 
+	// panicHook observes recovered runner panics (the server journals them
+	// as job_panic events); nil disables.
+	panicHook func(id string, typ api.JobType, traceID, msg string)
+
 	now func() time.Time // injectable clock (tests)
 }
 
@@ -85,6 +89,12 @@ func NewJobManager(workers, maxJobs int, ttl time.Duration) *JobManager {
 // SetTracer installs the span recorder for job lifecycles. Call before
 // serving traffic (not synchronized with in-flight jobs).
 func (jm *JobManager) SetTracer(t *obs.Tracer) { jm.tracer = t }
+
+// SetPanicHook installs an observer for recovered job panics. Call before
+// serving traffic (not synchronized with in-flight jobs).
+func (jm *JobManager) SetPanicHook(h func(id string, typ api.JobType, traceID, msg string)) {
+	jm.panicHook = h
+}
 
 // Submit admits a job and returns its initial (pending) snapshot. A full
 // admission set rejects with api.CodeOverloaded; a closed manager with
@@ -164,16 +174,23 @@ func (jm *JobManager) execute(j *jobEntry, ctx context.Context) {
 		j.status.Progress = api.JobProgress{Stage: stage, Done: done, Total: total}
 		jm.mu.Unlock()
 	}
-	res, err := runProtected(j.run, ctx, progress)
+	res, err := runProtected(j.run, ctx, progress, func(msg string) {
+		if jm.panicHook != nil {
+			jm.panicHook(j.status.ID, j.status.Type, j.tc.TraceID, msg)
+		}
+	})
 	jm.finish(j, res, err)
 }
 
 // runProtected converts runner panics (shape mismatches deep in the nn
 // stack) into typed internal errors so a malformed job cannot crash the
-// service.
-func runProtected(run JobRunner, ctx context.Context, progress func(string, int, int)) (res *api.JobResult, err error) {
+// service. onPanic (may be nil) observes the recovered value.
+func runProtected(run JobRunner, ctx context.Context, progress func(string, int, int), onPanic func(string)) (res *api.JobResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
+			if onPanic != nil {
+				onPanic(fmt.Sprint(r))
+			}
 			res, err = nil, api.Errorf(api.CodeInternal, "serve: job panicked: %v", r)
 		}
 	}()

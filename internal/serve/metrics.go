@@ -62,8 +62,14 @@ func (m *Metrics) Registry() *obs.Registry { return m.reg }
 
 // ObserveRequest records one request on a route.
 func (m *Metrics) ObserveRequest(route string, d time.Duration, failed bool) {
+	m.ObserveRequestEx(route, d, failed, "")
+}
+
+// ObserveRequestEx is ObserveRequest carrying the request's trace ID as a
+// latency-histogram exemplar (surfaced in /debug/history, not /metrics).
+func (m *Metrics) ObserveRequestEx(route string, d time.Duration, failed bool, traceID string) {
 	m.requests.With(route).Inc()
-	m.seconds.With(route).Observe(d.Seconds())
+	m.seconds.With(route).ObserveEx(d.Seconds(), traceID)
 	if failed {
 		m.errors.With(route).Inc()
 	}

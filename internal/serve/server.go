@@ -24,7 +24,10 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/events"
 	olog "repro/internal/obs/log"
+	"repro/internal/obs/slo"
+	"repro/internal/obs/tsdb"
 	"repro/internal/tensor"
 	"repro/internal/train"
 	"repro/pkg/api"
@@ -48,6 +51,12 @@ type Config struct {
 	// TraceCapacity bounds the in-memory span ring behind /debug/traces
 	// (default obs.DefaultTraceCapacity).
 	TraceCapacity int
+
+	// Flight recorder: metrics history, event journal, SLO engine.
+	HistoryInterval time.Duration   // tsdb sampling period (default 1s)
+	HistoryCapacity int             // points kept per series (default 600)
+	EventCapacity   int             // event-journal ring size (default 1024)
+	SLOs            []slo.Objective // declared objectives (empty = always ok)
 }
 
 func (c *Config) defaults() {
@@ -73,6 +82,9 @@ type Server struct {
 	met      *Metrics
 	tracer   *obs.Tracer
 	logger   *olog.Logger
+	journal  *events.Journal
+	history  *tsdb.Store
+	sloEng   *slo.Engine
 	httpSrv  *http.Server
 	start    time.Time
 	draining atomic.Bool
@@ -97,11 +109,22 @@ func NewServer(cfg Config) *Server {
 		met:     met,
 		tracer:  obs.NewTracer("serve", cfg.TraceCapacity),
 		logger:  cfg.Logger,
+		journal: events.NewJournal("serve", cfg.EventCapacity),
 		start:   time.Now(),
 	}
 	met.SetJobStatsFunc(s.jobs.Stats)
 	s.batcher.SetTracer(s.tracer)
 	s.jobs.SetTracer(s.tracer)
+	s.jobs.SetPanicHook(func(id string, typ api.JobType, traceID, msg string) {
+		s.journal.Emit(events.TypeJobPanic, "job panicked (recovered)", traceID,
+			"job", id, "type", string(typ), "panic", msg)
+	})
+	s.tracer.RegisterDropped(met.Registry())
+	s.journal.Register(met.Registry())
+	s.history = tsdb.NewStore("serve", met.Registry(), cfg.HistoryInterval, cfg.HistoryCapacity)
+	s.sloEng = slo.NewEngine("serve", s.history, slo.ServeMetrics, cfg.SLOs,
+		met.Registry(), s.journal)
+	s.history.Start()
 	s.httpSrv = &http.Server{Addr: cfg.Addr, Handler: s.Handler()}
 	return s
 }
@@ -121,6 +144,15 @@ func (s *Server) Jobs() *JobManager { return s.jobs }
 // Tracer exposes the span ring behind /debug/traces (tests and embedders).
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
+// Journal exposes the event journal behind /debug/events.
+func (s *Server) Journal() *events.Journal { return s.journal }
+
+// History exposes the metrics-history store behind /debug/history.
+func (s *Server) History() *tsdb.Store { return s.history }
+
+// SLO exposes the burn-rate engine behind /debug/slo.
+func (s *Server) SLO() *slo.Engine { return s.sloEng }
+
 // Handler returns the route mux (also usable under httptest). The /v1
 // routes are the frozen compatibility shim; /v2 is the current surface.
 func (s *Server) Handler() http.Handler {
@@ -128,6 +160,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	s.tracer.Mount(mux)
+	s.journal.Mount(mux)
+	s.history.Mount(mux)
+	s.sloEng.Mount(mux)
 	mux.HandleFunc("GET /api/version", s.instrument("/api/version", s.handleVersion))
 
 	// v1: legacy envelope, original status mapping.
@@ -201,6 +236,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.httpSrv.Shutdown(ctx)
 	s.jobs.Close()
 	s.batcher.Stop()
+	s.history.Stop()
 	return err
 }
 
@@ -220,7 +256,7 @@ func (s *Server) instrument(route string, h func(http.ResponseWriter, *http.Requ
 		err := h(w, r.WithContext(ctx))
 		s.met.AddInflight(-1)
 		d := time.Since(t0)
-		s.met.ObserveRequest(route, d, err != nil)
+		s.met.ObserveRequestEx(route, d, err != nil, span.TraceID())
 		if err != nil {
 			span.SetAttr("error", string(api.AsError(err).Code))
 		}
@@ -326,6 +362,11 @@ func (s *Server) doRegisterModel(req *api.RegisterModelRequest) (api.ModelInfo, 
 	e, err := s.reg.Register(req.Name, specToArch(req.Spec), req.Checkpoint, req.InputShape, replicas)
 	if err != nil {
 		return api.ModelInfo{}, api.Errorf(api.CodeInvalidArgument, "%s", err.Error())
+	}
+	if e.Version > 1 {
+		s.journal.Emit(events.TypeHotSwap, "model checkpoint hot-swapped", "",
+			"model", e.Name, "version", fmt.Sprint(e.Version),
+			"checkpoint", e.Checkpoint)
 	}
 	return entryToInfo(e), nil
 }
@@ -506,7 +547,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) error {
 		models = append(models, fmt.Sprintf("%s@v%d", e.Name, e.Version))
 	}
 	return writeJSON(w, http.StatusOK, api.Health{
-		Status:        "ok",
+		Status:        s.sloEng.Status(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Models:        models,
 		QueueDepth:    s.batcher.QueueDepth(),

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs/events"
 	"repro/pkg/api"
 	"repro/pkg/client"
 )
@@ -34,6 +35,17 @@ func (r *Replica) Up() bool {
 	return r.up
 }
 
+// Degraded reports whether the replica's last health answer declared it
+// degraded (SLO burn-rate rules firing). Degraded replicas stay on the
+// ring but are deprioritized in failover order — breaching an SLO means
+// "slow or erroring", not "dead", and ejecting it would shift its whole
+// load onto the remaining replicas mid-incident.
+func (r *Replica) Degraded() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.up && r.lastHealth.Status == "degraded"
+}
+
 // ReplicaStatus is one replica's state snapshot (healthz, tests).
 type ReplicaStatus struct {
 	ID          string
@@ -52,6 +64,9 @@ type SetConfig struct {
 	ProbeEvery time.Duration // health-probe period (default 1s)
 	FailAfter  int           // consecutive failures before ejection (default 2)
 	HTTPClient *http.Client  // optional transport override (tests)
+
+	// Journal receives ejection/re-admission events; nil discards them.
+	Journal *events.Journal
 }
 
 // ReplicaSet owns the router's replica list, the consistent-hash ring over
@@ -69,6 +84,7 @@ type ReplicaSet struct {
 	probeTimeout time.Duration
 	failAfter    int
 	met          *Metrics
+	journal      *events.Journal
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -100,6 +116,7 @@ func NewReplicaSet(cfg SetConfig, met *Metrics) (*ReplicaSet, error) {
 		probeTimeout: probeTimeout,
 		failAfter:    cfg.FailAfter,
 		met:          met,
+		journal:      cfg.Journal,
 		stop:         make(chan struct{}),
 	}
 	for i, url := range cfg.URLs {
@@ -213,6 +230,8 @@ func (rs *ReplicaSet) noteUp(r *Replica, h *api.Health) {
 	if !wasUp {
 		rs.met.ObserveReadmission()
 		rs.met.SetUp(r.ID, true)
+		rs.journal.Emit(events.TypeReadmission, "replica re-admitted to the ring", "",
+			"replica", r.ID, "url", r.URL)
 	}
 }
 
@@ -236,6 +255,12 @@ func (rs *ReplicaSet) NoteFailure(r *Replica, err error) {
 	if eject {
 		rs.met.ObserveEjection()
 		rs.met.SetUp(r.ID, false)
+		msg := ""
+		if err != nil {
+			msg = err.Error()
+		}
+		rs.journal.Emit(events.TypeEjection, "replica ejected from the ring", "",
+			"replica", r.ID, "url", r.URL, "error", msg)
 	}
 }
 
@@ -272,6 +297,8 @@ func (rs *ReplicaSet) Owner(key string) (*Replica, bool) {
 // key: the owner first, then the failover candidates. When every replica
 // has been ejected it falls back to the full set in hash order — a
 // last-resort attempt beats refusing outright, and one success re-admits.
+// Replicas reporting themselves degraded (SLO breach) are stably moved
+// behind the healthy candidates: still reachable, tried last.
 func (rs *ReplicaSet) Sequence(key string, n int) []*Replica {
 	rs.mu.RLock()
 	ids := rs.ring.Sequence(key, n)
@@ -282,12 +309,17 @@ func (rs *ReplicaSet) Sequence(key string, n int) []*Replica {
 	}
 	rs.mu.RUnlock()
 	out := make([]*Replica, 0, len(ids))
+	var degraded []*Replica
 	for _, id := range ids {
 		if r, ok := rs.byID[id]; ok {
-			out = append(out, r)
+			if r.Degraded() {
+				degraded = append(degraded, r)
+			} else {
+				out = append(out, r)
+			}
 		}
 	}
-	return out
+	return append(out, degraded...)
 }
 
 // Snapshot returns every replica's current state, in URL order.

@@ -12,7 +12,10 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/events"
 	olog "repro/internal/obs/log"
+	"repro/internal/obs/slo"
+	"repro/internal/obs/tsdb"
 	"repro/pkg/api"
 )
 
@@ -31,6 +34,12 @@ type Config struct {
 	// TraceCapacity bounds the in-memory span ring behind /debug/traces
 	// (default obs.DefaultTraceCapacity).
 	TraceCapacity int
+
+	// Flight recorder: metrics history, event journal, SLO engine.
+	HistoryInterval time.Duration   // tsdb sampling period (default 1s)
+	HistoryCapacity int             // points kept per series (default 600)
+	EventCapacity   int             // event-journal ring size (default 1024)
+	SLOs            []slo.Objective // declared objectives (empty = always ok)
 }
 
 // Router fronts a ReplicaSet with the pkg/api HTTP surface. Keyed
@@ -44,6 +53,9 @@ type Router struct {
 	met     *Metrics
 	tracer  *obs.Tracer
 	logger  *olog.Logger
+	journal *events.Journal
+	history *tsdb.Store
+	sloEng  *slo.Engine
 	httpSrv *http.Server
 	start   time.Time
 
@@ -65,10 +77,11 @@ func NewRouter(cfg Config) (*Router, error) {
 		cfg.MaxFailover = 2
 	}
 	met := NewMetrics()
+	journal := events.NewJournal("shard", cfg.EventCapacity)
 	rs, err := NewReplicaSet(SetConfig{
 		URLs: cfg.URLs, VNodes: cfg.VNodes,
 		ProbeEvery: cfg.ProbeEvery, FailAfter: cfg.FailAfter,
-		HTTPClient: cfg.HTTPClient,
+		HTTPClient: cfg.HTTPClient, Journal: journal,
 	}, met)
 	if err != nil {
 		return nil, err
@@ -79,9 +92,15 @@ func NewRouter(cfg Config) (*Router, error) {
 		met:      met,
 		tracer:   obs.NewTracer("shard", cfg.TraceCapacity),
 		logger:   cfg.Logger,
+		journal:  journal,
 		start:    time.Now(),
 		jobOwner: map[string]string{},
 	}
+	rt.tracer.RegisterDropped(met.Registry())
+	journal.Register(met.Registry())
+	rt.history = tsdb.NewStore("shard", met.Registry(), cfg.HistoryInterval, cfg.HistoryCapacity)
+	rt.sloEng = slo.NewEngine("shard", rt.history, slo.ShardMetrics, cfg.SLOs,
+		met.Registry(), journal)
 	rt.httpSrv = &http.Server{Addr: cfg.Addr, Handler: rt.Handler()}
 	return rt, nil
 }
@@ -95,8 +114,20 @@ func (rt *Router) Metrics() *Metrics { return rt.met }
 // Tracer exposes the span ring behind /debug/traces (tests and embedders).
 func (rt *Router) Tracer() *obs.Tracer { return rt.tracer }
 
-// Start launches the background health prober.
-func (rt *Router) Start() { rt.rs.Start() }
+// Journal exposes the event journal behind /debug/events.
+func (rt *Router) Journal() *events.Journal { return rt.journal }
+
+// History exposes the metrics-history store behind /debug/history.
+func (rt *Router) History() *tsdb.Store { return rt.history }
+
+// SLO exposes the burn-rate engine behind /debug/slo.
+func (rt *Router) SLO() *slo.Engine { return rt.sloEng }
+
+// Start launches the background health prober and the history sampler.
+func (rt *Router) Start() {
+	rt.rs.Start()
+	rt.history.Start()
+}
 
 // ListenAndServe blocks serving on cfg.Addr until Shutdown.
 func (rt *Router) ListenAndServe() error {
@@ -122,6 +153,7 @@ func (rt *Router) Serve(l net.Listener) error {
 func (rt *Router) Shutdown(ctx context.Context) error {
 	err := rt.httpSrv.Shutdown(ctx)
 	rt.rs.Stop()
+	rt.history.Stop()
 	return err
 }
 
@@ -134,6 +166,9 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("/metrics", rt.handleMetrics)
 	mux.HandleFunc("GET /debug/traces", rt.tracer.HandleTraceList)
 	mux.HandleFunc("GET /debug/traces/{id}", rt.handleDebugTrace)
+	mux.HandleFunc("GET /debug/history", rt.handleDebugHistory)
+	mux.HandleFunc("GET /debug/events", rt.handleDebugEvents)
+	rt.sloEng.Mount(mux)
 	mux.HandleFunc("GET /api/version", rt.instrument("/api/version", rt.handleVersion))
 
 	mux.HandleFunc("POST /v2/infer", rt.instrument("/v2/infer", rt.handleInfer))
@@ -179,7 +214,7 @@ func (rt *Router) instrument(route string, h func(http.ResponseWriter, *http.Req
 		t0 := time.Now()
 		err := h(w, r.WithContext(ctx))
 		d := time.Since(t0)
-		rt.met.ObserveRequest(route, d, err != nil)
+		rt.met.ObserveRequestEx(route, d, err != nil, span.TraceID())
 		if err != nil {
 			span.SetAttr("error", string(api.AsError(err).Code))
 		}
@@ -223,6 +258,8 @@ func (rt *Router) route(ctx context.Context, key string, retryUnavailable bool, 
 	for i, r := range cands {
 		if i > 0 {
 			rt.met.ObserveFailover()
+			rt.journal.Emit(events.TypeFailover, "request failed over to a non-primary ring node",
+				routeSpan.TraceID(), "key", key, "replica", r.ID, "attempt", strconv.Itoa(i))
 		}
 		attemptCtx, attempt := rt.tracer.StartSpan(ctx, "client:"+r.ID)
 		attempt.SetAttr("url", r.URL)
@@ -615,7 +652,8 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) error {
 	}
 	modelSet := map[string]struct{}{}
 	for _, s := range snap {
-		rh := api.ReplicaHealth{ID: s.ID, URL: s.URL, Up: s.Up, ConsecutiveFailures: s.ConsecFails}
+		rh := api.ReplicaHealth{ID: s.ID, URL: s.URL, Up: s.Up,
+			Status: s.Health.Status, ConsecutiveFailures: s.ConsecFails}
 		if s.LastErr != nil {
 			rh.Error = s.LastErr.Error()
 		}
@@ -637,6 +675,11 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) error {
 	}
 	for _, m := range sortedKeys(modelSet) {
 		h.Models = append(h.Models, m)
+	}
+	// The router's own SLOs can degrade an otherwise-ok fleet view; a
+	// fully down fleet stays "down" (worse than degraded).
+	if h.Status == "ok" && rt.sloEng.Status() == "degraded" {
+		h.Status = "degraded"
 	}
 	return writeJSON(w, http.StatusOK, h)
 }
@@ -683,6 +726,109 @@ func (rt *Router) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, obs.TracePayload{TraceID: id, Spans: spans})
+}
+
+// handleDebugHistory scatter-gathers every live replica's /debug/history
+// into one fleet-wide payload: the router's own series first, then each
+// replica's series tagged with its replica ID. The incoming query string
+// (series globs, since) is forwarded verbatim to the replicas.
+func (rt *Router) handleDebugHistory(w http.ResponseWriter, r *http.Request) {
+	var patterns []string
+	if q := r.URL.Query().Get("series"); q != "" {
+		for _, p := range strings.Split(q, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				patterns = append(patterns, p)
+			}
+		}
+	}
+	since, _ := events.ParseSince(r.URL.Query().Get("since"), time.Now())
+	out := tsdb.Payload{Tier: "shard",
+		IntervalSeconds: rt.history.Interval().Seconds(),
+		Series:          rt.history.Query(patterns, since)}
+	if out.Series == nil {
+		out.Series = []tsdb.Series{}
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+	defer cancel()
+	query := r.URL.RawQuery
+	var mu sync.Mutex
+	rt.scatter(func(rep *Replica) error {
+		raw, err := rep.C.DebugHistoryJSON(ctx, query)
+		if err != nil {
+			if api.AsError(err).Code == api.CodeUnavailable {
+				return err
+			}
+			return nil
+		}
+		var payload tsdb.Payload
+		if json.Unmarshal(raw, &payload) != nil {
+			return nil
+		}
+		mu.Lock()
+		for _, s := range payload.Series {
+			s.Replica = rep.ID
+			out.Series = append(out.Series, s)
+		}
+		mu.Unlock()
+		return nil
+	})
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleDebugEvents scatter-gathers every live replica's event journal
+// and merges it with the router's own into one time-ordered payload; each
+// replica event gains a "replica" attr naming its origin. The query
+// string (limit, type, since) is forwarded verbatim.
+func (rt *Router) handleDebugEvents(w http.ResponseWriter, r *http.Request) {
+	limit := 256
+	if s := r.URL.Query().Get("limit"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			limit = n
+		}
+	}
+	typ := events.Type(r.URL.Query().Get("type"))
+	since, _ := events.ParseSince(r.URL.Query().Get("since"), time.Now())
+	own := rt.journal.Events(limit, typ, since)
+	dropped := rt.journal.Dropped()
+
+	ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+	defer cancel()
+	query := r.URL.RawQuery
+	var mu sync.Mutex
+	lists := [][]events.Event{own}
+	rt.scatter(func(rep *Replica) error {
+		raw, err := rep.C.DebugEventsJSON(ctx, query)
+		if err != nil {
+			if api.AsError(err).Code == api.CodeUnavailable {
+				return err
+			}
+			return nil
+		}
+		var payload events.Payload
+		if json.Unmarshal(raw, &payload) != nil {
+			return nil
+		}
+		for i := range payload.Events {
+			if payload.Events[i].Attrs == nil {
+				payload.Events[i].Attrs = map[string]string{}
+			}
+			payload.Events[i].Attrs["replica"] = rep.ID
+		}
+		mu.Lock()
+		lists = append(lists, payload.Events)
+		dropped += payload.Dropped
+		mu.Unlock()
+		return nil
+	})
+	merged := events.Merge(lists...)
+	if limit > 0 && len(merged) > limit {
+		merged = merged[len(merged)-limit:]
+	}
+	if merged == nil {
+		merged = []events.Event{}
+	}
+	writeJSON(w, http.StatusOK, events.Payload{Tier: "shard", Dropped: dropped, Events: merged})
 }
 
 // ---- shared helpers (mirrors internal/serve's envelope discipline) ----

@@ -45,6 +45,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/minimpi"
 	"repro/internal/obs"
+	"repro/internal/obs/events"
 	"repro/internal/sampling"
 	"repro/internal/sickle"
 	"repro/internal/stats"
@@ -88,6 +89,9 @@ type Config struct {
 	// span with phase1:select, per-snapshot phase2:snapshot, and
 	// merge:sketch child spans. The trace ID comes back in Result.TraceID.
 	Tracer *obs.Tracer
+	// Journal, when non-nil, receives a stall event per producer
+	// backpressure stall, cross-linked to the run's trace ID.
+	Journal *events.Journal
 }
 
 func (c *Config) defaults() {
@@ -202,6 +206,8 @@ func newInstruments(reg *obs.Registry) *instruments {
 type windowTracker struct {
 	sem       chan struct{}
 	ins       *instruments
+	journal   *events.Journal
+	traceID   string
 	mu        sync.Mutex
 	cur, peak int
 	curBytes  int64
@@ -210,8 +216,9 @@ type windowTracker struct {
 	stallSecs float64
 }
 
-func newWindowTracker(window int, ins *instruments) *windowTracker {
-	return &windowTracker{sem: make(chan struct{}, window), ins: ins}
+func newWindowTracker(window int, ins *instruments, journal *events.Journal, traceID string) *windowTracker {
+	return &windowTracker{sem: make(chan struct{}, window), ins: ins,
+		journal: journal, traceID: traceID}
 }
 
 // reserve claims a window slot for a snapshot about to be produced. A full
@@ -231,6 +238,8 @@ func (t *windowTracker) reserve() {
 		t.mu.Unlock()
 		t.ins.stalls.Inc()
 		t.ins.stallSecs.Add(wait)
+		t.journal.Emit(events.TypeStall, "producer stalled on backpressure", t.traceID,
+			"seconds", strconv.FormatFloat(wait, 'g', 4, 64))
 	}
 	t.mu.Lock()
 	t.cur++
@@ -302,7 +311,7 @@ func Run(src SnapshotSource, cfg Config) (*Result, error) {
 	}()
 
 	cs := &countingSource{src: src}
-	tracker := newWindowTracker(cfg.Window, ins)
+	tracker := newWindowTracker(cfg.Window, ins, cfg.Journal, tc.TraceID)
 	tracker.reserve()
 	f0, err := cs.next()
 	if err != nil {

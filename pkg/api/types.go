@@ -105,6 +105,7 @@ type ReplicaHealth struct {
 	ID                  string `json:"id"`
 	URL                 string `json:"url"`
 	Up                  bool   `json:"up"`
+	Status              string `json:"status,omitempty"` // replica's own Health.Status (e.g. "ok", "degraded")
 	ConsecutiveFailures int    `json:"consecutiveFailures,omitempty"`
 	Error               string `json:"error,omitempty"` // last probe/call failure while down
 }

@@ -309,3 +309,55 @@ func decodeError(resp *http.Response) error {
 		Message: fmt.Sprintf("HTTP %d: %s", resp.StatusCode, msg),
 	}
 }
+
+// debugJSON fetches one debug endpoint's raw JSON payload. Transport
+// failures surface as typed unavailable errors so the shard router's
+// scatter-gather can count them against replica health.
+func (c *Client) debugJSON(ctx context.Context, pathAndQuery string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+pathAndQuery, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, api.Errorf(api.CodeUnavailable, "GET %s: %v", pathAndQuery, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, api.Errorf(api.CodeUnavailable, "GET %s: reading response: %v", pathAndQuery, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, api.Errorf(api.CodeFromStatus(resp.StatusCode),
+			"GET %s: HTTP %d", pathAndQuery, resp.StatusCode)
+	}
+	return raw, nil
+}
+
+// DebugHistoryJSON fetches the raw /debug/history payload (the tsdb
+// metrics history). query is the raw query string without the leading
+// "?", e.g. "series=sickle_requests_total&since=5m"; "" fetches all.
+func (c *Client) DebugHistoryJSON(ctx context.Context, query string) ([]byte, error) {
+	p := "/debug/history"
+	if query != "" {
+		p += "?" + query
+	}
+	return c.debugJSON(ctx, p)
+}
+
+// DebugEventsJSON fetches the raw /debug/events payload (the event
+// journal tail). query is the raw query string without the leading "?",
+// e.g. "limit=64&type=ejection"; "" uses the server defaults.
+func (c *Client) DebugEventsJSON(ctx context.Context, query string) ([]byte, error) {
+	p := "/debug/events"
+	if query != "" {
+		p += "?" + query
+	}
+	return c.debugJSON(ctx, p)
+}
+
+// DebugSLOJSON fetches the raw /debug/slo payload (the burn-rate
+// engine's current report).
+func (c *Client) DebugSLOJSON(ctx context.Context) ([]byte, error) {
+	return c.debugJSON(ctx, "/debug/slo")
+}
