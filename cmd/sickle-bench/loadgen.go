@@ -2,9 +2,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -26,7 +28,7 @@ import (
 // (submit → poll → result). With shardPhase set (the base URL points at a
 // sickle-shard router) a final phase scrapes the router's shard metrics
 // and verifies requests were actually routed across live replicas.
-func runLoadGen(base, model string, clients, requests int, shardPhase bool) error {
+func runLoadGen(base, model string, clients, requests int, shardPhase bool, serveOut string) error {
 	if clients < 1 || requests < 1 {
 		return fmt.Errorf("need -clients >= 1 and -requests >= 1 (got %d, %d)", clients, requests)
 	}
@@ -180,10 +182,139 @@ func runLoadGen(base, model string, clients, requests int, shardPhase bool) erro
 	}
 	fmt.Printf("  result: %d cubes, %d points ✓\n", res.Subsample.Cubes, res.Subsample.Points)
 
+	if err := runDurabilityPhase(ctx, c, serveOut); err != nil {
+		return err
+	}
+
 	if shardPhase {
 		return runShardPhase(ctx, c)
 	}
 	return nil
+}
+
+// serveBenchReport is the -serveout JSON artifact: the durability phase's
+// dedup hit rate and WAL append latency, scraped as /metrics deltas
+// around a duplicate-heavy submission burst.
+type serveBenchReport struct {
+	Schema          string  `json:"schema"`
+	DupRequests     int     `json:"dupRequests"`
+	DedupHits       float64 `json:"dedupHits"`
+	DedupHitRate    float64 `json:"dedupHitRate"`
+	WALAppends      float64 `json:"walAppends"`
+	WALAppendMeanMS float64 `json:"walAppendMeanMS"`
+}
+
+// runDurabilityPhase submits a burst of byte-identical subsample jobs
+// under distinct idempotency keys: the first computes, the rest must be
+// served from the content-addressed result cache. It reports the dedup
+// hit rate and the mean durable-append latency from the sickle_wal_* /
+// sickle_dedup_* metric deltas, and writes them to serveOut when set.
+// A server without -data-dir (or a shard router, whose own /metrics has
+// no WAL) exposes none of these metrics; the phase then skips cleanly.
+func runDurabilityPhase(ctx context.Context, c *client.Client, serveOut string) error {
+	fmt.Println("phase 5: durability (CAS dedup + WAL append latency)...")
+	before, err := scrapeMetrics(ctx, c)
+	if err != nil {
+		return err
+	}
+	if _, ok := before["sickle_wal_appends_total"]; !ok {
+		fmt.Println("  no sickle_wal_* metrics (server runs without -data-dir, or URL is a router) — skipped")
+		return nil
+	}
+
+	const dup = 8
+	// A seed the earlier phases never used, so this burst owns its cache
+	// entry and the counter deltas below are attributable to it.
+	sub := api.SubsampleRequest{Dataset: "GESTS-2048", Cube: 8, NumHypercubes: 2, NumSamples: 32, Seed: 777}
+	var first *api.SubsampleResponse
+	t0 := time.Now()
+	for i := 0; i < dup; i++ {
+		job, err := c.SubmitJob(ctx, &api.SubmitJobRequest{
+			Type: api.JobSubsample, Subsample: &sub,
+			IdempotencyKey: api.NewIdempotencyKey()})
+		if err != nil {
+			return err
+		}
+		done, err := c.WaitJob(ctx, job.ID, 25*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		if done.State != api.JobSucceeded {
+			return fmt.Errorf("duplicate job %s finished %s: %v", job.ID, done.State, done.Error)
+		}
+		res, err := c.JobResult(ctx, job.ID)
+		if err != nil {
+			return err
+		}
+		if res.Subsample == nil {
+			return fmt.Errorf("duplicate job %s result carries no subsample payload", job.ID)
+		}
+		if first == nil {
+			first = res.Subsample
+		} else if res.Subsample.Cubes != first.Cubes || res.Subsample.Points != first.Points ||
+			res.Subsample.ElapsedMS != first.ElapsedMS {
+			// ElapsedMS is the tell: a cache hit replays the first run's
+			// stored result verbatim, timing included.
+			return fmt.Errorf("duplicate %d not served from cache: %+v vs %+v", i+1, res.Subsample, first)
+		}
+	}
+	elapsed := time.Since(t0)
+
+	after, err := scrapeMetrics(ctx, c)
+	if err != nil {
+		return err
+	}
+	delta := func(name string) float64 { return after[name] - before[name] }
+	hits := delta("sickle_dedup_hits_total")
+	hitRate := hits / float64(dup)
+	appends := delta("sickle_wal_appends_total")
+	meanMS := 0.0
+	if n := delta("sickle_wal_append_seconds_count"); n > 0 {
+		meanMS = delta("sickle_wal_append_seconds_sum") / n * 1000
+	}
+	fmt.Printf("  %d identical submissions in %v: %g served from CAS (hit rate %.2f)\n",
+		dup, elapsed.Round(time.Millisecond), hits, hitRate)
+	fmt.Printf("  WAL: %g durable appends, mean append latency %.3f ms\n", appends, meanMS)
+	if hits < float64(dup-1) {
+		return fmt.Errorf("dedup hit rate %.2f: want %d of %d duplicates served from cache", hitRate, dup-1, dup)
+	}
+	fmt.Println("  duplicate submissions deduplicated to one computation ✓")
+
+	if serveOut != "" {
+		report := serveBenchReport{
+			Schema: "sickle-bench-serve/v1", DupRequests: dup,
+			DedupHits: hits, DedupHitRate: hitRate,
+			WALAppends: appends, WALAppendMeanMS: meanMS,
+		}
+		raw, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(serveOut, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", serveOut)
+	}
+	return nil
+}
+
+// scrapeMetrics parses /metrics into a map of label-less series values.
+func scrapeMetrics(ctx context.Context, c *client.Client) (map[string]float64, error) {
+	raw, err := c.MetricsText(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, line := range strings.Split(raw, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		if v, err := strconv.ParseFloat(fields[1], 64); err == nil {
+			out[fields[0]] = v
+		}
+	}
+	return out, nil
 }
 
 // runShardPhase scrapes the router's /metrics for the shard counters and
@@ -191,7 +322,7 @@ func runLoadGen(base, model string, clients, requests int, shardPhase bool) erro
 // replicas — the smoke check that -serve was pointed at sickle-shard and
 // the ring is doing its job.
 func runShardPhase(ctx context.Context, c *client.Client) error {
-	fmt.Println("phase 5: shard routing (router metrics)...")
+	fmt.Println("phase 6: shard routing (router metrics)...")
 	raw, err := c.MetricsText(ctx)
 	if err != nil {
 		return err

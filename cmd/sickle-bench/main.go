@@ -41,6 +41,7 @@ func main() {
 	clients := flag.Int("clients", 32, "concurrent clients in load-generator mode")
 	requests := flag.Int("requests", 256, "total requests in load-generator mode")
 	shardPhase := flag.Bool("shard", false, "with -serve pointed at sickle-shard: verify routing via the router's shard metrics")
+	serveOut := flag.String("serveout", "", "output path for the -serve durability-phase JSON report (\"\" = print only)")
 	streamBench := flag.Bool("stream", false, "streaming-pipeline bench mode: run the in-situ pipeline and emit a JSON report")
 	streamOut := flag.String("streamout", "BENCH_stream.json", "output path for the -stream JSON report")
 	kernels := flag.Bool("kernels", false, "kernel bench mode: measure the tensor/solver compute engine and emit a JSON report")
@@ -57,7 +58,7 @@ func main() {
 		return
 	}
 	if *serveURL != "" {
-		if err := runLoadGen(*serveURL, *model, *clients, *requests, *shardPhase); err != nil {
+		if err := runLoadGen(*serveURL, *model, *clients, *requests, *shardPhase, *serveOut); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -58,6 +58,7 @@ func main() {
 	replicas := flag.Int("replicas", 0, "model replicas per registered model (default 2)")
 	jobWorkers := flag.Int("job-workers", 0, "concurrent async jobs (default 2)")
 	jobTTLMin := flag.Int("job-ttl-min", 0, "terminal-job retention in minutes (default 15)")
+	dataDir := flag.String("data-dir", "", "durability directory: WAL + results + dedup cache; jobs survive restarts (\"\" = in-memory)")
 
 	name := flag.String("name", "", "register a model under this name at startup")
 	arch := flag.String("arch", "", "architecture: lstm|mlp_transformer|cnn_transformer|matey")
@@ -102,6 +103,7 @@ func main() {
 			Replicas:     c.Serve.Replicas,
 			JobWorkers:   c.Serve.JobWorkers,
 			JobTTL:       time.Duration(c.Serve.JobTTLMin) * time.Minute,
+			DataDir:      c.Serve.DataDir,
 			Logger:       lg,
 
 			HistoryInterval: time.Duration(c.Obs.HistoryIntervalMS) * time.Millisecond,
@@ -151,8 +153,14 @@ func main() {
 	if *jobTTLMin > 0 {
 		cfg.JobTTL = time.Duration(*jobTTLMin) * time.Minute
 	}
+	if *dataDir != "" {
+		cfg.DataDir = *dataDir
+	}
 
-	s := serve.NewServer(cfg)
+	s, err := serve.NewServer(cfg)
+	if err != nil {
+		fatal("start server", err)
+	}
 
 	if *debugAddr != "" {
 		obs.ServeDebug(*debugAddr, s.Metrics().Registry(), s.Tracer(), func(err error) {

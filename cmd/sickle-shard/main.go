@@ -24,8 +24,10 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -48,6 +50,7 @@ func main() {
 	vnodes := flag.Int("vnodes", 0, "virtual nodes per replica on the hash ring (default 160)")
 	demo := flag.Bool("demo", false, "spawn in-process replicas sharing a freshly trained demo model")
 	demoReplicas := flag.Int("demo-replicas", 3, "in-process replicas to spawn with -demo")
+	demoDataDir := flag.String("demo-data-dir", "", "per-replica durability dirs <dir>/r<i> for -demo replicas (\"\" = in-memory)")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON lines")
 	debugAddr := flag.String("debug-addr", "", "pprof + debug sidecar listen address (\"\" = off)")
@@ -133,7 +136,11 @@ func main() {
 		}
 		lg.Info("demo model trained", "params", dm.Params, "test_loss", dm.FinalLoss)
 		for i := 0; i < *demoReplicas; i++ {
-			p, err := serve.StartInProc(serve.Config{})
+			rcfg := serve.Config{}
+			if *demoDataDir != "" {
+				rcfg.DataDir = filepath.Join(*demoDataDir, fmt.Sprintf("r%d", i))
+			}
+			p, err := serve.StartInProc(rcfg)
 			if err != nil {
 				fatal("start in-process replica", "err", err)
 			}

@@ -77,6 +77,7 @@ type ServeCase struct {
 	Replicas     int
 	JobWorkers   int
 	JobTTLMin    int
+	DataDir      string // durability dir: WAL + results + dedup cache ("" = in-memory)
 	DebugAddr    string // pprof + debug endpoints listener ("" = off)
 }
 
@@ -170,6 +171,7 @@ func ParseCase(src string) (*Case, error) {
 			Replicas:     sv.GetInt("replicas", 0),
 			JobWorkers:   sv.GetInt("job_workers", 0),
 			JobTTLMin:    sv.GetInt("job_ttl_min", 0),
+			DataDir:      sv.GetString("data_dir", ""),
 			DebugAddr:    sv.GetString("debug_addr", ""),
 		},
 

@@ -1,0 +1,131 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+
+	"repro/pkg/api"
+)
+
+func TestBlobRoundTrip(t *testing.T) {
+	bs, err := newBlobStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte(`{"rows":128,"elapsedMs":7}`)
+	if err := bs.Put("job-1", want); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := bs.Get("job-1")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Get = %q, want %q", got, want)
+	}
+	// Overwrite is atomic and replaces the payload.
+	if err := bs.Put("job-1", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := bs.Get("job-1"); string(got) != "v2" {
+		t.Fatalf("after overwrite: %q", got)
+	}
+}
+
+func TestBlobMissing(t *testing.T) {
+	bs, err := newBlobStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bs.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(missing) = %v, want ErrNotFound", err)
+	}
+	bs.Delete("nope") // best-effort, must not panic
+}
+
+func TestBlobCorrupt(t *testing.T) {
+	bs, err := newBlobStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bs.Put("k", []byte("payload-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	path := bs.path("k")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bs.Get("k"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get(corrupt) = %v, want ErrCorrupt", err)
+	}
+	// Truncated below the frame header is also corrupt, not a crash.
+	if err := os.WriteFile(path, raw[:5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bs.Get("k"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get(truncated) = %v, want ErrCorrupt", err)
+	}
+	bs.Delete("k")
+	if _, err := bs.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(deleted) = %v, want ErrNotFound", err)
+	}
+}
+
+func TestBlobKeySanitized(t *testing.T) {
+	bs, err := newBlobStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A hostile key must not escape the store directory.
+	if err := bs.Put("../../etc/passwd", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := bs.Get("../../etc/passwd")
+	if err != nil || string(got) != "x" {
+		t.Fatalf("sanitized round trip: %q, %v", got, err)
+	}
+}
+
+func TestContentKeyStability(t *testing.T) {
+	base := api.SubsampleRequest{
+		Dataset: "synthetic", Scale: "small", Snapshot: 3,
+		Method: "dbscan", NumHypercubes: 8, NumSamples: 64, Seed: 42,
+	}
+	k1 := ContentKey(base)
+	if len(k1) != 64 {
+		t.Fatalf("key %q is not sha256 hex", k1)
+	}
+	// Identical parameters hash identically; trace identity is not part
+	// of the request struct, so two retries collide by construction.
+	if k2 := ContentKey(base); k2 != k1 {
+		t.Fatalf("unstable key: %s vs %s", k1, k2)
+	}
+	// Scale and method normalize.
+	norm := base
+	norm.Scale, norm.Method = "  SMALL ", "DBScan"
+	if ContentKey(norm) != k1 {
+		t.Fatal("scale/method normalization broken")
+	}
+	// Every result-bearing parameter discriminates.
+	for name, mut := range map[string]func(*api.SubsampleRequest){
+		"dataset":  func(r *api.SubsampleRequest) { r.Dataset = "other" },
+		"snapshot": func(r *api.SubsampleRequest) { r.Snapshot++ },
+		"method":   func(r *api.SubsampleRequest) { r.Method = "kmeans" },
+		"cubes":    func(r *api.SubsampleRequest) { r.NumHypercubes++ },
+		"samples":  func(r *api.SubsampleRequest) { r.NumSamples++ },
+		"seed":     func(r *api.SubsampleRequest) { r.Seed++ },
+	} {
+		r := base
+		mut(&r)
+		if ContentKey(r) == k1 {
+			t.Errorf("mutating %s did not change the content key", name)
+		}
+	}
+}

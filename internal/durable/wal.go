@@ -1,0 +1,408 @@
+// Package durable persists job state across process crashes. It gives a
+// serve replica three on-disk structures under one data directory:
+//
+//   - a write-ahead job log (wal.log): CRC-framed JSON records, fsync'd
+//     per append, replayed on startup so pending/running jobs can be
+//     re-enqueued and terminal jobs restored with their results;
+//   - a result store (results/): one CRC-framed blob per terminal job,
+//     written before the terminal WAL record so recovery never promises
+//     a result it cannot produce;
+//   - a content-addressed cache (cas/): blobs keyed by a SHA-256 over
+//     the canonicalized request, memoizing identical subsample jobs
+//     into a disk read.
+//
+// The log is single-writer (the owning JobManager) and append-only
+// between compactions. Opening replays the previous log and starts a
+// fresh compacted file; Seal atomically renames it over the old log
+// once recovery has re-appended the retained records. Append failures
+// (including fsync errors) surface as typed api.CodeUnavailable errors
+// and latch the log failed — a replica that cannot persist a submission
+// must refuse it rather than silently degrade to at-most-once.
+//
+// For fault injection, a crash point "freezes" the log at a chosen
+// stage: the trip and every later append are dropped, exactly the
+// on-disk state a process killed at that instant would leave behind.
+// Tests freeze in-process and then InProc.Kill the replica; the
+// SICKLE_CRASH_POINT environment variable instead exits the process
+// outright so shell-level smoke tests can crash a real binary.
+package durable
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/pkg/api"
+)
+
+const (
+	walMagic   = "SWAL"
+	walVersion = 1
+
+	walName    = "wal.log"
+	walCompact = "wal.compact"
+
+	// maxFrame bounds a frame's payload; anything larger is treated as
+	// tail corruption rather than an allocation request.
+	maxFrame = 16 << 20
+)
+
+// CrashPointEnv names the environment variable that arms a process-level
+// crash point: when the WAL reaches the named stage the process exits
+// with status 3, simulating a crash for shell-driven recovery tests.
+// Values look like "before:terminal" or "after:submit".
+const CrashPointEnv = "SICKLE_CRASH_POINT"
+
+// Kind discriminates WAL record types.
+type Kind string
+
+const (
+	// KindSubmit records a job's admission: ID, type, idempotency key,
+	// and the serialized submission payload recovery rebuilds it from.
+	KindSubmit Kind = "submit"
+	// KindStart records the pending→running transition.
+	KindStart Kind = "start"
+	// KindTerminal records the final state (and error, if any). The
+	// job's result blob, when it has one, is persisted before this
+	// record is appended.
+	KindTerminal Kind = "terminal"
+)
+
+// stage maps a record kind to its crash-point stage name.
+func stage(k Kind) string { return string(k) }
+
+// Record is one WAL entry. Submit carries Type/Key/Payload, terminal
+// carries State/Error; Time is the event time (created/started/finished).
+type Record struct {
+	Kind    Kind            `json:"kind"`
+	ID      string          `json:"id"`
+	Type    string          `json:"type,omitempty"`
+	Key     string          `json:"key,omitempty"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+	State   string          `json:"state,omitempty"`
+	Error   *api.Error      `json:"error,omitempty"`
+	Time    time.Time       `json:"time"`
+}
+
+// JobRecord is a job's state folded from its WAL records, in submission
+// order. State is api.JobPending if the job never started, api.JobRunning
+// if a start record was seen without a terminal one, else the terminal
+// state.
+type JobRecord struct {
+	ID       string
+	Type     api.JobType
+	Key      string
+	Payload  json.RawMessage
+	State    api.JobState
+	Err      *api.Error
+	Created  time.Time
+	Started  time.Time
+	Finished time.Time
+}
+
+// Log is the write-ahead job log. Safe for concurrent use; each append
+// is written and fsync'd under one lock so records land in admission
+// order.
+type Log struct {
+	mu     sync.Mutex
+	f      *os.File
+	dir    string
+	sealed bool // post-recovery: appends fsync individually
+	frozen bool // crash point tripped or Freeze called: appends dropped
+	closed bool
+	failed error // sticky typed append failure
+
+	crashPoint string
+	onTrip     func()
+	tripped    bool
+
+	appends   *obs.Counter
+	appendErr *obs.Counter
+	bytes     *obs.Counter
+	seconds   *obs.Histogram
+	recovered *obs.CounterVec
+}
+
+// openLog replays dir/wal.log and starts a fresh compaction file. The
+// returned log is unsealed: recovery re-appends retained records without
+// per-append fsync, then Seal atomically replaces the old log.
+func openLog(dir string) (*Log, []JobRecord, error) {
+	recs, err := readWAL(filepath.Join(dir, walName))
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, walCompact), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	hdr := make([]byte, 8)
+	copy(hdr, walMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], walVersion)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	l := &Log{f: f, dir: dir}
+	if p := os.Getenv(CrashPointEnv); p != "" {
+		l.crashPoint = p
+		l.onTrip = func() { os.Exit(3) }
+	}
+	return l, reduce(recs), nil
+}
+
+// SetCrashPoint arms a fault-injection point ("before:submit",
+// "after:terminal", ...). When the log reaches it, the log freezes —
+// that append and every later one are silently dropped, leaving exactly
+// the bytes a crash at that instant would have left — and onTrip (if
+// non-nil) runs once, under the log's lock, so it must not call back
+// into the log. Tests pair this with serve.InProc.Kill.
+func (l *Log) SetCrashPoint(point string, onTrip func()) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.crashPoint = point
+	l.onTrip = onTrip
+	l.tripped = false
+}
+
+// Freeze drops all future appends, simulating process death for abrupt
+// InProc.Kill teardown: runner goroutines the harness still reaps write
+// nothing more to disk, as if the process had stopped with them.
+func (l *Log) Freeze() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.frozen = true
+}
+
+// Seal fsyncs the compaction file and atomically renames it over
+// wal.log. After Seal every append is individually fsync'd before it is
+// acknowledged.
+func (l *Log) Seal() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.sealed || l.frozen {
+		l.sealed = true
+		return l.failed
+	}
+	if err := l.f.Sync(); err != nil {
+		return l.fail("seal fsync", err)
+	}
+	if err := os.Rename(filepath.Join(l.dir, walCompact), filepath.Join(l.dir, walName)); err != nil {
+		return l.fail("seal rename", err)
+	}
+	syncDir(l.dir)
+	l.sealed = true
+	return nil
+}
+
+// Append durably records rec. An error is always typed
+// api.CodeUnavailable (fsync failures included) and latches: once an
+// append fails the log accepts nothing more, so a caller can trust that
+// a nil error means the record is on disk (crash-point freezes excepted,
+// which exist precisely to simulate the machine lying about that).
+func (l *Log) Append(rec Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return api.Errorf(api.CodeUnavailable, "wal: closed")
+	}
+	if l.failed != nil {
+		return l.failed
+	}
+	st := stage(rec.Kind)
+	l.hit("before:" + st)
+	if l.frozen {
+		return nil
+	}
+	start := time.Now()
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return l.fail("encode", err)
+	}
+	if len(payload) > maxFrame {
+		return l.fail("encode", fmt.Errorf("record exceeds %d bytes", maxFrame))
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[8:], payload)
+	if _, err := l.f.Write(frame); err != nil {
+		return l.fail("append", err)
+	}
+	if l.sealed {
+		if err := l.f.Sync(); err != nil {
+			return l.fail("fsync", err)
+		}
+	}
+	l.appends.Inc()
+	l.bytes.Add(float64(len(frame)))
+	l.seconds.Observe(time.Since(start).Seconds())
+	l.hit("after:" + st)
+	return nil
+}
+
+// hit trips the crash point if it matches; called with mu held.
+func (l *Log) hit(point string) {
+	if l.tripped || l.crashPoint == "" || l.crashPoint != point {
+		return
+	}
+	l.tripped = true
+	l.frozen = true
+	if l.onTrip != nil {
+		l.onTrip()
+	}
+}
+
+// fail latches the log failed with a typed unavailable error; mu held.
+func (l *Log) fail(op string, err error) error {
+	l.appendErr.Inc()
+	l.failed = api.Errorf(api.CodeUnavailable, "wal %s: %v", op, err)
+	return l.failed
+}
+
+// Close flushes and closes the log file. A frozen log skips the flush —
+// it is pretending to be dead — but still releases the descriptor.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.frozen || l.failed != nil {
+		l.f.Close()
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// register mounts the WAL metrics on reg.
+func (l *Log) register(reg *obs.Registry) {
+	l.appends = reg.Counter("sickle_wal_appends_total",
+		"WAL records durably appended.").With()
+	l.appendErr = reg.Counter("sickle_wal_append_errors_total",
+		"WAL appends that failed (write or fsync); each also fails the submission.").With()
+	l.bytes = reg.Counter("sickle_wal_appended_bytes_total",
+		"Bytes appended to the WAL, framing included.").With()
+	l.seconds = reg.Histogram("sickle_wal_append_seconds",
+		"Latency of one durable WAL append (encode + write + fsync).",
+		[]float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1}).With()
+	l.recovered = reg.Counter("sickle_wal_recovered_jobs_total",
+		"Jobs recovered from the WAL at startup, by action taken.", "action")
+}
+
+// CountRecovered records one recovered job by action ("reenqueued",
+// "restored", "dropped"). Nil-safe before register.
+func (l *Log) CountRecovered(action string) { l.recovered.With(action).Inc() }
+
+// readWAL replays one log file. A missing file is an empty log. The
+// tail is forgiving — a torn frame, bad CRC, or undecodable record ends
+// the replay at the last good record, the contract fsync-per-append
+// makes safe — but a bad header is a hard error: that file is not ours
+// to compact away.
+func readWAL(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return nil, nil // torn header: crashed before the first record
+	}
+	if string(hdr[:4]) != walMagic {
+		return nil, errors.New("durable: wal.log has unknown magic; refusing to compact it away")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != walVersion {
+		return nil, fmt.Errorf("durable: wal.log version %d, want %d", v, walVersion)
+	}
+	var recs []Record
+	fh := make([]byte, 8)
+	for {
+		if _, err := io.ReadFull(f, fh); err != nil {
+			return recs, nil
+		}
+		n := binary.LittleEndian.Uint32(fh[0:4])
+		sum := binary.LittleEndian.Uint32(fh[4:8])
+		if n == 0 || n > maxFrame {
+			return recs, nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return recs, nil
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, nil
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, nil
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// reduce folds raw records into per-job state, in first-submit order.
+func reduce(recs []Record) []JobRecord {
+	byID := make(map[string]*JobRecord)
+	var order []string
+	for i := range recs {
+		r := &recs[i]
+		switch r.Kind {
+		case KindSubmit:
+			if _, ok := byID[r.ID]; ok {
+				continue
+			}
+			byID[r.ID] = &JobRecord{
+				ID:      r.ID,
+				Type:    api.JobType(r.Type),
+				Key:     r.Key,
+				Payload: r.Payload,
+				State:   api.JobPending,
+				Created: r.Time,
+			}
+			order = append(order, r.ID)
+		case KindStart:
+			if j := byID[r.ID]; j != nil && !j.State.Terminal() {
+				j.State = api.JobRunning
+				j.Started = r.Time
+			}
+		case KindTerminal:
+			if j := byID[r.ID]; j != nil {
+				j.State = api.JobState(r.State)
+				j.Err = r.Error
+				j.Finished = r.Time
+			}
+		}
+	}
+	out := make([]JobRecord, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byID[id])
+	}
+	return out
+}
+
+// syncDir best-effort fsyncs a directory so a rename within it is
+// durable; some filesystems reject directory fsync, hence no error.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

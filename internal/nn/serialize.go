@@ -54,7 +54,12 @@ func SaveCheckpoint(path string, m Module) (err error) {
 			return err
 		}
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	// fsync so a crash right after "checkpoint saved" cannot leave a
+	// truncated file behind the success message.
+	return f.Sync()
 }
 
 // LoadCheckpoint restores parameters into a module with the identical

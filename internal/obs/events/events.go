@@ -35,6 +35,8 @@ const (
 	TypeSLORecover  Type = "slo_recover" // a breached objective returned under threshold
 	TypeDegraded    Type = "degraded"    // tier health flipped to degraded
 	TypeRecovered   Type = "recovered"   // tier health returned to ok
+	TypeRecovery    Type = "recovery"    // a job was recovered from the WAL at startup
+	TypeDedupHit    Type = "dedup_hit"   // a duplicate submission was served from prior work
 )
 
 // Event is one journal entry. Attrs carry event-specific detail (replica

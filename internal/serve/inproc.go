@@ -25,11 +25,16 @@ func StartInProc(cfg Config) (*InProc, error) {
 	if cfg.Addr == "" {
 		cfg.Addr = "127.0.0.1:0"
 	}
-	s := NewServer(cfg)
+	s, err := NewServer(cfg)
+	if err != nil {
+		return nil, err
+	}
 	l, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		s.jobs.Close()
 		s.batcher.Stop()
+		s.history.Stop()
+		s.durable.Close()
 		return nil, err
 	}
 	p := &InProc{
@@ -57,11 +62,18 @@ func (p *InProc) Close(ctx context.Context) error {
 
 // Kill stops the replica abruptly — the listener and every active
 // connection are closed without draining, simulating a crashed backend.
-// The batcher and job manager are still torn down so tests leak no
-// goroutines.
+// The WAL is frozen *first*: a real crash writes nothing more to disk,
+// so the job-manager teardown below (which cancels runners and would
+// otherwise record their cancellations) must leave no trace either —
+// restart-on-the-same-data-dir tests then see exactly the on-disk state
+// of a process that died at this instant. The batcher and job manager
+// are still torn down so tests leak no goroutines.
 func (p *InProc) Kill() {
+	p.Server.durable.Freeze()
 	p.Server.httpSrv.Close()
 	<-p.done
 	p.Server.jobs.Close()
 	p.Server.batcher.Stop()
+	p.Server.history.Stop()
+	p.Server.durable.Close()
 }

@@ -2,12 +2,16 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/obs"
 	"repro/pkg/api"
 )
@@ -22,9 +26,18 @@ type JobRunner func(ctx context.Context, progress func(stage string, done, total
 // under its own cancellable context), and terminal jobs linger for `ttl`
 // so clients can fetch status/results before the record expires.
 type JobManager struct {
-	mu   sync.Mutex
-	jobs map[string]*jobEntry
-	seq  int
+	mu    sync.Mutex
+	jobs  map[string]*jobEntry
+	byKey map[string]string // idempotency key -> job ID, for dedup on retry
+	seq   int
+
+	// wal/results persist job state across restarts; nil runs in-memory
+	// (the pre-durability behavior). walErr observes non-fatal append
+	// failures on lifecycle records — the submit record is the one that
+	// fails the submission itself.
+	wal     *durable.Log
+	results *durable.BlobStore
+	walErr  func(err error)
 
 	sem     chan struct{}
 	ttl     time.Duration
@@ -52,6 +65,7 @@ type jobEntry struct {
 	run    JobRunner
 	done   chan struct{} // closed when the job reaches a terminal state
 	tc     api.TraceContext
+	key    string // idempotency key, for byKey cleanup on purge
 }
 
 // Job-manager defaults (overridable through Config).
@@ -77,6 +91,7 @@ func NewJobManager(workers, maxJobs int, ttl time.Duration) *JobManager {
 	ctx, cancel := context.WithCancel(context.Background())
 	return &JobManager{
 		jobs:    map[string]*jobEntry{},
+		byKey:   map[string]string{},
 		sem:     make(chan struct{}, workers),
 		ttl:     ttl,
 		maxJobs: maxJobs,
@@ -96,6 +111,27 @@ func (jm *JobManager) SetPanicHook(h func(id string, typ api.JobType, traceID, m
 	jm.panicHook = h
 }
 
+// SetDurable attaches the write-ahead log and result store. onErr (may
+// be nil) observes append failures on start/terminal records — those
+// jobs still finish in memory; the WAL latches failed so the *next*
+// submission is refused with a typed unavailable error. Call before
+// serving traffic.
+func (jm *JobManager) SetDurable(st *durable.Store, onErr func(error)) {
+	if st == nil {
+		return
+	}
+	jm.wal = st.WAL
+	jm.results = st.Results
+	jm.walErr = onErr
+}
+
+// reportWALErr forwards a non-fatal durability error to the hook.
+func (jm *JobManager) reportWALErr(err error) {
+	if jm.walErr != nil && err != nil {
+		jm.walErr(err)
+	}
+}
+
 // Submit admits a job and returns its initial (pending) snapshot. A full
 // admission set rejects with api.CodeOverloaded; a closed manager with
 // api.CodeShuttingDown.
@@ -109,13 +145,43 @@ func (jm *JobManager) Submit(typ api.JobType, run JobRunner) (api.Job, error) {
 // cancellation lifetime is still the manager's root — a submitting HTTP
 // request ending must not cancel its job.
 func (jm *JobManager) SubmitTraced(ctx context.Context, typ api.JobType, run JobRunner) (api.Job, error) {
+	job, _, err := jm.SubmitWith(ctx, typ, run, SubmitOptions{})
+	return job, err
+}
+
+// SubmitOptions carries the durability-facing parts of a submission.
+type SubmitOptions struct {
+	// Key is the client's idempotency key; a resubmission with the same
+	// key returns the original job instead of admitting a duplicate.
+	Key string
+	// Payload is the serialized SubmitJobRequest, written to the WAL so
+	// recovery can rebuild the runner after a restart.
+	Payload json.RawMessage
+}
+
+// SubmitWith is SubmitTraced with idempotency and durability: the
+// returned bool reports a dedup hit (the job is a prior submission with
+// the same key). When a WAL is attached the submit record is appended —
+// and fsync'd — before the job is admitted; an append failure (disk
+// gone, fsync refused) rejects the submission with a typed
+// api.CodeUnavailable error rather than accepting work that would
+// silently vanish in a crash.
+func (jm *JobManager) SubmitWith(ctx context.Context, typ api.JobType, run JobRunner, opts SubmitOptions) (api.Job, bool, error) {
 	tc, _ := api.TraceFrom(ctx)
 	jm.mu.Lock()
 	defer jm.mu.Unlock()
 	if jm.closed {
-		return api.Job{}, errShuttingDown()
+		return api.Job{}, false, errShuttingDown()
 	}
 	jm.purgeLocked()
+	if opts.Key != "" {
+		if id, ok := jm.byKey[opts.Key]; ok {
+			if j, ok := jm.jobs[id]; ok {
+				return j.status, true, nil
+			}
+			delete(jm.byKey, opts.Key) // job expired; key is free again
+		}
+	}
 	// Only live (non-terminal) jobs count against admission: retained
 	// finished jobs are history, not load, and counting them would turn
 	// maxJobs into a hard rate limit of maxJobs-per-TTL on an idle server.
@@ -126,28 +192,81 @@ func (jm *JobManager) SubmitTraced(ctx context.Context, typ api.JobType, run Job
 		}
 	}
 	if active >= jm.maxJobs {
-		return api.Job{}, api.Errorf(api.CodeOverloaded,
+		return api.Job{}, false, api.Errorf(api.CodeOverloaded,
 			"serve: job queue full (%d active jobs)", active).WithRetryAfter(5)
 	}
 	jm.seq++
 	id := fmt.Sprintf("job-%d", jm.seq)
+	created := jm.now()
+	if jm.wal != nil {
+		if err := jm.wal.Append(durable.Record{
+			Kind: durable.KindSubmit, ID: id, Type: string(typ),
+			Key: opts.Key, Payload: opts.Payload, Time: created,
+		}); err != nil {
+			return api.Job{}, false, err
+		}
+	}
 	jobCtx, cancel := context.WithCancel(jm.root)
 	if tc.TraceID != "" {
 		jobCtx = api.WithTrace(jobCtx, tc)
 	}
 	j := &jobEntry{
 		status: api.Job{
-			ID: id, Type: typ, State: api.JobPending, CreatedAt: jm.now(),
+			ID: id, Type: typ, State: api.JobPending, CreatedAt: created,
+			IdempotencyKey: opts.Key,
 		},
 		cancel: cancel,
 		run:    run,
 		done:   make(chan struct{}),
 		tc:     tc,
+		key:    opts.Key,
 	}
 	jm.jobs[id] = j
+	if opts.Key != "" {
+		jm.byKey[opts.Key] = id
+	}
 	jm.wg.Add(1)
 	go jm.execute(j, jobCtx)
-	return j.status, nil
+	return j.status, false, nil
+}
+
+// Restore re-admits one job recovered from the WAL; call before serving
+// traffic. Terminal jobs come back queryable with their (possibly nil)
+// result; non-terminal ones are re-enqueued from scratch — the job ran
+// zero or a partial number of times before the crash, and runners are
+// deterministic pipelines, so running again is the correct resume. The
+// ID sequence is bumped past recovered IDs so new jobs never collide.
+func (jm *JobManager) Restore(job api.Job, run JobRunner, result *api.JobResult) {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	if s, ok := strings.CutPrefix(job.ID, "job-"); ok {
+		if n, err := strconv.Atoi(s); err == nil && n > jm.seq {
+			jm.seq = n
+		}
+	}
+	jobCtx, cancel := context.WithCancel(jm.root)
+	j := &jobEntry{
+		status: job,
+		cancel: cancel,
+		run:    run,
+		done:   make(chan struct{}),
+		key:    job.IdempotencyKey,
+	}
+	jm.jobs[job.ID] = j
+	if job.IdempotencyKey != "" {
+		jm.byKey[job.IdempotencyKey] = job.ID
+	}
+	if job.State.Terminal() {
+		j.result = result
+		close(j.done)
+		cancel()
+		return
+	}
+	j.status.State = api.JobPending
+	j.status.Progress = api.JobProgress{}
+	j.status.StartedAt = time.Time{}
+	jm.wg.Add(1)
+	go jm.execute(j, jobCtx)
 }
 
 // execute is the per-job goroutine: wait for a worker slot, run, finish.
@@ -168,6 +287,17 @@ func (jm *JobManager) execute(j *jobEntry, ctx context.Context) {
 	jm.mu.Lock()
 	j.status.State = api.JobRunning
 	j.status.StartedAt = jm.now()
+	if jm.wal != nil {
+		// Advisory: losing the start record only means recovery sees the
+		// job as never-started and re-enqueues it, which is what it would
+		// do for a running job anyway. The append is made under jm.mu so
+		// lifecycle records land in transition order.
+		if err := jm.wal.Append(durable.Record{
+			Kind: durable.KindStart, ID: j.status.ID, Time: j.status.StartedAt,
+		}); err != nil {
+			jm.reportWALErr(err)
+		}
+	}
 	jm.mu.Unlock()
 	progress := func(stage string, done, total int) {
 		jm.mu.Lock()
@@ -222,6 +352,26 @@ func (jm *JobManager) finish(j *jobEntry, res *api.JobResult, err error) {
 		j.status.State = api.JobFailed
 		j.status.Error = api.AsError(err)
 	}
+	// Persist the outcome — result blob first, then the terminal record,
+	// so a terminal WAL entry never promises a result that isn't on disk.
+	// Jobs interrupted by shutdown keep their non-terminal WAL state on
+	// purpose: a drained replica's in-flight jobs resume on restart.
+	if jm.wal != nil && !(jm.closed && j.status.State == api.JobCanceled) {
+		if j.status.State == api.JobSucceeded && j.result != nil {
+			if b, merr := json.Marshal(j.result); merr == nil {
+				if perr := jm.results.Put(j.status.ID, b); perr != nil {
+					jm.reportWALErr(perr)
+				}
+			}
+		}
+		if werr := jm.wal.Append(durable.Record{
+			Kind: durable.KindTerminal, ID: j.status.ID,
+			State: string(j.status.State), Error: j.status.Error,
+			Time: j.status.FinishedAt,
+		}); werr != nil {
+			jm.reportWALErr(werr)
+		}
+	}
 	close(j.done)
 	if j.tc.TraceID != "" {
 		jm.tracer.Record(obs.Span{
@@ -248,7 +398,7 @@ func (jm *JobManager) purgeLocked() {
 			continue
 		}
 		if j.status.FinishedAt.Before(cutoff) {
-			delete(jm.jobs, id)
+			jm.dropLocked(id, j)
 			continue
 		}
 		terminal = append(terminal, j)
@@ -258,8 +408,22 @@ func (jm *JobManager) purgeLocked() {
 			return terminal[a].status.FinishedAt.Before(terminal[b].status.FinishedAt)
 		})
 		for _, j := range terminal[:excess] {
-			delete(jm.jobs, j.status.ID)
+			jm.dropLocked(j.status.ID, j)
 		}
+	}
+}
+
+// dropLocked removes one expired job and everything keyed to it: its
+// idempotency-key reservation and its on-disk result blob. The WAL needs
+// no delete record — expired jobs are simply not re-appended at the next
+// compaction. Callers hold jm.mu.
+func (jm *JobManager) dropLocked(id string, j *jobEntry) {
+	delete(jm.jobs, id)
+	if j.key != "" && jm.byKey[j.key] == id {
+		delete(jm.byKey, j.key)
+	}
+	if jm.results != nil {
+		jm.results.Delete(id)
 	}
 }
 

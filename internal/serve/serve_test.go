@@ -39,7 +39,10 @@ func newTestServer(t *testing.T, cfg Config) (*Server, train.Model) {
 	if err := nn.SaveCheckpoint(ckpt, ref); err != nil {
 		t.Fatal(err)
 	}
-	s := NewServer(cfg)
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(func() { s.batcher.Stop() })
 	if _, err := s.Registry().Register("m", testSpec, ckpt, testShape, 2); err != nil {
 		t.Fatal(err)

@@ -8,6 +8,12 @@
 // job carries a context.Context that reaches the batcher queues, replica
 // acquisition, the cache, and the sampling/training loops.
 //
+// With Config.DataDir set the job manager is durable (internal/durable):
+// submissions are fsync'd to a write-ahead log before acknowledgment and
+// recovered on restart, results persist on disk, client idempotency keys
+// deduplicate retried submissions, and identical subsample jobs are
+// served byte-identically from a content-addressed cache.
+//
 // Two API versions are served: /v2 (typed error envelope, jobs) and /v1, a
 // thin frozen shim over the same types that keeps the original payloads
 // byte-compatible. cmd/sickle-serve is the binary; cmd/sickle-bench -serve
@@ -23,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/obs"
 	"repro/internal/obs/events"
 	olog "repro/internal/obs/log"
@@ -45,6 +52,14 @@ type Config struct {
 	JobWorkers   int           // concurrent jobs (default 2)
 	MaxJobs      int           // live-job admission bound (default 64)
 	JobTTL       time.Duration // terminal-job retention (default 15m)
+
+	// DataDir, when set, makes jobs durable: submissions are fsync'd to
+	// a write-ahead log under this directory before they are
+	// acknowledged, results persist on disk, identical subsample jobs
+	// are served from a content-addressed cache, and a restart on the
+	// same directory recovers job state (re-enqueuing interrupted
+	// jobs). Empty keeps the pre-durability in-memory behavior.
+	DataDir string
 
 	// Logger receives request and lifecycle logs; nil discards them.
 	Logger *olog.Logger
@@ -85,6 +100,7 @@ type Server struct {
 	journal  *events.Journal
 	history  *tsdb.Store
 	sloEng   *slo.Engine
+	durable  *durable.Store // nil without Config.DataDir
 	httpSrv  *http.Server
 	start    time.Time
 	draining atomic.Bool
@@ -95,8 +111,11 @@ type Server struct {
 	testProgressHook func(done, total int)
 }
 
-// NewServer builds a ready-to-listen server.
-func NewServer(cfg Config) *Server {
+// NewServer builds a ready-to-listen server. With Config.DataDir set it
+// opens (creating if needed) the durability store there and replays the
+// write-ahead job log — the only error path; an unusable data dir must
+// refuse to start rather than silently serve without durability.
+func NewServer(cfg Config) (*Server, error) {
 	cfg.defaults()
 	met := NewMetrics()
 	reg := NewRegistry()
@@ -121,12 +140,146 @@ func NewServer(cfg Config) *Server {
 	})
 	s.tracer.RegisterDropped(met.Registry())
 	s.journal.Register(met.Registry())
+	if cfg.DataDir != "" {
+		st, records, err := durable.Open(cfg.DataDir)
+		if err != nil {
+			return nil, fmt.Errorf("serve: open data dir %s: %w", cfg.DataDir, err)
+		}
+		s.durable = st
+		st.Register(met.Registry())
+		s.jobs.SetDurable(st, func(err error) {
+			s.logger.Error("wal append failed; next submission will be refused",
+				"err", err.Error())
+		})
+		s.recoverJobs(records)
+	}
 	s.history = tsdb.NewStore("serve", met.Registry(), cfg.HistoryInterval, cfg.HistoryCapacity)
 	s.sloEng = slo.NewEngine("serve", s.history, slo.ServeMetrics, cfg.SLOs,
 		met.Registry(), s.journal)
 	s.history.Start()
 	s.httpSrv = &http.Server{Addr: cfg.Addr, Handler: s.Handler()}
-	return s
+	return s, nil
+}
+
+// recoverJobs replays the folded WAL records into the job manager:
+// terminal jobs within the retention TTL come back queryable (succeeded
+// ones with their result blob — a succeeded record whose result is
+// missing or corrupt is re-run instead, since the WAL promised a result
+// it cannot produce), interrupted pending/running jobs are re-enqueued
+// from their persisted submission payload, and expired jobs are
+// dropped. Retained jobs are re-appended to the fresh WAL, which Seal
+// then atomically compacts over the old one.
+func (s *Server) recoverJobs(records []durable.JobRecord) {
+	ttl := s.cfg.JobTTL
+	if ttl <= 0 {
+		ttl = defaultJobTTL
+	}
+	wal := s.durable.WAL
+	type restore struct {
+		job    api.Job
+		run    JobRunner
+		result *api.JobResult
+		action string
+	}
+	var restores []restore
+	for _, rec := range records {
+		job := api.Job{
+			ID: rec.ID, Type: rec.Type, State: rec.State, Error: rec.Err,
+			CreatedAt: rec.Created, StartedAt: rec.Started, FinishedAt: rec.Finished,
+			IdempotencyKey: rec.Key,
+		}
+		if rec.State.Terminal() && time.Since(rec.Finished) > ttl {
+			s.durable.Results.Delete(rec.ID)
+			wal.CountRecovered("dropped")
+			continue
+		}
+		reappendSubmit := func() {
+			wal.Append(durable.Record{
+				Kind: durable.KindSubmit, ID: rec.ID, Type: string(rec.Type),
+				Key: rec.Key, Payload: rec.Payload, Time: rec.Created,
+			})
+		}
+		reappendTerminal := func(j api.Job) {
+			wal.Append(durable.Record{
+				Kind: durable.KindTerminal, ID: j.ID, State: string(j.State),
+				Error: j.Error, Time: j.FinishedAt,
+			})
+		}
+		if rec.State.Terminal() {
+			var result *api.JobResult
+			lost := false
+			if rec.State == api.JobSucceeded {
+				if b, err := s.durable.Results.Get(rec.ID); err == nil {
+					result = &api.JobResult{}
+					if json.Unmarshal(b, result) != nil {
+						result, lost = nil, true
+					}
+				} else {
+					lost = true
+					s.durable.Results.Delete(rec.ID)
+				}
+			}
+			if !lost {
+				reappendSubmit()
+				reappendTerminal(job)
+				restores = append(restores, restore{job: job, result: result, action: "restored"})
+				continue
+			}
+			// Fall through: recompute the lost result below.
+		}
+		var req api.SubmitJobRequest
+		runner := JobRunner(nil)
+		if json.Unmarshal(rec.Payload, &req) == nil {
+			runner, _ = s.runnerFor(&req)
+		}
+		if runner == nil {
+			// Interrupted and unrecoverable: mark it failed so the client
+			// gets a truthful terminal answer instead of a vanished job.
+			job.State = api.JobFailed
+			job.Error = api.Errorf(api.CodeInternal,
+				"serve: job %s interrupted by restart; submission payload unrecoverable", rec.ID)
+			job.FinishedAt = time.Now()
+			reappendSubmit()
+			reappendTerminal(job)
+			restores = append(restores, restore{job: job, action: "interrupted"})
+			continue
+		}
+		reappendSubmit()
+		restores = append(restores, restore{job: job, run: runner, action: "reenqueued"})
+	}
+	// Seal first so the runners the restores spawn append to a log whose
+	// every record is individually fsync'd.
+	if err := s.durable.Seal(); err != nil {
+		s.logger.Error("wal compaction failed", "err", err.Error())
+	}
+	for _, r := range restores {
+		s.jobs.Restore(r.job, r.run, r.result)
+		wal.CountRecovered(r.action)
+		s.journal.Emit(events.TypeRecovery, "job recovered from WAL", "",
+			"job", r.job.ID, "action", r.action, "state", string(r.job.State))
+	}
+	if n := len(records); n > 0 {
+		s.logger.Info("wal replayed", "jobs", n, "restored", len(restores))
+	}
+}
+
+// runnerFor builds the runner a submission (live or recovered) asks for.
+func (s *Server) runnerFor(req *api.SubmitJobRequest) (JobRunner, error) {
+	switch req.Type {
+	case api.JobSubsample:
+		if req.Subsample == nil {
+			return nil, api.Errorf(api.CodeInvalidArgument, "subsample job needs a subsample payload")
+		}
+		return s.subsampleJobRunner(*req.Subsample), nil
+	case api.JobTrain:
+		if req.Train == nil {
+			return nil, api.Errorf(api.CodeInvalidArgument, "train job needs a train payload")
+		}
+		return s.trainJobRunner(*req.Train), nil
+	default:
+		return nil, api.Errorf(api.CodeInvalidArgument,
+			"unknown job type %q (want %q or %q)", req.Type, api.JobSubsample, api.JobTrain)
+	}
 }
 
 // Registry exposes the model registry for pre-registering models.
@@ -146,6 +299,12 @@ func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // Journal exposes the event journal behind /debug/events.
 func (s *Server) Journal() *events.Journal { return s.journal }
+
+// Durable exposes the durability store (nil without Config.DataDir).
+// Embedders and crash-recovery tests use it for fault injection:
+// Store.WAL.SetCrashPoint arms a stage-precise freeze, Store.Freeze
+// simulates process death outright.
+func (s *Server) Durable() *durable.Store { return s.durable }
 
 // History exposes the metrics-history store behind /debug/history.
 func (s *Server) History() *tsdb.Store { return s.history }
@@ -237,6 +396,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.jobs.Close()
 	s.batcher.Stop()
 	s.history.Stop()
+	if cerr := s.durable.Close(); err == nil {
+		err = cerr
+	}
 	return err
 }
 
@@ -488,25 +650,27 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) error {
 	if err := decodeBody(r, &req); err != nil {
 		return writeAPIError(w, err)
 	}
-	var runner JobRunner
-	switch req.Type {
-	case api.JobSubsample:
-		if req.Subsample == nil {
-			return writeAPIError(w, api.Errorf(api.CodeInvalidArgument, "subsample job needs a subsample payload"))
-		}
-		runner = s.subsampleJobRunner(*req.Subsample)
-	case api.JobTrain:
-		if req.Train == nil {
-			return writeAPIError(w, api.Errorf(api.CodeInvalidArgument, "train job needs a train payload"))
-		}
-		runner = s.trainJobRunner(*req.Train)
-	default:
-		return writeAPIError(w, api.Errorf(api.CodeInvalidArgument,
-			"unknown job type %q (want %q or %q)", req.Type, api.JobSubsample, api.JobTrain))
-	}
-	job, err := s.jobs.SubmitTraced(r.Context(), req.Type, runner)
+	runner, err := s.runnerFor(&req)
 	if err != nil {
 		return writeAPIError(w, err)
+	}
+	opts := SubmitOptions{Key: req.IdempotencyKey}
+	if s.durable != nil {
+		if b, merr := json.Marshal(&req); merr == nil {
+			opts.Payload = b
+		}
+	}
+	job, dup, err := s.jobs.SubmitWith(r.Context(), req.Type, runner, opts)
+	if err != nil {
+		return writeAPIError(w, err)
+	}
+	if dup {
+		// A keyed resubmission deduplicated onto its original job: 200
+		// (nothing new was created) with the original snapshot.
+		tc, _ := api.TraceFrom(r.Context())
+		s.journal.Emit(events.TypeDedupHit, "idempotent resubmission returned original job",
+			tc.TraceID, "job", job.ID, "kind", "idempotency_key")
+		return writeJSON(w, http.StatusOK, job)
 	}
 	return writeJSON(w, http.StatusAccepted, job)
 }

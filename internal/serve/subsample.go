@@ -2,12 +2,16 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"os"
 	"strings"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/grid"
 	"repro/internal/nn"
+	"repro/internal/obs/events"
 	"repro/internal/sampling"
 	"repro/internal/sickle"
 	"repro/internal/train"
@@ -149,8 +153,33 @@ func (s *Server) doSubsample(ctx context.Context, req *api.SubsampleRequest, pro
 // subsampleJobRunner adapts a subsample request to the job manager: the
 // sampling pipeline's per-cube progress callback feeds the job's progress
 // counters, and the job context reaches the cancel checks between cubes.
+//
+// With a data dir configured, the runner first consults the
+// content-addressed cache under durable.ContentKey(req): a hit returns
+// the stored result bytes verbatim — byte-identical to the run that
+// produced them, ElapsedMS included — a corrupt blob (bad CRC) is
+// deleted and recomputed, and a miss stores the fresh result for the
+// next identical request.
 func (s *Server) subsampleJobRunner(req api.SubsampleRequest) JobRunner {
 	return func(ctx context.Context, progress func(stage string, done, total int)) (*api.JobResult, error) {
+		var key string
+		if s.durable != nil {
+			key = durable.ContentKey(req)
+			b, err := s.durable.Cache.Get(key)
+			if err == nil {
+				var res api.JobResult
+				if json.Unmarshal(b, &res) == nil && res.Subsample != nil {
+					tc, _ := api.TraceFrom(ctx)
+					s.journal.Emit(events.TypeDedupHit, "subsample served from content-addressed cache",
+						tc.TraceID, "key", key[:12], "kind", "cas")
+					return &res, nil
+				}
+				err = durable.ErrCorrupt
+			}
+			if errors.Is(err, durable.ErrCorrupt) {
+				s.durable.Cache.Delete(key)
+			}
+		}
 		progress("resolve", 0, 0)
 		resp, err := s.doSubsample(ctx, &req, func(done, total int) {
 			progress("sampling", done, total)
@@ -158,7 +187,15 @@ func (s *Server) subsampleJobRunner(req api.SubsampleRequest) JobRunner {
 		if err != nil {
 			return nil, err
 		}
-		return &api.JobResult{Subsample: resp}, nil
+		result := &api.JobResult{Subsample: resp}
+		if key != "" {
+			// Best-effort memoization: a failed Put costs only the next
+			// duplicate a recompute.
+			if b, merr := json.Marshal(result); merr == nil {
+				s.durable.Cache.Put(key, b)
+			}
+		}
+		return result, nil
 	}
 }
 

@@ -239,9 +239,12 @@ func (rt *Router) instrument(route string, h func(http.ResponseWriter, *http.Req
 // one that is unreachable (typed unavailable — also dinging its health)
 // fails over only when retryUnavailable is set, because an unreachable
 // answer cannot distinguish "never delivered" from "accepted, response
-// lost" — safe to retry for idempotent work, not for submissions. Any
-// other answer — success or an application-level error — is final and
-// passes through unchanged. Returns the replica that answered.
+// lost" — safe for idempotent work only. Reads and infer calls qualify
+// by nature; job submissions qualify exactly when the client supplied
+// an idempotency key, which lets the backend deduplicate a resubmission
+// (unkeyed submissions stay at-most-once). Any other answer — success
+// or an application-level error — is final and passes through
+// unchanged. Returns the replica that answered.
 //
 // Tracing: one route:<key> span covers the whole candidate walk, with one
 // client:<replicaID> child span per attempt; fn receives the attempt's
@@ -537,20 +540,25 @@ func (rt *Router) handleSubmitJob(w http.ResponseWriter, r *http.Request) error 
 	if err := decodeBody(r, &req); err != nil {
 		return writeAPIError(w, err)
 	}
-	// Submissions never fail over on unavailable: the backend may have
-	// admitted the job before the connection died, and a retry elsewhere
-	// would run it twice. Overloaded/draining refusals (nothing admitted)
-	// still move to the next ring node; once the prober ejects a dead
-	// primary, new submissions hash straight to its successor.
+	// Unkeyed submissions never fail over on unavailable: the backend may
+	// have admitted the job before the connection died, and a retry
+	// elsewhere would run it twice. An idempotency key removes that
+	// hazard — the backend deduplicates by key, so an unavailable answer
+	// is safe to retry on the next ring candidate (and the client SDK's
+	// own retry, landing back on the same primary after a restart,
+	// observes the original job). Overloaded/draining refusals (nothing
+	// admitted) always move on; once the prober ejects a dead primary,
+	// new submissions hash straight to its successor.
 	var job *api.Job
-	rep, err := rt.route(r.Context(), submitKey(&req), false, func(ctx context.Context, rep *Replica) error {
-		out, err := rep.C.SubmitJob(ctx, &req)
-		if err != nil {
-			return err
-		}
-		job = out
-		return nil
-	})
+	rep, err := rt.route(r.Context(), submitKey(&req), req.IdempotencyKey != "",
+		func(ctx context.Context, rep *Replica) error {
+			out, err := rep.C.SubmitJob(ctx, &req)
+			if err != nil {
+				return err
+			}
+			job = out
+			return nil
+		})
 	if err != nil {
 		return writeAPIError(w, err)
 	}

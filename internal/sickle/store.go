@@ -125,7 +125,10 @@ func (a *ShardAppender) Close() (err error) {
 	if _, err := a.f.WriteAt(hdr[:], int64(len(storeMagic))); err != nil {
 		return err
 	}
-	return nil
+	// fsync before close: Close alone only hands the pages to the kernel,
+	// and a crash between close and writeback would leave a shard whose
+	// header promises cubes the disk never got.
+	return a.f.Sync()
 }
 
 // writeCubeSample serializes one cube record in the SKL1 layout.

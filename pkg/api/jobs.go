@@ -30,11 +30,23 @@ func (s JobState) Terminal() bool {
 
 // SubmitJobRequest is the body of POST /v2/jobs. Exactly one payload field
 // matching Type must be set.
+//
+// IdempotencyKey, when non-empty, makes the submission safely retryable:
+// resubmitting the same key to the same replica returns the original
+// job instead of admitting a duplicate, and transports (the client SDK,
+// the shard router) are allowed to retry keyed submissions on transport
+// errors — without a key a retry could double-submit, so unkeyed
+// submissions stay at-most-once. Keys are caller-chosen opaque strings
+// (NewIdempotencyKey mints random ones) scoped to the job retention TTL.
 type SubmitJobRequest struct {
-	Type      JobType           `json:"type"`
-	Subsample *SubsampleRequest `json:"subsample,omitempty"`
-	Train     *TrainJobSpec     `json:"train,omitempty"`
+	Type           JobType           `json:"type"`
+	IdempotencyKey string            `json:"idempotencyKey,omitempty"`
+	Subsample      *SubsampleRequest `json:"subsample,omitempty"`
+	Train          *TrainJobSpec     `json:"train,omitempty"`
 }
+
+// NewIdempotencyKey mints a random 128-bit idempotency key.
+func NewIdempotencyKey() string { return randomHex(16) }
 
 // TrainJobSpec asks the server to subsample a dataset, train a surrogate
 // on the selection, and (when Register is set) publish the trained weights
@@ -73,6 +85,10 @@ type Job struct {
 	CreatedAt  time.Time   `json:"createdAt"`
 	StartedAt  time.Time   `json:"startedAt,omitzero"`
 	FinishedAt time.Time   `json:"finishedAt,omitzero"`
+
+	// IdempotencyKey echoes the submission's key, so a retrying caller
+	// can tell it was deduplicated onto an existing job.
+	IdempotencyKey string `json:"idempotencyKey,omitempty"`
 }
 
 // JobResult is the body of GET /v2/jobs/{id}/result; the field matching

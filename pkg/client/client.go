@@ -213,6 +213,16 @@ func (c *Client) doVersioned(ctx context.Context, method, path string, in, out a
 // trace ID so every SDK call is traceable end to end; either way the
 // identity travels downstream as the X-Sickle-Trace header.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	return c.doRetry(ctx, method, path, in, out, false)
+}
+
+// doRetry is do with an optional widened retry policy: with
+// retryUnavailable set, typed unavailable answers (transport failures,
+// refused WAL appends) retry on the same backoff schedule. Only calls
+// the server deduplicates — keyed job submissions — may set it; anything
+// else could double-apply on a connection that died after the server
+// acted.
+func (c *Client) doRetry(ctx context.Context, method, path string, in, out any, retryUnavailable bool) error {
 	if _, ok := api.TraceFrom(ctx); !ok {
 		ctx = api.WithTrace(ctx, api.TraceContext{TraceID: api.NewTraceID()})
 	}
@@ -225,8 +235,12 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	for attempt := 0; ; attempt++ {
 		err := c.once(ctx, method, path, body, out)
+		if err == nil || attempt >= c.maxRetries {
+			return err
+		}
 		ae := api.AsError(err)
-		if err == nil || ae.Code != api.CodeOverloaded || attempt >= c.maxRetries {
+		if ae.Code != api.CodeOverloaded &&
+			!(retryUnavailable && ae.Code == api.CodeUnavailable) {
 			return err
 		}
 		delay := c.backoff << attempt

@@ -9,10 +9,19 @@ import (
 )
 
 // SubmitJob submits any job payload (POST /v2/jobs) and returns the
-// pending snapshot.
+// pending snapshot. A request carrying an IdempotencyKey is safely
+// retryable, so the SDK widens its retry policy for it: transport-level
+// unavailable answers (connection refused/reset, a dead connection after
+// the server may have acted) retry on the same backoff schedule as
+// overloaded ones, and the server deduplicates by key — the caller
+// observes exactly one job however many attempts it took. Unkeyed
+// submissions keep the at-most-once policy: only overloaded (which
+// provably did not admit) is retried.
 func (c *Client) SubmitJob(ctx context.Context, req *api.SubmitJobRequest) (*api.Job, error) {
 	var out api.Job
-	if err := c.doVersioned(ctx, http.MethodPost, "/jobs", req, &out); err != nil {
+	err := c.doRetry(ctx, http.MethodPost, "/"+c.version+"/jobs", req, &out,
+		req.IdempotencyKey != "")
+	if err != nil {
 		return nil, err
 	}
 	return &out, nil
