@@ -91,7 +91,7 @@ func BenchmarkFig5_PDFComparison(b *testing.B) {
 
 func BenchmarkFig6_DragSurrogate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := sickle.Fig6(sickle.Small, sickle.Fig6Config{
+		rows, err := sickle.Fig6(b.Context(), sickle.Small, sickle.Fig6Config{
 			SampleSizes: []int{540}, Replicates: 2, Epochs: 10,
 		})
 		if err != nil {
@@ -109,7 +109,7 @@ func BenchmarkFig6_DragSurrogate(b *testing.B) {
 
 func BenchmarkFig7_Scalability(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := sickle.Fig7(sickle.Small, 512, sickle.DefaultCostModel())
+		rows, err := sickle.Fig7(b.Context(), sickle.Small, 512, sickle.DefaultCostModel())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -120,7 +120,7 @@ func BenchmarkFig7_Scalability(b *testing.B) {
 
 func BenchmarkFig8_LossVsEnergy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := sickle.Fig8(sickle.Small, sickle.Fig8Config{
+		rows, err := sickle.Fig8(b.Context(), sickle.Small, sickle.Fig8Config{
 			Datasets: []string{"SST-P1F4"}, Epochs: 3, CubeEdge: 8,
 		})
 		if err != nil {
@@ -143,7 +143,7 @@ func BenchmarkFig8_LossVsEnergy(b *testing.B) {
 
 func BenchmarkFig9_FoundationModel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := sickle.Fig9(sickle.Small, sickle.Fig9Config{Epochs: 2, CubeEdge: 8})
+		rows, err := sickle.Fig9(b.Context(), sickle.Small, sickle.Fig9Config{Epochs: 2, CubeEdge: 8})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -165,7 +165,7 @@ func BenchmarkEq3_SamplingVsTrainingCost(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows, err := sickle.Fig8(sickle.Small, sickle.Fig8Config{
+		rows, err := sickle.Fig8(b.Context(), sickle.Small, sickle.Fig8Config{
 			Datasets: []string{d.Label}, Epochs: 2, CubeEdge: 8,
 		})
 		if err != nil {
@@ -202,7 +202,7 @@ func BenchmarkAblation_UIPSBins(b *testing.B) {
 
 func BenchmarkAblation_CommLatency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := sickle.AblateCommLatency(sickle.Small, []float64{2e-6, 200e-6})
+		rows, err := sickle.AblateCommLatency(b.Context(), sickle.Small, []float64{2e-6, 200e-6})
 		if err != nil {
 			b.Fatal(err)
 		}

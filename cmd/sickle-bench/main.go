@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -151,7 +152,7 @@ func main() {
 		if scale == sickle.Small {
 			cfg = sickle.Fig6Config{SampleSizes: []int{540, 1080, 2160}, Replicates: 3, Epochs: 150}
 		}
-		rows, err := sickle.Fig6(scale, cfg)
+		rows, err := sickle.Fig6(context.Background(), scale, cfg)
 		if err != nil {
 			return err
 		}
@@ -163,7 +164,7 @@ func main() {
 	})
 
 	run("fig7", func() error {
-		rows, err := sickle.Fig7(scale, 512, sickle.DefaultCostModel())
+		rows, err := sickle.Fig7(context.Background(), scale, 512, sickle.DefaultCostModel())
 		if err != nil {
 			return err
 		}
@@ -177,7 +178,7 @@ func main() {
 	})
 
 	run("fig8", func() error {
-		rows, err := sickle.Fig8(scale, sickle.Fig8Config{})
+		rows, err := sickle.Fig8(context.Background(), scale, sickle.Fig8Config{})
 		if err != nil {
 			return err
 		}
@@ -188,7 +189,7 @@ func main() {
 	})
 
 	run("fig9", func() error {
-		rows, err := sickle.Fig9(scale, sickle.Fig9Config{})
+		rows, err := sickle.Fig9(context.Background(), scale, sickle.Fig9Config{})
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -45,7 +46,7 @@ func runStreamBench(outPath string) error {
 		Ranks: 4, Window: 2, MergeEvery: 4,
 		Cost: sickle.DefaultCostModel(),
 	}
-	res, err := stream.Run(stream.NewReplaySource(d), cfg)
+	res, err := stream.Run(context.Background(), stream.NewReplaySource(d), cfg)
 	if err != nil {
 		return err
 	}

@@ -12,6 +12,8 @@
 //	sickle-stream -source replay -dataset SST-P1F4 -n 4 -window 2 -o stream
 //	sickle-stream -source cfd3d -grid 32 -snapshots 16 -steps-per 2 -o stream
 //	sickle-stream -case case.yaml -compare-offline
+//
+//sicklevet:file-ignore ologonly the run summary is the CLI result, printed once after the pipeline exits
 package main
 
 import (
@@ -172,7 +174,7 @@ func main() {
 		lg.Info("debug endpoints up", "addr", *debugAddr)
 	}
 
-	res, err := stream.Run(src, scfg)
+	res, err := stream.Run(context.Background(), src, scfg)
 	if err != nil {
 		fatal("stream run", "err", err)
 	}

@@ -9,6 +9,8 @@
 //	sickle-train -dataset SST-P1F4 -arch MLP_Transformer -epochs 20 -n 2
 //	sickle-train -in sub.skl -dataset SST-P1F4 -arch MLP_Transformer
 //	sickle-train -dataset SST-P1F4 -arch LSTM -ckpt-out model.sknn   # then serve it
+//
+//sicklevet:file-ignore ologonly the training summary is the CLI result, printed once after the run exits
 package main
 
 import (
@@ -158,7 +160,7 @@ func main() {
 			}
 			return factory
 		}
-		trials, err := tune.Search(factoryFor, ex, tune.Space{}, tune.Config{
+		trials, err := tune.Search(context.Background(), factoryFor, ex, tune.Space{}, tune.Config{
 			Trials: 6, RungEpochs: 3, FinalEpochs: *epochs / 2, Seed: *seed, Ranks: *ranks,
 		})
 		if err != nil {

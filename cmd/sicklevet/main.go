@@ -1,0 +1,43 @@
+// Command sicklevet machine-enforces this repository's correctness
+// contracts as a static-analysis suite. It runs standalone:
+//
+//	go run ./cmd/sicklevet ./...
+//
+// or as a go vet tool:
+//
+//	go build -o "$(go env GOPATH)/bin/sicklevet" ./cmd/sicklevet
+//	go vet -vettool="$(which sicklevet)" ./...
+//
+// Analyzers (suppress one finding with //sicklevet:ignore <analyzer>
+// <reason>, a whole file with //sicklevet:file-ignore):
+//
+//	closecheck   discarded Close/Sync errors on writable files/writers
+//	ctxfirst     context-first cancellation (no root contexts in libraries)
+//	apierr       typed *api.Error with registered codes at the HTTP boundary
+//	metricname   sickle_* series naming, unit suffixes, single registration
+//	ologonly     olog-only logging in the long-running stack
+//	detparallel  deterministic ParallelFor bodies (bitwise parity contract)
+//
+// See README "Development: static analysis" and internal/analysis.
+package main
+
+import (
+	"repro/internal/analysis/checker"
+	"repro/internal/analysis/passes/apierr"
+	"repro/internal/analysis/passes/closecheck"
+	"repro/internal/analysis/passes/ctxfirst"
+	"repro/internal/analysis/passes/detparallel"
+	"repro/internal/analysis/passes/metricname"
+	"repro/internal/analysis/passes/ologonly"
+)
+
+func main() {
+	checker.Main(
+		apierr.Analyzer,
+		closecheck.Analyzer,
+		ctxfirst.Analyzer,
+		detparallel.Analyzer,
+		metricname.Analyzer,
+		ologonly.Analyzer,
+	)
+}

@@ -61,4 +61,12 @@
 // reference — asserted by parity tests — and cmd/sickle-bench -kernels
 // tracks throughput and pooled÷serial speedups in BENCH_kernels.json,
 // which CI gates against the committed baseline (README "Performance").
+//
+// The contracts above are machine-enforced: cmd/sicklevet is a six-analyzer
+// static-analysis suite (closecheck, ctxfirst, apierr, metricname, ologonly,
+// detparallel) over a stdlib-only go/analysis-style framework in
+// internal/analysis, runnable standalone or via go vet -vettool, and run by
+// CI as a blocking zero-diagnostics gate. Deliberate exceptions annotate
+// with //sicklevet:ignore <analyzer> <reason> (README "Development: static
+// analysis").
 package repro

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,7 +14,7 @@ import (
 
 func main() {
 	fmt.Println("training the MATEY-like multiscale model with three sampling strategies...")
-	rows, err := sickle.Fig9(sickle.Small, sickle.Fig9Config{Epochs: 8, CubeEdge: 16})
+	rows, err := sickle.Fig9(context.Background(), sickle.Small, sickle.Fig9Config{Epochs: 8, CubeEdge: 16})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,173 @@
+// Package analysis is a self-contained, stdlib-only reimplementation of
+// the golang.org/x/tools/go/analysis surface that sicklevet needs. The
+// repository deliberately carries zero third-party dependencies, so the
+// vettool cannot import the real x/tools module; this package keeps the
+// same shape (Analyzer, Pass, Diagnostic, SuggestedFix) so the analyzers
+// under internal/analysis/passes could be ported to the upstream API by
+// changing one import path.
+//
+// The framework is smaller than upstream in three deliberate ways: there
+// is no Facts mechanism (cross-package state lives in the analyzers that
+// need it and degrades gracefully under per-package `go vet` drivers),
+// passes always see a fully type-checked package, and diagnostics are
+// filtered through the project-wide `//sicklevet:ignore` escape hatch
+// (ignore.go) before they reach any printer.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one named check. Run inspects a single package via
+// its Pass and reports diagnostics; the driver decides which packages each
+// analyzer sees and applies ignore-directive filtering afterwards.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //sicklevet:ignore directives. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph contract the analyzer enforces; the
+	// multichecker prints it for -help.
+	Doc string
+	// Run performs the check. The returned value is ignored by the
+	// drivers (kept for upstream API shape).
+	Run func(*Pass) (any, error)
+}
+
+// Pass carries one type-checked package to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the package's non-test syntax trees. Test files
+	// participate in type checking when present (go vet test variants)
+	// but are never analyzed: the correctness contracts sicklevet
+	// enforces are production-code contracts.
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// PkgPath returns the package's import path with any go-vet test-variant
+// suffix ("pkg [pkg.test]") stripped, so path-scoped analyzers behave
+// identically under the standalone driver and `go vet -vettool`.
+func (p *Pass) PkgPath() string {
+	path := p.Pkg.Path()
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i]
+	}
+	return path
+}
+
+// Diagnostic is one finding, optionally carrying mechanical fixes.
+type Diagnostic struct {
+	Pos     token.Pos
+	End     token.Pos // zero means unknown
+	Message string
+	// SuggestedFixes are mechanical rewrites a tool (or analysistest's
+	// golden-file runner) may apply. Fixes must be safe to apply blindly.
+	SuggestedFixes []SuggestedFix
+}
+
+// SuggestedFix is one named set of text edits.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// TextEdit replaces [Pos, End) with NewText. End == token.NoPos means an
+// insertion at Pos.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}
+
+// --- shared type/AST helpers used by the passes ---
+
+// CalleeFunc resolves the static function or method a call dispatches to,
+// or nil for calls through function-typed values and type conversions.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[fun.Sel] // package-qualified call
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// IsFuncNamed reports whether fn is the named package-level function
+// pkgpath.name (e.g. "time", "Now").
+func IsFuncNamed(fn *types.Func, pkgpath, name string) bool {
+	return fn != nil && fn.Name() == name && fn.Pkg() != nil && fn.Pkg().Path() == pkgpath
+}
+
+// PathHasSuffix reports whether the import path equals suffix or ends in
+// "/"+suffix — the way the passes recognize this repository's packages
+// (matching by suffix keeps testdata packages, which mirror real paths
+// under a synthetic prefix, in scope).
+func PathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// NamedTypePath reports whether t (after pointer indirection) is the named
+// type `name` declared in a package whose path ends in pkgSuffix.
+func NamedTypePath(t types.Type, pkgSuffix, name string) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	return PathHasSuffix(obj.Pkg().Path(), pkgSuffix)
+}
+
+// HasMethod reports whether typ has a method with the given name and a
+// signature matching check (check may be nil to accept any signature).
+// Both value and pointer method sets are consulted.
+func HasMethod(typ types.Type, name string, check func(*types.Signature) bool) bool {
+	obj, _, _ := types.LookupFieldOrMethod(typ, true, nil, name)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	if check == nil {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && check(sig)
+}
+
+// IsErrorOnlySignature reports whether sig is func() error — the shape of
+// Close and Sync.
+func IsErrorOnlySignature(sig *types.Signature) bool {
+	if sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	named, ok := sig.Results().At(0).Type().(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

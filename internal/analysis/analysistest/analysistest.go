@@ -1,0 +1,309 @@
+// Package analysistest runs a sicklevet analyzer over golden test
+// packages, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// Test packages live under <analyzer>/testdata/src/<importpath>/ and the
+// directory path below src/ becomes the package's import path, so
+// path-scoped analyzers can be exercised by mirroring real layouts
+// (e.g. testdata/src/repro/internal/serve). Files may import standard
+// library packages and the real repro/... packages; imports are resolved
+// through `go list -export` at the module root.
+//
+// Expected findings are declared in the source with trailing comments:
+//
+//	f.Close() // want `Close error discarded`
+//
+// Each backquoted or double-quoted Go string after `want` is a regular
+// expression; the line must produce exactly that many diagnostics, each
+// matching its expression (order-insensitively). Lines without a want
+// comment must produce none. //sicklevet:ignore directives are honored,
+// so suppression behavior is testable by annotating a violation and
+// omitting the want.
+package analysistest
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// Run analyzes the package at testdata/src/<pkgpath> (relative to the
+// calling test's directory) and checks diagnostics against want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	run(t, a, pkgpath, false)
+}
+
+// RunWithSuggestedFixes is Run plus golden-file checking: after the
+// diagnostics match, every suggested fix is applied and each fixed file
+// is compared against <file>.golden.
+func RunWithSuggestedFixes(t *testing.T, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	run(t, a, pkgpath, true)
+}
+
+func run(t *testing.T, a *analysis.Analyzer, pkgpath string, fixes bool) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(pkgpath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading testdata package: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var filenames []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		files = append(files, f)
+		filenames = append(filenames, name)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no .go files under %s", dir)
+	}
+
+	pkg, info := typecheck(t, fset, files, pkgpath)
+	var found []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { found = append(found, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+	ignores := analysis.ParseIgnores(fset, files)
+	for _, m := range ignores.Malformed {
+		t.Errorf("%s: %s", fset.Position(m.Pos), m.Message)
+	}
+	kept := ignores.Filter(fset, a.Name, found)
+	checkWants(t, fset, files, kept)
+	if fixes {
+		checkFixes(t, fset, filenames, kept)
+	}
+}
+
+// typecheck resolves imports through `go list -export` at the module root
+// and type-checks the testdata package.
+func typecheck(t *testing.T, fset *token.FileSet, files []*ast.File, pkgpath string) (*types.Package, *types.Info) {
+	t.Helper()
+	var imports []string
+	seen := map[string]bool{}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if path != "unsafe" && !seen[path] {
+				seen[path] = true
+				imports = append(imports, path)
+			}
+		}
+	}
+	exportFor := map[string]string{}
+	if len(imports) > 0 {
+		root := moduleRoot(t)
+		pkgs, err := load.List(root, imports)
+		if err != nil {
+			t.Fatalf("resolving testdata imports: %v", err)
+		}
+		for _, p := range pkgs {
+			exportFor[p.ImportPath] = p.Export
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exportFor[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := load.NewInfo()
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check(pkgpath, fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return pkg, info
+}
+
+// moduleRoot walks up from the test's working directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+// expectation is one want regex at a line.
+type expectation struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile("// want (.*)$")
+
+// checkWants matches diagnostics against want comments line by line.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := map[string][]*expectation{} // "file:line" -> expectations
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, pat := range parseWantPatterns(t, pos, m[1]) {
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants[key] = append(wants[key], &expectation{rx: rx})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		matched := false
+		for _, exp := range wants[key] {
+			if !exp.matched && exp.rx.MatchString(d.Message) {
+				exp.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, exp := range wants[k] {
+			if !exp.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, exp.rx)
+			}
+		}
+	}
+}
+
+// parseWantPatterns splits `"rx" "rx2"` / backquoted forms into patterns.
+func parseWantPatterns(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var pats []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte = s[0]
+		if quote != '"' && quote != '`' {
+			t.Fatalf("%s: malformed want comment (expected quoted regexp): %s", pos, s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			t.Fatalf("%s: unterminated want pattern: %s", pos, s)
+		}
+		raw := s[:end+2]
+		pat, err := strconv.Unquote(raw)
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %s: %v", pos, raw, err)
+		}
+		pats = append(pats, pat)
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return pats
+}
+
+// checkFixes applies every suggested fix and diffs against .golden files.
+func checkFixes(t *testing.T, fset *token.FileSet, filenames []string, diags []analysis.Diagnostic) {
+	t.Helper()
+	type edit struct {
+		start, end int
+		text       []byte
+	}
+	editsByFile := map[string][]edit{}
+	for _, d := range diags {
+		for _, fix := range d.SuggestedFixes {
+			for _, te := range fix.TextEdits {
+				start := fset.Position(te.Pos)
+				end := start
+				if te.End.IsValid() {
+					end = fset.Position(te.End)
+				}
+				editsByFile[start.Filename] = append(editsByFile[start.Filename],
+					edit{start: start.Offset, end: end.Offset, text: te.NewText})
+			}
+		}
+	}
+	for _, name := range filenames {
+		golden := name + ".golden"
+		goldenContent, err := os.ReadFile(golden)
+		edits := editsByFile[name]
+		if os.IsNotExist(err) {
+			if len(edits) > 0 {
+				t.Errorf("%s: analyzer suggested fixes but %s does not exist", name, golden)
+			}
+			continue
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		fixed := src
+		for _, e := range edits {
+			if e.start < 0 || e.end > len(fixed) || e.start > e.end {
+				t.Fatalf("%s: suggested fix edit out of range [%d,%d)", name, e.start, e.end)
+			}
+			fixed = append(fixed[:e.start:e.start], append(append([]byte{}, e.text...), fixed[e.end:]...)...)
+		}
+		if !bytes.Equal(fixed, goldenContent) {
+			t.Errorf("%s: fixed output differs from %s:\n--- got ---\n%s\n--- want ---\n%s",
+				name, golden, fixed, goldenContent)
+		}
+	}
+}

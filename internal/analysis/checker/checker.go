@@ -1,0 +1,285 @@
+// Package checker is the sicklevet driver. It runs a set of analyzers in
+// two modes:
+//
+//   - standalone multichecker: `sicklevet [flags] [packages]` loads the
+//     patterns via internal/analysis/load and analyzes every matched
+//     package, printing file:line:col diagnostics and exiting non-zero
+//     when any survive ignore filtering;
+//
+//   - go vet tool: `go vet -vettool=$(which sicklevet) ./...` invokes the
+//     binary once per package with a JSON config file argument (the
+//     unitchecker protocol); the driver type-checks from the supplied
+//     export data and reports in the same format.
+//
+// Both modes honor //sicklevet:ignore directives and report malformed
+// ones (see internal/analysis/ignore.go).
+package checker
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// Main is the entry point shared by cmd/sicklevet. It never returns.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	versionFlag := fs.String("V", "", "print version and exit (go vet protocol)")
+	flagsFlag := fs.Bool("flags", false, "print flag definitions as JSON and exit (go vet protocol)")
+	listFlag := fs.Bool("list", false, "list analyzers and exit")
+	disableFlag := fs.String("disable", "", "comma-separated analyzer names to skip")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] [package patterns]\n\nAnalyzers:\n", progname)
+		for _, a := range analyzers {
+			doc, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, doc)
+		}
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(os.Args[1:])
+
+	switch {
+	case *versionFlag != "":
+		// cmd/go hashes this line into its action cache key.
+		fmt.Printf("%s version sickle-1 (%s/%s)\n", progname, runtime.GOOS, runtime.GOARCH)
+		os.Exit(0)
+	case *flagsFlag:
+		printFlagDefs()
+		os.Exit(0)
+	case *listFlag:
+		for _, a := range analyzers {
+			fmt.Println(a.Name)
+		}
+		os.Exit(0)
+	}
+
+	analyzers = enabled(analyzers, *disableFlag)
+	args := fs.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVetUnit(args[0], analyzers))
+	}
+	os.Exit(runStandalone(args, analyzers))
+}
+
+func enabled(all []*analysis.Analyzer, disable string) []*analysis.Analyzer {
+	if disable == "" {
+		return all
+	}
+	skip := map[string]bool{}
+	for _, name := range strings.Split(disable, ",") {
+		skip[strings.TrimSpace(name)] = true
+	}
+	var kept []*analysis.Analyzer
+	for _, a := range all {
+		if !skip[a.Name] {
+			kept = append(kept, a)
+		}
+	}
+	return kept
+}
+
+func printFlagDefs() {
+	// The go vet driver asks for the tool's flags as a JSON array so it
+	// can validate pass-through flags.
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	defs := []jsonFlag{{Name: "disable", Bool: false, Usage: "comma-separated analyzer names to skip"}}
+	data, _ := json.Marshal(defs)
+	fmt.Println(string(data))
+}
+
+// diag pairs a finding with its analyzer for printing.
+type diag struct {
+	analyzer string
+	pos      token.Position
+	msg      string
+}
+
+// runPackage executes every analyzer over one type-checked package and
+// returns the surviving (non-suppressed) findings plus malformed-directive
+// complaints.
+func runPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*analysis.Analyzer) ([]diag, error) {
+	nonTest := files[:0:0]
+	for _, f := range files {
+		if !strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
+			nonTest = append(nonTest, f)
+		}
+	}
+	ignores := analysis.ParseIgnores(fset, nonTest)
+	var out []diag
+	for _, m := range ignores.Malformed {
+		out = append(out, diag{analyzer: "sicklevet", pos: fset.Position(m.Pos), msg: m.Message})
+	}
+	for _, a := range analyzers {
+		var found []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     nonTest,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    func(d analysis.Diagnostic) { found = append(found, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			return out, fmt.Errorf("analyzer %s: %v", a.Name, err)
+		}
+		for _, d := range ignores.Filter(fset, a.Name, found) {
+			out = append(out, diag{analyzer: a.Name, pos: fset.Position(d.Pos), msg: d.Message})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].pos, out[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out, nil
+}
+
+// --- standalone mode ---
+
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer) int {
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	pkgs, err := load.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		if pkg.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", pkg.ImportPath, pkg.Err)
+			exit = 2
+			continue
+		}
+		found, err := runPackage(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", pkg.ImportPath, err)
+			exit = 2
+		}
+		for _, d := range found {
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", d.pos, d.msg, d.analyzer)
+			if exit == 0 {
+				exit = 1
+			}
+		}
+	}
+	return exit
+}
+
+// --- go vet unitchecker mode ---
+
+// vetConfig mirrors the JSON config cmd/go writes for -vettool tools.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runVetUnit(cfgFile string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: parsing vet config: %v\n", cfgFile, err)
+		return 1
+	}
+	// cmd/go requires the "facts" output file to exist even though
+	// sicklevet exchanges no facts between packages.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	exports := func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := load.NewInfo()
+	tconf := types.Config{
+		Importer:  importer.ForCompiler(fset, "gc", exports),
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	found, err := runPackage(fset, files, pkg, info, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	for _, d := range found {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", d.pos, d.msg, d.analyzer)
+	}
+	if len(found) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The escape hatch. A finding is deliberate when the code carries
+//
+//	//sicklevet:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// on the same line as the diagnostic or on the line directly above it, or
+// when the file carries
+//
+//	//sicklevet:file-ignore <analyzer>[,<analyzer>...] <reason>
+//
+// anywhere (conventionally next to the package clause), which suppresses
+// that analyzer for the whole file. The reason is mandatory: a
+// suppression that cannot say why it exists is itself a diagnostic.
+// The analyzer list may be the literal "all".
+
+const (
+	linePrefix = "//sicklevet:ignore"
+	filePrefix = "//sicklevet:file-ignore"
+)
+
+// ignoreDirective is one parsed suppression.
+type ignoreDirective struct {
+	analyzers map[string]bool // nil means "all"
+	line      int             // line the directive appears on
+	wholeFile bool
+}
+
+// IgnoreSet holds every directive of one file set, ready to filter
+// diagnostics, plus diagnostics for malformed directives (missing
+// reason, empty analyzer list).
+type IgnoreSet struct {
+	byFile    map[string][]ignoreDirective
+	Malformed []Diagnostic
+}
+
+// ParseIgnores scans the comments of files for sicklevet directives.
+func ParseIgnores(fset *token.FileSet, files []*ast.File) *IgnoreSet {
+	s := &IgnoreSet{byFile: map[string][]ignoreDirective{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				s.parse(fset, c)
+			}
+		}
+	}
+	return s
+}
+
+func (s *IgnoreSet) parse(fset *token.FileSet, c *ast.Comment) {
+	text := c.Text
+	wholeFile := false
+	switch {
+	case strings.HasPrefix(text, filePrefix):
+		text, wholeFile = text[len(filePrefix):], true
+	case strings.HasPrefix(text, linePrefix):
+		text = text[len(linePrefix):]
+	default:
+		return
+	}
+	pos := fset.Position(c.Pos())
+	fields := strings.Fields(text)
+	// fields[0] is the analyzer list, the rest is the reason.
+	if len(fields) < 2 {
+		s.Malformed = append(s.Malformed, Diagnostic{
+			Pos: c.Pos(),
+			Message: "malformed sicklevet directive: want " +
+				"`//sicklevet:ignore <analyzer> <reason>` (the reason is mandatory)",
+		})
+		return
+	}
+	d := ignoreDirective{line: pos.Line, wholeFile: wholeFile}
+	if fields[0] != "all" {
+		d.analyzers = map[string]bool{}
+		for _, name := range strings.Split(fields[0], ",") {
+			d.analyzers[name] = true
+		}
+	}
+	s.byFile[pos.Filename] = append(s.byFile[pos.Filename], d)
+}
+
+// Suppressed reports whether a diagnostic from the named analyzer at pos
+// is covered by a directive.
+func (s *IgnoreSet) Suppressed(fset *token.FileSet, analyzer string, pos token.Pos) bool {
+	p := fset.Position(pos)
+	for _, d := range s.byFile[p.Filename] {
+		if d.analyzers != nil && !d.analyzers[analyzer] {
+			continue
+		}
+		if d.wholeFile || d.line == p.Line || d.line == p.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Filter drops the suppressed diagnostics of one analyzer.
+func (s *IgnoreSet) Filter(fset *token.FileSet, analyzer string, diags []Diagnostic) []Diagnostic {
+	kept := diags[:0]
+	for _, d := range diags {
+		if !s.Suppressed(fset, analyzer, d.Pos) {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func parseSrc(t *testing.T, src string) (*token.FileSet, *IgnoreSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, ParseIgnores(fset, []*ast.File{f})
+}
+
+// posAt returns a Pos on the given 1-based line of x.go.
+func posAt(fset *token.FileSet, line int) token.Pos {
+	var pos token.Pos
+	fset.Iterate(func(f *token.File) bool {
+		pos = f.LineStart(line)
+		return false
+	})
+	return pos
+}
+
+func TestLineDirectiveScope(t *testing.T) {
+	fset, s := parseSrc(t, `package p
+
+func f() {
+	//sicklevet:ignore closecheck error path
+	g()
+	g()
+}
+`)
+	if !s.Suppressed(fset, "closecheck", posAt(fset, 4)) {
+		t.Error("directive should cover its own line")
+	}
+	if !s.Suppressed(fset, "closecheck", posAt(fset, 5)) {
+		t.Error("directive should cover the next line")
+	}
+	if s.Suppressed(fset, "closecheck", posAt(fset, 6)) {
+		t.Error("directive must not cover two lines down")
+	}
+	if s.Suppressed(fset, "ctxfirst", posAt(fset, 5)) {
+		t.Error("directive names closecheck only")
+	}
+	if len(s.Malformed) != 0 {
+		t.Errorf("unexpected malformed: %v", s.Malformed)
+	}
+}
+
+func TestAnalyzerListAndAll(t *testing.T) {
+	fset, s := parseSrc(t, `package p
+
+//sicklevet:ignore closecheck,ctxfirst shared reason
+var x = 1
+
+//sicklevet:ignore all kitchen sink
+var y = 2
+`)
+	for _, name := range []string{"closecheck", "ctxfirst"} {
+		if !s.Suppressed(fset, name, posAt(fset, 4)) {
+			t.Errorf("comma list should cover %s", name)
+		}
+	}
+	if s.Suppressed(fset, "ologonly", posAt(fset, 4)) {
+		t.Error("comma list must not cover unnamed analyzer")
+	}
+	if !s.Suppressed(fset, "ologonly", posAt(fset, 7)) {
+		t.Error("all should cover every analyzer")
+	}
+}
+
+func TestFileIgnore(t *testing.T) {
+	fset, s := parseSrc(t, `//sicklevet:file-ignore ologonly CLI result output
+package p
+
+var x = 1
+`)
+	if !s.Suppressed(fset, "ologonly", posAt(fset, 4)) {
+		t.Error("file-ignore should cover the whole file")
+	}
+	if s.Suppressed(fset, "closecheck", posAt(fset, 4)) {
+		t.Error("file-ignore names ologonly only")
+	}
+}
+
+func TestMissingReasonIsMalformed(t *testing.T) {
+	_, s := parseSrc(t, `package p
+
+//sicklevet:ignore closecheck
+var x = 1
+`)
+	if len(s.Malformed) != 1 {
+		t.Fatalf("want 1 malformed directive, got %d", len(s.Malformed))
+	}
+}

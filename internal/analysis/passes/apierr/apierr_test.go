@@ -1,0 +1,12 @@
+package apierr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/apierr"
+)
+
+func TestApierr(t *testing.T) {
+	analysistest.RunWithSuggestedFixes(t, apierr.Analyzer, "apierr/a")
+}

@@ -1,0 +1,12 @@
+package closecheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/closecheck"
+)
+
+func TestClosecheck(t *testing.T) {
+	analysistest.RunWithSuggestedFixes(t, closecheck.Analyzer, "closecheck/a")
+}

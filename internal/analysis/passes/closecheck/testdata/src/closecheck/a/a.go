@@ -1,0 +1,90 @@
+// Golden input for closecheck: discarded Close/Sync errors on writable
+// files and writers.
+package a
+
+import (
+	"io"
+	"os"
+)
+
+func createDiscards() error {
+	f, err := os.Create("out.bin")
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `Close error discarded on writable`
+	_, err = f.Write([]byte("x"))
+	return err
+}
+
+func exprDiscard() {
+	f, _ := os.Create("out.bin")
+	f.Close() // want `Close error discarded on writable`
+}
+
+func syncDiscard() {
+	f, _ := os.Create("out.bin")
+	f.Sync() // want `Sync error discarded on writable`
+	_ = f.Close()
+}
+
+func acknowledged() {
+	f, _ := os.Create("out.bin")
+	_ = f.Close() // explicit discard: fine
+}
+
+func readOnlyFile() error {
+	f, err := os.Open("in.bin")
+	if err != nil {
+		return err
+	}
+	defer f.Close() // read path: fine
+	_, err = io.ReadAll(f)
+	return err
+}
+
+func readOnlyOpenFile() error {
+	f, err := os.OpenFile("in.bin", os.O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // read path: fine
+	return nil
+}
+
+func openFileForWrite() error {
+	f, err := os.OpenFile("out.bin", os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `Close error discarded on writable`
+	return nil
+}
+
+// doubleClose is the standard idiom: the deferred close is cleanup for
+// early returns, the success path checks the error. Not flagged.
+func doubleClose() error {
+	f, err := os.Create("out.bin")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("x")); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func writeCloserParam(wc io.WriteCloser) {
+	wc.Close() // want `Close error discarded on writable`
+}
+
+func readCloserParam(rc io.ReadCloser) {
+	rc.Close() // read side: fine
+}
+
+func annotated() {
+	f, _ := os.Create("out.bin")
+	//sicklevet:ignore closecheck error path, the write error dominates
+	f.Close()
+}

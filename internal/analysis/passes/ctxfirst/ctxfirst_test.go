@@ -1,0 +1,16 @@
+package ctxfirst_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/ctxfirst"
+)
+
+func TestLibrary(t *testing.T) {
+	analysistest.Run(t, ctxfirst.Analyzer, "ctxfirst/a")
+}
+
+func TestMainPackageExempt(t *testing.T) {
+	analysistest.Run(t, ctxfirst.Analyzer, "ctxfirst/mainpkg")
+}

@@ -1,0 +1,43 @@
+// Golden input for ctxfirst: root contexts in library code, parameter
+// order, context-free HTTP requests.
+package a
+
+import (
+	"context"
+	"net/http"
+)
+
+func rootInLibrary() context.Context {
+	return context.Background() // want `severs the caller's cancellation`
+}
+
+func todoInLibrary() context.Context {
+	return context.TODO() // want `severs the caller's cancellation`
+}
+
+func lifecycleRoot() context.Context {
+	//sicklevet:ignore ctxfirst lifecycle root, canceled by Stop
+	return context.Background()
+}
+
+func ctxNotFirst(n int, ctx context.Context) { // want `context.Context must be the first parameter`
+	_ = n
+	_ = ctx
+}
+
+func ctxFirst(ctx context.Context, n int) {
+	_ = n
+}
+
+type Runner interface {
+	Run(n int, ctx context.Context) error // want `context.Context must be the first parameter`
+	RunOK(ctx context.Context, n int) error
+}
+
+func request(ctx context.Context) (*http.Request, error) {
+	return http.NewRequest("GET", "http://example.invalid/", nil) // want `use http.NewRequestWithContext`
+}
+
+func requestOK(ctx context.Context) (*http.Request, error) {
+	return http.NewRequestWithContext(ctx, "GET", "http://example.invalid/", nil)
+}

@@ -1,0 +1,9 @@
+// Package main may mint root contexts: it is the lifecycle root.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

@@ -1,0 +1,12 @@
+package detparallel_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/detparallel"
+)
+
+func TestDetparallel(t *testing.T) {
+	analysistest.Run(t, detparallel.Analyzer, "detparallel/a")
+}

@@ -1,0 +1,176 @@
+// Package metricname lints every series registered on the obs metrics
+// registry, complementing the runtime exposition linter
+// (obs.LintExposition gates the wire format; this pass gates the source).
+//
+// For each call to Counter/Gauge/Histogram/CounterFunc/GaugeFunc/
+// GaugeMapFunc on an *obs.Registry:
+//
+//   - the metric name must be a compile-time string constant (otherwise
+//     the name is unlintable and ungreppable);
+//   - the name must match sickle(_[a-z0-9]+)+ — the project namespace,
+//     lower snake case, no leading/trailing/double underscores;
+//   - counters end in _total; histograms end in a unit suffix
+//     (_seconds, _bytes, _size, _points or _ratio); gauges must not end
+//     in _total (Prometheus conventions, enforced at lint time by CI);
+//   - each name is registered at exactly one site. Series identity is
+//     the name; two registration sites for one name either collide at
+//     runtime (same registry) or silently fork the series' meaning
+//     (different registries). The check spans every package the driver
+//     loads in one process; under per-package `go vet` it degrades to
+//     per-package detection.
+//
+// Misnamed literal names carry a suggested fix with a sanitized name.
+package metricname
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"regexp"
+	"strings"
+	"sync"
+
+	"repro/internal/analysis"
+)
+
+// New builds a fresh pass (the duplicate-registration table is per
+// instance; tests use New to isolate runs).
+func New() *analysis.Analyzer {
+	r := &runner{sites: map[string]string{}}
+	return &analysis.Analyzer{
+		Name: "metricname",
+		Doc:  "registered metric series must be sickle_* snake-case constants with unit suffixes, registered exactly once",
+		Run:  r.run,
+	}
+}
+
+// Analyzer is the shared instance used by cmd/sicklevet.
+var Analyzer = New()
+
+var registerMethods = map[string]string{
+	"Counter":      "counter",
+	"CounterFunc":  "counter",
+	"Gauge":        "gauge",
+	"GaugeFunc":    "gauge",
+	"GaugeMapFunc": "gauge",
+	"Histogram":    "histogram",
+}
+
+var nameRe = regexp.MustCompile(`^sickle(_[a-z0-9]+)+$`)
+
+var histogramUnits = []string{"_seconds", "_bytes", "_size", "_points", "_ratio"}
+
+type runner struct {
+	mu    sync.Mutex
+	sites map[string]string // metric name -> first registration site
+}
+
+func (r *runner) run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			kind, ok := registerMethods[sel.Sel.Name]
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			selection, ok := pass.TypesInfo.Selections[sel]
+			if !ok || !analysis.NamedTypePath(selection.Recv(), "internal/obs", "Registry") {
+				return true
+			}
+			r.checkName(pass, call, kind)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func (r *runner) checkName(pass *analysis.Pass, call *ast.CallExpr, kind string) {
+	arg := call.Args[0]
+	tv := pass.TypesInfo.Types[arg]
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(arg.Pos(), "metric name must be a compile-time string constant so sicklevet and grep can see it")
+		return
+	}
+	name := constant.StringVal(tv.Value)
+
+	if !nameRe.MatchString(name) {
+		d := analysis.Diagnostic{
+			Pos:     arg.Pos(),
+			Message: "metric name " + quote(name) + " must match sickle(_[a-z0-9]+)+ (project prefix, lower snake case)",
+		}
+		if lit, ok := ast.Unparen(arg).(*ast.BasicLit); ok && lit.Kind == token.STRING {
+			if fixed := sanitize(name); fixed != name && nameRe.MatchString(fixed) {
+				d.SuggestedFixes = []analysis.SuggestedFix{{
+					Message:   "rename to " + fixed,
+					TextEdits: []analysis.TextEdit{{Pos: lit.Pos(), End: lit.End(), NewText: []byte(`"` + fixed + `"`)}},
+				}}
+			}
+		}
+		pass.Report(d)
+		return
+	}
+
+	switch kind {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			pass.Reportf(arg.Pos(), "counter %s must end in _total (Prometheus counter convention)", quote(name))
+		}
+	case "histogram":
+		unitOK := false
+		for _, u := range histogramUnits {
+			if strings.HasSuffix(name, u) {
+				unitOK = true
+				break
+			}
+		}
+		if !unitOK {
+			pass.Reportf(arg.Pos(), "histogram %s must end in a unit suffix (%s)", quote(name), strings.Join(histogramUnits, ", "))
+		}
+	case "gauge":
+		if strings.HasSuffix(name, "_total") {
+			pass.Reportf(arg.Pos(), "gauge %s must not end in _total (reserved for counters)", quote(name))
+		}
+	}
+
+	site := pass.Fset.Position(arg.Pos()).String()
+	r.mu.Lock()
+	first, dup := r.sites[name]
+	if !dup {
+		r.sites[name] = site
+	}
+	r.mu.Unlock()
+	if dup && first != site {
+		pass.Reportf(arg.Pos(), "metric %s already registered at %s; each series has exactly one registration site", quote(name), first)
+	}
+}
+
+func sanitize(name string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	s := b.String()
+	for strings.Contains(s, "__") {
+		s = strings.ReplaceAll(s, "__", "_")
+	}
+	s = strings.Trim(s, "_")
+	if !strings.HasPrefix(s, "sickle_") && s != "sickle" {
+		s = "sickle_" + s
+	}
+	return s
+}
+
+// quote renders a name for a diagnostic message.
+func quote(name string) string { return `"` + name + `"` }

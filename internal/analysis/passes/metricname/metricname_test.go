@@ -1,0 +1,14 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/metricname"
+)
+
+// New() isolates the duplicate-site table from other runs in this
+// process (the shared Analyzer accumulates sites across packages).
+func TestMetricname(t *testing.T) {
+	analysistest.RunWithSuggestedFixes(t, metricname.New(), "metricname/a")
+}

@@ -1,0 +1,16 @@
+package ologonly_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/ologonly"
+)
+
+func TestLongRunningPackage(t *testing.T) {
+	analysistest.Run(t, ologonly.Analyzer, "repro/internal/serve")
+}
+
+func TestOutOfScopePackage(t *testing.T) {
+	analysistest.Run(t, ologonly.Analyzer, "repro/internal/viz")
+}

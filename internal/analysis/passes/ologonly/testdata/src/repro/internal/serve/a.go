@@ -1,0 +1,22 @@
+// Golden input for ologonly, placed at a long-running import path
+// (testdata dir layout below src/ is the package's import path).
+package serve
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+func operate() {
+	fmt.Println("status")          // want `fmt.Println writes to process stdout`
+	fmt.Printf("x %d\n", 1)        // want `fmt.Printf writes to process stdout`
+	fmt.Print("y")                 // want `fmt.Print writes to process stdout`
+	log.Printf("legacy %d", 1)     // want `standard log package bypasses olog`
+	log.Println("legacy")          // want `standard log package bypasses olog`
+	println("builtin")             // want `builtin println writes to stderr unstructured`
+	print("builtin")               // want `builtin print writes to stderr unstructured`
+	fmt.Fprintf(os.Stderr, "ok\n") // explicit writer: fine
+	//sicklevet:ignore ologonly demonstrating the line escape hatch
+	fmt.Println("suppressed")
+}

@@ -1,0 +1,9 @@
+//sicklevet:file-ignore ologonly deliberate result summary, demonstrating the file escape hatch
+package serve
+
+import "fmt"
+
+func summary() {
+	fmt.Println("results")
+	fmt.Printf("count=%d\n", 1)
+}

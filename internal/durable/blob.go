@@ -77,11 +77,11 @@ func (s *BlobStore) Put(key string, data []byte) error {
 			return err
 		}
 		if _, err := f.Write(frame); err != nil {
-			f.Close()
+			_ = f.Close() // the write error dominates
 			return err
 		}
 		if err := f.Sync(); err != nil {
-			f.Close()
+			_ = f.Close() // the sync error dominates
 			return err
 		}
 		if err := f.Close(); err != nil {
@@ -128,17 +128,19 @@ func (s *BlobStore) Get(key string) ([]byte, error) {
 // Delete removes key's blob, if any; best-effort.
 func (s *BlobStore) Delete(key string) { os.Remove(s.path(key)) }
 
-// register mounts the store's counters under the given metric prefix
-// (e.g. "sickle_dedup" → sickle_dedup_hits_total ...).
-func (s *BlobStore) register(reg *obs.Registry, prefix, what string) {
-	s.hits = reg.Counter(prefix+"_hits_total",
-		"Reads of "+what+" served from disk.").With()
-	s.misses = reg.Counter(prefix+"_misses_total",
-		"Reads of "+what+" that found no blob.").With()
-	s.corrupt = reg.Counter(prefix+"_corrupt_total",
-		"Reads of "+what+" rejected by the CRC frame check.").With()
-	s.puts = reg.Counter(prefix+"_puts_total",
-		"Blobs written to "+what+".").With()
+// register mounts the dedup cache's counters. The names are spelled out
+// as constants (not built from a prefix) so sicklevet and grep can see
+// every registered series; the cache is the only BlobStore that exports
+// metrics.
+func (s *BlobStore) register(reg *obs.Registry) {
+	s.hits = reg.Counter("sickle_dedup_hits_total",
+		"Reads of the content-addressed result cache served from disk.").With()
+	s.misses = reg.Counter("sickle_dedup_misses_total",
+		"Reads of the content-addressed result cache that found no blob.").With()
+	s.corrupt = reg.Counter("sickle_dedup_corrupt_total",
+		"Reads of the content-addressed result cache rejected by the CRC frame check.").With()
+	s.puts = reg.Counter("sickle_dedup_puts_total",
+		"Blobs written to the content-addressed result cache.").With()
 }
 
 // contentKeySchema versions the canonical form below; bump it whenever

@@ -34,12 +34,12 @@ func Open(dir string) (*Store, []JobRecord, error) {
 	}
 	results, err := newBlobStore(filepath.Join(dir, "results"))
 	if err != nil {
-		wal.Close()
+		_ = wal.Close() // the store-open error dominates
 		return nil, nil, err
 	}
 	cache, err := newBlobStore(filepath.Join(dir, "cas"))
 	if err != nil {
-		wal.Close()
+		_ = wal.Close() // the store-open error dominates
 		return nil, nil, err
 	}
 	return &Store{WAL: wal, Results: results, Cache: cache}, recs, nil
@@ -68,5 +68,5 @@ func (s *Store) Close() error {
 // store stays uncounted — its reads happen once, at recovery.
 func (s *Store) Register(reg *obs.Registry) {
 	s.WAL.register(reg)
-	s.Cache.register(reg, "sickle_dedup", "the content-addressed result cache")
+	s.Cache.register(reg)
 }

@@ -147,7 +147,7 @@ func openLog(dir string) (*Log, []JobRecord, error) {
 	copy(hdr, walMagic)
 	binary.LittleEndian.PutUint32(hdr[4:], walVersion)
 	if _, err := f.Write(hdr); err != nil {
-		f.Close()
+		_ = f.Close() // the header write error dominates
 		return nil, nil, err
 	}
 	l := &Log{f: f, dir: dir}
@@ -277,11 +277,11 @@ func (l *Log) Close() error {
 	}
 	l.closed = true
 	if l.frozen || l.failed != nil {
-		l.f.Close()
+		_ = l.f.Close() // already failed or sealed; nothing left to lose
 		return nil
 	}
 	if err := l.f.Sync(); err != nil {
-		l.f.Close()
+		_ = l.f.Close() // the sync error dominates
 		return err
 	}
 	return l.f.Close()

@@ -129,6 +129,7 @@ func (b *Batcher) SetTracer(t *obs.Tracer) { b.tracer = t }
 // api.CodeDeadlineExceeded). All failures are typed *api.Error values.
 func (b *Batcher) Infer(ctx context.Context, model string, input *tensor.Tensor) (*tensor.Tensor, int, int, error) {
 	if ctx == nil {
+		//sicklevet:ignore ctxfirst nil-ctx compatibility guard for direct library callers
 		ctx = context.Background()
 	}
 	if _, ok := b.reg.Lookup(model); !ok {
@@ -315,6 +316,7 @@ func (b *Batcher) runBatch(model string, batch []*inferRequest) {
 	// A single-request batch waits for its replica under the requester's
 	// own context (cancelable); a shared batch must not let one client
 	// cancel work its peers still wait on, so it acquires unconditionally.
+	//sicklevet:ignore ctxfirst shared batches outlive any one requester, see comment above
 	acquireCtx := context.Background()
 	if len(batch) == 1 {
 		acquireCtx = batch[0].ctx

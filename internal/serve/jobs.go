@@ -88,6 +88,9 @@ func NewJobManager(workers, maxJobs int, ttl time.Duration) *JobManager {
 	if ttl <= 0 {
 		ttl = defaultJobTTL
 	}
+	// The manager is a lifecycle root: jobs outlive the submitting
+	// request and are canceled by Close, not by any caller context.
+	//sicklevet:ignore ctxfirst lifecycle root, canceled by Close
 	ctx, cancel := context.WithCancel(context.Background())
 	return &JobManager{
 		jobs:    map[string]*jobEntry{},
@@ -136,6 +139,7 @@ func (jm *JobManager) reportWALErr(err error) {
 // admission set rejects with api.CodeOverloaded; a closed manager with
 // api.CodeShuttingDown.
 func (jm *JobManager) Submit(typ api.JobType, run JobRunner) (api.Job, error) {
+	//sicklevet:ignore ctxfirst untraced compatibility entry point, the job's lifetime is the manager root
 	return jm.SubmitTraced(context.Background(), typ, run)
 }
 
@@ -226,7 +230,7 @@ func (jm *JobManager) SubmitWith(ctx context.Context, typ api.JobType, run JobRu
 		jm.byKey[opts.Key] = id
 	}
 	jm.wg.Add(1)
-	go jm.execute(j, jobCtx)
+	go jm.execute(jobCtx, j)
 	return j.status, false, nil
 }
 
@@ -266,11 +270,11 @@ func (jm *JobManager) Restore(job api.Job, run JobRunner, result *api.JobResult)
 	j.status.Progress = api.JobProgress{}
 	j.status.StartedAt = time.Time{}
 	jm.wg.Add(1)
-	go jm.execute(j, jobCtx)
+	go jm.execute(jobCtx, j)
 }
 
 // execute is the per-job goroutine: wait for a worker slot, run, finish.
-func (jm *JobManager) execute(j *jobEntry, ctx context.Context) {
+func (jm *JobManager) execute(ctx context.Context, j *jobEntry) {
 	defer jm.wg.Done()
 	select {
 	case jm.sem <- struct{}{}:
@@ -304,7 +308,7 @@ func (jm *JobManager) execute(j *jobEntry, ctx context.Context) {
 		j.status.Progress = api.JobProgress{Stage: stage, Done: done, Total: total}
 		jm.mu.Unlock()
 	}
-	res, err := runProtected(j.run, ctx, progress, func(msg string) {
+	res, err := runProtected(ctx, j.run, progress, func(msg string) {
 		if jm.panicHook != nil {
 			jm.panicHook(j.status.ID, j.status.Type, j.tc.TraceID, msg)
 		}
@@ -315,7 +319,7 @@ func (jm *JobManager) execute(j *jobEntry, ctx context.Context) {
 // runProtected converts runner panics (shape mismatches deep in the nn
 // stack) into typed internal errors so a malformed job cannot crash the
 // service. onPanic (may be nil) observes the recovered value.
-func runProtected(run JobRunner, ctx context.Context, progress func(string, int, int), onPanic func(string)) (res *api.JobResult, err error) {
+func runProtected(ctx context.Context, run JobRunner, progress func(string, int, int), onPanic func(string)) (res *api.JobResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if onPanic != nil {

@@ -272,7 +272,7 @@ func (s *Server) trainJobRunner(spec api.TrainJobSpec) JobRunner {
 				return nil, api.Errorf(api.CodeInternal, "%s", err.Error())
 			}
 			path := ckpt.Name()
-			ckpt.Close()
+			_ = ckpt.Close() // created only to reserve the name; SaveCheckpoint rewrites it
 			if err := nn.SaveCheckpoint(path, model); err != nil {
 				return nil, api.Errorf(api.CodeInternal, "%s", err.Error())
 			}

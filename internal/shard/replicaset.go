@@ -189,6 +189,9 @@ func (rs *ReplicaSet) ProbeAll() {
 		wg.Add(1)
 		go func(r *Replica) {
 			defer wg.Done()
+			// Probes are owned by the prober loop, not a request; the
+			// timeout is their only deadline.
+			//sicklevet:ignore ctxfirst background health probe, bounded by probeTimeout
 			ctx, cancel := context.WithTimeout(context.Background(), rs.probeTimeout)
 			defer cancel()
 			h, err := r.C.Health(ctx)

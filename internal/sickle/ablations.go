@@ -1,6 +1,7 @@
 package sickle
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/grid"
@@ -96,13 +97,13 @@ func AblateCubeSize(scale Scale, edges []int) ([]AblationRow, error) {
 // AblateCommLatency sweeps the interconnect latency in the Fig. 7 model
 // and reports the knee rank of the large dataset: slower networks move the
 // knee to fewer ranks.
-func AblateCommLatency(scale Scale, latencies []float64) ([]AblationRow, error) {
+func AblateCommLatency(ctx context.Context, scale Scale, latencies []float64) ([]AblationRow, error) {
 	if len(latencies) == 0 {
 		latencies = []float64{2e-6, 20e-6, 200e-6}
 	}
 	var out []AblationRow
 	for _, lat := range latencies {
-		rows, err := Fig7(scale, 512, minimpi.CostModel{Latency: lat, Bandwidth: 10e9})
+		rows, err := Fig7(ctx, scale, 512, minimpi.CostModel{Latency: lat, Bandwidth: 10e9})
 		if err != nil {
 			return nil, err
 		}

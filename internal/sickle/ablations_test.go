@@ -51,7 +51,7 @@ func TestAblateCubeSize(t *testing.T) {
 }
 
 func TestAblateCommLatency(t *testing.T) {
-	rows, err := AblateCommLatency(Small, []float64{2e-6, 200e-6})
+	rows, err := AblateCommLatency(t.Context(), Small, []float64{2e-6, 200e-6})
 	if err != nil {
 		t.Fatal(err)
 	}

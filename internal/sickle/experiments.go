@@ -284,7 +284,7 @@ type Fig7Row struct {
 // (ceil(cubes/ranks) — the "dataset too thinly distributed" knee), and the
 // minimpi communication cost model (log₂-tree collectives). SST-P1F100 has
 // many more cubes than SST-P1F4, so it scales much further before the knee.
-func Fig7(scale Scale, maxRanks int, cost minimpi.CostModel) ([]Fig7Row, error) {
+func Fig7(ctx context.Context, scale Scale, maxRanks int, cost minimpi.CostModel) ([]Fig7Row, error) {
 	var out []Fig7Row
 	type caseDef struct {
 		name     string
@@ -309,7 +309,7 @@ func Fig7(scale Scale, maxRanks int, cost minimpi.CostModel) ([]Fig7Row, error) 
 		units := len(cubes) * d.NTime()
 
 		t0 := time.Now()
-		if _, err := sampling.SubsampleDataset(context.Background(), d, cfg); err != nil {
+		if _, err := sampling.SubsampleDataset(ctx, d, cfg); err != nil {
 			return nil, err
 		}
 		t1 := time.Since(t0).Seconds()

@@ -124,7 +124,7 @@ func TestFig5TailCoverage(t *testing.T) {
 }
 
 func TestFig7ScalabilityShape(t *testing.T) {
-	rows, err := Fig7(Small, 512, DefaultCostModel())
+	rows, err := Fig7(t.Context(), Small, 512, DefaultCostModel())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestFig6SmallRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training experiment")
 	}
-	rows, err := Fig6(Small, Fig6Config{SampleSizes: []int{200}, Replicates: 2, Epochs: 15})
+	rows, err := Fig6(t.Context(), Small, Fig6Config{SampleSizes: []int{200}, Replicates: 2, Epochs: 15})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +167,7 @@ func TestFig8SmallRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training experiment")
 	}
-	rows, err := Fig8(Small, Fig8Config{Datasets: []string{"SST-P1F4"}, Epochs: 3, CubeEdge: 8})
+	rows, err := Fig8(t.Context(), Small, Fig8Config{Datasets: []string{"SST-P1F4"}, Epochs: 3, CubeEdge: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +197,7 @@ func TestFig9SmallRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training experiment")
 	}
-	rows, err := Fig9(Small, Fig9Config{Epochs: 2, CubeEdge: 8})
+	rows, err := Fig9(t.Context(), Small, Fig9Config{Epochs: 2, CubeEdge: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +219,7 @@ func TestFig9SmallRun(t *testing.T) {
 }
 
 func TestEnergyReportString(t *testing.T) {
-	rows, err := Fig9(Small, Fig9Config{Epochs: 1, CubeEdge: 8})
+	rows, err := Fig9(t.Context(), Small, Fig9Config{Epochs: 1, CubeEdge: 8})
 	if err != nil {
 		t.Skip("fig9 unavailable")
 	}

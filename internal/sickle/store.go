@@ -32,7 +32,7 @@ func SaveCubeSamples(path string, cubes []sampling.CubeSample) error {
 		return err
 	}
 	if err := a.Append(cubes...); err != nil {
-		a.Close()
+		_ = a.Close() // the append error dominates
 		return err
 	}
 	return a.Close()
@@ -65,11 +65,11 @@ func OpenShardAppender(path string) (*ShardAppender, error) {
 	}
 	a := &ShardAppender{path: path, f: f, w: bufio.NewWriter(f)}
 	if _, err := a.w.Write(storeMagic[:]); err != nil {
-		f.Close()
+		_ = f.Close() // the magic write error dominates
 		return nil, err
 	}
 	if err := binary.Write(a.w, binary.LittleEndian, uint32(0)); err != nil {
-		f.Close()
+		_ = f.Close() // the header write error dominates
 		return nil, err
 	}
 	return a, nil
@@ -108,7 +108,7 @@ func (a *ShardAppender) Close() (err error) {
 	}
 	a.closed = true
 	if a.failed != nil {
-		a.f.Close()
+		_ = a.f.Close() // the recorded append failure dominates
 		os.Remove(a.path)
 		return a.failed
 	}

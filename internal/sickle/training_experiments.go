@@ -49,7 +49,7 @@ func (c *Fig6Config) defaults() {
 
 // Fig6 trains LSTM drag surrogates on OF2D with random vs MaxEnt sampling
 // across sample counts and replicates.
-func Fig6(scale Scale, cfg Fig6Config) ([]Fig6Row, error) {
+func Fig6(ctx context.Context, scale Scale, cfg Fig6Config) ([]Fig6Row, error) {
 	cfg.defaults()
 	d, err := BuildDataset("OF2D", scale)
 	if err != nil {
@@ -68,7 +68,7 @@ func Fig6(scale Scale, cfg Fig6Config) ([]Fig6Row, error) {
 					CubeSx:        d.Snapshots[0].Nx, CubeSy: d.Snapshots[0].Ny, CubeSz: 1,
 					NumClusters: 10, Seed: seed,
 				}
-				cubes, err := sampling.SubsampleDataset(context.Background(), d, pcfg)
+				cubes, err := sampling.SubsampleDataset(ctx, d, pcfg)
 				if err != nil {
 					return nil, err
 				}
@@ -79,7 +79,7 @@ func Fig6(scale Scale, cfg Fig6Config) ([]Fig6Row, error) {
 				factory := func(rng *rand.Rand) train.Model {
 					return train.NewLSTMModel(rng, ex[0].Input.Dim(1), 16, 1)
 				}
-				_, hist, err := train.Train(context.Background(), factory, ex, train.Config{
+				_, hist, err := train.Train(ctx, factory, ex, train.Config{
 					Epochs: cfg.Epochs, Batch: 8, Seed: seed, Normalize: true,
 				})
 				if err != nil {
@@ -131,7 +131,7 @@ func (c *Fig8Config) defaults() {
 
 // Fig8 runs the paper's case matrix (the slurm script's CASES list) and
 // reports test loss vs total energy for each.
-func Fig8(scale Scale, cfg Fig8Config) ([]Fig8Case, error) {
+func Fig8(ctx context.Context, scale Scale, cfg Fig8Config) ([]Fig8Case, error) {
 	cfg.defaults()
 	cases := []struct {
 		name, hsel, method string
@@ -162,7 +162,7 @@ func Fig8(scale Scale, cfg Fig8Config) ([]Fig8Case, error) {
 				CubeSx:        edge, CubeSy: edge, CubeSz: edge,
 				NumClusters: 5, Seed: 4, Meter: meterSample,
 			}
-			cubes, err := sampling.SubsampleDataset(context.Background(), d, pcfg)
+			cubes, err := sampling.SubsampleDataset(ctx, d, pcfg)
 			if err != nil {
 				return nil, err
 			}
@@ -184,7 +184,7 @@ func Fig8(scale Scale, cfg Fig8Config) ([]Fig8Case, error) {
 			if err != nil {
 				return nil, err
 			}
-			_, hist, err := train.Train(context.Background(), factory, ex, train.Config{
+			_, hist, err := train.Train(ctx, factory, ex, train.Config{
 				Epochs: cfg.Epochs, Batch: 4, Seed: 5, Normalize: true, Meter: meterTrain,
 			})
 			if err != nil {
@@ -234,7 +234,7 @@ func (c *Fig9Config) defaults() {
 // random, and MaxEnt sampling at 10%: sampled points are scattered into
 // zero-masked dense cubes (SICKLE as a data-sparsification preprocessor for
 // a dense foundation model).
-func Fig9(scale Scale, cfg Fig9Config) ([]Fig9Row, error) {
+func Fig9(ctx context.Context, scale Scale, cfg Fig9Config) ([]Fig9Row, error) {
 	cfg.defaults()
 	d, err := BuildDataset("SST-P1F4", scale)
 	if err != nil {
@@ -255,7 +255,7 @@ func Fig9(scale Scale, cfg Fig9Config) ([]Fig9Row, error) {
 			CubeSx:        edge, CubeSy: edge, CubeSz: edge,
 			NumClusters: 5, Seed: 6, Meter: meterSample,
 		}
-		cubes, err := sampling.SubsampleDataset(context.Background(), d, pcfg)
+		cubes, err := sampling.SubsampleDataset(ctx, d, pcfg)
 		if err != nil {
 			return nil, err
 		}
@@ -267,7 +267,7 @@ func Fig9(scale Scale, cfg Fig9Config) ([]Fig9Row, error) {
 		factory := func(rng *rand.Rand) train.Model {
 			return train.NewMATEYModel(rng, inV, 16, 2, outV, edge)
 		}
-		_, hist, err := train.Train(context.Background(), factory, ex, train.Config{
+		_, hist, err := train.Train(ctx, factory, ex, train.Config{
 			Epochs: cfg.Epochs, Batch: 4, Seed: 7, Normalize: true, Meter: meterTrain,
 		})
 		if err != nil {

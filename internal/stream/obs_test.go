@@ -16,7 +16,7 @@ func TestPipelineInstrumentation(t *testing.T) {
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer("stream", 256)
 
-	res, err := Run(NewReplaySource(d), Config{
+	res, err := Run(t.Context(), NewReplaySource(d), Config{
 		Pipeline: testPipelineConfig(), Ranks: 2, Window: 2, MergeEvery: 2,
 		Metrics: reg, Tracer: tracer,
 	})

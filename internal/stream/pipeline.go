@@ -290,7 +290,7 @@ func ShardPath(prefix string, rank int) string {
 }
 
 // Run drives the in-situ pipeline over a snapshot source until io.EOF.
-func Run(src SnapshotSource, cfg Config) (*Result, error) {
+func Run(ctx context.Context, src SnapshotSource, cfg Config) (*Result, error) {
 	cfg.defaults()
 	meta := src.Meta()
 	if len(meta.InputVars) == 0 {
@@ -338,7 +338,7 @@ func Run(src SnapshotSource, cfg Config) (*Result, error) {
 	// Phase 1 once, on the reference snapshot — the fixed sensor regions
 	// every streamed snapshot is sampled through.
 	p1Start := time.Now()
-	kept, err := sampling.SelectCubesForField(context.Background(), f0, meta.ClusterVar, pcfg)
+	kept, err := sampling.SelectCubesForField(ctx, f0, meta.ClusterVar, pcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -487,7 +487,7 @@ func Run(src SnapshotSource, cfg Config) (*Result, error) {
 						},
 					})
 				}()
-				out, serr := sampling.SubsampleFieldWithCubes(context.Background(), msg.f, msg.snap, kept,
+				out, serr := sampling.SubsampleFieldWithCubes(ctx, msg.f, msg.snap, kept,
 					meta.InputVars, meta.OutputVars, meta.ClusterVar, pcfg)
 				if serr != nil {
 					errs[rank] = serr
@@ -678,7 +678,7 @@ func writeShards(paths []string, cubes []sampling.CubeSample) error {
 		}
 		for i := r; i < len(cubes); i += len(paths) {
 			if err := a.Append(cubes[i]); err != nil {
-				a.Close()
+				_ = a.Close() // the append error dominates
 				return err
 			}
 		}

@@ -54,7 +54,7 @@ func TestStreamMatchesOffline(t *testing.T) {
 	}
 
 	const window = 2
-	res, err := Run(NewReplaySource(d), Config{
+	res, err := Run(t.Context(), NewReplaySource(d), Config{
 		Pipeline: pcfg, Ranks: 2, Window: window, MergeEvery: 2,
 	})
 	if err != nil {
@@ -117,7 +117,7 @@ func TestStreamShardedMatchesOffline(t *testing.T) {
 	}
 
 	prefix := filepath.Join(t.TempDir(), "stream")
-	res, err := Run(NewReplaySource(d), Config{
+	res, err := Run(t.Context(), NewReplaySource(d), Config{
 		Pipeline: pcfg, Ranks: 3, Window: 2, ShardPrefix: prefix,
 	})
 	if err != nil {
@@ -176,12 +176,12 @@ func TestStreamRemovesStaleShards(t *testing.T) {
 	d := testDataset()
 	pcfg := testPipelineConfig()
 	prefix := filepath.Join(t.TempDir(), "stream")
-	if _, err := Run(NewReplaySource(d), Config{
+	if _, err := Run(t.Context(), NewReplaySource(d), Config{
 		Pipeline: pcfg, Ranks: 4, Window: 2, ShardPrefix: prefix,
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(NewReplaySource(d), Config{
+	if _, err := Run(t.Context(), NewReplaySource(d), Config{
 		Pipeline: pcfg, Ranks: 2, Window: 2, ShardPrefix: prefix,
 	}); err != nil {
 		t.Fatal(err)
@@ -206,7 +206,7 @@ func TestStreamWindowBackpressure(t *testing.T) {
 			maxSnap = b
 		}
 	}
-	res, err := Run(NewReplaySource(d), Config{
+	res, err := Run(t.Context(), NewReplaySource(d), Config{
 		Pipeline: testPipelineConfig(), Ranks: 1, Window: 1,
 	})
 	if err != nil {
@@ -230,7 +230,7 @@ func TestStreamReservoirBudget(t *testing.T) {
 	d := testDataset()
 	pcfg := testPipelineConfig()
 	const budget = 50
-	res, err := Run(NewReplaySource(d), Config{
+	res, err := Run(t.Context(), NewReplaySource(d), Config{
 		Pipeline: pcfg, Ranks: 2, Window: 2, MergeEvery: 1, ReservoirBudget: budget,
 	})
 	if err != nil {
@@ -348,7 +348,7 @@ func TestStreamRankLayoutInvariance(t *testing.T) {
 	pcfg := testPipelineConfig()
 	var ref []sampling.CubeSample
 	for _, ranks := range []int{1, 3} {
-		res, err := Run(NewReplaySource(d), Config{
+		res, err := Run(t.Context(), NewReplaySource(d), Config{
 			Pipeline: pcfg, Ranks: ranks, Window: 3, MergeEvery: 2,
 		})
 		if err != nil {
@@ -405,7 +405,7 @@ func TestEmptyStreamErrors(t *testing.T) {
 		Label: "empty", InputVars: d.InputVars, OutputVars: d.OutputVars,
 		ClusterVar: d.ClusterVar,
 	}
-	if _, err := Run(NewReplaySource(empty), Config{Pipeline: testPipelineConfig()}); err == nil {
+	if _, err := Run(t.Context(), NewReplaySource(empty), Config{Pipeline: testPipelineConfig()}); err == nil {
 		t.Fatal("empty stream should error")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
 	"strconv"
 	"time"
 
@@ -242,7 +243,9 @@ func Train(ctx context.Context, factory ModelFactory, examples []Example, cfg Co
 			},
 		})
 		if cfg.Verbose {
-			fmt.Printf("epoch %3d  train %.6f  test %.6f  lr %.2g\n",
+			// Stderr, not stdout: verbose progress is diagnostics, and a
+			// library must not claim the process's stdout.
+			fmt.Fprintf(os.Stderr, "epoch %3d  train %.6f  test %.6f  lr %.2g\n",
 				epoch, epochLoss, testLoss, opts[0].LR)
 		}
 		if cfg.Progress != nil {

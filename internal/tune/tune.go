@@ -85,7 +85,7 @@ type FactoryFor func(hidden int) train.ModelFactory
 
 // Search runs the two-rung random search and returns all trials sorted by
 // final loss (best first).
-func Search(factoryFor FactoryFor, examples []train.Example, space Space, cfg Config) ([]Trial, error) {
+func Search(ctx context.Context, factoryFor FactoryFor, examples []train.Example, space Space, cfg Config) ([]Trial, error) {
 	space.defaults()
 	cfg.defaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -106,7 +106,7 @@ func Search(factoryFor FactoryFor, examples []train.Example, space Space, cfg Co
 		minimpi.Run(cfg.Ranks, minimpi.CostModel{}, func(c *minimpi.Comm) {
 			lo, hi := c.PartitionRange(len(ts))
 			for i := lo; i < hi; i++ {
-				_, hist, err := train.Train(context.Background(), factoryFor(ts[i].Hidden), examples, train.Config{
+				_, hist, err := train.Train(ctx, factoryFor(ts[i].Hidden), examples, train.Config{
 					Epochs: epochs, Batch: ts[i].Batch, LR: ts[i].LR,
 					Seed: cfg.Seed + int64(i), Normalize: true,
 				})

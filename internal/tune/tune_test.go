@@ -31,7 +31,7 @@ func factoryFor(hidden int) train.ModelFactory {
 
 func TestSearchReturnsSortedTrials(t *testing.T) {
 	ex := regressionExamples(40, 1)
-	trials, err := Search(factoryFor, ex, Space{}, Config{
+	trials, err := Search(t.Context(), factoryFor, ex, Space{}, Config{
 		Trials: 4, RungEpochs: 3, FinalEpochs: 8, Survivors: 2, Seed: 2,
 	})
 	if err != nil {
@@ -62,7 +62,7 @@ func TestSearchReturnsSortedTrials(t *testing.T) {
 
 func TestSearchParallelRanks(t *testing.T) {
 	ex := regressionExamples(30, 3)
-	trials, err := Search(factoryFor, ex, Space{}, Config{
+	trials, err := Search(t.Context(), factoryFor, ex, Space{}, Config{
 		Trials: 4, RungEpochs: 2, FinalEpochs: 4, Survivors: 1, Seed: 4, Ranks: 2,
 	})
 	if err != nil {
@@ -77,11 +77,11 @@ func TestSearchParallelRanks(t *testing.T) {
 
 func TestSearchDeterministicUnderSeed(t *testing.T) {
 	ex := regressionExamples(30, 5)
-	a, err := Search(factoryFor, ex, Space{}, Config{Trials: 3, RungEpochs: 2, FinalEpochs: 3, Seed: 6})
+	a, err := Search(t.Context(), factoryFor, ex, Space{}, Config{Trials: 3, RungEpochs: 2, FinalEpochs: 3, Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Search(factoryFor, ex, Space{}, Config{Trials: 3, RungEpochs: 2, FinalEpochs: 3, Seed: 6})
+	b, err := Search(t.Context(), factoryFor, ex, Space{}, Config{Trials: 3, RungEpochs: 2, FinalEpochs: 3, Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
