@@ -7,6 +7,15 @@
 // jobs stick to the backend that accepted them. A health prober ejects
 // dead backends and re-admits them when /healthz answers again.
 //
+// With -replication K (default 1), a keyed job submission's owner set is
+// its K ring successors: the submission is copied to all K owners and a
+// resubmitted key found anywhere in the set returns the existing job, so
+// keyed submissions are exactly-once-observable fleet-wide even across
+// an owner's death. Membership is elastic: replicas join (with
+// warm-cache model prefetch before taking traffic) and drain out (sticky
+// jobs bled to terminal states first) through the admin API on a live
+// router.
+//
 // Usage:
 //
 //	sickle-shard -addr :8090 -backends http://h1:8080,http://h2:8080
@@ -14,11 +23,13 @@
 //	sickle-shard -addr :8090 -demo        # 3 in-process replicas, shared demo model
 //
 // Routes: the full /v2 surface plus GET /api/version, GET /healthz
-// (aggregated, with per-replica detail), GET /metrics
-// (sickle_shard_replica_up, routed/failed/failover counters, per-route
-// latency histograms), and GET /debug/traces[/{id}] — the {id} view
-// merges the router's spans with every replica's, so one request reads
-// as one trace. -debug-addr starts a net/http/pprof sidecar.
+// (aggregated, with per-replica detail), the membership admin API
+// (GET|POST /admin/replicas, DELETE /admin/replicas/{id}[?force=true]),
+// GET /metrics (sickle_shard_replica_up, routed/failed/failover
+// counters, owner-set and rebalance series, per-route latency
+// histograms), and GET /debug/traces[/{id}] — the {id} view merges the
+// router's spans with every replica's, so one request reads as one
+// trace. -debug-addr starts a net/http/pprof sidecar.
 package main
 
 import (
@@ -47,6 +58,7 @@ func main() {
 	probeMS := flag.Int("probe-ms", 0, "health-probe period in ms (default 1000)")
 	failAfter := flag.Int("fail-after", 0, "consecutive failures before ejecting a replica (default 2)")
 	maxFailover := flag.Int("max-failover", 0, "extra ring nodes tried after the primary (default 2)")
+	replication := flag.Int("replication", 0, "owner-set size K for keyed job submissions (default 1)")
 	vnodes := flag.Int("vnodes", 0, "virtual nodes per replica on the hash ring (default 160)")
 	demo := flag.Bool("demo", false, "spawn in-process replicas sharing a freshly trained demo model")
 	demoReplicas := flag.Int("demo-replicas", 3, "in-process replicas to spawn with -demo")
@@ -80,6 +92,7 @@ func main() {
 			ProbeEvery:  time.Duration(c.Shard.ProbeMS) * time.Millisecond,
 			FailAfter:   c.Shard.FailAfter,
 			MaxFailover: c.Shard.MaxFailover,
+			Replication: c.Shard.Replication,
 			Logger:      lg,
 
 			HistoryInterval: time.Duration(c.Obs.HistoryIntervalMS) * time.Millisecond,
@@ -116,6 +129,9 @@ func main() {
 	}
 	if *maxFailover > 0 {
 		cfg.MaxFailover = *maxFailover
+	}
+	if *replication > 0 {
+		cfg.Replication = *replication
 	}
 	if *vnodes > 0 {
 		cfg.VNodes = *vnodes

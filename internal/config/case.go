@@ -90,6 +90,7 @@ type ShardCase struct {
 	ProbeMS     int
 	FailAfter   int
 	MaxFailover int
+	Replication int // owner-set size K for keyed job submissions
 	VNodes      int
 	DebugAddr   string // pprof + debug endpoints listener ("" = off)
 }
@@ -183,6 +184,7 @@ func ParseCase(src string) (*Case, error) {
 			ProbeMS:     sh.GetInt("probe_ms", 0),
 			FailAfter:   sh.GetInt("fail_after", 0),
 			MaxFailover: sh.GetInt("max_failover", 0),
+			Replication: sh.GetInt("replication", 0),
 			VNodes:      sh.GetInt("vnodes", 0),
 			DebugAddr:   sh.GetString("debug_addr", ""),
 		},

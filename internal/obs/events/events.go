@@ -37,6 +37,11 @@ const (
 	TypeRecovered   Type = "recovered"   // tier health returned to ok
 	TypeRecovery    Type = "recovery"    // a job was recovered from the WAL at startup
 	TypeDedupHit    Type = "dedup_hit"   // a duplicate submission was served from prior work
+
+	TypeReplicaJoin  Type = "replica_join"  // a replica joined the ring via the admin API
+	TypeReplicaDrain Type = "replica_drain" // a replica began bleeding sticky jobs before removal
+	TypeReplicaLeave Type = "replica_leave" // a replica was removed from the membership
+	TypeRebalance    Type = "rebalance"     // ring membership changed and keyspace ownership moved
 )
 
 // Event is one journal entry. Attrs carry event-specific detail (replica

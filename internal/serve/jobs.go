@@ -443,6 +443,24 @@ func (jm *JobManager) Get(id string) (api.Job, error) {
 	return j.status, nil
 }
 
+// GetByKey returns the job holding an idempotency key — the lookup a
+// shard router uses to ask each member of a key's owner set "do you hold
+// key X?" before admitting a resubmission. An unclaimed (or expired) key
+// answers a typed job_not_found.
+func (jm *JobManager) GetByKey(key string) (api.Job, error) {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	jm.purgeLocked()
+	if key != "" {
+		if id, ok := jm.byKey[key]; ok {
+			if j, ok := jm.jobs[id]; ok {
+				return j.status, nil
+			}
+		}
+	}
+	return api.Job{}, api.Errorf(api.CodeJobNotFound, "serve: no job under idempotency key %q", key)
+}
+
 // List returns every live job, oldest first.
 func (jm *JobManager) List() []api.Job {
 	jm.mu.Lock()

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/url"
 	"sync/atomic"
 	"time"
 
@@ -339,6 +340,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v2/jobs/{id}", s.instrument("/v2/jobs/{id}", s.handleGetJob))
 	mux.HandleFunc("DELETE /v2/jobs/{id}", s.instrument("/v2/jobs/{id}", s.handleCancelJob))
 	mux.HandleFunc("GET /v2/jobs/{id}/result", s.instrument("/v2/jobs/{id}/result", s.handleJobResult))
+	mux.HandleFunc("GET /v2/keys/{key}", s.instrument("/v2/keys/{key}", s.handleGetJobByKey))
 
 	// Keep the "every v2 failure is a typed envelope" contract even for
 	// requests the method-qualified patterns above don't match: a generic
@@ -356,6 +358,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v2/subsample", s.instrument("/v2/subsample", methodNotAllowed("POST")))
 	mux.HandleFunc("/v2/models", s.instrument("/v2/models", methodNotAllowed("GET, POST")))
 	mux.HandleFunc("/v2/jobs", s.instrument("/v2/jobs", methodNotAllowed("GET, POST")))
+	mux.HandleFunc("/v2/keys/{key}", s.instrument("/v2/keys/{key}", methodNotAllowed("GET")))
 	mux.HandleFunc("/v2/jobs/{id}", s.instrument("/v2/jobs/{id}", methodNotAllowed("GET, DELETE")))
 	mux.HandleFunc("/v2/jobs/{id}/result", s.instrument("/v2/jobs/{id}/result", methodNotAllowed("GET")))
 	mux.HandleFunc("/v2/", s.instrument("/v2/", func(w http.ResponseWriter, r *http.Request) error {
@@ -681,6 +684,22 @@ func (s *Server) handleListJobs(w http.ResponseWriter, _ *http.Request) error {
 
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) error {
 	job, err := s.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		return writeAPIError(w, err)
+	}
+	return writeJSON(w, http.StatusOK, job)
+}
+
+// handleGetJobByKey answers "do you hold idempotency key X?" — the
+// owner-set consultation a shard router runs before admitting a keyed
+// resubmission, so a key claimed anywhere in a key's owner set maps to
+// exactly one fleet-wide job.
+func (s *Server) handleGetJobByKey(w http.ResponseWriter, r *http.Request) error {
+	key, err := url.PathUnescape(r.PathValue("key"))
+	if err != nil {
+		return writeAPIError(w, api.Errorf(api.CodeInvalidArgument, "bad idempotency key encoding: %v", err))
+	}
+	job, err := s.jobs.GetByKey(key)
 	if err != nil {
 		return writeAPIError(w, err)
 	}

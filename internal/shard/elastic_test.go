@@ -1,0 +1,342 @@
+package shard
+
+import (
+	"context"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/obs/events"
+	"repro/internal/serve"
+	"repro/pkg/api"
+	"repro/pkg/client"
+)
+
+// newTestRouterK is newTestRouter with an owner-set size.
+func newTestRouterK(t *testing.T, urls []string, k int) *Router {
+	t.Helper()
+	rt, err := NewRouter(Config{
+		URLs:        urls,
+		ProbeEvery:  25 * time.Millisecond,
+		FailAfter:   2,
+		MaxFailover: 2,
+		Replication: k,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// TestShardReplicatedKeyedSubmitNoDuplicateOnFailover is the regression
+// test for the fleet-level idempotency hole: with K=2, a keyed submission
+// is copied to both owners, and when the primary dies inside the failover
+// window — dead but not yet ejected, the exact window the old router
+// turned into a duplicate — a resubmission of the same key is answered
+// from the surviving owner's copy instead of spawning a second job.
+func TestShardReplicatedKeyedSubmitNoDuplicateOnFailover(t *testing.T) {
+	_, ckpt := newCheckpoint(t)
+	ctx := context.Background()
+
+	reps := make([]*serve.InProc, 3)
+	urls := make([]string, 3)
+	for i := range reps {
+		reps[i] = startReplica(t, "", ckpt)
+		urls[i] = reps[i].URL
+	}
+	// No prober: the dead primary stays on the ring, so the resubmission
+	// must survive on the owner-set consult alone.
+	rt := newTestRouterK(t, urls, 2)
+	ts := httptest.NewServer(rt.Handler())
+	defer ts.Close()
+	defer func() {
+		for _, p := range reps {
+			if p != nil {
+				p.Close(ctx)
+			}
+		}
+	}()
+	c := client.New(ts.URL, client.WithRetry(0, 0))
+
+	sub := api.SubsampleRequest{Dataset: "GESTS-2048", Cube: 8, NumHypercubes: 2, NumSamples: 16, Seed: 1}
+	key := api.NewIdempotencyKey()
+	req := api.SubmitJobRequest{Type: api.JobSubsample, Subsample: &sub, IdempotencyKey: key}
+
+	owners := rt.ReplicaSet().Sequence(subsampleKey(&sub), 2)
+	if len(owners) != 2 {
+		t.Fatalf("owner set has %d members, want 2", len(owners))
+	}
+	idxOf := func(u string) int {
+		for i, p := range reps {
+			if p.URL == u {
+				return i
+			}
+		}
+		t.Fatalf("no in-proc replica at %s", u)
+		return -1
+	}
+	primaryIdx := idxOf(owners[0].URL)
+	secondary := reps[idxOf(owners[1].URL)]
+
+	holdsKey := func(p *serve.InProc) int {
+		n := 0
+		for _, j := range p.Server.Jobs().List() {
+			if j.IdempotencyKey == key {
+				n++
+			}
+		}
+		return n
+	}
+
+	job, err := c.SubmitJob(ctx, &req)
+	if err != nil {
+		t.Fatalf("keyed submit: %v", err)
+	}
+	if _, rid := splitJobID(job.ID); rid != owners[0].ID {
+		t.Fatalf("job %q not admitted by the primary owner %s", job.ID, owners[0].ID)
+	}
+	// The submit fan-out already placed a copy under the same key on the
+	// second owner — the redundancy the failover below relies on.
+	if n := holdsKey(secondary); n != 1 {
+		t.Fatalf("secondary owner holds %d copies of the key after submit, want 1", n)
+	}
+
+	reps[primaryIdx].Kill()
+	reps[primaryIdx] = nil
+
+	again, err := c.SubmitJob(ctx, &req)
+	if err != nil {
+		t.Fatalf("keyed resubmit with dead primary = %v, want owner-set dedup hit", err)
+	}
+	if again.IdempotencyKey != key {
+		t.Fatalf("resubmit answered job without the key: %+v", again)
+	}
+	if _, rid := splitJobID(again.ID); rid != owners[1].ID {
+		t.Fatalf("resubmit answered by %q, want the surviving owner %s", again.ID, owners[1].ID)
+	}
+	// Exactly one job fleet-wide carries the key: the resubmission was a
+	// dedup hit, not a second job on the survivor.
+	total := 0
+	for _, p := range reps {
+		if p != nil {
+			total += holdsKey(p)
+		}
+	}
+	if total != 1 {
+		t.Fatalf("fleet holds %d jobs under the key, want exactly 1", total)
+	}
+	if got := rt.Metrics().OwnerDedupHitsTotal(); got != 1 {
+		t.Fatalf("owner dedup hit counter = %d, want 1", got)
+	}
+	dedups := rt.Journal().Events(0, events.TypeDedupHit, time.Time{})
+	found := false
+	for _, e := range dedups {
+		if e.Attrs["kind"] == "owner_set" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no owner_set dedup_hit event in the journal: %+v", dedups)
+	}
+
+	// The fleet listing collapses the replicated copies into one logical
+	// job, and the surviving copy finishes and serves its result.
+	jobs, err := c.Jobs(ctx)
+	if err != nil {
+		t.Fatalf("fleet listing: %v", err)
+	}
+	withKey := 0
+	for _, j := range jobs {
+		if j.IdempotencyKey == key {
+			withKey++
+		}
+	}
+	if withKey != 1 {
+		t.Fatalf("fleet listing shows %d jobs under the key, want 1", withKey)
+	}
+	if byKey, err := c.JobByKey(ctx, key); err != nil || byKey.IdempotencyKey != key {
+		t.Fatalf("JobByKey through router = %+v, %v", byKey, err)
+	}
+	done, err := c.WaitJob(ctx, again.ID, 5*time.Millisecond)
+	if err != nil || done.State != api.JobSucceeded {
+		t.Fatalf("surviving copy = %+v, %v", done, err)
+	}
+	if res, err := c.JobResult(ctx, again.ID); err != nil || res.Subsample == nil {
+		t.Fatalf("result from surviving copy = %+v, %v", res, err)
+	}
+}
+
+// TestShardReplicatedReadFailsOverToCopy covers the read path of the owner
+// set: a keyed job's status stays readable under its original client-facing
+// ID while the replica that admitted it is dead but not yet ejected.
+func TestShardReplicatedReadFailsOverToCopy(t *testing.T) {
+	_, ckpt := newCheckpoint(t)
+	ctx := context.Background()
+
+	reps := make([]*serve.InProc, 3)
+	urls := make([]string, 3)
+	for i := range reps {
+		reps[i] = startReplica(t, "", ckpt)
+		urls[i] = reps[i].URL
+	}
+	rt := newTestRouterK(t, urls, 2)
+	ts := httptest.NewServer(rt.Handler())
+	defer ts.Close()
+	defer func() {
+		for _, p := range reps {
+			if p != nil {
+				p.Close(ctx)
+			}
+		}
+	}()
+	c := client.New(ts.URL, client.WithRetry(0, 0))
+
+	sub := api.SubsampleRequest{Dataset: "GESTS-2048", Cube: 8, NumHypercubes: 2, NumSamples: 16, Seed: 1}
+	req := api.SubmitJobRequest{Type: api.JobSubsample, Subsample: &sub,
+		IdempotencyKey: api.NewIdempotencyKey()}
+	owners := rt.ReplicaSet().Sequence(subsampleKey(&sub), 2)
+	job, err := c.SubmitJob(ctx, &req)
+	if err != nil {
+		t.Fatalf("keyed submit: %v", err)
+	}
+	if done, err := c.WaitJob(ctx, job.ID, 5*time.Millisecond); err != nil || done.State != api.JobSucceeded {
+		t.Fatalf("job before the crash = %+v, %v", done, err)
+	}
+
+	for i, p := range reps {
+		if p.URL == owners[0].URL {
+			p.Kill()
+			reps[i] = nil
+		}
+	}
+	// Same client-facing ID, primary dead and still on the ring: the
+	// router re-finds the copy by key on the surviving owner.
+	got, err := c.Job(ctx, job.ID)
+	if err != nil {
+		t.Fatalf("sticky read with dead primary = %v, want copy fallback", err)
+	}
+	if got.State != api.JobSucceeded {
+		t.Fatalf("copy state = %v, want succeeded", got.State)
+	}
+	if _, rid := splitJobID(got.ID); rid != owners[1].ID {
+		t.Fatalf("read served by %q, want the surviving owner %s", got.ID, owners[1].ID)
+	}
+}
+
+// TestShardAdminJoinPrefetchAndDrain exercises the elastic control plane
+// end to end: membership listing, joining a bare backend (which must be
+// warm-prefetched with the fleet's model catalog before taking traffic),
+// rolling-drain removal with sticky reads surviving the replica's
+// retirement, and the rebalance trail in metrics and events.
+func TestShardAdminJoinPrefetchAndDrain(t *testing.T) {
+	_, ckpt := newCheckpoint(t)
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(11))
+
+	a := startReplica(t, "", ckpt)
+	b := startReplica(t, "", ckpt)
+	rt := newTestRouterK(t, []string{a.URL, b.URL}, 2)
+	rt.Start()
+	ts := httptest.NewServer(rt.Handler())
+	defer ts.Close()
+	defer func() {
+		rt.Shutdown(ctx)
+		a.Close(ctx)
+		b.Close(ctx)
+	}()
+	c := client.New(ts.URL)
+
+	mem, err := c.AdminReplicas(ctx)
+	if err != nil {
+		t.Fatalf("admin listing: %v", err)
+	}
+	if mem.Replication != 2 || len(mem.Replicas) != 2 {
+		t.Fatalf("membership = %+v, want 2 replicas at K=2", mem)
+	}
+
+	// Join a backend with no models: admission must carry the catalog over
+	// first, so the newcomer never serves a cold cache.
+	fresh, err := serve.StartInProc(serve.Config{MaxBatch: 4, Window: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close(ctx)
+	joined, err := c.AdminJoinReplica(ctx, fresh.URL)
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	if len(joined.PrefetchedModels) != 1 || joined.PrefetchedModels[0] != "m" {
+		t.Fatalf("prefetched = %v, want [m]", joined.PrefetchedModels)
+	}
+	if !joined.Replica.Up || joined.Replica.ID == "" {
+		t.Fatalf("joined replica = %+v, want admitted", joined.Replica)
+	}
+	if _, err := client.New(fresh.URL).Infer(ctx, &api.InferRequest{
+		Model: "m", Items: []api.InferItem{randomItem(rng)}}); err != nil {
+		t.Fatalf("newcomer cannot serve the prefetched model: %v", err)
+	}
+	if mem, _ = c.AdminReplicas(ctx); len(mem.Replicas) != 3 {
+		t.Fatalf("membership after join = %+v, want 3 replicas", mem)
+	}
+	if h, err := c.Health(ctx); err != nil || h.Replication != 2 {
+		t.Fatalf("healthz = %+v, %v; want Replication 2", h, err)
+	}
+
+	// A duplicate join is refused.
+	if _, err := c.AdminJoinReplica(ctx, fresh.URL); api.AsError(err).Code != api.CodeInvalidArgument {
+		t.Fatalf("duplicate join = %v, want invalid_argument", err)
+	}
+
+	// Run a job to completion, then drain the replica that admitted it:
+	// the member leaves, but its sticky job stays readable.
+	sub := api.SubsampleRequest{Dataset: "GESTS-2048", Cube: 8, NumHypercubes: 2, NumSamples: 16, Seed: 2}
+	job, err := c.SubmitJob(ctx, &api.SubmitJobRequest{Type: api.JobSubsample, Subsample: &sub})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if done, err := c.WaitJob(ctx, job.ID, 5*time.Millisecond); err != nil || done.State != api.JobSucceeded {
+		t.Fatalf("job = %+v, %v", done, err)
+	}
+	_, rid := splitJobID(job.ID)
+	drained, err := c.AdminDrainReplica(ctx, rid, false)
+	if err != nil {
+		t.Fatalf("drain %s: %v", rid, err)
+	}
+	if drained.Replica.ID != rid {
+		t.Fatalf("drained %+v, want %s", drained.Replica, rid)
+	}
+	mem, err = c.AdminReplicas(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mem.Replicas) != 2 {
+		t.Fatalf("membership after drain = %+v, want 2 replicas", mem)
+	}
+	for _, r := range mem.Replicas {
+		if r.ID == rid {
+			t.Fatalf("drained replica %s still in the membership", rid)
+		}
+	}
+	if got, err := c.Job(ctx, job.ID); err != nil || got.State != api.JobSucceeded {
+		t.Fatalf("sticky read after retirement = %+v, %v", got, err)
+	}
+	if res, err := c.JobResult(ctx, job.ID); err != nil || res.Subsample == nil {
+		t.Fatalf("sticky result after retirement = %+v, %v", res, err)
+	}
+
+	if _, err := c.AdminDrainReplica(ctx, "r99", false); api.AsError(err).Code != api.CodeNotFound {
+		t.Fatalf("drain of unknown replica = %v, want not_found", err)
+	}
+
+	// The join and the leave both left a rebalance trail.
+	if n := rt.Metrics().RebalancesTotal(); n < 2 {
+		t.Fatalf("rebalances counter = %d, want >= 2 (join + leave)", n)
+	}
+	for _, typ := range []events.Type{events.TypeReplicaJoin, events.TypeReplicaDrain,
+		events.TypeReplicaLeave, events.TypeRebalance} {
+		if len(rt.Journal().Events(0, typ, time.Time{})) == 0 {
+			t.Fatalf("no %s event in the journal", typ)
+		}
+	}
+}

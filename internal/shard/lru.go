@@ -1,0 +1,120 @@
+package shard
+
+import (
+	"container/list"
+	"sync"
+)
+
+// ownerEntry is one remembered routing decision: raw job ID → the replica
+// holding it, plus the idempotency key it was submitted under (empty for
+// unkeyed jobs). The key is what lets the router re-find a replicated
+// keyed job on the surviving owners after its primary dies.
+type ownerEntry struct {
+	raw     string
+	replica string
+	key     string
+}
+
+// ownerCache is the bounded sticky-routing memory behind job-ID fallback.
+// Job IDs normally carry their replica suffix (job-3@r1), so this cache is
+// only consulted for bare IDs and for the replicated-copy key lookup — a
+// miss degrades to the legacy scatter, never to an error. It is a plain
+// LRU: Remember promotes, the least-recently-used entry falls off at cap,
+// and ForgetReplica drops every entry pointing at an ejected or removed
+// replica so the map cannot pin dead routing state (the unbounded map it
+// replaces kept entries for ejected replicas forever).
+type ownerCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element // raw ID → element whose Value is *ownerEntry
+	order   *list.List               // front = most recently used
+}
+
+func newOwnerCache(capacity int) *ownerCache {
+	if capacity <= 0 {
+		capacity = maxJobOwnerEntries
+	}
+	return &ownerCache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// Remember records (or refreshes) raw → replica. A raw ID resubmitted
+// under a different replica overwrites the old entry — the cache answers
+// "where did I last see this ID", not "every place it ever lived" — with
+// one exception: when both entries carry the same idempotency key they are
+// replicated copies of one logical job, and the first-remembered replica
+// (the one the client-facing ID suffix points at) is kept, so a copy seen
+// later in a fan-out or fleet listing cannot clobber the mapping the
+// dead-primary fallback depends on.
+func (oc *ownerCache) Remember(raw, replica, key string) {
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	if el, ok := oc.entries[raw]; ok {
+		e := el.Value.(*ownerEntry)
+		if e.key == "" || e.key != key {
+			e.replica, e.key = replica, key
+		}
+		oc.order.MoveToFront(el)
+		return
+	}
+	oc.entries[raw] = oc.order.PushFront(&ownerEntry{raw: raw, replica: replica, key: key})
+	for oc.order.Len() > oc.cap {
+		back := oc.order.Back()
+		delete(oc.entries, back.Value.(*ownerEntry).raw)
+		oc.order.Remove(back)
+	}
+}
+
+// Resolve answers which replica last held raw, promoting the entry.
+func (oc *ownerCache) Resolve(raw string) (string, bool) {
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	el, ok := oc.entries[raw]
+	if !ok {
+		return "", false
+	}
+	oc.order.MoveToFront(el)
+	return el.Value.(*ownerEntry).replica, true
+}
+
+// Key returns the idempotency key raw was submitted under, but only if the
+// cache still maps it to replica — a stale or overwritten entry must not
+// redirect a read at some other replica's job.
+func (oc *ownerCache) Key(raw, replica string) string {
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	if el, ok := oc.entries[raw]; ok {
+		if e := el.Value.(*ownerEntry); e.replica == replica {
+			return e.key
+		}
+	}
+	return ""
+}
+
+// ForgetReplica evicts every entry pointing at replica (ejection, drain,
+// removal) and reports how many it dropped.
+func (oc *ownerCache) ForgetReplica(replica string) int {
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	var dropped int
+	for el := oc.order.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*ownerEntry); e.replica == replica {
+			delete(oc.entries, e.raw)
+			oc.order.Remove(el)
+			dropped++
+		}
+		el = next
+	}
+	return dropped
+}
+
+// Len reports the current entry count.
+func (oc *ownerCache) Len() int {
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	return oc.order.Len()
+}

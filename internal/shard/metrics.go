@@ -26,6 +26,12 @@ type Metrics struct {
 	requests     *obs.CounterVec
 	errors       *obs.CounterVec
 	seconds      *obs.HistogramVec
+
+	ownerDedupHits      *obs.Counter
+	ownerReplications   *obs.CounterVec
+	ownerReplFailures   *obs.Counter
+	rebalances          *obs.Counter
+	rebalanceMovedShare *obs.Gauge
 }
 
 // NewMetrics returns a collector over a fresh registry, with the process
@@ -52,6 +58,16 @@ func NewMetrics() *Metrics {
 			"Router requests that returned an error, by route.", "route"),
 		seconds: reg.Histogram("sickle_shard_request_seconds",
 			"Router request latency in seconds, by route.", nil, "route"),
+		ownerDedupHits: reg.Counter("sickle_shard_owner_dedup_hits_total",
+			"Keyed resubmissions answered from a job already held by an owner-set member.").With(),
+		ownerReplications: reg.Counter("sickle_shard_owner_replications_total",
+			"Keyed submissions replicated to a non-primary owner, by replica.", "replica"),
+		ownerReplFailures: reg.Counter("sickle_shard_owner_replication_failures_total",
+			"Replication fan-out attempts that failed (the primary copy still exists).").With(),
+		rebalances: reg.Counter("sickle_shard_rebalances_total",
+			"Ring membership changes that moved keyspace ownership (joins and leaves).").With(),
+		rebalanceMovedShare: reg.Gauge("sickle_shard_rebalance_moved_share",
+			"Estimated share of the keyspace whose primary owner moved in the last rebalance.").With(),
 	}
 	obs.RegisterRuntime(reg)
 	return m
@@ -94,6 +110,47 @@ func (m *Metrics) ObserveEjection() {
 // ObserveReadmission counts one replica rejoining the ring.
 func (m *Metrics) ObserveReadmission() {
 	m.readmissions.Inc()
+}
+
+// ObserveOwnerDedupHit counts one keyed resubmission answered from a job
+// already held somewhere in the key's owner set.
+func (m *Metrics) ObserveOwnerDedupHit() {
+	m.ownerDedupHits.Inc()
+}
+
+// ObserveOwnerReplication counts one keyed submission copied to a
+// non-primary owner.
+func (m *Metrics) ObserveOwnerReplication(replica string) {
+	m.ownerReplications.With(replica).Inc()
+}
+
+// ObserveOwnerReplicationFailure counts one replication fan-out attempt
+// that failed (best-effort: the primary copy still exists).
+func (m *Metrics) ObserveOwnerReplicationFailure() {
+	m.ownerReplFailures.Inc()
+}
+
+// ObserveRebalance records one membership change together with the
+// estimated share of the keyspace whose primary owner it moved.
+func (m *Metrics) ObserveRebalance(movedShare float64) {
+	m.rebalances.Inc()
+	m.rebalanceMovedShare.Set(movedShare)
+}
+
+// OwnerDedupHitsTotal returns the owner-set dedup counter (tests).
+func (m *Metrics) OwnerDedupHitsTotal() int64 {
+	return int64(m.ownerDedupHits.Value())
+}
+
+// OwnerReplicationsTotal returns the replication counter for one replica
+// (tests).
+func (m *Metrics) OwnerReplicationsTotal(replica string) int64 {
+	return int64(m.ownerReplications.With(replica).Value())
+}
+
+// RebalancesTotal returns the cumulative rebalance count (tests).
+func (m *Metrics) RebalancesTotal() int64 {
+	return int64(m.rebalances.Value())
 }
 
 // ObserveRequest records one router request on a route.

@@ -23,16 +23,27 @@ type Replica struct {
 
 	mu          sync.Mutex
 	up          bool
+	draining    bool
 	consecFails int
 	lastHealth  api.Health
 	lastErr     error
 }
 
-// Up reports the replica's current ring membership.
+// Up reports the replica's current liveness (a draining replica is still
+// up — it keeps serving sticky reads while it bleeds).
 func (r *Replica) Up() bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.up
+}
+
+// Draining reports whether the replica is bleeding sticky jobs before
+// leaving the membership. Draining replicas are off both rings (no new
+// keyed traffic) but still resolvable for job reads.
+func (r *Replica) Draining() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.draining
 }
 
 // Degraded reports whether the replica's last health answer declared it
@@ -51,6 +62,7 @@ type ReplicaStatus struct {
 	ID          string
 	URL         string
 	Up          bool
+	Draining    bool
 	ConsecFails int
 	LastErr     error
 	Health      api.Health // last successful /healthz body
@@ -59,7 +71,7 @@ type ReplicaStatus struct {
 // SetConfig sizes a ReplicaSet. Zero values select the documented
 // defaults.
 type SetConfig struct {
-	URLs       []string      // backend base URLs (required, fixed for the set's lifetime)
+	URLs       []string      // backend base URLs (required; more can join later)
 	VNodes     int           // virtual nodes per replica (default DefaultVNodes)
 	ProbeEvery time.Duration // health-probe period (default 1s)
 	FailAfter  int           // consecutive failures before ejection (default 2)
@@ -71,29 +83,41 @@ type SetConfig struct {
 
 // ReplicaSet owns the router's replica list, the consistent-hash ring over
 // the live subset, and the health prober that ejects unreachable backends
-// and re-admits them when /healthz answers again.
+// and re-admits them when /healthz answers again. Membership is dynamic:
+// AddReplica/Admit bring a newcomer in (off-ring until admitted, so a cold
+// cache never takes traffic), SetDraining takes one off both rings while
+// its sticky jobs bleed, and RemoveReplica retires it — into the former
+// map, so job IDs minted while it was a member keep resolving for reads.
 type ReplicaSet struct {
+	mu       sync.RWMutex // guards membership (replicas/byID/former/nextID) and both rings
 	replicas []*Replica
 	byID     map[string]*Replica
-
-	mu       sync.RWMutex // guards ring (and orders liveness transitions)
+	former   map[string]*Replica // removed members, kept resolvable for sticky reads
+	nextID   int                 // monotonic — IDs are never reused, or old sticky IDs would misroute
 	ring     *Ring
-	fullRing *Ring // all replicas, immutable — the last-resort order when everything is ejected
+	fullRing *Ring // every admitted member regardless of health — the last-resort order when everything is ejected
 
 	probeEvery   time.Duration
 	probeTimeout time.Duration
 	failAfter    int
+	httpClient   *http.Client // optional shared transport for late joiners (tests)
 	met          *Metrics
 	journal      *events.Journal
+
+	// onEject runs (outside locks) whenever a replica leaves the ring for
+	// health reasons; the router hooks it to evict the replica's entries
+	// from the sticky-routing cache.
+	onEject func(id string)
 
 	stopOnce sync.Once
 	stop     chan struct{}
 	wg       sync.WaitGroup
 }
 
-// NewReplicaSet builds the set with every replica initially admitted; the
-// first probe round corrects optimism about backends that are already
-// down. Replica IDs are r0, r1, ... in URL order.
+// NewReplicaSet builds the set with every seed replica initially admitted;
+// the first probe round corrects optimism about backends that are already
+// down. Seed replica IDs are r0, r1, ... in URL order; later joiners
+// continue the sequence and never reuse a retired ID.
 func NewReplicaSet(cfg SetConfig, met *Metrics) (*ReplicaSet, error) {
 	if len(cfg.URLs) == 0 {
 		return nil, fmt.Errorf("shard: replica set needs at least one backend URL")
@@ -110,11 +134,13 @@ func NewReplicaSet(cfg SetConfig, met *Metrics) (*ReplicaSet, error) {
 	}
 	rs := &ReplicaSet{
 		byID:         map[string]*Replica{},
+		former:       map[string]*Replica{},
 		ring:         NewRing(cfg.VNodes),
 		fullRing:     NewRing(cfg.VNodes),
 		probeEvery:   cfg.ProbeEvery,
 		probeTimeout: probeTimeout,
 		failAfter:    cfg.FailAfter,
+		httpClient:   cfg.HTTPClient,
 		met:          met,
 		journal:      cfg.Journal,
 		stop:         make(chan struct{}),
@@ -124,35 +150,42 @@ func NewReplicaSet(cfg SetConfig, met *Metrics) (*ReplicaSet, error) {
 		if url == "" {
 			return nil, fmt.Errorf("shard: empty replica URL at position %d", i)
 		}
-		// Each replica gets its own transport (unless the caller injects
-		// one): sharing http.DefaultTransport's global keep-alive pool
-		// would let a stale pooled connection to a died-and-respawned
-		// backend — or another process that reused its port — poison calls,
-		// and per-backend pools keep one slow replica from starving the
-		// others' idle-connection budget.
-		hc := cfg.HTTPClient
-		if hc == nil {
-			hc = &http.Client{Transport: &http.Transport{
-				Proxy:               http.ProxyFromEnvironment,
-				MaxIdleConnsPerHost: 32,
-				IdleConnTimeout:     90 * time.Second,
-			}}
-		}
-		opts := []client.Option{client.WithRetry(0, 0), client.WithHTTPClient(hc)}
-		r := &Replica{
-			ID:  fmt.Sprintf("r%d", i),
-			URL: url,
-			C:   client.New(url, opts...),
-			up:  true,
-		}
+		r := rs.newReplica(fmt.Sprintf("r%d", i), url)
+		r.up = true
 		rs.replicas = append(rs.replicas, r)
 		rs.byID[r.ID] = r
 		rs.ring.Add(r.ID)
 		rs.fullRing.Add(r.ID)
 		met.SetUp(r.ID, true)
 	}
+	rs.nextID = len(cfg.URLs)
 	return rs, nil
 }
+
+// newReplica builds the replica value and its transport. Each replica gets
+// its own transport (unless the caller injects one): sharing
+// http.DefaultTransport's global keep-alive pool would let a stale pooled
+// connection to a died-and-respawned backend — or another process that
+// reused its port — poison calls, and per-backend pools keep one slow
+// replica from starving the others' idle-connection budget.
+func (rs *ReplicaSet) newReplica(id, url string) *Replica {
+	hc := rs.httpClient
+	if hc == nil {
+		hc = &http.Client{Transport: &http.Transport{
+			Proxy:               http.ProxyFromEnvironment,
+			MaxIdleConnsPerHost: 32,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	return &Replica{
+		ID:  id,
+		URL: url,
+		C:   client.New(url, client.WithRetry(0, 0), client.WithHTTPClient(hc)),
+	}
+}
+
+// OnEject installs the ejection hook (must be set before Start).
+func (rs *ReplicaSet) OnEject(fn func(id string)) { rs.onEject = fn }
 
 // Start launches the background health prober (probe immediately, then
 // every ProbeEvery).
@@ -180,12 +213,12 @@ func (rs *ReplicaSet) Stop() {
 	rs.wg.Wait()
 }
 
-// ProbeAll probes every replica's /healthz concurrently and applies the
+// ProbeAll probes every member's /healthz concurrently and applies the
 // ejection/re-admission rules. Called by the prober loop; exported so
 // tests can force a deterministic round.
 func (rs *ReplicaSet) ProbeAll() {
 	var wg sync.WaitGroup
-	for _, r := range rs.replicas {
+	for _, r := range rs.Replicas() {
 		wg.Add(1)
 		go func(r *Replica) {
 			defer wg.Done()
@@ -225,12 +258,16 @@ func (rs *ReplicaSet) noteUp(r *Replica, h *api.Health) {
 	if h != nil {
 		r.lastHealth = *h
 	}
+	// Only current, non-draining members may (re)join the ring: a probe or
+	// sticky read succeeding against a draining or already-removed replica
+	// must not put it back in the keyed-traffic rotation.
+	member := rs.byID[r.ID] == r && !r.draining
 	r.mu.Unlock()
-	if !wasUp {
+	if !wasUp && member {
 		rs.ring.Add(r.ID)
 	}
 	rs.mu.Unlock()
-	if !wasUp {
+	if !wasUp && member {
 		rs.met.ObserveReadmission()
 		rs.met.SetUp(r.ID, true)
 		rs.journal.Emit(events.TypeReadmission, "replica re-admitted to the ring", "",
@@ -258,6 +295,9 @@ func (rs *ReplicaSet) NoteFailure(r *Replica, err error) {
 	if eject {
 		rs.met.ObserveEjection()
 		rs.met.SetUp(r.ID, false)
+		if rs.onEject != nil {
+			rs.onEject(r.ID)
+		}
 		msg := ""
 		if err != nil {
 			msg = err.Error()
@@ -267,13 +307,111 @@ func (rs *ReplicaSet) NoteFailure(r *Replica, err error) {
 	}
 }
 
-// Replicas returns the fixed replica list in URL order.
-func (rs *ReplicaSet) Replicas() []*Replica { return rs.replicas }
+// ---- dynamic membership ----
 
-// Live returns the replicas currently on the ring, in URL order.
-func (rs *ReplicaSet) Live() []*Replica {
-	out := make([]*Replica, 0, len(rs.replicas))
+// AddReplica creates a pending member for url: in the membership list (so
+// the prober and healthz see it) but off both rings and marked down, so it
+// takes no traffic until Admit. Fails on a URL already fronted by a
+// current member.
+func (rs *ReplicaSet) AddReplica(url string) (*Replica, error) {
+	url = strings.TrimRight(strings.TrimSpace(url), "/")
+	if url == "" {
+		return nil, fmt.Errorf("shard: empty replica URL")
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
 	for _, r := range rs.replicas {
+		if r.URL == url {
+			return nil, fmt.Errorf("shard: replica %s already fronts %s", r.ID, url)
+		}
+	}
+	r := rs.newReplica(fmt.Sprintf("r%d", rs.nextID), url)
+	rs.nextID++
+	rs.replicas = append(rs.replicas, r)
+	rs.byID[r.ID] = r
+	rs.met.SetUp(r.ID, false)
+	return r, nil
+}
+
+// Admit puts a pending replica on both rings and marks it up — call only
+// after it has passed a health check and been warm-prefetched. A replica
+// that was removed or set draining in the meantime is left alone.
+func (rs *ReplicaSet) Admit(r *Replica) bool {
+	rs.mu.Lock()
+	r.mu.Lock()
+	ok := rs.byID[r.ID] == r && !r.draining
+	if ok {
+		r.up = true
+		r.consecFails = 0
+		r.lastErr = nil
+	}
+	r.mu.Unlock()
+	if ok {
+		rs.ring.Add(r.ID)
+		rs.fullRing.Add(r.ID)
+	}
+	rs.mu.Unlock()
+	if ok {
+		rs.met.SetUp(r.ID, true)
+	}
+	return ok
+}
+
+// SetDraining takes a member off both rings (no new keyed traffic, not
+// even as a last resort) while keeping it in the membership, up, and
+// resolvable — sticky job reads and the bleed-out keep working.
+func (rs *ReplicaSet) SetDraining(id string) (*Replica, bool) {
+	rs.mu.Lock()
+	r, ok := rs.byID[id]
+	if ok {
+		r.mu.Lock()
+		r.draining = true
+		r.mu.Unlock()
+		rs.ring.Remove(id)
+		rs.fullRing.Remove(id)
+	}
+	rs.mu.Unlock()
+	return r, ok
+}
+
+// RemoveReplica retires a member: off both rings, out of the membership
+// list, into the former map — where job IDs minted while it was a member
+// keep resolving, so clients can still fetch results of jobs that lived
+// on it. The backend process is left running.
+func (rs *ReplicaSet) RemoveReplica(id string) (*Replica, bool) {
+	rs.mu.Lock()
+	r, ok := rs.byID[id]
+	if ok {
+		delete(rs.byID, id)
+		for i, cur := range rs.replicas {
+			if cur == r {
+				rs.replicas = append(rs.replicas[:i], rs.replicas[i+1:]...)
+				break
+			}
+		}
+		rs.former[id] = r
+		rs.ring.Remove(id)
+		rs.fullRing.Remove(id)
+	}
+	rs.mu.Unlock()
+	if ok {
+		rs.met.SetUp(id, false)
+	}
+	return r, ok
+}
+
+// Replicas returns a snapshot of the current membership in join order.
+func (rs *ReplicaSet) Replicas() []*Replica {
+	rs.mu.RLock()
+	defer rs.mu.RUnlock()
+	return append([]*Replica(nil), rs.replicas...)
+}
+
+// Live returns the members currently up, in join order (draining members
+// included — they are alive, just off the rings).
+func (rs *ReplicaSet) Live() []*Replica {
+	out := make([]*Replica, 0, 4)
+	for _, r := range rs.Replicas() {
 		if r.Up() {
 			out = append(out, r)
 		}
@@ -281,10 +419,23 @@ func (rs *ReplicaSet) Live() []*Replica {
 	return out
 }
 
-// Get resolves a replica by ID.
+// Get resolves a replica by ID — current members first, then retired ones
+// (whose sticky job IDs must keep resolving for reads).
 func (rs *ReplicaSet) Get(id string) (*Replica, bool) {
-	r, ok := rs.byID[id]
+	rs.mu.RLock()
+	defer rs.mu.RUnlock()
+	if r, ok := rs.byID[id]; ok {
+		return r, true
+	}
+	r, ok := rs.former[id]
 	return r, ok
+}
+
+// RingMembers reports how many replicas are on the live ring.
+func (rs *ReplicaSet) RingMembers() int {
+	rs.mu.RLock()
+	defer rs.mu.RUnlock()
+	return rs.ring.Len()
 }
 
 // Owner returns the live replica owning key.
@@ -298,40 +449,43 @@ func (rs *ReplicaSet) Owner(key string) (*Replica, bool) {
 
 // Sequence returns up to n distinct replicas in consistent-hash order for
 // key: the owner first, then the failover candidates. When every replica
-// has been ejected it falls back to the full set in hash order — a
-// last-resort attempt beats refusing outright, and one success re-admits.
-// Replicas reporting themselves degraded (SLO breach) are stably moved
-// behind the healthy candidates: still reachable, tried last.
+// has been ejected it falls back to the full admitted set in hash order —
+// a last-resort attempt beats refusing outright, and one success
+// re-admits. Replicas reporting themselves degraded (SLO breach) are
+// stably moved behind the healthy candidates: still reachable, tried last.
 func (rs *ReplicaSet) Sequence(key string, n int) []*Replica {
 	rs.mu.RLock()
 	ids := rs.ring.Sequence(key, n)
 	if len(ids) == 0 {
-		// fullRing is immutable after construction, so reading it under the
-		// read lock is fine.
 		ids = rs.fullRing.Sequence(key, n)
 	}
-	rs.mu.RUnlock()
-	out := make([]*Replica, 0, len(ids))
-	var degraded []*Replica
+	reps := make([]*Replica, 0, len(ids))
 	for _, id := range ids {
 		if r, ok := rs.byID[id]; ok {
-			if r.Degraded() {
-				degraded = append(degraded, r)
-			} else {
-				out = append(out, r)
-			}
+			reps = append(reps, r)
+		}
+	}
+	rs.mu.RUnlock()
+	out := make([]*Replica, 0, len(reps))
+	var degraded []*Replica
+	for _, r := range reps {
+		if r.Degraded() {
+			degraded = append(degraded, r)
+		} else {
+			out = append(out, r)
 		}
 	}
 	return append(out, degraded...)
 }
 
-// Snapshot returns every replica's current state, in URL order.
+// Snapshot returns every current member's state, in join order.
 func (rs *ReplicaSet) Snapshot() []ReplicaStatus {
-	out := make([]ReplicaStatus, 0, len(rs.replicas))
-	for _, r := range rs.replicas {
+	reps := rs.Replicas()
+	out := make([]ReplicaStatus, 0, len(reps))
+	for _, r := range reps {
 		r.mu.Lock()
 		out = append(out, ReplicaStatus{
-			ID: r.ID, URL: r.URL, Up: r.up,
+			ID: r.ID, URL: r.URL, Up: r.up, Draining: r.draining,
 			ConsecFails: r.consecFails, LastErr: r.lastErr, Health: r.lastHealth,
 		})
 		r.mu.Unlock()

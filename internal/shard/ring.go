@@ -70,15 +70,7 @@ func (r *Ring) Add(node string) {
 		return
 	}
 	r.nodes[node] = struct{}{}
-	for i := 0; i < r.vnodes; i++ {
-		r.points = append(r.points, ringPoint{ringHash(node + "#" + strconv.Itoa(i)), node})
-	}
-	sort.Slice(r.points, func(a, b int) bool {
-		if r.points[a].hash != r.points[b].hash {
-			return r.points[a].hash < r.points[b].hash
-		}
-		return r.points[a].node < r.points[b].node
-	})
+	r.rebuild()
 }
 
 // Remove drops a node and its points. Removing an absent node is a no-op.
@@ -87,13 +79,29 @@ func (r *Ring) Remove(node string) {
 		return
 	}
 	delete(r.nodes, node)
-	kept := r.points[:0]
-	for _, p := range r.points {
-		if p.node != node {
-			kept = append(kept, p)
+	r.rebuild()
+}
+
+// rebuild regenerates the point list from the membership set. Points are
+// a pure function of (nodes, vnodes), so any Add/Remove sequence reaching
+// the same membership yields an identical ring: repeated joins cannot
+// duplicate a node's vnode points, and interleaved join/leave churn
+// cannot leave stale points behind. Membership changes are rare (admin
+// joins, ejections), so the full re-sort is cheap relative to what it
+// buys.
+func (r *Ring) rebuild() {
+	r.points = r.points[:0]
+	for node := range r.nodes {
+		for i := 0; i < r.vnodes; i++ {
+			r.points = append(r.points, ringPoint{ringHash(node + "#" + strconv.Itoa(i)), node})
 		}
 	}
-	r.points = kept
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].node < r.points[b].node
+	})
 }
 
 // Len returns the number of nodes on the ring.

@@ -125,6 +125,64 @@ func TestRingMinimalMovementOnLeave(t *testing.T) {
 	}
 }
 
+// TestRingAddRemoveIdempotent is the churn property behind dynamic
+// membership: however a join/leave sequence interleaves — repeated Adds
+// of a present node, Removes of an absent one, full leave-and-rejoin
+// cycles — the ring must hold exactly vnodes points per member (no
+// duplicated vnode points, no stale leftovers) and assign keys exactly
+// as a fresh ring with the same membership would.
+func TestRingAddRemoveIdempotent(t *testing.T) {
+	r := NewRing(0)
+
+	r.Add("a")
+	r.Add("a") // repeated join: must not duplicate vnode points
+	if r.Len() != 1 || len(r.points) != DefaultVNodes {
+		t.Fatalf("after double Add: %d nodes, %d points; want 1, %d", r.Len(), len(r.points), DefaultVNodes)
+	}
+	r.Remove("a")
+	r.Remove("a") // repeated leave: no panic, no underflow
+	r.Remove("never-joined")
+	if r.Len() != 0 || len(r.points) != 0 {
+		t.Fatalf("after double Remove: %d nodes, %d points; want empty", r.Len(), len(r.points))
+	}
+
+	// Deterministic churn: every prefix of the sequence must leave the
+	// ring identical to one built fresh from the surviving membership.
+	ops := []struct {
+		add  bool
+		node string
+	}{
+		{true, "r0"}, {true, "r1"}, {true, "r2"}, {true, "r1"}, // dup join
+		{false, "r0"}, {false, "r0"}, // dup leave
+		{true, "r3"}, {true, "r0"}, // rejoin after leave
+		{false, "r2"}, {true, "r2"}, {false, "rX"}, // leave-rejoin, phantom leave
+	}
+	live := map[string]bool{}
+	for step, op := range ops {
+		if op.add {
+			r.Add(op.node)
+			live[op.node] = true
+		} else {
+			r.Remove(op.node)
+			delete(live, op.node)
+		}
+		if got, want := len(r.points), r.vnodes*len(live); got != want {
+			t.Fatalf("step %d: %d points for %d nodes; want %d", step, got, len(live), want)
+		}
+		fresh := NewRing(0)
+		for n := range live {
+			fresh.Add(n)
+		}
+		for _, k := range synthKeys(200) {
+			churned, ok1 := r.Owner(k)
+			direct, ok2 := fresh.Owner(k)
+			if ok1 != ok2 || churned != direct {
+				t.Fatalf("step %d: key %q owned by %q after churn, %q on a fresh ring", step, k, churned, direct)
+			}
+		}
+	}
+}
+
 // TestRingSequence: the failover order starts at the owner, contains no
 // duplicates, and is capped by the node count.
 func TestRingSequence(t *testing.T) {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"net/url"
 	"sort"
 	"strconv"
 	"strings"
@@ -27,6 +28,7 @@ type Config struct {
 	ProbeEvery  time.Duration // health-probe period (default 1s)
 	FailAfter   int           // consecutive failures before ejection (default 2)
 	MaxFailover int           // extra ring nodes tried after the primary (default 2)
+	Replication int           // owner-set size K for keyed job submissions (default 1)
 	HTTPClient  *http.Client  // optional downstream transport override (tests)
 
 	// Logger receives request and lifecycle logs; nil discards them.
@@ -59,12 +61,19 @@ type Router struct {
 	httpSrv *http.Server
 	start   time.Time
 
-	// jobOwner remembers raw downstream job ID -> replica ID as a fallback
-	// for clients that stripped the "@rN" suffix; the suffix itself is the
-	// authoritative (stateless) mapping, since raw IDs are only unique per
-	// replica.
-	mu       sync.Mutex
-	jobOwner map[string]string
+	// replication is the owner-set size K: a keyed job submission fans out
+	// to the K distinct ring successors of its routing key, and a
+	// resubmitted key found on any of them is answered from the existing
+	// job instead of spawning a duplicate.
+	replication int
+
+	// owners remembers raw downstream job ID → (replica, idempotency key):
+	// the fallback for clients that stripped the "@rN" suffix (the suffix
+	// itself is the authoritative stateless mapping, since raw IDs are only
+	// unique per replica), and the map that lets sticky reads re-find a
+	// keyed job's replicated copy when its replica dies. Bounded LRU;
+	// entries for ejected or removed replicas are evicted eagerly.
+	owners *ownerCache
 }
 
 // NewRouter builds a ready-to-listen router. Call Start to launch the
@@ -75,6 +84,9 @@ func NewRouter(cfg Config) (*Router, error) {
 	}
 	if cfg.MaxFailover <= 0 {
 		cfg.MaxFailover = 2
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 1
 	}
 	met := NewMetrics()
 	journal := events.NewJournal("shard", cfg.EventCapacity)
@@ -87,15 +99,30 @@ func NewRouter(cfg Config) (*Router, error) {
 		return nil, err
 	}
 	rt := &Router{
-		cfg:      cfg,
-		rs:       rs,
-		met:      met,
-		tracer:   obs.NewTracer("shard", cfg.TraceCapacity),
-		logger:   cfg.Logger,
-		journal:  journal,
-		start:    time.Now(),
-		jobOwner: map[string]string{},
+		cfg:         cfg,
+		rs:          rs,
+		met:         met,
+		tracer:      obs.NewTracer("shard", cfg.TraceCapacity),
+		logger:      cfg.Logger,
+		journal:     journal,
+		start:       time.Now(),
+		replication: cfg.Replication,
+		owners:      newOwnerCache(maxJobOwnerEntries),
 	}
+	// A replica leaving the ring for health reasons takes its sticky-cache
+	// entries with it: the cache must never pin routing state at a dead
+	// replica (and unbounded growth from ejected members was how the old
+	// map leaked).
+	rs.OnEject(func(id string) { rt.owners.ForgetReplica(id) })
+	met.Registry().GaugeFunc("sickle_shard_owner_set_size",
+		"Members in each key's owner set: the replication factor, bounded by ring size.",
+		func() float64 {
+			n := rt.rs.RingMembers()
+			if rt.replication < n {
+				n = rt.replication
+			}
+			return float64(n)
+		})
 	rt.tracer.RegisterDropped(met.Registry())
 	journal.Register(met.Registry())
 	rt.history = tsdb.NewStore("shard", met.Registry(), cfg.HistoryInterval, cfg.HistoryCapacity)
@@ -180,6 +207,11 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v2/jobs/{id}", rt.instrument("/v2/jobs/{id}", rt.handleGetJob))
 	mux.HandleFunc("DELETE /v2/jobs/{id}", rt.instrument("/v2/jobs/{id}", rt.handleCancelJob))
 	mux.HandleFunc("GET /v2/jobs/{id}/result", rt.instrument("/v2/jobs/{id}/result", rt.handleJobResult))
+	mux.HandleFunc("GET /v2/keys/{key}", rt.instrument("/v2/keys/{key}", rt.handleGetJobByKey))
+
+	mux.HandleFunc("GET /admin/replicas", rt.instrument("/admin/replicas", rt.handleAdminListReplicas))
+	mux.HandleFunc("POST /admin/replicas", rt.instrument("/admin/replicas", rt.handleAdminJoinReplica))
+	mux.HandleFunc("DELETE /admin/replicas/{id}", rt.instrument("/admin/replicas/{id}", rt.handleAdminDrainReplica))
 
 	methodNotAllowed := func(allow string) func(http.ResponseWriter, *http.Request) error {
 		return func(w http.ResponseWriter, r *http.Request) error {
@@ -191,12 +223,15 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("/v2/subsample", rt.instrument("/v2/subsample", methodNotAllowed("POST")))
 	mux.HandleFunc("/v2/models", rt.instrument("/v2/models", methodNotAllowed("GET, POST")))
 	mux.HandleFunc("/v2/jobs", rt.instrument("/v2/jobs", methodNotAllowed("GET, POST")))
+	mux.HandleFunc("/v2/keys/{key}", rt.instrument("/v2/keys/{key}", methodNotAllowed("GET")))
 	mux.HandleFunc("/v2/jobs/{id}", rt.instrument("/v2/jobs/{id}", methodNotAllowed("GET, DELETE")))
 	mux.HandleFunc("/v2/jobs/{id}/result", rt.instrument("/v2/jobs/{id}/result", methodNotAllowed("GET")))
 	mux.HandleFunc("/v2/", rt.instrument("/v2/", func(w http.ResponseWriter, r *http.Request) error {
 		return writeAPIError(w, api.Errorf(api.CodeNotFound, "no route %s %s", r.Method, r.URL.Path))
 	}))
 	mux.HandleFunc("/api/version", rt.instrument("/api/version", methodNotAllowed("GET")))
+	mux.HandleFunc("/admin/replicas", rt.instrument("/admin/replicas", methodNotAllowed("GET, POST")))
+	mux.HandleFunc("/admin/replicas/{id}", rt.instrument("/admin/replicas/{id}", methodNotAllowed("DELETE")))
 	return mux
 }
 
@@ -490,28 +525,21 @@ func splitJobID(id string) (raw, replicaID string) {
 	return id, ""
 }
 
-// maxJobOwnerEntries bounds the sticky-map fallback; the suffix is the
-// authoritative mapping, so dropping the cache only affects clients that
-// strip it.
+// maxJobOwnerEntries bounds the sticky-cache fallback; the suffix is the
+// authoritative mapping, so an evicted entry only affects clients that
+// strip it (their read degrades to job_not_found, never to a wrong job).
 const maxJobOwnerEntries = 8192
 
-func (rt *Router) rememberJob(raw, replicaID string) {
-	rt.mu.Lock()
-	if len(rt.jobOwner) >= maxJobOwnerEntries {
-		rt.jobOwner = map[string]string{}
-	}
-	rt.jobOwner[raw] = replicaID
-	rt.mu.Unlock()
+func (rt *Router) rememberJob(raw, replicaID, key string) {
+	rt.owners.Remember(raw, replicaID, key)
 }
 
 // jobReplica resolves a client-facing job ID to (raw downstream ID,
-// owning replica): the "@rN" suffix when present, else the sticky map.
+// owning replica): the "@rN" suffix when present, else the sticky cache.
 func (rt *Router) jobReplica(id string) (string, *Replica, error) {
 	raw, rid := splitJobID(id)
 	if rid == "" {
-		rt.mu.Lock()
-		rid = rt.jobOwner[raw]
-		rt.mu.Unlock()
+		rid, _ = rt.owners.Resolve(raw)
 	}
 	if rid == "" {
 		return "", nil, api.Errorf(api.CodeJobNotFound, "shard: no job %q", id)
@@ -535,10 +563,82 @@ func submitKey(req *api.SubmitJobRequest) string {
 	return string(req.Type)
 }
 
+// consultOwners checks every member of routeKey's owner set for a job
+// already holding idemKey (serially, in ring order — the nearest healthy
+// owner answers first). An unreachable owner counts against its health
+// and the walk moves on; an owner without the key is simply a miss.
+func (rt *Router) consultOwners(ctx context.Context, routeKey, idemKey string) (*api.Job, *Replica, bool) {
+	for _, rep := range rt.rs.Sequence(routeKey, rt.replication) {
+		job, err := rep.C.JobByKey(ctx, idemKey)
+		if err == nil {
+			rt.rs.NoteOK(rep)
+			return job, rep, true
+		}
+		if api.AsError(err).Code == api.CodeUnavailable {
+			rt.met.ObserveFailed(rep.ID)
+			rt.rs.NoteFailure(rep, err)
+		}
+	}
+	return nil, nil, false
+}
+
+// replicate copies a keyed submission onto the remaining members of its
+// owner set, concurrently and best-effort: runners are deterministic and
+// results content-addressed, so a copy is just pre-positioned redundancy —
+// a fan-out failure loses nothing (the admitted primary copy exists) and
+// only costs the key its failover cover. Returns once every copy has been
+// admitted or failed, so a caller observing the submit response can rely
+// on the owner set being populated.
+func (rt *Router) replicate(ctx context.Context, routeKey string, req *api.SubmitJobRequest, admitted *Replica) {
+	if rt.replication <= 1 {
+		return
+	}
+	var wg sync.WaitGroup
+	for _, rep := range rt.rs.Sequence(routeKey, rt.replication) {
+		if rep == admitted {
+			continue
+		}
+		wg.Add(1)
+		go func(rep *Replica) {
+			defer wg.Done()
+			out, err := rep.C.SubmitJob(ctx, req)
+			if err != nil {
+				rt.met.ObserveOwnerReplicationFailure()
+				if api.AsError(err).Code == api.CodeUnavailable {
+					rt.rs.NoteFailure(rep, err)
+				}
+				return
+			}
+			rt.rs.NoteOK(rep)
+			rt.met.ObserveOwnerReplication(rep.ID)
+			rt.rememberJob(out.ID, rep.ID, req.IdempotencyKey)
+		}(rep)
+	}
+	wg.Wait()
+}
+
 func (rt *Router) handleSubmitJob(w http.ResponseWriter, r *http.Request) error {
 	var req api.SubmitJobRequest
 	if err := decodeBody(r, &req); err != nil {
 		return writeAPIError(w, err)
+	}
+	key := submitKey(&req)
+	// A keyed submission consults the full owner set before creating
+	// anything: after a failover the key's original job may live on any
+	// owner — including one the current ring no longer ranks first — and
+	// answering from it is what keeps a resubmission from becoming a
+	// fleet-level duplicate.
+	if req.IdempotencyKey != "" {
+		if job, rep, ok := rt.consultOwners(r.Context(), key, req.IdempotencyKey); ok {
+			rt.met.ObserveOwnerDedupHit()
+			tc, _ := api.TraceFrom(r.Context())
+			rt.journal.Emit(events.TypeDedupHit, "keyed resubmission answered from the owner set",
+				tc.TraceID, "kind", "owner_set", "replica", rep.ID, "job", job.ID)
+			rt.rememberJob(job.ID, rep.ID, req.IdempotencyKey)
+			rt.met.ObserveRouted(rep.ID)
+			job.ID = job.ID + jobIDSep + rep.ID
+			return writeJSON(w, http.StatusOK, job)
+		}
 	}
 	// Unkeyed submissions never fail over on unavailable: the backend may
 	// have admitted the job before the connection died, and a retry
@@ -550,7 +650,7 @@ func (rt *Router) handleSubmitJob(w http.ResponseWriter, r *http.Request) error 
 	// admitted) always move on; once the prober ejects a dead primary,
 	// new submissions hash straight to its successor.
 	var job *api.Job
-	rep, err := rt.route(r.Context(), submitKey(&req), req.IdempotencyKey != "",
+	rep, err := rt.route(r.Context(), key, req.IdempotencyKey != "",
 		func(ctx context.Context, rep *Replica) error {
 			out, err := rep.C.SubmitJob(ctx, &req)
 			if err != nil {
@@ -562,7 +662,10 @@ func (rt *Router) handleSubmitJob(w http.ResponseWriter, r *http.Request) error 
 	if err != nil {
 		return writeAPIError(w, err)
 	}
-	rt.rememberJob(job.ID, rep.ID)
+	rt.rememberJob(job.ID, rep.ID, req.IdempotencyKey)
+	if req.IdempotencyKey != "" {
+		rt.replicate(r.Context(), key, &req, rep)
+	}
 	job.ID = job.ID + jobIDSep + rep.ID
 	return writeJSON(w, http.StatusAccepted, job)
 }
@@ -576,7 +679,7 @@ func (rt *Router) handleListJobs(w http.ResponseWriter, r *http.Request) error {
 			return err
 		}
 		for i := range jobs {
-			rt.rememberJob(jobs[i].ID, rep.ID)
+			rt.rememberJob(jobs[i].ID, rep.ID, jobs[i].IdempotencyKey)
 			jobs[i].ID = jobs[i].ID + jobIDSep + rep.ID
 		}
 		mu.Lock()
@@ -593,22 +696,68 @@ func (rt *Router) handleListJobs(w http.ResponseWriter, r *http.Request) error {
 		}
 		return all[a].ID < all[b].ID
 	})
-	return writeJSON(w, http.StatusOK, all)
+	// Replicated copies of one keyed submission are one logical job: keep
+	// the oldest copy per key so the fleet listing counts work, not fan-out.
+	seenKey := map[string]bool{}
+	kept := all[:0]
+	for _, j := range all {
+		if k := j.IdempotencyKey; k != "" {
+			if seenKey[k] {
+				continue
+			}
+			seenKey[k] = true
+		}
+		kept = append(kept, j)
+	}
+	return writeJSON(w, http.StatusOK, kept)
 }
 
-// forwardJob forwards one sticky job call to the owning replica (no
-// failover — the job state lives only there) and rewrites the returned
-// snapshot's ID back to the client-facing form.
-func (rt *Router) forwardJob(w http.ResponseWriter, id string,
-	call func(*Replica, string) (*api.Job, error)) error {
+// findReplicated re-finds a keyed job's copy on another owner after the
+// replica holding it became unreachable: the sticky cache yields the
+// idempotency key the job was submitted under (only while its entry still
+// names the dead replica — a stale entry must not redirect the read), and
+// a by-key scan of the live members locates a surviving copy.
+func (rt *Router) findReplicated(ctx context.Context, raw, deadID string) (*api.Job, *Replica, bool) {
+	key := rt.owners.Key(raw, deadID)
+	if key == "" {
+		return nil, nil, false
+	}
+	for _, rep := range rt.rs.Live() {
+		if rep.ID == deadID {
+			continue
+		}
+		job, err := rep.C.JobByKey(ctx, key)
+		if err != nil {
+			continue
+		}
+		rt.rs.NoteOK(rep)
+		return job, rep, true
+	}
+	return nil, nil, false
+}
+
+// forwardJob forwards one sticky job call to the owning replica and
+// rewrites the returned snapshot's ID back to the client-facing form.
+// There is no general failover — the job state lives only there — but
+// when the replica is unreachable and the job was keyed-and-replicated,
+// the call is retried once against a surviving owner-set copy.
+func (rt *Router) forwardJob(ctx context.Context, w http.ResponseWriter, id string,
+	call func(ctx context.Context, rep *Replica, raw string) (*api.Job, error)) error {
 	raw, rep, err := rt.jobReplica(id)
 	if err != nil {
 		return writeAPIError(w, err)
 	}
-	job, err := call(rep, raw)
+	job, err := call(ctx, rep, raw)
 	if err != nil {
 		if api.AsError(err).Code == api.CodeUnavailable {
 			rt.rs.NoteFailure(rep, err)
+			if copyJob, copyRep, ok := rt.findReplicated(ctx, raw, rep.ID); ok {
+				if job2, err2 := call(ctx, copyRep, copyJob.ID); err2 == nil {
+					rt.met.ObserveRouted(copyRep.ID)
+					job2.ID = job2.ID + jobIDSep + copyRep.ID
+					return writeJSON(w, http.StatusOK, job2)
+				}
+			}
 		}
 		return writeAPIError(w, err)
 	}
@@ -619,15 +768,17 @@ func (rt *Router) forwardJob(w http.ResponseWriter, id string,
 }
 
 func (rt *Router) handleGetJob(w http.ResponseWriter, r *http.Request) error {
-	return rt.forwardJob(w, r.PathValue("id"), func(rep *Replica, raw string) (*api.Job, error) {
-		return rep.C.Job(r.Context(), raw)
-	})
+	return rt.forwardJob(r.Context(), w, r.PathValue("id"),
+		func(ctx context.Context, rep *Replica, raw string) (*api.Job, error) {
+			return rep.C.Job(ctx, raw)
+		})
 }
 
 func (rt *Router) handleCancelJob(w http.ResponseWriter, r *http.Request) error {
-	return rt.forwardJob(w, r.PathValue("id"), func(rep *Replica, raw string) (*api.Job, error) {
-		return rep.C.CancelJob(r.Context(), raw)
-	})
+	return rt.forwardJob(r.Context(), w, r.PathValue("id"),
+		func(ctx context.Context, rep *Replica, raw string) (*api.Job, error) {
+			return rep.C.CancelJob(ctx, raw)
+		})
 }
 
 func (rt *Router) handleJobResult(w http.ResponseWriter, r *http.Request) error {
@@ -639,12 +790,240 @@ func (rt *Router) handleJobResult(w http.ResponseWriter, r *http.Request) error 
 	if err != nil {
 		if api.AsError(err).Code == api.CodeUnavailable {
 			rt.rs.NoteFailure(rep, err)
+			if copyJob, copyRep, ok := rt.findReplicated(r.Context(), raw, rep.ID); ok {
+				if res2, err2 := copyRep.C.JobResult(r.Context(), copyJob.ID); err2 == nil {
+					rt.met.ObserveRouted(copyRep.ID)
+					return writeJSON(w, http.StatusOK, res2)
+				}
+			}
 		}
 		return writeAPIError(w, err)
 	}
 	rt.rs.NoteOK(rep)
 	rt.met.ObserveRouted(rep.ID)
 	return writeJSON(w, http.StatusOK, res)
+}
+
+// handleGetJobByKey mirrors the replica-side by-key lookup at fleet scope:
+// scan the live members for the key's job (ring-independent — the key may
+// have been owned by a membership that no longer exists).
+func (rt *Router) handleGetJobByKey(w http.ResponseWriter, r *http.Request) error {
+	key, err := url.PathUnescape(r.PathValue("key"))
+	if err != nil {
+		return writeAPIError(w, api.Errorf(api.CodeInvalidArgument, "bad idempotency key encoding: %v", err))
+	}
+	for _, rep := range rt.rs.Live() {
+		job, jerr := rep.C.JobByKey(r.Context(), key)
+		if jerr != nil {
+			if api.AsError(jerr).Code == api.CodeUnavailable {
+				rt.rs.NoteFailure(rep, jerr)
+			}
+			continue
+		}
+		rt.rs.NoteOK(rep)
+		rt.met.ObserveRouted(rep.ID)
+		rt.rememberJob(job.ID, rep.ID, key)
+		job.ID = job.ID + jobIDSep + rep.ID
+		return writeJSON(w, http.StatusOK, job)
+	}
+	return writeAPIError(w, api.Errorf(api.CodeJobNotFound, "shard: no job under idempotency key %q", key))
+}
+
+// ---- membership admin API ----
+
+// rebalanceProbes is how many synthetic keys sample the keyspace when
+// estimating how much primary ownership a membership change moved.
+const rebalanceProbes = 256
+
+// sampleOwners records the primary owner of each probe key under the
+// current ring; diffing two samples across a membership change estimates
+// the moved keyspace share (which consistent hashing keeps near 1/N).
+func (rt *Router) sampleOwners() []string {
+	out := make([]string, rebalanceProbes)
+	for i := range out {
+		if rep, ok := rt.rs.Owner("rebalance-probe-" + strconv.Itoa(i)); ok {
+			out[i] = rep.ID
+		}
+	}
+	return out
+}
+
+// noteRebalance diffs probe-key ownership against a pre-change sample,
+// records the moved share, and journals the rebalance.
+func (rt *Router) noteRebalance(before []string, kind, traceID string) {
+	after := rt.sampleOwners()
+	moved := 0
+	for i := range before {
+		if before[i] != after[i] {
+			moved++
+		}
+	}
+	share := float64(moved) / float64(len(before))
+	rt.met.ObserveRebalance(share)
+	rt.journal.Emit(events.TypeRebalance, "keyspace ownership rebalanced", traceID,
+		"kind", kind, "moved_share", strconv.FormatFloat(share, 'f', 3, 64))
+}
+
+func (rt *Router) handleAdminListReplicas(w http.ResponseWriter, _ *http.Request) error {
+	out := api.AdminReplicas{Replication: rt.replication, Replicas: []api.AdminReplica{}}
+	for _, s := range rt.rs.Snapshot() {
+		out.Replicas = append(out.Replicas, api.AdminReplica{
+			ID: s.ID, URL: s.URL, Up: s.Up, Draining: s.Draining,
+		})
+	}
+	return writeJSON(w, http.StatusOK, out)
+}
+
+// handleAdminJoinReplica brings a running backend into the ring: create it
+// as a pending (off-ring) member, health-check it, warm-prefetch the
+// fleet's model catalog onto it, and only then admit it — a newcomer never
+// takes keyed traffic with a cold cache.
+func (rt *Router) handleAdminJoinReplica(w http.ResponseWriter, r *http.Request) error {
+	var req api.JoinReplicaRequest
+	if err := decodeBody(r, &req); err != nil {
+		return writeAPIError(w, err)
+	}
+	if strings.TrimSpace(req.URL) == "" {
+		return writeAPIError(w, api.Errorf(api.CodeInvalidArgument, "shard: join needs a backend url"))
+	}
+	before := rt.sampleOwners()
+	rep, err := rt.rs.AddReplica(req.URL)
+	if err != nil {
+		return writeAPIError(w, api.Errorf(api.CodeInvalidArgument, "%v", err))
+	}
+	if _, err := rep.C.Health(r.Context()); err != nil {
+		rt.rs.RemoveReplica(rep.ID)
+		return writeAPIError(w, api.Errorf(api.CodeUnavailable,
+			"shard: replica at %s failed its admission health check: %v", rep.URL, err))
+	}
+	prefetched := rt.prefetchModels(r.Context(), rep)
+	if !rt.rs.Admit(rep) {
+		return writeAPIError(w, api.Errorf(api.CodeUnavailable,
+			"shard: replica %s was removed before admission", rep.ID))
+	}
+	tc, _ := api.TraceFrom(r.Context())
+	rt.journal.Emit(events.TypeReplicaJoin, "replica joined the ring", tc.TraceID,
+		"replica", rep.ID, "url", rep.URL, "prefetched", strconv.Itoa(len(prefetched)))
+	rt.noteRebalance(before, "join", tc.TraceID)
+	if prefetched == nil {
+		prefetched = []string{}
+	}
+	return writeJSON(w, http.StatusOK, api.JoinReplicaResponse{
+		Replica:          api.AdminReplica{ID: rep.ID, URL: rep.URL, Up: true},
+		PrefetchedModels: prefetched,
+	})
+}
+
+// prefetchModels warm-caches the fleet's model catalog onto a pending
+// replica: scatter the current members for their newest version of each
+// model, then register every checkpoint-backed one on the newcomer.
+// Best-effort — a model whose checkpoint the newcomer cannot load is
+// skipped, not fatal (it will 404 there and fail over like today).
+func (rt *Router) prefetchModels(ctx context.Context, rep *Replica) []string {
+	var mu sync.Mutex
+	catalog := map[string]api.ModelInfo{}
+	rt.scatter(func(peer *Replica) error {
+		if peer == rep {
+			return nil
+		}
+		models, err := peer.C.Models(ctx)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		for _, m := range models {
+			if have, dup := catalog[m.Name]; !dup || m.Version > have.Version {
+				catalog[m.Name] = m
+			}
+		}
+		return nil
+	})
+	var prefetched []string
+	for _, name := range sortedKeys(catalog) {
+		m := catalog[name]
+		if m.Checkpoint == "" {
+			continue // nothing on disk to reload it from
+		}
+		_, err := rep.C.RegisterModel(ctx, &api.RegisterModelRequest{
+			Name: m.Name, Spec: m.Spec, Checkpoint: m.Checkpoint,
+			InputShape: m.InputShape, Replicas: m.Replicas,
+		})
+		if err == nil {
+			prefetched = append(prefetched, m.Name)
+		}
+	}
+	return prefetched
+}
+
+// handleAdminDrainReplica is the rolling-drain orchestration: the replica
+// leaves both rings immediately (no new keyed traffic), its sticky jobs
+// bleed to terminal states (bounded by the request context; skipped with
+// ?force=true), and only then is it removed from the membership — into
+// the retired set, so job IDs minted while it was a member keep resolving.
+func (rt *Router) handleAdminDrainReplica(w http.ResponseWriter, r *http.Request) error {
+	id := r.PathValue("id")
+	force := r.URL.Query().Get("force") == "true"
+	before := rt.sampleOwners()
+	rep, ok := rt.rs.SetDraining(id)
+	if !ok {
+		return writeAPIError(w, api.Errorf(api.CodeNotFound, "shard: no replica %q", id))
+	}
+	tc, _ := api.TraceFrom(r.Context())
+	rt.journal.Emit(events.TypeReplicaDrain, "replica draining before removal", tc.TraceID,
+		"replica", rep.ID, "url", rep.URL, "force", strconv.FormatBool(force))
+	drained := 0
+	if !force {
+		n, err := rt.bleedJobs(r.Context(), rep)
+		if err != nil {
+			// Left draining, off-ring: the operator can retry, wait longer,
+			// or force the removal.
+			return writeAPIError(w, err)
+		}
+		drained = n
+	}
+	rt.rs.RemoveReplica(rep.ID)
+	rt.owners.ForgetReplica(rep.ID)
+	rt.journal.Emit(events.TypeReplicaLeave, "replica removed from the membership", tc.TraceID,
+		"replica", rep.ID, "url", rep.URL, "drained_jobs", strconv.Itoa(drained))
+	rt.noteRebalance(before, "leave", tc.TraceID)
+	return writeJSON(w, http.StatusOK, api.DrainReplicaResponse{
+		Replica:     api.AdminReplica{ID: rep.ID, URL: rep.URL, Up: rep.Up()},
+		DrainedJobs: drained,
+	})
+}
+
+// bleedJobs polls a draining replica until none of its jobs are live,
+// returning how many were still running when the drain began. A poll
+// failure is not fatal — the replica may be briefly busy — only the
+// context deadline ends the wait early.
+func (rt *Router) bleedJobs(ctx context.Context, rep *Replica) (int, error) {
+	first := 0
+	counted := false
+	t := time.NewTicker(50 * time.Millisecond)
+	defer t.Stop()
+	for {
+		jobs, err := rep.C.Jobs(ctx)
+		if err == nil {
+			n := 0
+			for _, j := range jobs {
+				if !j.State.Terminal() {
+					n++
+				}
+			}
+			if !counted {
+				first, counted = n, true
+			}
+			if n == 0 {
+				return first, nil
+			}
+		}
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return first, api.AsError(ctx.Err())
+		}
+	}
 }
 
 // ---- plain endpoints ----
@@ -657,10 +1036,11 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) error {
 		Status:        "down",
 		UptimeSeconds: time.Since(rt.start).Seconds(),
 		Models:        []string{},
+		Replication:   rt.replication,
 	}
 	modelSet := map[string]struct{}{}
 	for _, s := range snap {
-		rh := api.ReplicaHealth{ID: s.ID, URL: s.URL, Up: s.Up,
+		rh := api.ReplicaHealth{ID: s.ID, URL: s.URL, Up: s.Up, Draining: s.Draining,
 			Status: s.Health.Status, ConsecutiveFailures: s.ConsecFails}
 		if s.LastErr != nil {
 			rh.Error = s.LastErr.Error()

@@ -95,8 +95,9 @@ type Health struct {
 	UptimeSeconds float64         `json:"uptimeSeconds"`
 	Models        []string        `json:"models"`
 	QueueDepth    int             `json:"queueDepth"`
-	Jobs          map[string]int  `json:"jobs,omitempty"`     // job counts by state
-	Replicas      []ReplicaHealth `json:"replicas,omitempty"` // shard router only
+	Jobs          map[string]int  `json:"jobs,omitempty"`        // job counts by state
+	Replication   int             `json:"replication,omitempty"` // shard router only: owner-set size K
+	Replicas      []ReplicaHealth `json:"replicas,omitempty"`    // shard router only
 }
 
 // ReplicaHealth is one backend's state as seen by a shard router's health
@@ -105,7 +106,50 @@ type ReplicaHealth struct {
 	ID                  string `json:"id"`
 	URL                 string `json:"url"`
 	Up                  bool   `json:"up"`
-	Status              string `json:"status,omitempty"` // replica's own Health.Status (e.g. "ok", "degraded")
+	Draining            bool   `json:"draining,omitempty"` // bleeding sticky jobs before leaving
+	Status              string `json:"status,omitempty"`   // replica's own Health.Status (e.g. "ok", "degraded")
 	ConsecutiveFailures int    `json:"consecutiveFailures,omitempty"`
 	Error               string `json:"error,omitempty"` // last probe/call failure while down
+}
+
+// ---- shard membership admin API (router only) ----
+
+// AdminReplica is one entry in the router's membership view
+// (GET /admin/replicas).
+type AdminReplica struct {
+	ID       string `json:"id"`
+	URL      string `json:"url"`
+	Up       bool   `json:"up"`
+	Draining bool   `json:"draining,omitempty"`
+}
+
+// AdminReplicas is the GET /admin/replicas body: the ring's current
+// membership plus the configured replication factor.
+type AdminReplicas struct {
+	Replication int            `json:"replication"`
+	Replicas    []AdminReplica `json:"replicas"`
+}
+
+// JoinReplicaRequest is the POST /admin/replicas body: add a running
+// sickle-serve backend to the ring. The router health-checks the URL and
+// warm-prefetches the fleet's model catalog onto it before it takes any
+// keyed traffic.
+type JoinReplicaRequest struct {
+	URL string `json:"url"`
+}
+
+// JoinReplicaResponse reports the assigned replica identity and which
+// models the warm-cache prefetch managed to register on the newcomer
+// before it was admitted to the ring.
+type JoinReplicaResponse struct {
+	Replica          AdminReplica `json:"replica"`
+	PrefetchedModels []string     `json:"prefetchedModels"`
+}
+
+// DrainReplicaResponse is the DELETE /admin/replicas/{id} body: the
+// removed replica and how many sticky jobs the rolling drain waited out
+// before taking it off the ring.
+type DrainReplicaResponse struct {
+	Replica     AdminReplica `json:"replica"`
+	DrainedJobs int          `json:"drainedJobs"`
 }

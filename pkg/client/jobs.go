@@ -3,6 +3,7 @@ package client
 import (
 	"context"
 	"net/http"
+	"net/url"
 	"time"
 
 	"repro/pkg/api"
@@ -41,6 +42,19 @@ func (c *Client) SubmitTrainJob(ctx context.Context, spec *api.TrainJobSpec) (*a
 func (c *Client) Job(ctx context.Context, id string) (*api.Job, error) {
 	var out api.Job
 	if err := c.doVersioned(ctx, http.MethodGet, "/jobs/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// JobByKey looks up the job holding an idempotency key
+// (GET /v2/keys/{key}). An unclaimed key answers a typed
+// job_not_found. The shard router uses this to consult every member of a
+// key's owner set before admitting a resubmission; callers can use it to
+// re-find a submission whose job ID they lost.
+func (c *Client) JobByKey(ctx context.Context, key string) (*api.Job, error) {
+	var out api.Job
+	if err := c.doVersioned(ctx, http.MethodGet, "/keys/"+url.PathEscape(key), nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
